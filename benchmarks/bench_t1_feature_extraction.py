@@ -1,0 +1,55 @@
+"""T1 — Feature extractor inventory: dimensionality and throughput.
+
+Regenerates the evaluation's feature-inventory table: for every
+extractor, its signature dimensionality and its extraction time on a
+64x64 synthetic scene.  pytest-benchmark's own output is the timing
+column; the printed table adds dimensions.
+
+Expected shape: moments and wavelet signatures are the cheap compact
+features; the correlogram is the most expensive (O(pixels x distances));
+everything is far cheaper than a disk read was in 1994, which is why
+extraction happened at insertion time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_experiment, quality_schema
+from repro.eval.harness import ascii_table
+from repro.image import synth
+
+_SCHEMA = quality_schema()
+
+
+@pytest.fixture(scope="module")
+def sample_image():
+    rng = np.random.default_rng(0)
+    return synth.compose_scene(64, 64, rng, n_shapes=4)
+
+
+@pytest.mark.parametrize("extractor", list(_SCHEMA), ids=lambda e: e.name)
+def test_t1_extraction_throughput(benchmark, extractor, sample_image):
+    vector = benchmark(extractor.extract, sample_image)
+    assert vector.shape == (extractor.dim,)
+    benchmark.extra_info["dim"] = extractor.dim
+
+
+def test_t1_inventory_table(sample_image, benchmark):
+    import time
+
+    rows = []
+    for extractor in _SCHEMA:
+        started = time.perf_counter()
+        extractor.extract(sample_image)
+        elapsed = time.perf_counter() - started
+        rows.append([extractor.name, extractor.dim, elapsed * 1000.0])
+    print_experiment(
+        ascii_table(
+            ["extractor", "dim", "ms / image (64x64)"],
+            rows,
+            title="T1: feature extractor inventory",
+        )
+    )
+    benchmark(lambda: _SCHEMA.get("color_moments_rgb").extract(sample_image))

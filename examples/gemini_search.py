@@ -1,0 +1,100 @@
+"""GEMINI filter-and-refine: searching a 162-D histogram space cheaply.
+
+High-dimensional signatures defeat tree indexes (the curse of
+dimensionality), but image features are *correlated* — most of their
+variance fits in a few axes.  This example shows the era's standard
+answer end to end:
+
+1. extract 162-D HSV histograms for a corpus,
+2. fit a Karhunen-Loève transform and print its variance profile,
+3. build a :class:`repro.FilterRefineIndex` that searches a k-D
+   projection and refines only the survivors with the true distance,
+4. verify against a linear scan that *nothing was missed* (the
+   contractive guarantee) while most full-distance computations were
+   skipped,
+5. contrast with FastMap, which needs only the metric, not coordinates.
+
+Run with::
+
+    python examples/gemini_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FilterRefineIndex, KLTransform, LinearScanIndex
+from repro.eval.datasets import make_class_image, make_corpus_images
+from repro.eval.harness import ascii_table
+from repro.features import HSVHistogram
+from repro.metrics import EuclideanDistance
+from repro.reduce import FastMap
+
+K = 10
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A corpus of 8 classes x 16 images, as 162-D HSV histograms.
+    # ------------------------------------------------------------------
+    extractor = HSVHistogram((18, 3, 3), working_size=32)
+    images, labels = make_corpus_images(16, size=32, seed=23)
+    vectors = np.array([extractor.extract(image) for image in images])
+    ids = list(range(len(images)))
+    print(f"corpus: {len(images)} images -> {vectors.shape[1]}-D signatures\n")
+
+    # ------------------------------------------------------------------
+    # 2. How much of this space is real?  The KL spectrum answers.
+    # ------------------------------------------------------------------
+    probe = KLTransform(vectors.shape[1]).fit(vectors)
+    rows = []
+    for dim in (2, 4, 8, 16, 32):
+        kept = float(probe.eigenvalues[:dim].sum() / probe.eigenvalues.sum())
+        rows.append([dim, kept])
+    print(
+        ascii_table(
+            ["kept axes", "variance retained"],
+            rows,
+            title="KL spectrum of the 162-D histograms",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Filter-and-refine at 8 axes vs the full-space scan.
+    # ------------------------------------------------------------------
+    metric = EuclideanDistance()
+    scan = LinearScanIndex(metric).build(ids, vectors)
+    gemini = FilterRefineIndex(metric, KLTransform(8)).build(ids, vectors)
+
+    query = extractor.extract(
+        make_class_image("blue_gradients", np.random.default_rng(9), size=32)
+    )
+    truth = scan.knn_search(query, K)
+    got = gemini.knn_search(query, K)
+
+    assert [n.id for n in got] == [n.id for n in truth], "contractive guarantee broken?"
+    print(
+        f"\nk={K} query answered exactly: "
+        f"{gemini.last_stats.distance_computations} full-distance computations "
+        f"instead of {scan.last_stats.distance_computations} "
+        f"({gemini.last_candidate_count} filter survivors, "
+        f"{100 * gemini.last_candidate_ratio:.1f}% of the database)"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. FastMap needs no coordinates — embed via the metric alone.
+    # ------------------------------------------------------------------
+    fastmap = FastMap(8, metric, seed=1)
+    heuristic = FilterRefineIndex(metric, fastmap).build(ids, vectors)
+    got_fm = heuristic.knn_search(query, K)
+    overlap = len({n.id for n in got_fm} & {n.id for n in truth})
+    print(
+        f"FastMap(8) filter: {heuristic.last_stats.distance_computations} "
+        f"full distances, {overlap}/{K} of the true neighbours recovered "
+        f"(heuristic bound — exactness is measured, not guaranteed; "
+        f"embedding stress {fastmap.stress(vectors):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Near-duplicate detection with range queries.
+
+A classic CBIR application: find re-saves, crops, exposure tweaks and
+noisy re-scans of the same photo in a collection.  The recipe:
+
+1. build a corpus and plant disguised duplicates of a few originals
+   (small brightness shift, added sensor noise, horizontal flip),
+2. describe images with **color moments** - unlike quantized histograms
+   they degrade *continuously* under photometric edits (a 2% exposure
+   shift moves a histogram's mass across bin boundaries wholesale, but
+   moves each moment by ~2%),
+3. pick a detection radius from the corpus's own distance distribution
+   (a small fraction of the median pairwise distance - "much closer
+   than unrelated images are to each other"),
+4. run a range query around every image and report the suspect pairs.
+
+Run with::
+
+    python examples/near_duplicates.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImageDatabase
+from repro.eval.datasets import make_corpus_images
+from repro.eval.harness import ascii_table
+from repro.eval.stats import distance_sample
+from repro.features.moments import ColorMoments
+from repro.features.pipeline import FeatureSchema
+from repro.image import transforms
+from repro.metrics.minkowski import EuclideanDistance
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    images, labels = make_corpus_images(4, size=48, seed=17)
+
+    # Plant near-duplicates of three originals.
+    duplicates = {
+        0: ("brightness +0.02", transforms.adjust_brightness(images[0], 0.02)),
+        9: ("gaussian noise 0.02", transforms.add_gaussian_noise(images[9], rng, 0.02)),
+        17: ("horizontal flip", transforms.flip_horizontal(images[17])),
+    }
+
+    schema = FeatureSchema([ColorMoments("rgb")])
+    feature = schema.names[0]
+    db = ImageDatabase(schema)
+
+    original_ids = {}
+    for position, (image, label) in enumerate(zip(images, labels)):
+        original_ids[position] = db.add_image(image, label=label, name=f"orig_{position}")
+    duplicate_ids = {}
+    for position, (edit, dup) in duplicates.items():
+        duplicate_ids[position] = db.add_image(
+            dup, label=labels[position], name=f"dup_of_{position}"
+        )
+
+    # Detection radius: a small fraction of the median pairwise distance.
+    ids, matrix = db.feature_matrix(feature)
+    sample = distance_sample(EuclideanDistance(), matrix, n_pairs=4000, seed=0)
+    radius = 0.1 * float(np.median(sample))
+    print(f"collection size: {len(db)}   median pair distance: "
+          f"{np.median(sample):.3f}   detection radius: {radius:.4f}\n")
+
+    # Range query around every image; collect non-trivial matches.
+    pairs = set()
+    for row, image_id in enumerate(ids):
+        for result in db.range_query(matrix[row], radius, feature=feature):
+            if result.image_id != image_id:
+                key = (min(image_id, result.image_id), max(image_id, result.image_id))
+                pairs.add((key, round(result.distance, 4)))
+
+    rows = [
+        [db.catalog.get(a).name, db.catalog.get(b).name, d]
+        for (a, b), d in sorted(pairs)
+    ]
+    print(ascii_table(["image A", "image B", "distance"], rows,
+                      title="suspected near-duplicate pairs"))
+
+    planted = {
+        (min(original_ids[p], duplicate_ids[p]), max(original_ids[p], duplicate_ids[p]))
+        for p in duplicates
+    }
+    found = {key for key, _ in pairs}
+    recovered = planted & found
+    print(f"\nplanted duplicates recovered: {len(recovered)}/{len(planted)}")
+    extras = found - planted
+    if extras:
+        print(f"additional close pairs flagged for review "
+              f"(visually similar class-mates): {len(extras)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Multi-feature photo search: weighting and rank fusion.
+
+The scenario the paper's introduction motivates: a user searching a photo
+collection by example, where no single feature suffices.  Color alone
+confuses a red-dominant scene with a red gradient; texture alone confuses
+stripes with checkerboards.  This example shows:
+
+1. single-feature queries and where each goes wrong,
+2. a weighted multi-feature query (color 2x, texture 1x, edges 1x),
+3. Borda-count rank fusion over all features,
+4. per-query precision against the known class labels.
+
+Run with::
+
+    python examples/photo_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImageDatabase
+from repro.eval.datasets import make_class_image, make_corpus_images
+from repro.eval.harness import ascii_table
+
+
+def precision_of(results, expected_label, db) -> float:
+    """Fraction of results whose class matches the query's class."""
+    hits = sum(1 for r in results if db.catalog.get(r.image_id).label == expected_label)
+    return hits / len(results) if results else 0.0
+
+
+def main() -> None:
+    images, labels = make_corpus_images(8, size=48, seed=3)
+    db = ImageDatabase()
+    for image, label in zip(images, labels):
+        db.add_image(image, label=label)
+
+    # Unseen queries, one per class.
+    rng = np.random.default_rng(99)
+    query_classes = ["red_scenes", "checkerboards", "stripes_diagonal", "blue_gradients"]
+    queries = {label: make_class_image(label, rng, size=48) for label in query_classes}
+
+    color = "hsv_hist_18x3x3"
+    texture = "glcm_16l_4o_mean"
+    edges = "edge_orient_18"
+
+    rows = []
+    for label, query in queries.items():
+        by_color = db.query(query, k=5, feature=color)
+        by_texture = db.query(query, k=5, feature=texture)
+        weighted = db.query_multi(
+            query, k=5, weights={color: 2.0, texture: 1.0, edges: 1.0}
+        )
+        fused = db.query_fused(query, k=5, features=[color, texture, edges], method="borda")
+        rows.append(
+            [
+                label,
+                precision_of(by_color, label, db),
+                precision_of(by_texture, label, db),
+                precision_of(weighted, label, db),
+                precision_of(fused, label, db),
+            ]
+        )
+
+    mean_row = ["MEAN"] + [
+        float(np.mean([row[col] for row in rows])) for col in range(1, 5)
+    ]
+    print(
+        ascii_table(
+            ["query class", "color only", "texture only", "weighted 2:1:1", "borda fusion"],
+            rows + [mean_row],
+            title="precision@5 per query strategy (higher is better)",
+        )
+    )
+
+    print(
+        "\nNote how color alone struggles on the achromatic classes\n"
+        "(checkerboards, stripes) while texture alone struggles on the\n"
+        "color classes - and the combined strategies cover both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Texture browsing: GLCM statistics and wavelet signatures in action.
+
+Color-blind retrieval: all images here are near-achromatic textures, so
+histograms are useless and the texture features must carry the query.
+The example:
+
+1. prints the Haralick statistics (energy/entropy/contrast/homogeneity/
+   correlation) for one exemplar of each texture class - the numbers the
+   paper's texture section defines,
+2. prints the 10-value wavelet signature for the same exemplars,
+3. runs leave-one-out retrieval with each texture feature and reports
+   which feature separates which classes.
+
+Run with::
+
+    python examples/texture_browser.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImageDatabase
+from repro.eval.datasets import make_class_image
+from repro.eval.harness import ascii_table
+from repro.features.pipeline import FeatureSchema
+from repro.features.texture import GLCMFeatures, STAT_NAMES
+from repro.features.wavelet import WaveletSignature
+
+TEXTURE_CLASSES = ("checkerboards", "stripes_horizontal", "stripes_diagonal",
+                   "noise_fine", "smooth_blobs")
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+
+    # ------------------------------------------------------------------
+    # 1. Haralick statistics per class exemplar.
+    # ------------------------------------------------------------------
+    glcm = GLCMFeatures(16, working_size=48)
+    exemplars = {label: make_class_image(label, rng, size=48) for label in TEXTURE_CLASSES}
+    rows = [
+        [label] + list(glcm.extract(image))
+        for label, image in exemplars.items()
+    ]
+    print(ascii_table(["class"] + list(STAT_NAMES), rows,
+                      title="GLCM (Haralick) statistics per texture class"))
+
+    # ------------------------------------------------------------------
+    # 2. Wavelet signatures (3-level Haar, 10 subband energies).
+    # ------------------------------------------------------------------
+    wavelet = WaveletSignature(3, working_size=32)
+    rows = [
+        [label, sig[0], float(sig[1:4].sum()), float(sig[4:7].sum()), float(sig[7:10].sum())]
+        for label, sig in (
+            (label, wavelet.extract(image)) for label, image in exemplars.items()
+        )
+    ]
+    print()
+    print(ascii_table(
+        ["class", "approx", "coarse detail", "mid detail", "fine detail"],
+        rows,
+        title="wavelet signature energy by scale (3-level Haar)",
+    ))
+
+    # ------------------------------------------------------------------
+    # 3. Leave-one-out retrieval per texture feature.
+    # ------------------------------------------------------------------
+    schema = FeatureSchema([
+        GLCMFeatures(16, working_size=48),
+        GLCMFeatures(16, aggregate="concat", working_size=48),
+        WaveletSignature(3, working_size=32),
+    ])
+    db = ImageDatabase(schema)
+    per_class = 8
+    for _ in range(per_class):
+        for label in TEXTURE_CLASSES:
+            db.add_image(make_class_image(label, rng, size=48), label=label)
+
+    rows = []
+    for feature in schema.names:
+        ids, matrix = db.feature_matrix(feature)
+        correct = 0
+        total = 0
+        for row, image_id in enumerate(ids):
+            results = db.query(matrix[row], k=4, feature=feature)
+            neighbours = [r for r in results if r.image_id != image_id][:3]
+            query_label = db.catalog.get(image_id).label
+            correct += sum(
+                1 for r in neighbours if db.catalog.get(r.image_id).label == query_label
+            )
+            total += len(neighbours)
+        rows.append([feature, correct / total])
+    print()
+    print(ascii_table(["texture feature", "precision@3 (leave-one-out)"], rows,
+                      title="retrieval quality on achromatic textures"))
+    print(
+        "\nThe orientation-sensitive GLCM variant (concat) separates\n"
+        "horizontal from diagonal stripes, which the rotation-averaged\n"
+        "variant cannot; the wavelet signature separates by scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

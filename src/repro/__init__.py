@@ -1,0 +1,124 @@
+"""repro — content-based image indexing.
+
+A production-quality reproduction of *"Content-Based Image Indexing"*
+(VLDB 1994): feature extraction turning images into fixed-length
+signatures, metric-space index structures (vantage-point tree, Antipole
+tree) answering range and k-nearest-neighbour queries with
+triangle-inequality pruning, and an image-database layer (catalog, paged
+feature store with an LRU buffer pool, multi-feature query engine) that
+ties them together.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import ImageDatabase
+>>> from repro.image import synth
+>>> rng = np.random.default_rng(0)
+>>> db = ImageDatabase()
+>>> for _ in range(8):
+...     _ = db.add_image(synth.compose_scene(64, 64, rng), label="scenes")
+>>> results = db.query(synth.compose_scene(64, 64, rng), k=3)
+>>> [type(r.image_id) for r in results] == [int, int, int]
+True
+
+Subpackages
+-----------
+``repro.image``     image substrate (value type, filters, codecs, synthesis)
+``repro.features``  feature extractors (histograms, GLCM, wavelets, edges, shape)
+``repro.metrics``   similarity measures (Minkowski, intersection, quadratic, EMD)
+``repro.index``     metric-space indexes (VP-tree, Antipole, M-tree, GNAT, LAESA,
+                    kd-tree, GEMINI filter-and-refine, linear scan)
+``repro.reduce``    dimensionality reduction (KL transform, FastMap)
+``repro.db``        database layer (catalog, feature store, buffer pool, queries)
+``repro.eval``      evaluation substrate (corpora, ground truth, IR metrics)
+"""
+
+from repro.errors import (
+    CatalogError,
+    CodecError,
+    FeatureError,
+    ImageError,
+    IndexingError,
+    MetricError,
+    QueryError,
+    ReproError,
+    StoreError,
+)
+from repro.image.core import Image
+from repro.features.pipeline import CompositeExtractor, FeatureSchema, default_schema
+from repro.metrics import (
+    CountingMetric,
+    EuclideanDistance,
+    HistogramIntersection,
+    ManhattanDistance,
+)
+from repro.index import (
+    AntipoleTree,
+    browse,
+    FilterRefineIndex,
+    GNAT,
+    KDTree,
+    LinearScanIndex,
+    MetricIndex,
+    MTree,
+    Neighbor,
+    VPTree,
+)
+from repro.reduce import FastMap, KLTransform
+from repro.db import (
+    BufferPool,
+    Catalog,
+    FeatureStore,
+    FeedbackSession,
+    ImageDatabase,
+    ImageRecord,
+    Rocchio,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ImageError",
+    "CodecError",
+    "FeatureError",
+    "MetricError",
+    "IndexingError",
+    "StoreError",
+    "CatalogError",
+    "QueryError",
+    # core types
+    "Image",
+    "FeatureSchema",
+    "CompositeExtractor",
+    "default_schema",
+    # metrics
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "HistogramIntersection",
+    "CountingMetric",
+    # indexes
+    "MetricIndex",
+    "Neighbor",
+    "VPTree",
+    "AntipoleTree",
+    "MTree",
+    "GNAT",
+    "FilterRefineIndex",
+    "KDTree",
+    "LinearScanIndex",
+    "browse",
+    # reducers
+    "KLTransform",
+    "FastMap",
+    # database
+    "ImageDatabase",
+    "ImageRecord",
+    "Catalog",
+    "FeatureStore",
+    "BufferPool",
+    "FeedbackSession",
+    "Rocchio",
+]

@@ -1,0 +1,42 @@
+"""Database layer: catalog, paged feature store, buffer pool, query engine.
+
+This subpackage turns the algorithmic pieces (features, metrics, indexes)
+into an image *database*:
+
+:class:`~repro.db.catalog.Catalog`
+    Metadata records (name, size, label, user fields) keyed by image id.
+:class:`~repro.db.store.FeatureStore`
+    Fixed-record binary file holding one feature vector per slot, read
+    through an LRU :class:`~repro.db.bufferpool.BufferPool` with exact
+    hit/miss accounting (experiment F6 sweeps its capacity).
+:class:`~repro.db.database.ImageDatabase`
+    The facade: insert images (features are extracted according to a
+    :class:`~repro.features.FeatureSchema`), build per-feature indexes,
+    run query-by-example / range / weighted multi-feature queries, and
+    persist everything to a directory.
+:mod:`~repro.db.query`
+    Weighted multi-feature distance combination and rank fusion.
+:mod:`~repro.db.feedback`
+    Relevance feedback: Rocchio query-point movement and the
+    interactive :class:`~repro.db.feedback.FeedbackSession` loop.
+"""
+
+from repro.db.bufferpool import BufferPool
+from repro.db.catalog import Catalog, ImageRecord
+from repro.db.store import FeatureStore
+from repro.db.database import ImageDatabase
+from repro.db.feedback import FeedbackSession, Rocchio
+from repro.db.query import RetrievalResult, borda_fuse, reciprocal_rank_fuse
+
+__all__ = [
+    "BufferPool",
+    "Catalog",
+    "ImageRecord",
+    "FeatureStore",
+    "ImageDatabase",
+    "FeedbackSession",
+    "Rocchio",
+    "RetrievalResult",
+    "borda_fuse",
+    "reciprocal_rank_fuse",
+]

@@ -1,0 +1,169 @@
+"""LRU buffer pool with exact hit/miss accounting.
+
+The 1994 cost model prices a query by how many feature-vector *pages* it
+touches; the buffer pool decides how many of those touches reach the disk.
+This implementation is deliberately classical: fixed capacity in pages,
+least-recently-used eviction, write-back of dirty pages through a caller
+supplied callback, and counters (:attr:`hits`, :attr:`misses`,
+:attr:`evictions`) that experiment F6 sweeps against capacity.
+
+The pool is generic: pages are opaque objects fetched by a callback, so
+the same class backs the feature store and any future page consumer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.errors import StoreError
+
+__all__ = ["BufferPool"]
+
+FetchFn = Callable[[int], Any]
+WriteBackFn = Callable[[int, Any], None]
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident pages (>= 1).
+    fetch:
+        Callback loading a page by id on a miss.
+    write_back:
+        Optional callback invoked with (page_id, page) when a *dirty* page
+        is evicted or flushed.  Required if :meth:`mark_dirty` is used.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fetch: FetchFn,
+        *,
+        write_back: WriteBackFn | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise StoreError(f"buffer pool capacity must be >= 1; got {capacity}")
+        self._capacity = capacity
+        self._fetch = fetch
+        self._write_back = write_back
+        self._pages: "OrderedDict[int, Any]" = OrderedDict()
+        self._dirty: set[int] = set()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum resident pages."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Accesses served from the pool."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Accesses that invoked the fetch callback."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Pages pushed out by capacity pressure."""
+        return self._evictions
+
+    @property
+    def resident(self) -> int:
+        """Pages currently cached."""
+        return len(self._pages)
+
+    def hit_ratio(self) -> float:
+        """hits / (hits + misses); 0.0 before any access."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (contents are kept)."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> Any:
+        """Return the page, fetching on a miss and evicting LRU if full."""
+        if page_id in self._pages:
+            self._hits += 1
+            self._pages.move_to_end(page_id)
+            return self._pages[page_id]
+
+        self._misses += 1
+        page = self._fetch(page_id)
+        self._insert(page_id, page)
+        return page
+
+    def put(self, page_id: int, page: Any, *, dirty: bool = False) -> None:
+        """Install (or replace) a page directly, optionally marking it dirty."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self._pages[page_id] = page
+        else:
+            self._insert(page_id, page)
+        if dirty:
+            self.mark_dirty(page_id)
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Flag a resident page as modified (it will be written back)."""
+        if page_id not in self._pages:
+            raise StoreError(f"cannot mark non-resident page {page_id} dirty")
+        if self._write_back is None:
+            raise StoreError("buffer pool has no write_back callback")
+        self._dirty.add(page_id)
+
+    def contains(self, page_id: int) -> bool:
+        """True if the page is resident (does not touch LRU order)."""
+        return page_id in self._pages
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page without writing it back (caller handles durability)."""
+        self._pages.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty page; contents stay resident."""
+        for page_id in sorted(self._dirty):
+            assert self._write_back is not None  # guarded by mark_dirty
+            self._write_back(page_id, self._pages[page_id])
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Flush, then drop all resident pages."""
+        self.flush()
+        self._pages.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert(self, page_id: int, page: Any) -> None:
+        while len(self._pages) >= self._capacity:
+            victim_id, victim = self._pages.popitem(last=False)
+            self._evictions += 1
+            if victim_id in self._dirty:
+                self._dirty.discard(victim_id)
+                assert self._write_back is not None
+                self._write_back(victim_id, victim)
+        self._pages[page_id] = page
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self._capacity}, resident={self.resident}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

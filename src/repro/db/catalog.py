@@ -1,0 +1,165 @@
+"""Image catalog: metadata records keyed by image id.
+
+The catalog is the database's system table: every stored image has one
+:class:`ImageRecord` carrying identity, dimensions, an optional class
+label (used by the evaluation as relevance ground truth), and free-form
+user metadata.  It allocates ids, enforces their uniqueness, supports
+label lookups, and round-trips to JSON for persistence alongside the
+feature stores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import CatalogError
+
+__all__ = ["ImageRecord", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ImageRecord:
+    """Metadata for one stored image.
+
+    Attributes
+    ----------
+    image_id:
+        Unique integer id, allocated by the catalog.
+    name:
+        Human-readable name (defaults to ``image_<id>``).
+    width, height:
+        Pixel dimensions at insertion time.
+    mode:
+        ``'gray'`` or ``'rgb'``.
+    label:
+        Optional class label; the evaluation treats same-label images as
+        relevant to each other.
+    extra:
+        Free-form JSON-serializable metadata.
+    """
+
+    image_id: int
+    name: str
+    width: int
+    height: int
+    mode: str
+    label: str | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSON round trip."""
+        return {
+            "image_id": self.image_id,
+            "name": self.name,
+            "width": self.width,
+            "height": self.height,
+            "mode": self.mode,
+            "label": self.label,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ImageRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                image_id=int(data["image_id"]),
+                name=str(data["name"]),
+                width=int(data["width"]),
+                height=int(data["height"]),
+                mode=str(data["mode"]),
+                label=data.get("label"),
+                extra=dict(data.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CatalogError(f"malformed catalog record: {data!r}") from exc
+
+
+class Catalog:
+    """In-memory table of :class:`ImageRecord` with id allocation."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ImageRecord] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, image_id: int) -> bool:
+        return image_id in self._records
+
+    def __iter__(self) -> Iterator[ImageRecord]:
+        return iter(self._records.values())
+
+    @property
+    def ids(self) -> list[int]:
+        """All image ids in insertion order."""
+        return list(self._records)
+
+    def allocate_id(self) -> int:
+        """Reserve and return the next unused id."""
+        image_id = self._next_id
+        self._next_id += 1
+        return image_id
+
+    def insert(self, record: ImageRecord) -> None:
+        """Add a record; its id must be unused."""
+        if record.image_id in self._records:
+            raise CatalogError(f"duplicate image id {record.image_id}")
+        self._records[record.image_id] = record
+        self._next_id = max(self._next_id, record.image_id + 1)
+
+    def get(self, image_id: int) -> ImageRecord:
+        """Look up a record by id."""
+        try:
+            return self._records[image_id]
+        except KeyError:
+            raise CatalogError(f"unknown image id {image_id}") from None
+
+    def delete(self, image_id: int) -> ImageRecord:
+        """Remove and return a record."""
+        try:
+            return self._records.pop(image_id)
+        except KeyError:
+            raise CatalogError(f"unknown image id {image_id}") from None
+
+    def by_label(self, label: str | None) -> list[ImageRecord]:
+        """All records with the given label, in insertion order."""
+        return [record for record in self._records.values() if record.label == label]
+
+    def labels(self) -> dict[str | None, int]:
+        """Label -> record count."""
+        counts: dict[str | None, int] = {}
+        for record in self._records.values():
+            counts[record.label] = counts.get(record.label, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the catalog as a JSON file."""
+        payload = {
+            "next_id": self._next_id,
+            "records": [record.to_dict() for record in self._records.values()],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Catalog":
+        """Read a catalog written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise CatalogError(f"catalog file does not exist: {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CatalogError(f"catalog file is not valid JSON: {path}") from exc
+        catalog = cls()
+        for raw in payload.get("records", []):
+            catalog.insert(ImageRecord.from_dict(raw))
+        catalog._next_id = max(int(payload.get("next_id", 0)), catalog._next_id)
+        return catalog

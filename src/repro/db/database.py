@@ -1,0 +1,471 @@
+"""The :class:`ImageDatabase` facade.
+
+Ties every subsystem together into the system the paper describes:
+
+* **insert** — an image comes in, the configured
+  :class:`~repro.features.FeatureSchema` extracts all its signatures,
+  the catalog records its metadata.  The image itself plays no further
+  part; only signatures are kept.
+* **index** — per feature, a metric index (VP-tree by default) is built
+  over the signatures.  Indexes are rebuilt lazily after mutations.
+* **query** — query-by-example: extract the query image's signature and
+  run a k-NN or range search; multi-feature queries combine evidence
+  across features by weighted scores or rank fusion.
+* **persist** — catalog to JSON, one paged
+  :class:`~repro.db.store.FeatureStore` per feature.
+
+All query entry points accept either an :class:`~repro.image.Image`
+(signatures are extracted on the fly) or a precomputed feature vector.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.catalog import Catalog, ImageRecord
+from repro.db.query import (
+    RetrievalResult,
+    borda_fuse,
+    combine_feature_distances,
+    reciprocal_rank_fuse,
+)
+from repro.db.store import FeatureStore
+from repro.errors import QueryError
+from repro.features.base import FeatureExtractor
+from repro.features.pipeline import FeatureSchema, default_schema
+from repro.image.core import Image
+from repro.index.base import MetricIndex, Neighbor
+from repro.index.vptree import VPTree
+from repro.metrics.base import Metric
+from repro.metrics.minkowski import EuclideanDistance
+
+__all__ = ["ImageDatabase"]
+
+IndexFactory = Callable[[Metric], MetricIndex]
+
+_CONFIG_FILE = "config.json"
+_CATALOG_FILE = "catalog.json"
+_FEATURE_DIR = "features"
+
+
+class ImageDatabase:
+    """A content-based image database.
+
+    Parameters
+    ----------
+    schema:
+        The features extracted for every image (default:
+        :func:`repro.features.pipeline.default_schema`).
+    metrics:
+        Per-feature metric overrides, ``feature name -> Metric``
+        (default: Euclidean everywhere).
+    index_factory:
+        Builds an index from a metric (default: ``VPTree(metric)``).
+        One index per feature is maintained.
+
+    Examples
+    --------
+    >>> from repro.image import synth
+    >>> import numpy as np
+    >>> db = ImageDatabase()
+    >>> rng = np.random.default_rng(7)
+    >>> for i in range(4):
+    ...     _ = db.add_image(synth.compose_scene(64, 64, rng), label="scenes")
+    >>> results = db.query(synth.compose_scene(64, 64, rng), k=2)
+    >>> len(results)
+    2
+    """
+
+    def __init__(
+        self,
+        schema: FeatureSchema | None = None,
+        *,
+        metrics: Mapping[str, Metric] | None = None,
+        index_factory: IndexFactory | None = None,
+    ) -> None:
+        self._schema = schema if schema is not None else default_schema()
+        if len(self._schema) == 0:
+            raise QueryError("schema must contain at least one feature")
+        metrics = dict(metrics or {})
+        unknown = set(metrics) - set(self._schema.names)
+        if unknown:
+            raise QueryError(f"metrics refer to unknown features: {sorted(unknown)}")
+        self._metrics: dict[str, Metric] = {
+            name: metrics.get(name, EuclideanDistance()) for name in self._schema.names
+        }
+        self._index_factory: IndexFactory = index_factory or (
+            lambda metric: VPTree(metric)
+        )
+        self._catalog = Catalog()
+        self._vectors: dict[str, dict[int, np.ndarray]] = {
+            name: {} for name in self._schema.names
+        }
+        self._indexes: dict[str, MetricIndex] = {}
+        self._stale: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> FeatureSchema:
+        """The feature schema images are extracted with."""
+        return self._schema
+
+    @property
+    def catalog(self) -> Catalog:
+        """Image metadata records."""
+        return self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    @property
+    def default_feature(self) -> str:
+        """The feature used when a query does not name one (schema's first)."""
+        return self._schema.names[0]
+
+    def metric_for(self, feature: str) -> Metric:
+        """The metric configured for ``feature``."""
+        self._check_feature(feature)
+        return self._metrics[feature]
+
+    def index_for(self, feature: str) -> MetricIndex:
+        """The (built) index for ``feature``, building it if needed."""
+        self._check_feature(feature)
+        self._ensure_index(feature)
+        return self._indexes[feature]
+
+    def feature_matrix(self, feature: str) -> tuple[list[int], np.ndarray]:
+        """All stored vectors of one feature: ``(ids, (n, d) array)``."""
+        self._check_feature(feature)
+        table = self._vectors[feature]
+        ids = list(table)
+        if not ids:
+            extractor = self._schema.get(feature)
+            return [], np.empty((0, extractor.dim))
+        return ids, np.stack([table[i] for i in ids])
+
+    def vector_of(self, feature: str, image_id: int) -> np.ndarray:
+        """The stored signature of one image for one feature (a copy)."""
+        self._check_feature(feature)
+        try:
+            return self._vectors[feature][image_id].copy()
+        except KeyError:
+            raise QueryError(f"no image with id {image_id}") from None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_image(
+        self,
+        image: Image,
+        *,
+        label: str | None = None,
+        name: str | None = None,
+        **extra: object,
+    ) -> int:
+        """Insert an image: extract all features, record metadata.
+
+        Returns the allocated image id.
+        """
+        image_id = self._catalog.allocate_id()
+        record = ImageRecord(
+            image_id=image_id,
+            name=name or f"image_{image_id}",
+            width=image.width,
+            height=image.height,
+            mode=image.mode,
+            label=label,
+            extra=dict(extra),
+        )
+        signatures = self._schema.extract_all(image)
+        self._catalog.insert(record)
+        for feature, vector in signatures.items():
+            self._vectors[feature][image_id] = vector
+        self._stale.update(self._schema.names)
+        return image_id
+
+    def add_images(
+        self, images: Sequence[tuple[Image, str | None]]
+    ) -> list[int]:
+        """Bulk insert of ``(image, label)`` pairs; returns the new ids."""
+        return [self.add_image(image, label=label) for image, label in images]
+
+    def delete_image(self, image_id: int) -> ImageRecord:
+        """Remove an image and its signatures; indexes become stale."""
+        record = self._catalog.delete(image_id)
+        for table in self._vectors.values():
+            table.pop(image_id, None)
+        self._stale.update(self._schema.names)
+        return record
+
+    def build_indexes(self, features: Sequence[str] | None = None) -> None:
+        """(Re)build indexes now instead of lazily at first query."""
+        for feature in features if features is not None else self._schema.names:
+            self._check_feature(feature)
+            self._stale.add(feature)
+            self._ensure_index(feature)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Image | np.ndarray,
+        k: int = 10,
+        *,
+        feature: str | None = None,
+    ) -> list[RetrievalResult]:
+        """k-NN query-by-example on one feature."""
+        feature = feature or self.default_feature
+        self._check_feature(feature)
+        if len(self._catalog) == 0:
+            raise QueryError("database is empty")
+        vector = self._query_vector(query, feature)
+        index = self.index_for(feature)
+        neighbors = index.knn_search(vector, k)
+        return self._to_results(neighbors)
+
+    def range_query(
+        self,
+        query: Image | np.ndarray,
+        radius: float,
+        *,
+        feature: str | None = None,
+    ) -> list[RetrievalResult]:
+        """Range query-by-example on one feature."""
+        feature = feature or self.default_feature
+        self._check_feature(feature)
+        if len(self._catalog) == 0:
+            raise QueryError("database is empty")
+        vector = self._query_vector(query, feature)
+        index = self.index_for(feature)
+        neighbors = index.range_search(vector, radius)
+        return self._to_results(neighbors)
+
+    def query_multi(
+        self,
+        query: Image,
+        k: int = 10,
+        *,
+        weights: Mapping[str, float] | None = None,
+        pool_factor: int = 5,
+    ) -> list[RetrievalResult]:
+        """Weighted multi-feature query.
+
+        Each weighted feature contributes a candidate pool of
+        ``k * pool_factor`` nearest items from its index; candidates are
+        then rescored with a median-scaled weighted combination of their
+        exact per-feature distances.  Larger ``pool_factor`` approaches an
+        exact multi-feature scan at higher cost.
+        """
+        if not isinstance(query, Image):
+            raise QueryError("query_multi requires an Image (it uses several features)")
+        if len(self._catalog) == 0:
+            raise QueryError("database is empty")
+        if k < 1:
+            raise QueryError(f"k must be >= 1; got {k}")
+        if pool_factor < 1:
+            raise QueryError(f"pool_factor must be >= 1; got {pool_factor}")
+        weights = dict(
+            weights
+            if weights is not None
+            else {name: 1.0 for name in self._schema.names}
+        )
+        active = [name for name, weight in weights.items() if weight > 0.0]
+        if not active:
+            raise QueryError("at least one weight must be positive")
+
+        pool_size = min(k * pool_factor, len(self._catalog))
+        per_feature: dict[str, dict[int, float]] = {}
+        candidate_ids: set[int] = set()
+        query_vectors: dict[str, np.ndarray] = {}
+        for feature in active:
+            self._check_feature(feature)
+            vector = self._query_vector(query, feature)
+            query_vectors[feature] = vector
+            neighbors = self.index_for(feature).knn_search(vector, pool_size)
+            per_feature[feature] = {nb.id: nb.distance for nb in neighbors}
+            candidate_ids.update(per_feature[feature])
+
+        # Fill in exact distances for candidates another feature surfaced.
+        for feature in active:
+            metric = self._metrics[feature]
+            table = self._vectors[feature]
+            distances = per_feature[feature]
+            for candidate in candidate_ids:
+                if candidate not in distances:
+                    distances[candidate] = metric.distance(
+                        query_vectors[feature], table[candidate]
+                    )
+
+        combined = combine_feature_distances(
+            per_feature, {name: weights[name] for name in active}
+        )
+        ranked = sorted(
+            combined.items(), key=lambda kv: (kv[1][0], kv[0])
+        )[:k]
+        return [
+            RetrievalResult(
+                image_id=image_id,
+                distance=score,
+                record=self._catalog.get(image_id),
+                per_feature=detail,
+            )
+            for image_id, (score, detail) in ranked
+        ]
+
+    def query_fused(
+        self,
+        query: Image,
+        k: int = 10,
+        *,
+        features: Sequence[str] | None = None,
+        method: str = "borda",
+        pool_factor: int = 5,
+    ) -> list[RetrievalResult]:
+        """Rank-fusion multi-feature query (Borda or reciprocal-rank)."""
+        if not isinstance(query, Image):
+            raise QueryError("query_fused requires an Image")
+        if method not in ("borda", "rrf"):
+            raise QueryError(f"method must be 'borda' or 'rrf'; got {method!r}")
+        if len(self._catalog) == 0:
+            raise QueryError("database is empty")
+        features = list(features) if features is not None else list(self._schema.names)
+        pool_size = min(max(k * pool_factor, k), len(self._catalog))
+        rankings = []
+        for feature in features:
+            self._check_feature(feature)
+            vector = self._query_vector(query, feature)
+            neighbors = self.index_for(feature).knn_search(vector, pool_size)
+            rankings.append([nb.id for nb in neighbors])
+        fuse = borda_fuse if method == "borda" else reciprocal_rank_fuse
+        fused_ids = fuse(rankings, k)
+        return [
+            RetrievalResult(
+                image_id=image_id,
+                distance=float(position),
+                record=self._catalog.get(image_id),
+            )
+            for position, image_id in enumerate(fused_ids)
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist catalog + per-feature stores under ``directory``."""
+        directory = Path(directory)
+        (directory / _FEATURE_DIR).mkdir(parents=True, exist_ok=True)
+        self._catalog.save(directory / _CATALOG_FILE)
+        config = {
+            "features": [
+                {"name": name, "dim": self._schema.get(name).dim}
+                for name in self._schema.names
+            ],
+            "metrics": {name: metric.name for name, metric in self._metrics.items()},
+        }
+        (directory / _CONFIG_FILE).write_text(json.dumps(config, indent=2))
+
+        ordered_ids = self._catalog.ids
+        for feature in self._schema.names:
+            path = directory / _FEATURE_DIR / f"{feature}.feat"
+            extractor = self._schema.get(feature)
+            with FeatureStore.create(path, extractor.dim, overwrite=True) as store:
+                for image_id in ordered_ids:
+                    store.append(self._vectors[feature][image_id])
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        schema: FeatureSchema,
+        *,
+        metrics: Mapping[str, Metric] | None = None,
+        index_factory: IndexFactory | None = None,
+    ) -> "ImageDatabase":
+        """Load a database saved by :meth:`save`.
+
+        The caller supplies the same ``schema`` (extractors are code, not
+        data); stored dimensionalities are validated against it.
+        """
+        directory = Path(directory)
+        config = json.loads((directory / _CONFIG_FILE).read_text())
+        stored = {entry["name"]: entry["dim"] for entry in config["features"]}
+        if set(stored) != set(schema.names):
+            raise QueryError(
+                f"schema features {sorted(schema.names)} do not match stored "
+                f"features {sorted(stored)}"
+            )
+        for name in schema.names:
+            if schema.get(name).dim != stored[name]:
+                raise QueryError(
+                    f"feature {name!r}: schema dim {schema.get(name).dim} != "
+                    f"stored dim {stored[name]}"
+                )
+
+        db = cls(schema, metrics=metrics, index_factory=index_factory)
+        db._catalog = Catalog.load(directory / _CATALOG_FILE)
+        ordered_ids = db._catalog.ids
+        for feature in schema.names:
+            path = directory / _FEATURE_DIR / f"{feature}.feat"
+            with FeatureStore.open(path) as store:
+                matrix = store.read_all()
+            if matrix.shape[0] != len(ordered_ids):
+                raise QueryError(
+                    f"feature store {feature!r} holds {matrix.shape[0]} records "
+                    f"but catalog has {len(ordered_ids)}"
+                )
+            db._vectors[feature] = {
+                image_id: matrix[row] for row, image_id in enumerate(ordered_ids)
+            }
+        db._stale.update(schema.names)
+        return db
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_feature(self, feature: str) -> None:
+        if feature not in self._schema:
+            raise QueryError(
+                f"unknown feature {feature!r}; schema has {list(self._schema.names)}"
+            )
+
+    def _ensure_index(self, feature: str) -> None:
+        if feature in self._stale or feature not in self._indexes:
+            ids, matrix = self.feature_matrix(feature)
+            if not ids:
+                raise QueryError("cannot build an index over an empty database")
+            index = self._index_factory(self._metrics[feature])
+            index.build(ids, matrix)
+            self._indexes[feature] = index
+            self._stale.discard(feature)
+
+    def _query_vector(self, query: Image | np.ndarray, feature: str) -> np.ndarray:
+        extractor: FeatureExtractor = self._schema.get(feature)
+        if isinstance(query, Image):
+            return extractor.extract(query)
+        vector = np.asarray(query, dtype=np.float64).ravel()
+        if vector.shape != (extractor.dim,):
+            raise QueryError(
+                f"query vector has dim {vector.size}, feature {feature!r} "
+                f"expects {extractor.dim}"
+            )
+        return vector
+
+    def _to_results(self, neighbors: list[Neighbor]) -> list[RetrievalResult]:
+        return [
+            RetrievalResult(
+                image_id=nb.id, distance=nb.distance, record=self._catalog.get(nb.id)
+            )
+            for nb in neighbors
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ImageDatabase(images={len(self)}, features={list(self._schema.names)})"
+        )

@@ -1,0 +1,289 @@
+"""Paged on-disk feature store.
+
+One file per feature: a fixed header followed by fixed-size pages, each
+holding ``page_records`` float64 vectors of the declared dimensionality.
+Slots are dense integers in append order, so ``slot -> (page, offset)`` is
+pure arithmetic and a record read costs exactly one page read — which the
+LRU :class:`~repro.db.bufferpool.BufferPool` then absorbs or not,
+depending on locality.  That read path is the subject of experiment F6.
+
+File layout (little-endian)::
+
+    offset 0   magic     8 bytes  b"RFSTORE1"
+    offset 8   dim       int64
+    offset 16  count     int64    number of appended records
+    offset 24  page_recs int64    records per page
+    offset 32  pages...           count/page_recs pages, zero-padded tail
+
+The header's ``count`` is rewritten on :meth:`flush`/:meth:`close`; a
+crash between appends loses at most the unflushed tail (append-only, no
+torn records within the acknowledged count).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.db.bufferpool import BufferPool
+
+__all__ = ["FeatureStore"]
+
+_MAGIC = b"RFSTORE1"
+_HEADER = struct.Struct("<8sqqq")
+_FLOAT_SIZE = 8
+
+
+class FeatureStore:
+    """Append-only store of fixed-dimension float64 vectors.
+
+    Use :meth:`create` for a new file and :meth:`open` for an existing
+    one; both return a ready store.  The store is a context manager and
+    must be closed (or flushed) for the header count to be durable.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "color.feat")
+    >>> with FeatureStore.create(path, dim=4) as store:
+    ...     slot = store.append([0.1, 0.2, 0.3, 0.4])
+    >>> with FeatureStore.open(path) as store:
+    ...     store.get(slot).tolist()
+    [0.1, 0.2, 0.3, 0.4]
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        file: io.BufferedRandom,
+        dim: int,
+        count: int,
+        page_records: int,
+        buffer_pages: int,
+    ) -> None:
+        self._path = Path(path)
+        self._file = file
+        self._dim = dim
+        self._count = count
+        self._page_records = page_records
+        self._page_bytes = page_records * dim * _FLOAT_SIZE
+        self._closed = False
+        self._pool = BufferPool(buffer_pages, self._read_page)
+        # Tail page under construction, kept out of the pool until full.
+        self._tail: list[np.ndarray] = []
+        self._tail_base = count - (count % page_records) if page_records else 0
+        if count % page_records:
+            # Re-open mid-page: load the partial tail into memory.
+            partial = self._read_page(count // page_records)
+            self._tail = [partial[i].copy() for i in range(count % page_records)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        dim: int,
+        *,
+        page_records: int = 64,
+        buffer_pages: int = 8,
+        overwrite: bool = False,
+    ) -> "FeatureStore":
+        """Create a new store file.
+
+        Raises
+        ------
+        StoreError
+            If the file exists (unless ``overwrite``) or parameters are bad.
+        """
+        if dim < 1:
+            raise StoreError(f"dim must be >= 1; got {dim}")
+        if page_records < 1:
+            raise StoreError(f"page_records must be >= 1; got {page_records}")
+        path = Path(path)
+        if path.exists() and not overwrite:
+            raise StoreError(f"store file already exists: {path}")
+        file = open(path, "w+b")
+        file.write(_HEADER.pack(_MAGIC, dim, 0, page_records))
+        file.flush()
+        return cls(path, file, dim, 0, page_records, buffer_pages)
+
+    @classmethod
+    def open(cls, path: str | Path, *, buffer_pages: int = 8) -> "FeatureStore":
+        """Open an existing store file for reading and appending."""
+        path = Path(path)
+        if not path.exists():
+            raise StoreError(f"store file does not exist: {path}")
+        file = open(path, "r+b")
+        header = file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            file.close()
+            raise StoreError(f"store file too short for header: {path}")
+        magic, dim, count, page_records = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            file.close()
+            raise StoreError(f"bad store magic in {path}: {magic!r}")
+        if dim < 1 or count < 0 or page_records < 1:
+            file.close()
+            raise StoreError(
+                f"corrupt store header in {path}: dim={dim}, count={count}, "
+                f"page_records={page_records}"
+            )
+        return cls(path, file, dim, count, page_records, buffer_pages)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "FeatureStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """Location of the backing file."""
+        return self._path
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def page_records(self) -> int:
+        """Records per page."""
+        return self._page_records
+
+    @property
+    def pool(self) -> BufferPool:
+        """The read cache (its counters drive experiment F6)."""
+        return self._pool
+
+    @property
+    def page_reads(self) -> int:
+        """Physical page reads performed so far (pool misses)."""
+        return self._pool.misses
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Record I/O
+    # ------------------------------------------------------------------
+    def append(self, vector: np.ndarray) -> int:
+        """Append a vector; returns its slot number."""
+        self._check_open()
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape != (self._dim,):
+            raise StoreError(
+                f"vector has dim {vector.size}, store expects {self._dim}"
+            )
+        if not np.all(np.isfinite(vector)):
+            raise StoreError("cannot store non-finite vector")
+        slot = self._count
+        self._tail.append(vector.copy())
+        self._count += 1
+        if len(self._tail) == self._page_records:
+            self._write_tail_page()
+        return slot
+
+    def get(self, slot: int) -> np.ndarray:
+        """Read the vector at ``slot`` (through the buffer pool)."""
+        self._check_open()
+        if not 0 <= slot < self._count:
+            raise StoreError(f"slot {slot} out of range [0, {self._count})")
+        page_index, offset = divmod(slot, self._page_records)
+        if slot >= self._tail_base and self._tail:
+            return self._tail[slot - self._tail_base].copy()
+        page = self._pool.get(page_index)
+        return page[offset].copy()
+
+    def get_many(self, slots: list[int]) -> np.ndarray:
+        """Read several slots; shape ``(len(slots), dim)``.
+
+        Reads are issued in slot order to maximize page locality.
+        """
+        result = np.empty((len(slots), self._dim))
+        for position in np.argsort(slots, kind="stable"):
+            result[position] = self.get(int(slots[position]))
+        return result
+
+    def read_all(self) -> np.ndarray:
+        """Materialize the whole store as an ``(n, dim)`` array.
+
+        Bypasses the pool (bulk sequential read), used for index builds.
+        """
+        self._check_open()
+        self.flush()
+        if self._count == 0:
+            return np.empty((0, self._dim))
+        self._file.seek(_HEADER.size)
+        n_full_bytes = self._count * self._dim * _FLOAT_SIZE
+        raw = self._file.read(n_full_bytes)
+        if len(raw) < n_full_bytes:
+            raise StoreError(
+                f"store truncated: expected {n_full_bytes} bytes, got {len(raw)}"
+            )
+        return np.frombuffer(raw, dtype="<f8").reshape(self._count, self._dim).copy()
+
+    def flush(self) -> None:
+        """Write the tail page (padded) and a current header to disk."""
+        self._check_open()
+        if self._tail:
+            self._write_tail_page(partial=True)
+        self._file.seek(0)
+        self._file.write(_HEADER.pack(_MAGIC, self._dim, self._count, self._page_records))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Page I/O
+    # ------------------------------------------------------------------
+    def _page_offset(self, page_index: int) -> int:
+        return _HEADER.size + page_index * self._page_bytes
+
+    def _read_page(self, page_index: int) -> np.ndarray:
+        self._file.seek(self._page_offset(page_index))
+        raw = self._file.read(self._page_bytes)
+        if len(raw) < self._page_bytes:
+            raw = raw + b"\x00" * (self._page_bytes - len(raw))
+        return (
+            np.frombuffer(raw, dtype="<f8")
+            .reshape(self._page_records, self._dim)
+            .copy()
+        )
+
+    def _write_tail_page(self, *, partial: bool = False) -> None:
+        page_index = self._tail_base // self._page_records
+        page = np.zeros((self._page_records, self._dim))
+        page[: len(self._tail)] = self._tail
+        self._file.seek(self._page_offset(page_index))
+        self._file.write(page.astype("<f8").tobytes())
+        # Whether full or partial, what is on disk supersedes any cached copy.
+        self._pool.invalidate(page_index)
+        if not partial:
+            self._tail = []
+            self._tail_base += self._page_records
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"store is closed: {self._path}")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"count={self._count}"
+        return f"FeatureStore(path={str(self._path)!r}, dim={self._dim}, {state})"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses mark
+the subsystem that failed; they carry no extra state beyond the message.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ImageError",
+    "CodecError",
+    "FeatureError",
+    "MetricError",
+    "IndexingError",
+    "StoreError",
+    "CatalogError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ImageError(ReproError):
+    """Invalid image data, shape, dtype, or value range."""
+
+
+class CodecError(ImageError):
+    """Malformed or unsupported image file content (PPM/PGM/BMP codecs)."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction failed or an extractor was misconfigured."""
+
+
+class MetricError(ReproError):
+    """A distance function received incompatible or invalid operands."""
+
+
+class IndexingError(ReproError):
+    """An index structure was misused (empty build, bad parameters, ...)."""
+
+
+class StoreError(ReproError):
+    """The paged feature store or buffer pool detected corruption/misuse."""
+
+
+class CatalogError(ReproError):
+    """Catalog lookups/insertions failed (unknown id, duplicate id, ...)."""
+
+
+class QueryError(ReproError):
+    """A database query was malformed (unknown feature, bad weights, ...)."""

@@ -1,0 +1,71 @@
+"""Evaluation substrate: corpora, ground truth, quality metrics, harness.
+
+The 1994 evaluation ran on proprietary photo collections; this package
+replaces them (per the reproduction's substitution rule) with seeded
+synthetic corpora whose *class structure is known*, so retrieval quality
+can be scored exactly:
+
+:mod:`~repro.eval.datasets`
+    Labelled image corpora (8 visually distinct classes with intra-class
+    variation) and synthetic vector datasets (uniform / clustered) for
+    the pure index experiments.
+:mod:`~repro.eval.groundtruth`
+    Relevance judgments derived from class labels.
+:mod:`~repro.eval.metrics`
+    precision@k, recall@k, average precision, MAP, PR curves.
+:mod:`~repro.eval.stats`
+    Distance-distribution statistics, intrinsic dimensionality, and
+    radius-for-selectivity estimation.
+:mod:`~repro.eval.harness`
+    Workload runners and table formatting shared by the benchmarks.
+"""
+
+from repro.eval.datasets import (
+    CORPUS_CLASS_NAMES,
+    gaussian_clusters,
+    make_corpus,
+    make_corpus_images,
+    uniform_vectors,
+)
+from repro.eval.groundtruth import RelevanceJudgments
+from repro.eval.metrics import (
+    average_precision,
+    f1_score,
+    mean_average_precision,
+    precision_at_k,
+    precision_recall_curve,
+    recall_at_k,
+)
+from repro.eval.stats import (
+    distance_sample,
+    estimate_radius_for_selectivity,
+    intrinsic_dimensionality,
+)
+from repro.eval.harness import (
+    QueryWorkloadResult,
+    ascii_table,
+    run_knn_workload,
+    run_range_workload,
+)
+
+__all__ = [
+    "CORPUS_CLASS_NAMES",
+    "make_corpus",
+    "make_corpus_images",
+    "uniform_vectors",
+    "gaussian_clusters",
+    "RelevanceJudgments",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "mean_average_precision",
+    "precision_recall_curve",
+    "f1_score",
+    "distance_sample",
+    "intrinsic_dimensionality",
+    "estimate_radius_for_selectivity",
+    "QueryWorkloadResult",
+    "run_knn_workload",
+    "run_range_workload",
+    "ascii_table",
+]

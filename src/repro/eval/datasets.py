@@ -1,0 +1,208 @@
+"""Synthetic corpora with known class structure.
+
+Eight image classes, chosen so that different feature families are needed
+to separate different class pairs (this is what makes experiment T3
+informative rather than trivially saturated):
+
+==================  ==========================================================
+Class               Separable mainly by
+==================  ==========================================================
+red_scenes          color (red-dominant shape scenes)
+green_scenes        color (same layout statistics as red_scenes)
+blue_gradients      color + smoothness (no edges)
+checkerboards       texture (high-frequency regular, achromatic)
+stripes_horizontal  texture orientation (edge-orientation features)
+stripes_diagonal    texture orientation (vs. horizontal: same colors/energy)
+noise_fine          texture statistics (white noise, no structure)
+smooth_blobs        texture statistics (low-frequency value noise)
+==================  ==========================================================
+
+Every generator takes an explicit ``numpy.random.Generator``; corpora are
+fully determined by (per_class, size, seed).
+
+For the pure index experiments, vector datasets with controllable
+dimensionality are provided: ``uniform_vectors`` (the hard,
+high-intrinsic-dimension case) and ``gaussian_clusters`` (the clustered
+case real image features resemble).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.image import synth
+from repro.image.core import Image
+
+__all__ = [
+    "CORPUS_CLASS_NAMES",
+    "make_class_image",
+    "make_corpus",
+    "make_corpus_images",
+    "uniform_vectors",
+    "gaussian_clusters",
+]
+
+
+def _red_scene(rng: np.random.Generator, size: int) -> Image:
+    palette = [(0.85, 0.10, 0.10), (0.95, 0.30, 0.15), (0.75, 0.05, 0.20)]
+    background = synth.solid(size, size, (0.55, 0.45, 0.40))
+    return synth.compose_scene(
+        size, size, rng, background=background, n_shapes=int(rng.integers(2, 5)),
+        palette=palette,
+    )
+
+
+def _green_scene(rng: np.random.Generator, size: int) -> Image:
+    palette = [(0.10, 0.75, 0.15), (0.20, 0.90, 0.30), (0.05, 0.60, 0.25)]
+    background = synth.solid(size, size, (0.40, 0.50, 0.45))
+    return synth.compose_scene(
+        size, size, rng, background=background, n_shapes=int(rng.integers(2, 5)),
+        palette=palette,
+    )
+
+
+def _blue_gradient(rng: np.random.Generator, size: int) -> Image:
+    start = (0.05, 0.10, float(rng.uniform(0.45, 0.75)))
+    end = (float(rng.uniform(0.25, 0.45)), float(rng.uniform(0.45, 0.65)), 0.95)
+    if rng.random() < 0.5:
+        return synth.linear_gradient(
+            size, size, start, end, angle=float(rng.uniform(0.0, np.pi))
+        )
+    return synth.radial_gradient(size, size, end, start)
+
+
+def _checkerboard(rng: np.random.Generator, size: int) -> Image:
+    cell = int(rng.integers(max(2, size // 16), max(3, size // 6)))
+    dark = float(rng.uniform(0.0, 0.15))
+    light = float(rng.uniform(0.85, 1.0))
+    return synth.checkerboard(size, size, cell, (dark,) * 3, (light,) * 3)
+
+
+def _stripes_horizontal(rng: np.random.Generator, size: int) -> Image:
+    # Horizontal bands: intensity varies with y, so the stripe normal
+    # points along y (angle pi/2), jittered a few degrees.
+    angle = np.pi / 2.0 + float(rng.uniform(-0.06, 0.06))
+    period = float(rng.uniform(size / 12.0, size / 5.0))
+    dark = float(rng.uniform(0.05, 0.25))
+    light = float(rng.uniform(0.75, 0.95))
+    return synth.stripes(
+        size, size, period, angle=angle, color_a=(dark,) * 3, color_b=(light,) * 3
+    )
+
+
+def _stripes_diagonal(rng: np.random.Generator, size: int) -> Image:
+    angle = np.pi / 4.0 + float(rng.uniform(-0.06, 0.06))
+    period = float(rng.uniform(size / 12.0, size / 5.0))
+    dark = float(rng.uniform(0.05, 0.25))
+    light = float(rng.uniform(0.75, 0.95))
+    return synth.stripes(
+        size, size, period, angle=angle, color_a=(dark,) * 3, color_b=(light,) * 3
+    )
+
+
+def _noise_fine(rng: np.random.Generator, size: int) -> Image:
+    return synth.gaussian_noise_image(
+        size, size, rng, mean=float(rng.uniform(0.4, 0.6)), std=0.2, channels=3
+    )
+
+
+def _smooth_blobs(rng: np.random.Generator, size: int) -> Image:
+    return synth.value_noise(size, size, rng, scale=max(4, size // 4), channels=3)
+
+
+_CLASS_GENERATORS = {
+    "red_scenes": _red_scene,
+    "green_scenes": _green_scene,
+    "blue_gradients": _blue_gradient,
+    "checkerboards": _checkerboard,
+    "stripes_horizontal": _stripes_horizontal,
+    "stripes_diagonal": _stripes_diagonal,
+    "noise_fine": _noise_fine,
+    "smooth_blobs": _smooth_blobs,
+}
+
+#: The class labels, in canonical order.
+CORPUS_CLASS_NAMES: tuple[str, ...] = tuple(_CLASS_GENERATORS)
+
+
+def make_class_image(label: str, rng: np.random.Generator, *, size: int = 64) -> Image:
+    """One random image of the named class."""
+    try:
+        generator = _CLASS_GENERATORS[label]
+    except KeyError:
+        raise ReproError(
+            f"unknown corpus class {label!r}; available: {CORPUS_CLASS_NAMES}"
+        ) from None
+    return generator(rng, size)
+
+
+def make_corpus(
+    per_class: int,
+    *,
+    size: int = 64,
+    seed: int = 0,
+    classes: tuple[str, ...] | None = None,
+) -> list[tuple[Image, str]]:
+    """A labelled corpus: ``per_class`` images of each class.
+
+    Returns ``(image, label)`` pairs in interleaved class order, fully
+    determined by the arguments.
+    """
+    if per_class < 1:
+        raise ReproError(f"per_class must be >= 1; got {per_class}")
+    classes = classes if classes is not None else CORPUS_CLASS_NAMES
+    rng = np.random.default_rng(seed)
+    corpus: list[tuple[Image, str]] = []
+    for _ in range(per_class):
+        for label in classes:
+            corpus.append((make_class_image(label, rng, size=size), label))
+    return corpus
+
+
+def make_corpus_images(
+    per_class: int, *, size: int = 64, seed: int = 0
+) -> tuple[list[Image], list[str]]:
+    """Like :func:`make_corpus` but as parallel lists."""
+    pairs = make_corpus(per_class, size=size, seed=seed)
+    return [image for image, _ in pairs], [label for _, label in pairs]
+
+
+def uniform_vectors(n: int, dim: int, *, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform in the unit cube — the index's worst case.
+
+    Uniform data has maximal intrinsic dimensionality for its embedding
+    dimension, which is what drives the curse-of-dimensionality curve in
+    experiment F2.
+    """
+    if n < 1 or dim < 1:
+        raise ReproError(f"need n >= 1 and dim >= 1; got n={n}, dim={dim}")
+    return np.random.default_rng(seed).random((n, dim))
+
+
+def gaussian_clusters(
+    n: int,
+    dim: int,
+    *,
+    n_clusters: int = 8,
+    cluster_std: float = 0.05,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered vectors: ``n_clusters`` Gaussian blobs in the unit cube.
+
+    Returns ``(vectors, labels)``.  Clustered data keeps a low intrinsic
+    dimensionality regardless of the embedding dimension — the structure
+    real image signatures have and the reason metric trees stay useful on
+    them (experiment F2's second series).
+    """
+    if n < 1 or dim < 1 or n_clusters < 1:
+        raise ReproError(
+            f"need positive sizes; got n={n}, dim={dim}, n_clusters={n_clusters}"
+        )
+    if cluster_std < 0.0:
+        raise ReproError(f"cluster_std must be non-negative; got {cluster_std}")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, dim))
+    labels = rng.integers(n_clusters, size=n)
+    vectors = centers[labels] + rng.normal(0.0, cluster_std, (n, dim))
+    return vectors, labels

@@ -1,0 +1,76 @@
+"""Relevance judgments for retrieval-quality scoring.
+
+With a synthetic corpus the notion of relevance is exact: two images are
+relevant to each other iff they were drawn from the same class generator.
+:class:`RelevanceJudgments` captures that as query-id -> relevant-id-set
+and is consumed by :mod:`repro.eval.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["RelevanceJudgments"]
+
+
+class RelevanceJudgments:
+    """Ground-truth relevance sets per query.
+
+    Build with :meth:`from_labels` for the standard same-label notion, or
+    construct directly from an explicit mapping for custom ground truth.
+    """
+
+    def __init__(self, relevant: Mapping[int, frozenset[int]]) -> None:
+        self._relevant = {int(q): frozenset(r) for q, r in relevant.items()}
+
+    @classmethod
+    def from_labels(
+        cls, ids: Sequence[int], labels: Sequence[str]
+    ) -> "RelevanceJudgments":
+        """Same-label relevance: each item's relevant set is its classmates.
+
+        The item itself is excluded from its own relevant set (retrieving
+        the query is not an achievement).
+        """
+        if len(ids) != len(labels):
+            raise ReproError(f"{len(ids)} ids but {len(labels)} labels")
+        if len(set(ids)) != len(ids):
+            raise ReproError("ids must be unique")
+        by_label: dict[str, set[int]] = {}
+        for item_id, label in zip(ids, labels):
+            by_label.setdefault(label, set()).add(int(item_id))
+        relevant = {
+            int(item_id): frozenset(by_label[label] - {int(item_id)})
+            for item_id, label in zip(ids, labels)
+        }
+        return cls(relevant)
+
+    def relevant(self, query_id: int) -> frozenset[int]:
+        """The relevant set of a query id."""
+        try:
+            return self._relevant[int(query_id)]
+        except KeyError:
+            raise ReproError(f"no judgments for query id {query_id}") from None
+
+    def n_relevant(self, query_id: int) -> int:
+        """Size of the relevant set."""
+        return len(self.relevant(query_id))
+
+    def query_ids(self) -> list[int]:
+        """All query ids with judgments."""
+        return list(self._relevant)
+
+    def __len__(self) -> int:
+        return len(self._relevant)
+
+    def __contains__(self, query_id: int) -> bool:
+        return int(query_id) in self._relevant
+
+    def filter_queries(self, keep: Iterable[int]) -> "RelevanceJudgments":
+        """Judgments restricted to a subset of query ids."""
+        keep_set = {int(q) for q in keep}
+        return RelevanceJudgments(
+            {q: r for q, r in self._relevant.items() if q in keep_set}
+        )

@@ -1,0 +1,152 @@
+"""Retrieval-quality metrics: precision/recall family.
+
+These are the standard information-retrieval scores of the reproduced
+paper's era (precision@k, recall@k, average precision, and their means
+over a query workload), computed over ranked id lists against
+:class:`~repro.eval.groundtruth.RelevanceJudgments`-style relevant sets.
+
+Conventions: the query itself must already be excluded from the ranking
+by the caller (the harness does this); duplicate ids in a ranking are an
+error since they would silently inflate precision.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "f1_score",
+    "average_precision",
+    "mean_average_precision",
+    "mean_precision_at_k",
+    "precision_recall_curve",
+]
+
+
+def _check_ranking(ranking: Sequence[int]) -> list[int]:
+    ids = [int(i) for i in ranking]
+    if len(set(ids)) != len(ids):
+        raise ReproError("ranking contains duplicate ids")
+    return ids
+
+
+def precision_at_k(
+    ranking: Sequence[int], relevant: AbstractSet[int], k: int
+) -> float:
+    """Fraction of the top-k that is relevant.
+
+    If the ranking is shorter than ``k`` the denominator is still ``k``
+    (missing results are wrong results).
+    """
+    if k < 1:
+        raise ReproError(f"k must be >= 1; got {k}")
+    ids = _check_ranking(ranking)[:k]
+    hits = sum(1 for item_id in ids if item_id in relevant)
+    return hits / k
+
+
+def recall_at_k(ranking: Sequence[int], relevant: AbstractSet[int], k: int) -> float:
+    """Fraction of the relevant set found in the top-k (1.0 if none exist)."""
+    if k < 1:
+        raise ReproError(f"k must be >= 1; got {k}")
+    if not relevant:
+        return 1.0
+    ids = _check_ranking(ranking)[:k]
+    hits = sum(1 for item_id in ids if item_id in relevant)
+    return hits / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision < 0.0 or recall < 0.0:
+        raise ReproError("precision and recall must be non-negative")
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def average_precision(ranking: Sequence[int], relevant: AbstractSet[int]) -> float:
+    """Average of precision@rank over the ranks of relevant hits.
+
+    Normalized by the size of the relevant set, so missing relevant items
+    lower the score.  Returns 1.0 for an empty relevant set.
+    """
+    if not relevant:
+        return 1.0
+    ids = _check_ranking(ranking)
+    hits = 0
+    precision_sum = 0.0
+    for rank, item_id in enumerate(ids, start=1):
+        if item_id in relevant:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(relevant)
+
+
+def mean_average_precision(
+    rankings: Mapping[int, Sequence[int]],
+    judgments: Mapping[int, AbstractSet[int]] | "object",
+) -> float:
+    """MAP over a query workload.
+
+    ``judgments`` may be a mapping query-id -> relevant set or any object
+    with a ``relevant(query_id)`` method (duck-typed to
+    :class:`~repro.eval.groundtruth.RelevanceJudgments`).
+    """
+    if not rankings:
+        raise ReproError("no rankings supplied")
+    total = 0.0
+    for query_id, ranking in rankings.items():
+        relevant = _lookup_relevant(judgments, query_id)
+        total += average_precision(ranking, relevant)
+    return total / len(rankings)
+
+
+def mean_precision_at_k(
+    rankings: Mapping[int, Sequence[int]],
+    judgments: Mapping[int, AbstractSet[int]] | "object",
+    k: int,
+) -> float:
+    """Mean precision@k over a query workload."""
+    if not rankings:
+        raise ReproError("no rankings supplied")
+    total = 0.0
+    for query_id, ranking in rankings.items():
+        relevant = _lookup_relevant(judgments, query_id)
+        total += precision_at_k(ranking, relevant, k)
+    return total / len(rankings)
+
+
+def precision_recall_curve(
+    ranking: Sequence[int], relevant: AbstractSet[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precision and recall after each rank, as parallel arrays.
+
+    Arrays have one entry per ranking position; an empty relevant set
+    yields all-zero precision and all-one recall.
+    """
+    ids = _check_ranking(ranking)
+    precision = np.zeros(len(ids))
+    recall = np.zeros(len(ids))
+    hits = 0
+    for index, item_id in enumerate(ids):
+        if item_id in relevant:
+            hits += 1
+        precision[index] = hits / (index + 1)
+        recall[index] = hits / len(relevant) if relevant else 1.0
+    return precision, recall
+
+
+def _lookup_relevant(judgments: object, query_id: int) -> AbstractSet[int]:
+    if hasattr(judgments, "relevant"):
+        return judgments.relevant(query_id)  # type: ignore[union-attr]
+    try:
+        return judgments[query_id]  # type: ignore[index]
+    except (KeyError, TypeError):
+        raise ReproError(f"no judgments available for query id {query_id}") from None

@@ -1,0 +1,112 @@
+"""Distance-distribution statistics of a dataset under a metric.
+
+Two quantities steer the index experiments:
+
+* the **intrinsic dimensionality** estimate of Chávez et al.,
+  ``rho = mu^2 / (2 sigma^2)`` over the pairwise-distance distribution —
+  the single number that predicts how prunable a dataset is (uniform
+  high-dimensional data: large rho, hopeless; clustered data: small rho,
+  easy);
+* the **radius for a target selectivity** — experiment F3 sweeps range
+  queries from 1% to 50% selectivity, and the radius achieving a given
+  selectivity is a quantile of the same pairwise-distance sample.
+
+Both work from a random sample of pairs, so they stay cheap on any
+dataset size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metrics.base import Metric
+
+__all__ = [
+    "distance_sample",
+    "intrinsic_dimensionality",
+    "estimate_radius_for_selectivity",
+    "distance_histogram",
+]
+
+
+def distance_sample(
+    metric: Metric,
+    vectors: np.ndarray,
+    *,
+    n_pairs: int = 2000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Distances of ``n_pairs`` random (distinct) vector pairs."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] < 2:
+        raise ReproError(
+            f"need a (n >= 2, d) vector array; got shape {vectors.shape}"
+        )
+    if n_pairs < 1:
+        raise ReproError(f"n_pairs must be >= 1; got {n_pairs}")
+    rng = np.random.default_rng(seed)
+    n = vectors.shape[0]
+    first = rng.integers(n, size=n_pairs)
+    second = rng.integers(n - 1, size=n_pairs)
+    second = np.where(second >= first, second + 1, second)  # distinct pairs
+    return np.array(
+        [metric.distance(vectors[i], vectors[j]) for i, j in zip(first, second)]
+    )
+
+
+def intrinsic_dimensionality(
+    metric: Metric,
+    vectors: np.ndarray,
+    *,
+    n_pairs: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Chávez et al. intrinsic dimensionality ``mu^2 / (2 sigma^2)``.
+
+    Larger values mean the distance distribution is concentrated (all
+    points roughly equidistant) and triangle-inequality pruning buys
+    little; values of a few units or less mean trees prune well.
+    """
+    sample = distance_sample(metric, vectors, n_pairs=n_pairs, seed=seed)
+    mean = float(sample.mean())
+    variance = float(sample.var())
+    if variance <= 0.0:
+        return np.inf if mean > 0.0 else 0.0
+    return mean * mean / (2.0 * variance)
+
+
+def estimate_radius_for_selectivity(
+    metric: Metric,
+    vectors: np.ndarray,
+    selectivity: float,
+    *,
+    n_pairs: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Radius whose range query returns about ``selectivity * n`` items.
+
+    The radius is the ``selectivity`` quantile of the pairwise-distance
+    sample: by symmetry, a ball of that radius around a random point
+    captures about that fraction of the data.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ReproError(f"selectivity must lie in (0, 1]; got {selectivity}")
+    sample = distance_sample(metric, vectors, n_pairs=n_pairs, seed=seed)
+    return float(np.quantile(sample, selectivity))
+
+
+def distance_histogram(
+    metric: Metric,
+    vectors: np.ndarray,
+    *,
+    bins: int = 32,
+    n_pairs: int = 2000,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram (counts, bin_edges) of the pairwise-distance sample."""
+    if bins < 1:
+        raise ReproError(f"bins must be >= 1; got {bins}")
+    sample = distance_sample(metric, vectors, n_pairs=n_pairs, seed=seed)
+    counts, edges = np.histogram(sample, bins=bins)
+    return counts.astype(np.float64), edges

@@ -1,0 +1,99 @@
+"""Feature extraction: images -> fixed-length signatures.
+
+Every extractor maps an :class:`~repro.image.Image` to a 1-D ``float64``
+vector of a fixed, declared dimensionality.  The database layer stores
+these signatures, the metric layer compares them, and the index layer
+organizes them for sub-linear search — the image itself plays no part
+after extraction.
+
+Extractors implemented (the canonical QBIC-era set):
+
+======================  =====================================================
+Extractor               Captures
+======================  =====================================================
+GrayHistogram           global intensity distribution
+RGBJointHistogram       joint color distribution (r,g,b quantized together)
+RGBMarginalHistogram    per-channel color distributions, concatenated
+HSVHistogram            hue-weighted color distribution (18x3x3 by default)
+ColorMoments            mean / spread / skew per channel (compact color)
+ColorAutoCorrelogram    color *layout*: same-color co-occurrence vs distance
+GLCMFeatures            texture statistics from co-occurrence matrices
+GaborFeatures           multi-scale oriented frequency energy (filter bank)
+TamuraFeatures          perceptual texture (coarseness/contrast/directionality)
+WaveletSignature        multi-resolution texture/shape energy (Haar, 10 dims)
+EdgeOrientationHistogram edge direction distribution (magnitude weighted)
+EdgeDensity             fraction of edge pixels (image busyness)
+ShapeHistogram          distance-transform profile (scene sparseness/shape)
+RegionMoments           area / centroid / eccentricity of the salient region
+======================  =====================================================
+"""
+
+from repro.features.base import (
+    FeatureExtractor,
+    l1_normalize,
+    l2_normalize,
+)
+from repro.features.histogram import (
+    GrayHistogram,
+    HSVHistogram,
+    RGBJointHistogram,
+    RGBMarginalHistogram,
+)
+from repro.features.moments import ColorMoments
+from repro.features.correlogram import ColorAutoCorrelogram
+from repro.features.texture import GLCMFeatures, glcm
+from repro.features.gabor import GaborFeatures, gabor_bank, gabor_kernel
+from repro.features.tamura import (
+    TamuraFeatures,
+    tamura_coarseness,
+    tamura_contrast,
+    tamura_directionality,
+)
+from repro.features.wavelet import (
+    WaveletSignature,
+    haar2d,
+    haar2d_inverse,
+    haar_decompose,
+)
+from repro.features.edges import EdgeDensity, EdgeOrientationHistogram
+from repro.features.shape import (
+    RegionMoments,
+    ShapeHistogram,
+    distance_transform,
+    salience_distance_transform,
+)
+from repro.features.pipeline import CompositeExtractor, FeatureSchema, default_schema
+
+__all__ = [
+    "FeatureExtractor",
+    "l1_normalize",
+    "l2_normalize",
+    "GrayHistogram",
+    "RGBJointHistogram",
+    "RGBMarginalHistogram",
+    "HSVHistogram",
+    "ColorMoments",
+    "ColorAutoCorrelogram",
+    "GLCMFeatures",
+    "glcm",
+    "GaborFeatures",
+    "gabor_bank",
+    "gabor_kernel",
+    "TamuraFeatures",
+    "tamura_coarseness",
+    "tamura_contrast",
+    "tamura_directionality",
+    "WaveletSignature",
+    "haar2d",
+    "haar2d_inverse",
+    "haar_decompose",
+    "EdgeOrientationHistogram",
+    "EdgeDensity",
+    "ShapeHistogram",
+    "RegionMoments",
+    "distance_transform",
+    "salience_distance_transform",
+    "CompositeExtractor",
+    "FeatureSchema",
+    "default_schema",
+]

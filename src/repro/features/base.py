@@ -1,0 +1,107 @@
+"""Extractor protocol and shared vector utilities.
+
+A feature extractor is a small, configured, stateless object.  Its contract:
+
+* ``dim`` declares the output dimensionality before any image is seen
+  (the feature store allocates fixed-size records from it);
+* ``extract`` returns a 1-D float64 array of exactly ``dim`` finite values;
+* equal configuration implies equal output — extractors hold no per-image
+  state, so one instance can serve a whole database build.
+
+:class:`FeatureExtractor` enforces the output contract centrally so
+concrete extractors only implement ``_extract``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.image.core import Image
+
+__all__ = ["FeatureExtractor", "l1_normalize", "l2_normalize", "minmax_normalize"]
+
+
+def l1_normalize(vector: np.ndarray) -> np.ndarray:
+    """Scale a non-negative vector to unit L1 mass (sum = 1).
+
+    The zero vector is returned unchanged — an all-empty histogram stays
+    empty rather than becoming NaN.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    total = vector.sum()
+    return vector / total if total > 0.0 else vector.copy()
+
+
+def l2_normalize(vector: np.ndarray) -> np.ndarray:
+    """Scale a vector to unit Euclidean norm (zero vector passes through)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    return vector / norm if norm > 0.0 else vector.copy()
+
+
+def minmax_normalize(vector: np.ndarray) -> np.ndarray:
+    """Affinely rescale a vector into [0, 1] (constant vector maps to zeros)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    lo = float(vector.min())
+    hi = float(vector.max())
+    span = hi - lo
+    return (vector - lo) / span if span > 0.0 else np.zeros_like(vector)
+
+
+class FeatureExtractor(ABC):
+    """Base class for all feature extractors.
+
+    Subclasses implement :meth:`_extract` and set ``_name`` and ``_dim`` in
+    their constructor (or override the properties).  :meth:`extract`
+    validates every output against the declared contract.
+    """
+
+    _name: str
+    _dim: int
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used as the feature's key in schemas/stores."""
+        return self._name
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the produced signature vector."""
+        return self._dim
+
+    def extract(self, image: Image) -> np.ndarray:
+        """Extract the signature of ``image``.
+
+        Returns
+        -------
+        numpy.ndarray
+            1-D float64 array of length :attr:`dim`.
+
+        Raises
+        ------
+        FeatureError
+            If the concrete extractor produced an invalid vector — this
+            always indicates a bug in the extractor, so it is loud.
+        """
+        if not isinstance(image, Image):
+            raise FeatureError(
+                f"{self.name}: extract() requires an Image, got {type(image).__name__}"
+            )
+        vector = np.asarray(self._extract(image), dtype=np.float64).ravel()
+        if vector.shape != (self.dim,):
+            raise FeatureError(
+                f"{self.name}: produced shape {vector.shape}, declared dim {self.dim}"
+            )
+        if not np.all(np.isfinite(vector)):
+            raise FeatureError(f"{self.name}: produced non-finite values")
+        return vector
+
+    @abstractmethod
+    def _extract(self, image: Image) -> np.ndarray:
+        """Compute the raw signature (validated by :meth:`extract`)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, dim={self.dim})"

@@ -1,0 +1,152 @@
+"""Color histogram extractors.
+
+The color histogram is the workhorse feature of early CBIR: count how many
+pixels fall into each quantized color cell and L1-normalize the counts so
+images of different sizes are comparable.  Histograms are robust to
+translation and rotation about the view axis and change slowly with scale
+— and, famously, they carry *no layout information*, the limitation the
+correlogram (:mod:`repro.features.correlogram`) addresses.
+
+Four variants are provided:
+
+* :class:`GrayHistogram` — intensity histogram of the luma channel;
+* :class:`RGBJointHistogram` — joint quantization of (R, G, B), the
+  ``b^3``-cell histogram of the original QBIC line of work;
+* :class:`RGBMarginalHistogram` — per-channel histograms concatenated
+  (the "lossy but viewable" decomposition the paper describes);
+* :class:`HSVHistogram` — joint histogram in HSV with most resolution
+  given to hue (default 18x3x3 = 162 cells).
+
+All images are resampled to a fixed working size before counting so the
+signature is independent of the stored resolution (the paper normalizes
+to 512x512; the default here is 128x128, which is statistically identical
+for synthetic corpora and far cheaper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor, l1_normalize
+from repro.image.color import quantize_gray, quantize_hsv, quantize_rgb
+from repro.image.core import Image
+
+__all__ = [
+    "GrayHistogram",
+    "RGBJointHistogram",
+    "RGBMarginalHistogram",
+    "HSVHistogram",
+]
+
+
+def _counts(codes: np.ndarray, n_cells: int) -> np.ndarray:
+    """Histogram integer codes into ``n_cells`` normalized frequencies."""
+    counts = np.bincount(codes.ravel(), minlength=n_cells).astype(np.float64)
+    return l1_normalize(counts)
+
+
+class _ResizingExtractor(FeatureExtractor):
+    """Shared base: resample the image to a fixed square working size."""
+
+    def __init__(self, working_size: int) -> None:
+        if working_size <= 0:
+            raise FeatureError(f"working_size must be positive; got {working_size}")
+        self._working_size = working_size
+
+    @property
+    def working_size(self) -> int:
+        """Side of the square the image is resampled to before counting."""
+        return self._working_size
+
+    def _resized(self, image: Image) -> Image:
+        return image.resize(self._working_size, self._working_size)
+
+
+class GrayHistogram(_ResizingExtractor):
+    """Normalized intensity histogram of the grayscale image.
+
+    Parameters
+    ----------
+    bins:
+        Number of intensity cells (default 64; the paper quantizes 256
+        levels into fewer bins "to achieve low computational complexity").
+    working_size:
+        Square resampling size applied before counting.
+    """
+
+    def __init__(self, bins: int = 64, *, working_size: int = 128) -> None:
+        super().__init__(working_size)
+        if bins < 1:
+            raise FeatureError(f"bins must be >= 1; got {bins}")
+        self._bins = bins
+        self._name = f"gray_hist_{bins}"
+        self._dim = bins
+
+    def _extract(self, image: Image) -> np.ndarray:
+        codes = quantize_gray(self._resized(image), self._bins)
+        return _counts(codes, self._bins)
+
+
+class RGBJointHistogram(_ResizingExtractor):
+    """Joint RGB histogram with ``levels_per_channel ** 3`` cells."""
+
+    def __init__(self, levels_per_channel: int = 4, *, working_size: int = 128) -> None:
+        super().__init__(working_size)
+        if levels_per_channel < 1:
+            raise FeatureError(
+                f"levels_per_channel must be >= 1; got {levels_per_channel}"
+            )
+        self._levels = levels_per_channel
+        self._name = f"rgb_hist_{levels_per_channel}"
+        self._dim = levels_per_channel**3
+
+    def _extract(self, image: Image) -> np.ndarray:
+        codes = quantize_rgb(self._resized(image), self._levels)
+        return _counts(codes, self._dim)
+
+
+class RGBMarginalHistogram(_ResizingExtractor):
+    """Per-channel histograms concatenated into one ``3 * bins`` vector.
+
+    Cheaper than the joint histogram and easy to visualize, at the cost of
+    losing inter-channel correlation.
+    """
+
+    def __init__(self, bins: int = 32, *, working_size: int = 128) -> None:
+        super().__init__(working_size)
+        if bins < 1:
+            raise FeatureError(f"bins must be >= 1; got {bins}")
+        self._bins = bins
+        self._name = f"rgb_marginal_{bins}"
+        self._dim = 3 * bins
+
+    def _extract(self, image: Image) -> np.ndarray:
+        rgb = self._resized(image).to_rgb()
+        parts = []
+        for channel in range(3):
+            codes = np.clip(
+                (rgb.channel(channel) * self._bins).astype(np.int64), 0, self._bins - 1
+            )
+            parts.append(_counts(codes, self._bins))
+        # Each channel is normalized independently so the three sections
+        # have equal weight under L1/L2 metrics.
+        return np.concatenate(parts)
+
+
+class HSVHistogram(_ResizingExtractor):
+    """Joint HSV histogram; default 18 hue x 3 saturation x 3 value cells."""
+
+    def __init__(
+        self, bins: tuple[int, int, int] = (18, 3, 3), *, working_size: int = 128
+    ) -> None:
+        super().__init__(working_size)
+        if len(bins) != 3 or min(bins) < 1:
+            raise FeatureError(f"bins must be three positive ints; got {bins}")
+        self._hsv_bins = tuple(int(b) for b in bins)
+        self._name = "hsv_hist_{}x{}x{}".format(*self._hsv_bins)
+        self._dim = int(np.prod(self._hsv_bins))
+
+    def _extract(self, image: Image) -> np.ndarray:
+        codes = quantize_hsv(self._resized(image), self._hsv_bins)
+        return _counts(codes, self._dim)

@@ -1,0 +1,188 @@
+"""Composite features and the feature schema.
+
+A real image database does not extract one feature — it extracts a
+*schema* of them at insertion time and lets queries choose which to use
+and how to weight them.  Two pieces implement that here:
+
+:class:`FeatureSchema`
+    An ordered, named collection of extractors.  The database layer uses
+    it to size store records and to extract everything for a new image in
+    one call.
+
+:class:`CompositeExtractor`
+    Presents several extractors as one: the segments are concatenated
+    into a single vector after per-segment normalization and weighting,
+    so a plain Euclidean metric over the composite approximates a
+    weighted sum of per-feature distances.  This is the cheap fusion
+    scheme; proper per-feature fusion lives in :mod:`repro.db.query`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor, l1_normalize, l2_normalize
+from repro.features.edges import EdgeOrientationHistogram
+from repro.features.histogram import HSVHistogram, RGBJointHistogram
+from repro.features.moments import ColorMoments
+from repro.features.texture import GLCMFeatures
+from repro.features.wavelet import WaveletSignature
+from repro.image.core import Image
+
+__all__ = ["FeatureSchema", "CompositeExtractor", "default_schema"]
+
+_NORMALIZERS = {
+    "none": lambda v: v,
+    "l1": l1_normalize,
+    "l2": l2_normalize,
+}
+
+
+class FeatureSchema:
+    """An ordered, named set of feature extractors.
+
+    Iteration yields extractors in registration order; lookup is by name.
+    """
+
+    def __init__(self, extractors: Iterable[FeatureExtractor] = ()) -> None:
+        self._extractors: dict[str, FeatureExtractor] = {}
+        for extractor in extractors:
+            self.add(extractor)
+
+    def add(self, extractor: FeatureExtractor) -> "FeatureSchema":
+        """Register an extractor; names must be unique.  Returns self."""
+        if extractor.name in self._extractors:
+            raise FeatureError(f"duplicate feature name {extractor.name!r} in schema")
+        self._extractors[extractor.name] = extractor
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extractors
+
+    def __len__(self) -> int:
+        return len(self._extractors)
+
+    def __iter__(self) -> Iterator[FeatureExtractor]:
+        return iter(self._extractors.values())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Feature names in registration order."""
+        return tuple(self._extractors)
+
+    def get(self, name: str) -> FeatureExtractor:
+        """Look up an extractor by name."""
+        try:
+            return self._extractors[name]
+        except KeyError:
+            raise FeatureError(
+                f"unknown feature {name!r}; schema has {list(self._extractors)}"
+            ) from None
+
+    def extract_all(self, image: Image) -> dict[str, np.ndarray]:
+        """Extract every feature of ``image``, keyed by feature name."""
+        return {name: ext.extract(image) for name, ext in self._extractors.items()}
+
+    def total_dim(self) -> int:
+        """Sum of all feature dimensionalities (the store record width)."""
+        return sum(ext.dim for ext in self)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{e.name}[{e.dim}]" for e in self)
+        return f"FeatureSchema({parts})"
+
+
+class CompositeExtractor(FeatureExtractor):
+    """Concatenation of several extractors into one weighted vector.
+
+    Parameters
+    ----------
+    extractors:
+        The component extractors, in concatenation order.
+    weights:
+        Per-component scale factors (default: all 1).  Because Euclidean
+        distance over a concatenation is the root of the sum of squared
+        per-segment distances, weighting a segment by ``w`` weights its
+        squared contribution by ``w**2``.
+    normalize:
+        Per-segment normalization applied before weighting: ``'none'``,
+        ``'l1'`` or ``'l2'`` (default ``'l2'``, which equalizes segment
+        magnitudes so weights mean what they say).
+    """
+
+    def __init__(
+        self,
+        extractors: Sequence[FeatureExtractor],
+        weights: Sequence[float] | None = None,
+        *,
+        normalize: str = "l2",
+        name: str | None = None,
+    ) -> None:
+        if not extractors:
+            raise FeatureError("CompositeExtractor needs at least one extractor")
+        if weights is None:
+            weights = [1.0] * len(extractors)
+        if len(weights) != len(extractors):
+            raise FeatureError(
+                f"{len(extractors)} extractors but {len(weights)} weights"
+            )
+        if any(w < 0 for w in weights):
+            raise FeatureError(f"weights must be non-negative; got {tuple(weights)}")
+        if normalize not in _NORMALIZERS:
+            raise FeatureError(
+                f"normalize must be one of {sorted(_NORMALIZERS)}; got {normalize!r}"
+            )
+        self._components = list(extractors)
+        self._weights = [float(w) for w in weights]
+        self._normalize = _NORMALIZERS[normalize]
+        self._name = name or "composite_" + "+".join(e.name for e in extractors)
+        self._dim = sum(e.dim for e in extractors)
+
+    @property
+    def segments(self) -> list[tuple[str, int]]:
+        """(name, dim) of each component, in order."""
+        return [(e.name, e.dim) for e in self._components]
+
+    def _extract(self, image: Image) -> np.ndarray:
+        parts = [
+            weight * self._normalize(component.extract(image))
+            for component, weight in zip(self._components, self._weights)
+        ]
+        return np.concatenate(parts)
+
+
+def default_schema(*, working_size: int = 64) -> FeatureSchema:
+    """The stock schema used by examples, tests and benchmarks.
+
+    Color (HSV + joint RGB + moments), texture (GLCM + wavelet) and shape
+    (edge orientation) — one representative per family, tuned small enough
+    that corpus builds stay fast.
+    """
+    return FeatureSchema(
+        [
+            HSVHistogram((18, 3, 3), working_size=working_size),
+            RGBJointHistogram(4, working_size=working_size),
+            ColorMoments("rgb"),
+            GLCMFeatures(16, working_size=working_size),
+            WaveletSignature(3, working_size=64),
+            EdgeOrientationHistogram(18, working_size=working_size),
+        ]
+    )
+
+
+def normalize_weights(weights: Mapping[str, float], names: Sequence[str]) -> dict[str, float]:
+    """Validate and L1-normalize a name->weight mapping over ``names``.
+
+    Unknown names raise; missing names get weight 0.  Used by the query
+    layer for weighted multi-feature search.
+    """
+    unknown = set(weights) - set(names)
+    if unknown:
+        raise FeatureError(f"weights refer to unknown features: {sorted(unknown)}")
+    total = sum(weights.values())
+    if total <= 0:
+        raise FeatureError("at least one weight must be positive")
+    return {name: weights.get(name, 0.0) / total for name in names}

@@ -1,0 +1,267 @@
+"""Shape features without segmentation.
+
+Semantically meaningful segmentation was (and is) unreliable, so the
+reproduced system measures *indirect* shape properties built from robust
+low-level operations:
+
+* the **distance transform (DT)** — at every pixel, the chamfer distance
+  to the nearest edge pixel, computed with the classic two-pass algorithm;
+* the **salience distance transform (SDT)** of Rosin & West — edge pixels
+  seed the propagation with a cost inversely related to their salience
+  (gradient magnitude here), so spurious weak edges are soft-assigned
+  rather than thresholded away;
+* **distance histograms** over the (S)DT: cluttered scenes pile mass at
+  small distances, sparse scenes at large ones, and the histogram profile
+  separates shape classes in between;
+* **region moments** — area, centroid and eccentricity of the Otsu
+  foreground, the classical compact shape descriptors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor, l1_normalize
+from repro.image.core import Image
+from repro.image.filters import (
+    edge_map,
+    gaussian_blur,
+    gradient_magnitude,
+    otsu_threshold,
+    sobel_gradients,
+)
+
+__all__ = [
+    "chamfer_propagate",
+    "distance_transform",
+    "salience_distance_transform",
+    "ShapeHistogram",
+    "RegionMoments",
+]
+
+#: Chamfer weights: axial step, diagonal step (quasi-Euclidean).
+_AXIAL = 1.0
+_DIAGONAL = float(np.sqrt(2.0))
+
+_BIG = np.inf
+
+
+def _horizontal_sweep(row: np.ndarray, step: float) -> np.ndarray:
+    """1-D distance propagation ``d[i] = min_j (d[j] + step * |i - j|)``.
+
+    Uses the accumulate identity ``min_{j<=i}(d[j] + step*(i-j)) =
+    step*i + cummin(d[j] - step*j)`` to stay vectorized, applied in both
+    directions.
+    """
+    idx = np.arange(row.size, dtype=np.float64)
+    forward = np.minimum.accumulate(row - step * idx) + step * idx
+    backward = (np.minimum.accumulate((row - step * idx[::-1])[::-1])[::-1]) + step * idx[::-1]
+    return np.minimum(forward, backward)
+
+
+def chamfer_propagate(seeds: np.ndarray) -> np.ndarray:
+    """Two-pass chamfer propagation of initial costs.
+
+    ``seeds`` holds the starting cost at every pixel (``inf`` for
+    non-sources).  The result at each pixel is the minimum over all pixels
+    ``q`` of ``seeds[q] + chamfer_distance(p, q)`` with axial steps of 1
+    and diagonal steps of sqrt(2) — the standard quasi-Euclidean chamfer
+    metric, exact to within its known ~8% metrication error.
+
+    Generalizing the classic binary DT to arbitrary seed costs is what
+    lets the same routine compute both the DT (seeds 0) and the salience
+    DT (seeds = inverse salience).
+    """
+    seeds = np.asarray(seeds, dtype=np.float64)
+    if seeds.ndim != 2:
+        raise FeatureError(f"seeds must be 2-D; got shape {seeds.shape}")
+    dt = seeds.copy()
+    height = dt.shape[0]
+
+    # Forward raster pass: each row inherits from the row above, then
+    # propagates horizontally.
+    dt[0] = _hsweep_row(dt[0])
+    for y in range(1, height):
+        above = dt[y - 1]
+        candidate = np.minimum(dt[y], above + _AXIAL)
+        candidate[1:] = np.minimum(candidate[1:], above[:-1] + _DIAGONAL)
+        candidate[:-1] = np.minimum(candidate[:-1], above[1:] + _DIAGONAL)
+        dt[y] = _hsweep_row(candidate)
+
+    # Backward pass.
+    for y in range(height - 2, -1, -1):
+        below = dt[y + 1]
+        candidate = np.minimum(dt[y], below + _AXIAL)
+        candidate[1:] = np.minimum(candidate[1:], below[:-1] + _DIAGONAL)
+        candidate[:-1] = np.minimum(candidate[:-1], below[1:] + _DIAGONAL)
+        dt[y] = _hsweep_row(candidate)
+    return dt
+
+
+def _hsweep_row(row: np.ndarray) -> np.ndarray:
+    """Horizontal sweep guarding against all-inf rows (no sources yet)."""
+    finite = np.isfinite(row)
+    if not finite.any():
+        return row
+    if finite.all():
+        return _horizontal_sweep(row, _AXIAL)
+    # Replace inf with a large sentinel so arithmetic stays finite, then
+    # restore inf where no source could have reached.
+    sentinel = row[finite].max() + _AXIAL * row.size + 1.0
+    patched = np.where(finite, row, sentinel)
+    swept = _horizontal_sweep(patched, _AXIAL)
+    return np.where(swept >= sentinel, _BIG, swept)
+
+
+def distance_transform(feature_mask: np.ndarray) -> np.ndarray:
+    """Chamfer distance to the nearest True pixel of ``feature_mask``.
+
+    Pixels of the mask get 0.  If the mask is empty every pixel gets
+    ``inf`` (callers decide how to interpret a featureless image).
+    """
+    mask = np.asarray(feature_mask, dtype=bool)
+    if mask.ndim != 2:
+        raise FeatureError(f"feature mask must be 2-D; got shape {mask.shape}")
+    seeds = np.where(mask, 0.0, _BIG)
+    return chamfer_propagate(seeds)
+
+
+def salience_distance_transform(
+    image: Image | np.ndarray,
+    *,
+    sigma: float = 1.0,
+    salience_scale: float = 8.0,
+) -> np.ndarray:
+    """Rosin-West salience distance transform.
+
+    Every pixel with non-zero gradient magnitude seeds the propagation
+    with cost ``salience_scale * (1 - salience)`` where salience is the
+    gradient magnitude normalized to [0, 1]: strong edges behave like
+    true zero-distance features, weak edges act as if they were up to
+    ``salience_scale`` pixels farther away.  No threshold is involved —
+    that soft assignment is the method's point.
+    """
+    if salience_scale < 0.0:
+        raise FeatureError(f"salience_scale must be non-negative; got {salience_scale}")
+    if isinstance(image, Image):
+        gray = image.to_gray().pixels
+    else:
+        gray = np.asarray(image, dtype=np.float64)
+        if gray.ndim != 2:
+            raise FeatureError(f"expected 2-D array; got shape {gray.shape}")
+    if sigma > 0.0:
+        gray = gaussian_blur(gray, sigma)
+    gx, gy = sobel_gradients(gray)
+    magnitude = gradient_magnitude(gx, gy)
+    peak = float(magnitude.max())
+    if peak <= 0.0:
+        return np.full_like(magnitude, _BIG)
+    salience = magnitude / peak
+    seeds = np.where(magnitude > 0.0, salience_scale * (1.0 - salience), _BIG)
+    return chamfer_propagate(seeds)
+
+
+class ShapeHistogram(FeatureExtractor):
+    """Histogram of (salience) distance-transform values.
+
+    The distance values are normalized by the image diagonal and binned
+    into ``bins`` cells over [0, ``max_fraction``]; the profile separates
+    cluttered scenes (mass at small distances) from sparse ones and
+    captures coarser shape distinctions in between.
+
+    Parameters
+    ----------
+    bins:
+        Number of histogram cells.
+    salience:
+        Use the salience DT (default True, the paper's preferred variant)
+        or the plain binary-edge DT.
+    max_fraction:
+        Distances are clipped at this fraction of the image diagonal
+        (default 0.25; beyond that the histogram is empty for any natural
+        scene).
+    """
+
+    def __init__(
+        self,
+        bins: int = 16,
+        *,
+        salience: bool = True,
+        sigma: float = 1.0,
+        max_fraction: float = 0.25,
+        working_size: int = 64,
+    ) -> None:
+        if bins < 2:
+            raise FeatureError(f"bins must be >= 2; got {bins}")
+        if not 0.0 < max_fraction <= 1.0:
+            raise FeatureError(f"max_fraction must lie in (0, 1]; got {max_fraction}")
+        self._bins = bins
+        self._salience = salience
+        self._sigma = sigma
+        self._max_fraction = max_fraction
+        self._working_size = working_size
+        kind = "sdt" if salience else "dt"
+        self._name = f"shape_hist_{kind}_{bins}"
+        self._dim = bins
+
+    def _extract(self, image: Image) -> np.ndarray:
+        small = image.to_gray().resize(self._working_size, self._working_size)
+        if self._salience:
+            dt = salience_distance_transform(small, sigma=self._sigma)
+        else:
+            dt = distance_transform(edge_map(small, sigma=self._sigma))
+        diagonal = float(np.hypot(small.width, small.height))
+        finite = dt[np.isfinite(dt)]
+        if finite.size == 0:
+            # Featureless image: all mass in the farthest cell.
+            histogram = np.zeros(self._bins)
+            histogram[-1] = 1.0
+            return histogram
+        normalized = np.clip(finite / (diagonal * self._max_fraction), 0.0, 1.0)
+        cells = np.minimum((normalized * self._bins).astype(np.int64), self._bins - 1)
+        return l1_normalize(np.bincount(cells, minlength=self._bins).astype(np.float64))
+
+
+class RegionMoments(FeatureExtractor):
+    """Moment descriptors of the Otsu foreground region.
+
+    Produces ``[area_fraction, centroid_x, centroid_y, eccentricity,
+    orientation/pi]`` where coordinates are normalized to [0, 1] and
+    eccentricity derives from the eigenvalues of the second central moment
+    matrix (0 = circle, -> 1 = line).  An empty foreground yields zeros.
+    """
+
+    def __init__(self, *, working_size: int = 64) -> None:
+        self._working_size = working_size
+        self._name = "region_moments"
+        self._dim = 5
+
+    def _extract(self, image: Image) -> np.ndarray:
+        gray = image.to_gray().resize(self._working_size, self._working_size).pixels
+        threshold = otsu_threshold(gray)
+        mask = gray > threshold
+        # Foreground = the smaller side, so the descriptor tracks the
+        # object rather than the background.
+        if mask.mean() > 0.5:
+            mask = ~mask
+        ys, xs = np.nonzero(mask)
+        if ys.size == 0:
+            return np.zeros(self._dim)
+
+        height, width = gray.shape
+        area = ys.size / mask.size
+        cx = float(xs.mean()) / (width - 1) if width > 1 else 0.0
+        cy = float(ys.mean()) / (height - 1) if height > 1 else 0.0
+
+        x_centered = xs - xs.mean()
+        y_centered = ys - ys.mean()
+        mxx = float(np.mean(x_centered**2))
+        myy = float(np.mean(y_centered**2))
+        mxy = float(np.mean(x_centered * y_centered))
+        covariance = np.array([[mxx, mxy], [mxy, myy]])
+        eigenvalues, _ = np.linalg.eigh(covariance)
+        minor, major = float(eigenvalues[0]), float(eigenvalues[1])
+        eccentricity = float(np.sqrt(1.0 - minor / major)) if major > 0.0 else 0.0
+        orientation = 0.5 * np.arctan2(2.0 * mxy, mxx - myy) % np.pi
+        return np.array([area, cx, cy, eccentricity, orientation / np.pi])

@@ -1,0 +1,177 @@
+"""Texture features from gray-level co-occurrence matrices (GLCM).
+
+A co-occurrence matrix ``P_d`` counts, over all pixel pairs separated by a
+fixed offset ``d``, how often gray level ``i`` co-occurs with gray level
+``j``.  The classic Haralick statistics summarize it:
+
+* energy       ``sum_ij P(i,j)^2``         (textural uniformity)
+* entropy      ``-sum_ij P log P``         (randomness)
+* contrast     ``sum_ij (i-j)^2 P(i,j)``   (local variation)
+* homogeneity  ``sum_ij P(i,j)/(1+|i-j|)`` (closeness to the diagonal)
+* correlation  normalized covariance of the (i, j) marginals
+
+These are exactly the four statistics the reproduced pipeline lists
+(energy, entropy, contrast, homogeneity) plus correlation, which rounds
+out the standard Haralick five.  Offsets default to distance 1 at the four
+canonical angles (0, 45, 90, 135 degrees); statistics are averaged over
+angles for approximate rotation invariance, or concatenated when the
+orientation itself is the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor
+from repro.image.color import quantize_gray
+from repro.image.core import Image
+
+__all__ = ["glcm", "haralick_stats", "GLCMFeatures", "STAT_NAMES"]
+
+#: Statistic order produced by :func:`haralick_stats`.
+STAT_NAMES = ("energy", "entropy", "contrast", "homogeneity", "correlation")
+
+#: Distance-1 offsets at 0, 45, 90, 135 degrees as (dy, dx).
+DEFAULT_OFFSETS = ((0, 1), (-1, 1), (-1, 0), (-1, -1))
+
+
+def glcm(
+    codes: np.ndarray,
+    levels: int,
+    offset: tuple[int, int],
+    *,
+    symmetric: bool = True,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Gray-level co-occurrence matrix for one offset.
+
+    Parameters
+    ----------
+    codes:
+        2-D integer array of gray codes in ``0 .. levels-1``.
+    offset:
+        ``(dy, dx)`` displacement between the pair of pixels.
+    symmetric:
+        Count each pair in both directions (the standard Haralick choice,
+        making the matrix symmetric).
+    normalize:
+        Divide by the number of counted pairs so entries form a joint
+        probability mass function.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(levels, levels)`` float64 matrix.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise FeatureError(f"codes must be 2-D; got shape {codes.shape}")
+    dy, dx = offset
+    if dy == 0 and dx == 0:
+        raise FeatureError("offset must be non-zero")
+    height, width = codes.shape
+    if abs(dy) >= height or abs(dx) >= width:
+        raise FeatureError(f"offset {offset} exceeds image size {codes.shape}")
+
+    # first = value at p, second = value at p + (dy, dx), over all p for
+    # which both are in bounds.
+    y0, y1 = max(0, -dy), min(height, height - dy)
+    x0, x1 = max(0, -dx), min(width, width - dx)
+    first = codes[y0:y1, x0:x1].ravel()
+    second = codes[y0 + dy : y1 + dy, x0 + dx : x1 + dx].ravel()
+
+    matrix = np.zeros((levels, levels), dtype=np.float64)
+    np.add.at(matrix, (first, second), 1.0)
+    if symmetric:
+        matrix += matrix.T
+    if normalize:
+        total = matrix.sum()
+        if total > 0:
+            matrix /= total
+    return matrix
+
+
+def haralick_stats(matrix: np.ndarray) -> np.ndarray:
+    """The five Haralick statistics of a normalized co-occurrence matrix.
+
+    Returns them in :data:`STAT_NAMES` order.  A degenerate matrix (single
+    occupied cell) gets correlation 0 by convention.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise FeatureError(f"co-occurrence matrix must be square; got {matrix.shape}")
+    levels = matrix.shape[0]
+    i = np.arange(levels, dtype=np.float64)[:, None]
+    j = np.arange(levels, dtype=np.float64)[None, :]
+
+    energy = float(np.sum(matrix * matrix))
+    positive = matrix[matrix > 0.0]
+    entropy = float(-np.sum(positive * np.log2(positive))) if positive.size else 0.0
+    contrast = float(np.sum((i - j) ** 2 * matrix))
+    homogeneity = float(np.sum(matrix / (1.0 + np.abs(i - j))))
+
+    mu_i = float(np.sum(i * matrix))
+    mu_j = float(np.sum(j * matrix))
+    var_i = float(np.sum((i - mu_i) ** 2 * matrix))
+    var_j = float(np.sum((j - mu_j) ** 2 * matrix))
+    if var_i > 0.0 and var_j > 0.0:
+        correlation = float(
+            np.sum((i - mu_i) * (j - mu_j) * matrix) / np.sqrt(var_i * var_j)
+        )
+    else:
+        correlation = 0.0
+    return np.array([energy, entropy, contrast, homogeneity, correlation])
+
+
+class GLCMFeatures(FeatureExtractor):
+    """Haralick texture statistics over one or more co-occurrence offsets.
+
+    Parameters
+    ----------
+    levels:
+        Gray quantization (default 16; finer levels dilute the counts).
+    offsets:
+        ``(dy, dx)`` displacements (default: distance 1 at 4 angles).
+    aggregate:
+        ``'mean'`` averages statistics over offsets (approximately rotation
+        invariant, 5 dims); ``'concat'`` keeps each offset's statistics
+        (``5 * len(offsets)`` dims, orientation sensitive).
+    working_size:
+        Square resampling size before extraction.
+    """
+
+    def __init__(
+        self,
+        levels: int = 16,
+        offsets: Sequence[tuple[int, int]] = DEFAULT_OFFSETS,
+        *,
+        aggregate: str = "mean",
+        working_size: int = 64,
+    ) -> None:
+        if levels < 2:
+            raise FeatureError(f"levels must be >= 2; got {levels}")
+        if not offsets:
+            raise FeatureError("at least one offset is required")
+        if aggregate not in ("mean", "concat"):
+            raise FeatureError(f"aggregate must be 'mean' or 'concat'; got {aggregate!r}")
+        if working_size < 4:
+            raise FeatureError(f"working_size too small: {working_size}")
+        self._levels = levels
+        self._offsets = tuple((int(dy), int(dx)) for dy, dx in offsets)
+        self._aggregate = aggregate
+        self._working_size = working_size
+        self._name = f"glcm_{levels}l_{len(self._offsets)}o_{aggregate}"
+        self._dim = len(STAT_NAMES) * (1 if aggregate == "mean" else len(self._offsets))
+
+    def _extract(self, image: Image) -> np.ndarray:
+        small = image.resize(self._working_size, self._working_size)
+        codes = quantize_gray(small, self._levels)
+        stats = [
+            haralick_stats(glcm(codes, self._levels, offset)) for offset in self._offsets
+        ]
+        if self._aggregate == "mean":
+            return np.mean(stats, axis=0)
+        return np.concatenate(stats)

@@ -1,0 +1,66 @@
+"""Image substrate: value type, color ops, filtering, codecs, synthesis.
+
+Everything in this subpackage is implemented on top of numpy only; it is the
+foundation the feature extractors (:mod:`repro.features`) build on.
+
+Public surface
+--------------
+:class:`~repro.image.core.Image`
+    Immutable float64 image value type (grayscale or RGB, values in [0, 1]).
+:mod:`~repro.image.color`
+    Color-space conversion (RGB/gray/HSV) and color quantization.
+:mod:`~repro.image.resize`
+    Nearest-neighbour and bilinear resampling.
+:mod:`~repro.image.filters`
+    Convolution, Gaussian smoothing, Sobel gradients, thresholding.
+:mod:`~repro.image.io_ppm` / :mod:`~repro.image.io_bmp`
+    Self-contained PPM/PGM and 24-bit BMP codecs.
+:mod:`~repro.image.synth`
+    Synthetic image generators (gradients, checkerboards, stripes, scenes).
+:mod:`~repro.image.transforms`
+    Geometric and photometric transforms used by the invariance studies.
+"""
+
+from repro.image.core import Image
+from repro.image.color import (
+    hsv_to_rgb,
+    quantize_gray,
+    quantize_hsv,
+    quantize_rgb,
+    rgb_to_gray,
+    rgb_to_hsv,
+)
+from repro.image.resize import resize
+from repro.image.filters import (
+    convolve2d,
+    edge_map,
+    gaussian_blur,
+    gradient_magnitude,
+    gradient_orientation,
+    otsu_threshold,
+    sobel_gradients,
+)
+from repro.image.io_ppm import read_ppm, write_ppm
+from repro.image.io_bmp import read_bmp, write_bmp
+
+__all__ = [
+    "Image",
+    "rgb_to_gray",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "quantize_gray",
+    "quantize_rgb",
+    "quantize_hsv",
+    "resize",
+    "convolve2d",
+    "gaussian_blur",
+    "sobel_gradients",
+    "gradient_magnitude",
+    "gradient_orientation",
+    "edge_map",
+    "otsu_threshold",
+    "read_ppm",
+    "write_ppm",
+    "read_bmp",
+    "write_bmp",
+]

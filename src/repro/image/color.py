@@ -1,0 +1,168 @@
+"""Color-space conversion and color quantization.
+
+Implements the conversions the QBIC-era feature extractors rely on:
+
+* RGB -> grayscale using the ITU-R BT.601 luma weights (the standard of the
+  paper's period),
+* RGB <-> HSV with hue stored as a fraction of a full turn in ``[0, 1)``,
+* uniform quantizers that map continuous pixel values to small integer
+  *color codes* used by histogram, correlogram and co-occurrence features.
+
+All functions accept and return :class:`~repro.image.core.Image` values;
+array-level helpers (suffixed ``_array``) are exposed for the extractors
+that work on raw channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.image.core import Image
+
+__all__ = [
+    "rgb_to_gray",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "rgb_to_hsv_array",
+    "hsv_to_rgb_array",
+    "quantize_uniform",
+    "quantize_gray",
+    "quantize_rgb",
+    "quantize_hsv",
+]
+
+#: ITU-R BT.601 luma weights for R, G, B.
+LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def rgb_to_gray(image: Image) -> Image:
+    """Convert an RGB image to grayscale using BT.601 luma weights.
+
+    Grayscale input is returned unchanged.
+    """
+    if image.is_gray:
+        return image
+    gray = image.pixels @ LUMA_WEIGHTS
+    return Image(np.clip(gray, 0.0, 1.0))
+
+
+def rgb_to_hsv_array(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(..., 3)`` RGB array in [0, 1] to HSV in [0, 1].
+
+    Hue is a fraction of a full turn (0 = red, 1/3 = green, 2/3 = blue);
+    saturation and value follow the standard hexcone model.  Achromatic
+    pixels (max == min) get hue 0 and saturation 0.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.shape[-1] != 3:
+        raise ImageError(f"expected trailing dimension 3; got shape {rgb.shape}")
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    maxc = rgb.max(axis=-1)
+    minc = rgb.min(axis=-1)
+    delta = maxc - minc
+
+    value = maxc
+    saturation = np.where(maxc > 0.0, delta / np.where(maxc > 0.0, maxc, 1.0), 0.0)
+
+    # Hue: piecewise by which channel attains the max.  Use a safe divisor
+    # for achromatic pixels and zero their hue afterwards.
+    safe = np.where(delta > 0.0, delta, 1.0)
+    hue = np.zeros_like(maxc)
+    is_r = (maxc == r) & (delta > 0.0)
+    is_g = (maxc == g) & (delta > 0.0) & ~is_r
+    is_b = (delta > 0.0) & ~is_r & ~is_g
+    hue = np.where(is_r, ((g - b) / safe) % 6.0, hue)
+    hue = np.where(is_g, (b - r) / safe + 2.0, hue)
+    hue = np.where(is_b, (r - g) / safe + 4.0, hue)
+    hue = hue / 6.0
+    return np.stack([hue, saturation, value], axis=-1)
+
+
+def hsv_to_rgb_array(hsv: np.ndarray) -> np.ndarray:
+    """Convert an ``(..., 3)`` HSV array in [0, 1] back to RGB in [0, 1]."""
+    hsv = np.asarray(hsv, dtype=np.float64)
+    if hsv.shape[-1] != 3:
+        raise ImageError(f"expected trailing dimension 3; got shape {hsv.shape}")
+    h, s, v = hsv[..., 0], hsv[..., 1], hsv[..., 2]
+    h6 = (h % 1.0) * 6.0
+    sector = np.floor(h6).astype(int) % 6
+    f = h6 - np.floor(h6)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * f)
+    t = v * (1.0 - s * (1.0 - f))
+
+    choices_r = [v, q, p, p, t, v]
+    choices_g = [t, v, v, q, p, p]
+    choices_b = [p, p, t, v, v, q]
+    r = np.choose(sector, choices_r)
+    g = np.choose(sector, choices_g)
+    b = np.choose(sector, choices_b)
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 1.0)
+
+
+def rgb_to_hsv(image: Image) -> Image:
+    """Convert an RGB :class:`Image` to an HSV-encoded :class:`Image`.
+
+    The result is still a 3-channel image whose channels hold H, S, V in
+    [0, 1]; it is a numeric container, not a displayable picture.
+    """
+    if image.is_gray:
+        raise ImageError("rgb_to_hsv requires an RGB image")
+    return Image(rgb_to_hsv_array(image.pixels))
+
+
+def hsv_to_rgb(image: Image) -> Image:
+    """Inverse of :func:`rgb_to_hsv`."""
+    if image.is_gray:
+        raise ImageError("hsv_to_rgb requires a 3-channel image")
+    return Image(hsv_to_rgb_array(image.pixels))
+
+
+def quantize_uniform(values: np.ndarray, levels: int) -> np.ndarray:
+    """Uniformly quantize values in [0, 1] into integer codes ``0..levels-1``.
+
+    The unit interval is split into ``levels`` equal cells; the value 1.0
+    falls in the top cell.
+    """
+    if levels < 1:
+        raise ImageError(f"levels must be >= 1; got {levels}")
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.floor(values * levels).astype(np.int64)
+    return np.clip(codes, 0, levels - 1)
+
+
+def quantize_gray(image: Image, levels: int) -> np.ndarray:
+    """Quantize a (converted-to-)grayscale image to ``levels`` codes."""
+    return quantize_uniform(image.to_gray().pixels, levels)
+
+
+def quantize_rgb(image: Image, levels_per_channel: int) -> np.ndarray:
+    """Quantize an RGB image into joint color codes.
+
+    Each channel is uniformly quantized to ``levels_per_channel`` cells and
+    the three codes are combined into a single integer in
+    ``0 .. levels_per_channel**3 - 1`` (R most significant).  Grayscale
+    input is broadcast to RGB first.
+    """
+    rgb = image.to_rgb().pixels
+    q = quantize_uniform(rgb, levels_per_channel)
+    base = levels_per_channel
+    return q[..., 0] * base * base + q[..., 1] * base + q[..., 2]
+
+
+def quantize_hsv(image: Image, bins: tuple[int, int, int] = (18, 3, 3)) -> np.ndarray:
+    """Quantize an image in HSV space into joint codes.
+
+    The default 18x3x3 grid (162 colors) follows the classic VisualSEEk /
+    QBIC practice of allotting most resolution to hue.  Returns an integer
+    array in ``0 .. h_bins*s_bins*v_bins - 1`` (hue most significant).
+    """
+    h_bins, s_bins, v_bins = bins
+    if min(h_bins, s_bins, v_bins) < 1:
+        raise ImageError(f"all bin counts must be >= 1; got {bins}")
+    hsv = rgb_to_hsv_array(image.to_rgb().pixels)
+    h = quantize_uniform(hsv[..., 0], h_bins)
+    s = quantize_uniform(hsv[..., 1], s_bins)
+    v = quantize_uniform(hsv[..., 2], v_bins)
+    return (h * s_bins + s) * v_bins + v

@@ -1,0 +1,251 @@
+"""The :class:`Image` value type.
+
+An :class:`Image` wraps a read-only ``float64`` numpy array with values in
+``[0, 1]``.  Grayscale images have shape ``(height, width)``; RGB images
+have shape ``(height, width, 3)``.  The wrapper exists so that every other
+subsystem (features, database, evaluation) can rely on one validated,
+immutable representation instead of re-checking dtypes and ranges.
+
+Images are cheap value objects: construction copies the input array once
+and then marks it read-only, so sharing an :class:`Image` between threads,
+caches, and result sets is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ImageError
+
+__all__ = ["Image"]
+
+#: Modes an image can be in, keyed by number of array dimensions.
+_MODE_BY_NDIM = {2: "gray", 3: "rgb"}
+
+#: Tolerance when validating that pixel values sit inside [0, 1].
+_RANGE_TOL = 1e-9
+
+
+class Image:
+    """An immutable grayscale or RGB image with float64 pixels in [0, 1].
+
+    Parameters
+    ----------
+    pixels:
+        Array of shape ``(H, W)`` (grayscale) or ``(H, W, 3)`` (RGB).  Any
+        numeric dtype is accepted and converted to ``float64``; values must
+        already lie in ``[0, 1]`` (use :meth:`from_uint8` for byte images).
+
+    Raises
+    ------
+    ImageError
+        If the shape is not 2-D or (H, W, 3), the image is empty, or any
+        value is non-finite or outside ``[0, 1]``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> img = Image(np.zeros((4, 6)))
+    >>> img.width, img.height, img.mode
+    (6, 4, 'gray')
+    """
+
+    __slots__ = ("_pixels",)
+
+    def __init__(self, pixels: np.ndarray) -> None:
+        array = np.asarray(pixels, dtype=np.float64)
+        if array.ndim not in _MODE_BY_NDIM:
+            raise ImageError(
+                f"image array must be 2-D (gray) or 3-D (rgb); got shape {array.shape}"
+            )
+        if array.ndim == 3 and array.shape[2] != 3:
+            raise ImageError(
+                f"rgb image must have exactly 3 channels; got {array.shape[2]}"
+            )
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise ImageError(f"image must be non-empty; got shape {array.shape}")
+        if not np.all(np.isfinite(array)):
+            raise ImageError("image contains NaN or infinite values")
+        lo = float(array.min())
+        hi = float(array.max())
+        if lo < -_RANGE_TOL or hi > 1.0 + _RANGE_TOL:
+            raise ImageError(
+                f"pixel values must lie in [0, 1]; got range [{lo:.6g}, {hi:.6g}]"
+            )
+        array = np.clip(array, 0.0, 1.0)
+        array.setflags(write=False)
+        self._pixels = array
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uint8(cls, pixels: np.ndarray) -> "Image":
+        """Build an image from a uint8 array (values 0..255 map to [0, 1])."""
+        array = np.asarray(pixels)
+        if array.dtype != np.uint8:
+            raise ImageError(f"from_uint8 expects dtype uint8; got {array.dtype}")
+        return cls(array.astype(np.float64) / 255.0)
+
+    @classmethod
+    def from_array(cls, pixels: np.ndarray, *, normalize: bool = False) -> "Image":
+        """Build an image from any numeric array.
+
+        With ``normalize=True`` the array is min-max rescaled into [0, 1]
+        first (a constant array maps to all zeros); otherwise values must
+        already be valid.
+        """
+        array = np.asarray(pixels, dtype=np.float64)
+        if normalize:
+            lo = float(array.min()) if array.size else 0.0
+            hi = float(array.max()) if array.size else 0.0
+            span = hi - lo
+            array = np.zeros_like(array) if span == 0.0 else (array - lo) / span
+        return cls(array)
+
+    @classmethod
+    def zeros(cls, width: int, height: int, mode: str = "gray") -> "Image":
+        """Return an all-black image of the given size and mode."""
+        return cls._constant(width, height, mode, 0.0)
+
+    @classmethod
+    def full(
+        cls, width: int, height: int, value: float | Sequence[float], mode: str = "gray"
+    ) -> "Image":
+        """Return a constant image.
+
+        ``value`` is a scalar for grayscale or a 3-sequence for RGB.
+        """
+        return cls._constant(width, height, mode, value)
+
+    @classmethod
+    def _constant(
+        cls, width: int, height: int, mode: str, value: float | Sequence[float]
+    ) -> "Image":
+        if width <= 0 or height <= 0:
+            raise ImageError(f"image size must be positive; got {width}x{height}")
+        if mode == "gray":
+            return cls(np.full((height, width), float(np.asarray(value))))
+        if mode == "rgb":
+            rgb = np.asarray(value, dtype=np.float64)
+            if rgb.ndim == 0:
+                rgb = np.full(3, float(rgb))
+            if rgb.shape != (3,):
+                raise ImageError(f"rgb constant must have 3 components; got {rgb.shape}")
+            return cls(np.broadcast_to(rgb, (height, width, 3)).copy())
+        raise ImageError(f"unknown image mode {mode!r} (expected 'gray' or 'rgb')")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def pixels(self) -> np.ndarray:
+        """The underlying read-only float64 array."""
+        return self._pixels
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return self._pixels.shape[1]
+
+    @property
+    def height(self) -> int:
+        """Number of rows."""
+        return self._pixels.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Raw numpy shape: ``(H, W)`` or ``(H, W, 3)``."""
+        return self._pixels.shape
+
+    @property
+    def mode(self) -> str:
+        """``'gray'`` or ``'rgb'``."""
+        return _MODE_BY_NDIM[self._pixels.ndim]
+
+    @property
+    def is_gray(self) -> bool:
+        """True for single-channel images."""
+        return self._pixels.ndim == 2
+
+    @property
+    def n_pixels(self) -> int:
+        """Total pixel count (width x height)."""
+        return self.width * self.height
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_uint8(self) -> np.ndarray:
+        """Return the image as a uint8 array with values in 0..255."""
+        return np.round(self._pixels * 255.0).astype(np.uint8)
+
+    def to_gray(self) -> "Image":
+        """Return a grayscale version (identity for gray images)."""
+        if self.is_gray:
+            return self
+        from repro.image.color import rgb_to_gray
+
+        return rgb_to_gray(self)
+
+    def to_rgb(self) -> "Image":
+        """Return an RGB version (gray replicated into 3 channels)."""
+        if not self.is_gray:
+            return self
+        return Image(np.repeat(self._pixels[:, :, None], 3, axis=2))
+
+    def channel(self, index: int) -> np.ndarray:
+        """Return one channel as a 2-D array (RGB images only)."""
+        if self.is_gray:
+            raise ImageError("grayscale images have no separate channels")
+        if not 0 <= index < 3:
+            raise ImageError(f"channel index must be 0..2; got {index}")
+        return self._pixels[:, :, index]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def resize(self, width: int, height: int, method: str = "bilinear") -> "Image":
+        """Return a resampled copy; see :func:`repro.image.resize.resize`."""
+        from repro.image.resize import resize
+
+        return resize(self, width, height, method=method)
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Image":
+        """Apply ``fn`` to the pixel array and rewrap (clipping to [0, 1])."""
+        result = np.asarray(fn(self._pixels), dtype=np.float64)
+        return Image(np.clip(result, 0.0, 1.0))
+
+    def allclose(self, other: "Image", *, atol: float = 1e-8) -> bool:
+        """True if the two images have equal shape and near-equal pixels."""
+        return self.shape == other.shape and bool(
+            np.allclose(self._pixels, other._pixels, atol=atol)
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return self.shape == other.shape and bool(
+            np.array_equal(self._pixels, other._pixels)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self._pixels.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Image(mode={self.mode!r}, width={self.width}, height={self.height})"
+
+    @staticmethod
+    def stack_channels(channels: Iterable[np.ndarray]) -> "Image":
+        """Build an RGB image from three 2-D arrays (R, G, B order)."""
+        arrays = [np.asarray(c, dtype=np.float64) for c in channels]
+        if len(arrays) != 3:
+            raise ImageError(f"stack_channels needs exactly 3 channels; got {len(arrays)}")
+        if any(a.shape != arrays[0].shape or a.ndim != 2 for a in arrays):
+            raise ImageError("all channels must be 2-D arrays of identical shape")
+        return Image(np.stack(arrays, axis=2))

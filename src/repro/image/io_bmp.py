@@ -1,0 +1,107 @@
+"""24-bit uncompressed BMP codec.
+
+Windows bitmaps were the other interchange format of the reproduced
+system's era.  This codec handles the common profile:
+
+* ``BITMAPFILEHEADER`` + ``BITMAPINFOHEADER`` (40-byte info header),
+* 24 bits per pixel, ``BI_RGB`` (no compression), no palette,
+* bottom-up rows (positive height) and top-down rows (negative height),
+* 4-byte row padding.
+
+Grayscale images are expanded to RGB on write (BMP has no native 8-bit
+grayscale without a palette; keeping to one profile keeps the codec exact).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.image.core import Image
+
+__all__ = ["read_bmp", "write_bmp", "read_bmp_bytes", "write_bmp_bytes"]
+
+_FILE_HEADER = struct.Struct("<2sIHHI")  # magic, file size, res1, res2, data offset
+_INFO_HEADER = struct.Struct("<IiiHHIIiiII")  # size, w, h, planes, bpp, comp, ...
+
+_BI_RGB = 0
+
+
+def read_bmp_bytes(data: bytes) -> Image:
+    """Decode a 24-bit uncompressed BMP byte string into an :class:`Image`."""
+    if len(data) < _FILE_HEADER.size + _INFO_HEADER.size:
+        raise CodecError("BMP data shorter than its mandatory headers")
+    magic, _file_size, _r1, _r2, data_offset = _FILE_HEADER.unpack_from(data, 0)
+    if magic != b"BM":
+        raise CodecError(f"not a BMP file (magic {magic!r})")
+
+    (
+        info_size,
+        width,
+        height,
+        planes,
+        bpp,
+        compression,
+        _image_size,
+        _xppm,
+        _yppm,
+        _colors_used,
+        _colors_important,
+    ) = _INFO_HEADER.unpack_from(data, _FILE_HEADER.size)
+
+    if info_size < 40:
+        raise CodecError(f"unsupported BMP info header size {info_size}")
+    if planes != 1:
+        raise CodecError(f"BMP planes must be 1; got {planes}")
+    if bpp != 24:
+        raise CodecError(f"only 24-bit BMPs are supported; got {bpp} bpp")
+    if compression != _BI_RGB:
+        raise CodecError(f"only uncompressed (BI_RGB) BMPs are supported; got {compression}")
+    if width <= 0 or height == 0:
+        raise CodecError(f"invalid BMP dimensions {width}x{height}")
+
+    top_down = height < 0
+    rows = abs(height)
+    row_bytes = width * 3
+    stride = (row_bytes + 3) & ~3
+    needed = data_offset + stride * rows
+    if len(data) < needed:
+        raise CodecError(f"truncated BMP payload: need {needed} bytes, have {len(data)}")
+
+    raw = np.frombuffer(data, dtype=np.uint8, offset=data_offset, count=stride * rows)
+    raw = raw.reshape(rows, stride)[:, :row_bytes].reshape(rows, width, 3)
+    bgr = raw if top_down else raw[::-1]
+    rgb = bgr[:, :, ::-1].astype(np.float64) / 255.0
+    return Image(rgb)
+
+
+def read_bmp(path: str | Path) -> Image:
+    """Read a 24-bit BMP file from disk."""
+    return read_bmp_bytes(Path(path).read_bytes())
+
+
+def write_bmp_bytes(image: Image) -> bytes:
+    """Encode an :class:`Image` as a bottom-up 24-bit BMP byte string."""
+    rgb = image.to_rgb().to_uint8()
+    height, width = rgb.shape[:2]
+    row_bytes = width * 3
+    stride = (row_bytes + 3) & ~3
+
+    rows = np.zeros((height, stride), dtype=np.uint8)
+    rows[:, :row_bytes] = rgb[:, :, ::-1].reshape(height, row_bytes)
+    payload = rows[::-1].tobytes()  # bottom-up
+
+    data_offset = _FILE_HEADER.size + _INFO_HEADER.size
+    file_header = _FILE_HEADER.pack(b"BM", data_offset + len(payload), 0, 0, data_offset)
+    info_header = _INFO_HEADER.pack(
+        _INFO_HEADER.size, width, height, 1, 24, _BI_RGB, len(payload), 2835, 2835, 0, 0
+    )
+    return file_header + info_header + payload
+
+
+def write_bmp(image: Image, path: str | Path) -> None:
+    """Write an :class:`Image` to disk as a 24-bit BMP."""
+    Path(path).write_bytes(write_bmp_bytes(image))

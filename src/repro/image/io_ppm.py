@@ -1,0 +1,142 @@
+"""Netpbm codec: PGM (P2/P5) and PPM (P3/P6) read/write.
+
+The reproduced system stores its image corpus on disk in the simplest
+portable formats of its era.  This codec is self-contained (no PIL):
+
+* ``P2``/``P3`` — ASCII grayscale / color,
+* ``P5``/``P6`` — binary grayscale / color,
+* maxval up to 65535 (two-byte big-endian samples, per the spec),
+* ``#`` comments anywhere in the header.
+
+Reading returns an :class:`~repro.image.core.Image`; writing accepts one.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.image.core import Image
+
+__all__ = ["read_ppm", "write_ppm", "read_ppm_bytes", "write_ppm_bytes"]
+
+_ASCII_MAGICS = {b"P2": 1, b"P3": 3}
+_BINARY_MAGICS = {b"P5": 1, b"P6": 3}
+
+
+def _read_header_tokens(stream: io.BufferedIOBase, count: int) -> list[int]:
+    """Read ``count`` whitespace-separated integer tokens, skipping comments."""
+    tokens: list[int] = []
+    current = b""
+    while len(tokens) < count:
+        byte = stream.read(1)
+        if not byte:
+            raise CodecError("unexpected end of file while reading netpbm header")
+        if byte == b"#":
+            while byte not in (b"\n", b""):
+                byte = stream.read(1)
+            continue
+        if byte.isspace():
+            if current:
+                tokens.append(_parse_int(current))
+                current = b""
+            continue
+        if not byte.isdigit():
+            raise CodecError(f"invalid header byte {byte!r} in netpbm file")
+        current += byte
+    return tokens
+
+
+def _parse_int(token: bytes) -> int:
+    try:
+        return int(token)
+    except ValueError as exc:  # pragma: no cover - digits only reach here
+        raise CodecError(f"invalid integer token {token!r} in netpbm header") from exc
+
+
+def read_ppm_bytes(data: bytes) -> Image:
+    """Decode a PGM/PPM byte string into an :class:`Image`."""
+    stream = io.BytesIO(data)
+    magic = stream.read(2)
+    if magic in _ASCII_MAGICS:
+        channels = _ASCII_MAGICS[magic]
+        binary = False
+    elif magic in _BINARY_MAGICS:
+        channels = _BINARY_MAGICS[magic]
+        binary = True
+    else:
+        raise CodecError(f"unsupported netpbm magic {magic!r} (expected P2/P3/P5/P6)")
+
+    width, height, maxval = _read_header_tokens(stream, 3)
+    if width <= 0 or height <= 0:
+        raise CodecError(f"invalid netpbm dimensions {width}x{height}")
+    if not 0 < maxval < 65536:
+        raise CodecError(f"invalid netpbm maxval {maxval}")
+
+    n_samples = width * height * channels
+    if binary:
+        dtype = np.dtype(">u2") if maxval > 255 else np.dtype("u1")
+        raw = stream.read(n_samples * dtype.itemsize)
+        if len(raw) < n_samples * dtype.itemsize:
+            raise CodecError(
+                f"truncated netpbm payload: expected {n_samples} samples, "
+                f"got {len(raw) // dtype.itemsize}"
+            )
+        samples = np.frombuffer(raw, dtype=dtype, count=n_samples).astype(np.float64)
+    else:
+        text = stream.read().split()
+        if len(text) < n_samples:
+            raise CodecError(
+                f"truncated ASCII netpbm payload: expected {n_samples} samples, got {len(text)}"
+            )
+        samples = np.array([_parse_int(token) for token in text[:n_samples]], dtype=np.float64)
+
+    if samples.size and samples.max() > maxval:
+        raise CodecError("netpbm sample exceeds declared maxval")
+    samples /= float(maxval)
+    if channels == 1:
+        return Image(samples.reshape(height, width))
+    return Image(samples.reshape(height, width, 3))
+
+
+def read_ppm(path: str | Path) -> Image:
+    """Read a PGM/PPM file from disk."""
+    return read_ppm_bytes(Path(path).read_bytes())
+
+
+def write_ppm_bytes(image: Image, *, binary: bool = True, maxval: int = 255) -> bytes:
+    """Encode an :class:`Image` as PGM (gray) or PPM (rgb) bytes.
+
+    Parameters
+    ----------
+    binary:
+        Use the binary formats P5/P6 (default) or the ASCII formats P2/P3.
+    maxval:
+        Sample range; 255 (one byte) or up to 65535 (two bytes, binary only
+        uses big-endian as the spec requires).
+    """
+    if not 0 < maxval < 65536:
+        raise CodecError(f"invalid maxval {maxval}")
+    gray = image.is_gray
+    magic = (b"P5" if gray else b"P6") if binary else (b"P2" if gray else b"P3")
+    header = b"%s\n%d %d\n%d\n" % (magic, image.width, image.height, maxval)
+    samples = np.round(image.pixels * maxval).astype(np.int64)
+
+    if binary:
+        dtype = np.dtype(">u2") if maxval > 255 else np.dtype("u1")
+        payload = samples.astype(dtype).tobytes()
+    else:
+        flat = samples.reshape(image.height, -1)
+        lines = [b" ".join(b"%d" % v for v in row) for row in flat]
+        payload = b"\n".join(lines) + b"\n"
+    return header + payload
+
+
+def write_ppm(
+    image: Image, path: str | Path, *, binary: bool = True, maxval: int = 255
+) -> None:
+    """Write an :class:`Image` to disk as PGM/PPM."""
+    Path(path).write_bytes(write_ppm_bytes(image, binary=binary, maxval=maxval))

@@ -1,0 +1,140 @@
+"""Geometric and photometric transforms for the invariance studies.
+
+Experiment F4 measures how stable each feature signature is when the same
+picture is re-photographed: rotated, mirrored, cropped, re-exposed, or
+corrupted by sensor noise.  These transforms generate those perturbed
+variants.  Each function returns a new :class:`~repro.image.core.Image`;
+inputs are never modified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.image.core import Image
+
+__all__ = [
+    "rotate90",
+    "flip_horizontal",
+    "flip_vertical",
+    "crop",
+    "center_crop",
+    "adjust_brightness",
+    "adjust_contrast",
+    "adjust_gamma",
+    "add_gaussian_noise",
+    "add_salt_pepper",
+    "occlude",
+]
+
+
+def rotate90(image: Image, turns: int = 1) -> Image:
+    """Rotate counter-clockwise by ``turns`` quarter turns (any integer)."""
+    return Image(np.rot90(image.pixels, k=turns % 4, axes=(0, 1)).copy())
+
+
+def flip_horizontal(image: Image) -> Image:
+    """Mirror left-right."""
+    return Image(image.pixels[:, ::-1].copy())
+
+
+def flip_vertical(image: Image) -> Image:
+    """Mirror top-bottom."""
+    return Image(image.pixels[::-1].copy())
+
+
+def crop(image: Image, x: int, y: int, width: int, height: int) -> Image:
+    """Extract the rectangle with top-left corner (x, y).
+
+    Raises
+    ------
+    ImageError
+        If the rectangle is empty or extends past the image bounds.
+    """
+    if width <= 0 or height <= 0:
+        raise ImageError(f"crop size must be positive; got {width}x{height}")
+    if x < 0 or y < 0 or x + width > image.width or y + height > image.height:
+        raise ImageError(
+            f"crop ({x},{y},{width},{height}) exceeds image bounds "
+            f"{image.width}x{image.height}"
+        )
+    return Image(image.pixels[y : y + height, x : x + width].copy())
+
+
+def center_crop(image: Image, fraction: float) -> Image:
+    """Keep the central ``fraction`` of each dimension (0 < fraction <= 1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ImageError(f"fraction must lie in (0, 1]; got {fraction}")
+    width = max(1, int(round(image.width * fraction)))
+    height = max(1, int(round(image.height * fraction)))
+    x = (image.width - width) // 2
+    y = (image.height - height) // 2
+    return crop(image, x, y, width, height)
+
+
+def adjust_brightness(image: Image, delta: float) -> Image:
+    """Add ``delta`` to every pixel (clipped to [0, 1])."""
+    return Image(np.clip(image.pixels + delta, 0.0, 1.0))
+
+
+def adjust_contrast(image: Image, factor: float) -> Image:
+    """Scale contrast around mid-gray: ``0.5 + factor * (p - 0.5)``.
+
+    ``factor > 1`` increases contrast, ``0 <= factor < 1`` flattens it.
+    """
+    if factor < 0.0:
+        raise ImageError(f"contrast factor must be non-negative; got {factor}")
+    return Image(np.clip(0.5 + factor * (image.pixels - 0.5), 0.0, 1.0))
+
+
+def adjust_gamma(image: Image, gamma: float) -> Image:
+    """Apply the power-law transfer ``p ** gamma`` (gamma > 0)."""
+    if gamma <= 0.0:
+        raise ImageError(f"gamma must be positive; got {gamma}")
+    return Image(np.power(image.pixels, gamma))
+
+
+def add_gaussian_noise(image: Image, rng: np.random.Generator, std: float) -> Image:
+    """Add zero-mean Gaussian noise with standard deviation ``std``."""
+    if std < 0.0:
+        raise ImageError(f"noise std must be non-negative; got {std}")
+    noisy = image.pixels + rng.normal(0.0, std, image.shape)
+    return Image(np.clip(noisy, 0.0, 1.0))
+
+
+def add_salt_pepper(image: Image, rng: np.random.Generator, fraction: float) -> Image:
+    """Set a random ``fraction`` of pixels to pure black or pure white."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ImageError(f"fraction must lie in [0, 1]; got {fraction}")
+    pixels = image.pixels.copy()
+    n_corrupt = int(round(fraction * image.n_pixels))
+    if n_corrupt == 0:
+        return Image(pixels)
+    flat_index = rng.choice(image.n_pixels, size=n_corrupt, replace=False)
+    values = rng.integers(0, 2, size=n_corrupt).astype(np.float64)
+    rows, cols = np.unravel_index(flat_index, (image.height, image.width))
+    if image.is_gray:
+        pixels[rows, cols] = values
+    else:
+        pixels[rows, cols, :] = values[:, None]
+    return Image(pixels)
+
+
+def occlude(
+    image: Image,
+    x: int,
+    y: int,
+    width: int,
+    height: int,
+    *,
+    color: float = 0.0,
+) -> Image:
+    """Paint a solid rectangle over part of the image (simulated occlusion)."""
+    if width <= 0 or height <= 0:
+        raise ImageError(f"occlusion size must be positive; got {width}x{height}")
+    if x < 0 or y < 0 or x + width > image.width or y + height > image.height:
+        raise ImageError("occlusion rectangle exceeds image bounds")
+    pixels = image.pixels.copy()
+    pixels[y : y + height, x : x + width] = color
+    return Image(pixels)

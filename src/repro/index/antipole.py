@@ -1,0 +1,451 @@
+"""The Antipole tree: bounded-radius clustering via approximate farthest pairs.
+
+Construction follows Cantone, Ferro, Pulvirenti, Reforgiato & Shasha
+("Antipole Tree Indexing to Support Range Search and K-Nearest-Neighbor
+Search in Metric Spaces", TKDE 2005), the algorithm the reproduced
+pipeline adopts for its index:
+
+* an **approximate 1-median** of a set is found by a *tournament*: random
+  groups of ``tau`` elements each elect their exact 1-median into the
+  next round, until few enough remain for an exact computation — linear
+  time overall;
+* an **approximate antipole pair** (farthest pair) runs the complementary
+  tournament: each group *discards* its 1-median and keeps the rest, and
+  the final round returns the exact farthest pair of the survivors;
+* the tree splits a set by its antipole pair ``(A, B)`` whenever the
+  approximate diameter ``dist(A, B)`` exceeds the **cluster diameter
+  threshold**; each remaining point joins the closer endpoint's side.
+  Otherwise the set becomes a **leaf cluster** annotated with its
+  approximate 1-median (centroid), its radius, and each member's cached
+  distance to the centroid.
+
+Search uses the triangle inequality in *both* directions, as the paper
+emphasizes: subtrees and whole clusters are **excluded** when
+``dist(q, anchor) - radius > t``, and members are **included** without a
+fresh distance computation when ``dist(q, centroid) + cached <= t``
+(exploited by :meth:`AntipoleTree.range_search_ids`; the exact variant
+still evaluates the metric so it can report true distances, and records
+how many evaluations the inclusion rule would have saved).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import IndexingError
+from repro.index.base import MetricIndex, Neighbor
+from repro.index.stats import SearchStats
+from repro.metrics.base import Metric
+
+__all__ = ["AntipoleTree"]
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class _Cluster:
+    """Leaf: a bounded-radius cluster around an approximate 1-median."""
+
+    centroid_id: int
+    centroid_vector: np.ndarray
+    member_ids: list[int]  # excludes the centroid
+    member_vectors: np.ndarray
+    member_centroid_distances: np.ndarray  # cached dist(centroid, member)
+    radius: float
+
+
+@dataclass
+class _Split:
+    """Internal node: antipole endpoints and their subtree radii.
+
+    The endpoints ``A`` and ``B`` live *at the node* (they are removed from
+    the recursion, as in the paper), so search must consider them as
+    candidates here; ``a_child``/``b_child`` may be ``None`` when an
+    endpoint attracted no other points.
+    """
+
+    a_id: int
+    a_vector: np.ndarray
+    b_id: int
+    b_vector: np.ndarray
+    a_radius: float  # max dist(A, x) over the A-side subtree items
+    b_radius: float
+    a_child: "_Split | _Cluster | None"
+    b_child: "_Split | _Cluster | None"
+
+
+def _exact_1_median_row(vectors: np.ndarray, rows: list[int], dist: DistanceFn) -> int:
+    """Row (from ``rows``) minimizing the sum of distances to the others."""
+    best_row = rows[0]
+    best_sum = np.inf
+    for candidate in rows:
+        total = 0.0
+        for other in rows:
+            if other != candidate:
+                total += dist(vectors[candidate], vectors[other])
+        if total < best_sum:
+            best_sum = total
+            best_row = candidate
+    return best_row
+
+
+class AntipoleTree(MetricIndex):
+    """Antipole clustering tree supporting exact range and k-NN search.
+
+    Parameters
+    ----------
+    metric:
+        Any true metric.
+    diameter_threshold:
+        Cluster diameter bound: sets whose approximate diameter is at most
+        this value become leaf clusters.  ``None`` (default) derives it at
+        build time as ``diameter_fraction`` of the root set's approximate
+        diameter.
+    diameter_fraction:
+        Used only when ``diameter_threshold`` is None (default 0.3).
+    tournament_size:
+        Group size ``tau`` of the median/antipole tournaments (default 3,
+        the value for which the paper's fast and accurate variants
+        coincide).
+    final_round_size:
+        Tournament population at which the exact computation takes over.
+    seed:
+        Seed for the tournament's random partitioning.
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        *,
+        diameter_threshold: float | None = None,
+        diameter_fraction: float = 0.3,
+        tournament_size: int = 3,
+        final_round_size: int = 9,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        if diameter_threshold is not None and diameter_threshold < 0.0:
+            raise IndexingError(
+                f"diameter_threshold must be non-negative; got {diameter_threshold}"
+            )
+        if not 0.0 < diameter_fraction < 1.0:
+            raise IndexingError(
+                f"diameter_fraction must lie in (0, 1); got {diameter_fraction}"
+            )
+        if tournament_size < 2:
+            raise IndexingError(f"tournament_size must be >= 2; got {tournament_size}")
+        if final_round_size < tournament_size:
+            raise IndexingError(
+                "final_round_size must be at least tournament_size; got "
+                f"{final_round_size} < {tournament_size}"
+            )
+        self._diameter_threshold = diameter_threshold
+        self._diameter_fraction = diameter_fraction
+        self._tau = tournament_size
+        self._final_round = final_round_size
+        self._seed = seed
+        self._root: _Split | _Cluster | None = None
+        self._effective_threshold: float | None = None
+
+    @property
+    def effective_diameter_threshold(self) -> float:
+        """The threshold actually used (resolved at build time)."""
+        if self._effective_threshold is None:
+            raise IndexingError("index has not been built yet")
+        return self._effective_threshold
+
+    # ------------------------------------------------------------------
+    # Tournaments
+    # ------------------------------------------------------------------
+    def _approx_1_median(
+        self, vectors: np.ndarray, rows: list[int], rng: np.random.Generator
+    ) -> int:
+        """APPROX_1_MEDIAN: tournament of exact group medians."""
+        current = list(rows)
+        while len(current) > self._final_round:
+            rng.shuffle(current)
+            winners: list[int] = []
+            position = 0
+            while len(current) - position >= 2 * self._tau:
+                group = current[position : position + self._tau]
+                position += self._tau
+                winners.append(_exact_1_median_row(vectors, group, self._build_dist))
+            leftover = current[position:]
+            winners.append(_exact_1_median_row(vectors, leftover, self._build_dist))
+            current = winners
+        return _exact_1_median_row(vectors, current, self._build_dist)
+
+    def _approx_antipole(
+        self, vectors: np.ndarray, rows: list[int], rng: np.random.Generator
+    ) -> tuple[int, int, float]:
+        """APPROX_ANTIPOLE: discard group medians, then exact farthest pair."""
+        if len(rows) < 2:
+            raise IndexingError("antipole needs at least two items")
+        current = list(rows)
+        while len(current) > self._final_round:
+            rng.shuffle(current)
+            survivors: list[int] = []
+            position = 0
+            while len(current) - position >= 2 * self._tau:
+                group = current[position : position + self._tau]
+                position += self._tau
+                median = _exact_1_median_row(vectors, group, self._build_dist)
+                survivors.extend(row for row in group if row != median)
+            leftover = current[position:]
+            if len(leftover) >= 2:
+                median = _exact_1_median_row(vectors, leftover, self._build_dist)
+                survivors.extend(row for row in leftover if row != median)
+            else:
+                survivors.extend(leftover)
+            if len(survivors) < 2:  # pathological tiny input
+                survivors = current
+                break
+            current = survivors
+
+        best = (current[0], current[1], -1.0)
+        for row_a, row_b in itertools.combinations(current, 2):
+            d = self._build_dist(vectors[row_a], vectors[row_b])
+            if d > best[2]:
+                best = (row_a, row_b, d)
+        return best
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        rng = np.random.default_rng(self._seed)
+        rows = list(range(len(ids)))
+        self._id_list = list(ids)
+
+        if self._diameter_threshold is not None:
+            self._effective_threshold = self._diameter_threshold
+            self._root = self._build_node(vectors, rows, rng, depth=0)
+            return
+
+        # Derive the threshold from the root set's approximate diameter.
+        if len(rows) >= 2:
+            _, _, diameter = self._approx_antipole(vectors, rows, rng)
+            self._effective_threshold = self._diameter_fraction * diameter
+        else:
+            self._effective_threshold = 0.0
+        self._root = self._build_node(vectors, rows, rng, depth=0)
+
+    def _build_node(
+        self,
+        vectors: np.ndarray,
+        rows: list[int],
+        rng: np.random.Generator,
+        depth: int,
+    ) -> "_Split | _Cluster":
+        stats = self._build_stats
+        stats.depth = max(stats.depth, depth)
+        assert self._effective_threshold is not None
+
+        if len(rows) >= 2:
+            row_a, row_b, diameter = self._approx_antipole(vectors, rows, rng)
+        else:
+            diameter = 0.0
+
+        if len(rows) < 2 or diameter <= self._effective_threshold:
+            return self._make_cluster(vectors, rows, rng)
+
+        # The endpoints stay at this node; everything else joins the side
+        # of the closer endpoint.
+        side_a: list[int] = []
+        side_b: list[int] = []
+        a_radius = 0.0
+        b_radius = 0.0
+        for row in rows:
+            if row in (row_a, row_b):
+                continue
+            d_a = self._build_dist(vectors[row], vectors[row_a])
+            d_b = self._build_dist(vectors[row], vectors[row_b])
+            if d_a <= d_b:
+                side_a.append(row)
+                a_radius = max(a_radius, d_a)
+            else:
+                side_b.append(row)
+                b_radius = max(b_radius, d_b)
+
+        stats.n_nodes += 1
+        return _Split(
+            a_id=self._id_list[row_a],
+            a_vector=vectors[row_a],
+            b_id=self._id_list[row_b],
+            b_vector=vectors[row_b],
+            a_radius=a_radius,
+            b_radius=b_radius,
+            a_child=(
+                self._build_node(vectors, side_a, rng, depth + 1) if side_a else None
+            ),
+            b_child=(
+                self._build_node(vectors, side_b, rng, depth + 1) if side_b else None
+            ),
+        )
+
+    def _make_cluster(
+        self, vectors: np.ndarray, rows: list[int], rng: np.random.Generator
+    ) -> _Cluster:
+        self._build_stats.n_leaves += 1
+        centroid_row = (
+            self._approx_1_median(vectors, rows, rng) if len(rows) > 1 else rows[0]
+        )
+        members = [row for row in rows if row != centroid_row]
+        distances = np.array(
+            [self._build_dist(vectors[centroid_row], vectors[row]) for row in members]
+        )
+        return _Cluster(
+            centroid_id=self._id_list[centroid_row],
+            centroid_vector=vectors[centroid_row],
+            member_ids=[self._id_list[row] for row in members],
+            member_vectors=vectors[members] if members else vectors[:0],
+            member_centroid_distances=distances,
+            radius=float(distances.max()) if members else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Range search
+    # ------------------------------------------------------------------
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        result: list[Neighbor] = []
+        self._range_visit(self._root, query, radius, result, ids_only=False)
+        return result
+
+    def range_search_ids(self, query: np.ndarray, radius: float) -> list[int]:
+        """Range search returning ids only.
+
+        This variant exercises the paper's *inclusion* pruning at full
+        strength: members provably inside the ball (``dist(q, centroid) +
+        cached <= radius``) are reported without evaluating the metric, so
+        it can answer with strictly fewer distance computations than the
+        exact-distance variant.
+        """
+        query = self._check_query(query)
+        if radius < 0.0:
+            raise IndexingError(f"radius must be non-negative; got {radius}")
+        self._search_stats = SearchStats()
+        result: list[Neighbor] = []
+        self._range_visit(self._root, query, float(radius), result, ids_only=True)
+        return [neighbor.id for neighbor in result]
+
+    def _range_visit(
+        self,
+        node: "_Split | _Cluster | None",
+        query: np.ndarray,
+        radius: float,
+        result: list[Neighbor],
+        *,
+        ids_only: bool,
+    ) -> None:
+        if node is None:
+            return
+        stats = self._search_stats
+        if isinstance(node, _Cluster):
+            stats.leaves_visited += 1
+            d_centroid = self._dist(query, node.centroid_vector)
+            if d_centroid <= radius:
+                result.append(Neighbor(node.centroid_id, d_centroid))
+            if d_centroid - node.radius > radius:
+                return  # whole cluster provably outside
+            for member_id, vector, cached in zip(
+                node.member_ids, node.member_vectors, node.member_centroid_distances
+            ):
+                lower = abs(d_centroid - cached)
+                if lower > radius:
+                    continue  # exclusion without a distance computation
+                if d_centroid + cached <= radius:
+                    stats.items_included_wholesale += 1
+                    if ids_only:
+                        # Provably inside: report without evaluating.  The
+                        # recorded distance is the upper bound.
+                        result.append(Neighbor(member_id, d_centroid + cached))
+                        continue
+                d = self._dist(query, vector)
+                if d <= radius:
+                    result.append(Neighbor(member_id, d))
+            return
+
+        stats.nodes_visited += 1
+        d_a = self._dist(query, node.a_vector)
+        d_b = self._dist(query, node.b_vector)
+        if d_a <= radius:
+            result.append(Neighbor(node.a_id, d_a))
+        if d_b <= radius:
+            result.append(Neighbor(node.b_id, d_b))
+
+        if node.a_child is not None:
+            if d_a - node.a_radius <= radius:
+                self._range_visit(node.a_child, query, radius, result, ids_only=ids_only)
+            else:
+                stats.nodes_pruned += 1
+        if node.b_child is not None:
+            if d_b - node.b_radius <= radius:
+                self._range_visit(node.b_child, query, radius, result, ids_only=ids_only)
+            else:
+                stats.nodes_pruned += 1
+
+    # ------------------------------------------------------------------
+    # k-NN search (best-first branch and bound)
+    # ------------------------------------------------------------------
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        best: list[tuple[float, int]] = []  # max-heap via negated distance
+
+        def tau() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        def offer(item_id: int, d: float) -> None:
+            # (-d, -id): the max-heap then evicts the larger id among
+            # equal-distance entries, matching the documented tie-break.
+            entry = (-d, -item_id)
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                heapq.heapreplace(best, entry)
+
+        # Frontier of (lower_bound, tiebreak, node).
+        counter = itertools.count()
+        frontier: list[tuple[float, int, "_Split | _Cluster"]] = []
+        if self._root is not None:
+            heapq.heappush(frontier, (0.0, next(counter), self._root))
+
+        stats = self._search_stats
+        while frontier:
+            lower_bound, _, node = heapq.heappop(frontier)
+            if lower_bound > tau():
+                stats.nodes_pruned += 1
+                continue
+            if isinstance(node, _Cluster):
+                stats.leaves_visited += 1
+                d_centroid = self._dist(query, node.centroid_vector)
+                offer(node.centroid_id, d_centroid)
+                for member_id, vector, cached in zip(
+                    node.member_ids, node.member_vectors, node.member_centroid_distances
+                ):
+                    if abs(d_centroid - cached) > tau():
+                        continue  # cached-distance exclusion
+                    offer(member_id, self._dist(query, vector))
+                continue
+
+            stats.nodes_visited += 1
+            d_a = self._dist(query, node.a_vector)
+            d_b = self._dist(query, node.b_vector)
+            offer(node.a_id, d_a)
+            offer(node.b_id, d_b)
+            for d, child_radius, child in (
+                (d_a, node.a_radius, node.a_child),
+                (d_b, node.b_radius, node.b_child),
+            ):
+                if child is None:
+                    continue
+                bound = max(d - child_radius, 0.0)
+                if bound <= tau():
+                    heapq.heappush(frontier, (bound, next(counter), child))
+                else:
+                    stats.nodes_pruned += 1
+
+        return [Neighbor(-neg_id, -neg_d) for neg_d, neg_id in best]

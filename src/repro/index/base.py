@@ -1,0 +1,202 @@
+"""The common interface of all similarity indexes.
+
+An index is constructed over a fixed set of ``(id, vector)`` pairs with a
+chosen metric and then answers two query types:
+
+* ``range_search(query, radius)`` — every item within ``radius`` of the
+  query (closed ball), sorted by distance;
+* ``knn_search(query, k)`` — the ``k`` nearest items, sorted by distance
+  (fewer if the index holds fewer than ``k``).
+
+Both return lists of :class:`Neighbor` tuples.  Ties at equal distance
+are broken by insertion order so results are deterministic.  After each
+query, :attr:`MetricIndex.last_stats` holds the cost counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.errors import IndexingError
+from repro.index.stats import BuildStats, SearchStats
+from repro.metrics.base import Metric
+
+__all__ = ["Neighbor", "MetricIndex"]
+
+
+class Neighbor(NamedTuple):
+    """One search result: the item's id and its distance to the query."""
+
+    id: int
+    distance: float
+
+
+class MetricIndex(ABC):
+    """Base class: validation, bookkeeping, and the query protocol.
+
+    Subclasses implement ``_build``, ``_range_search`` and ``_knn_search``;
+    this class owns operand validation, result ordering, and the stats
+    lifecycle.  Distances must only be evaluated through :meth:`_dist`,
+    which keeps :attr:`last_stats` exact.
+    """
+
+    #: Set False in subclasses that tolerate non-metric distances.
+    requires_metric: bool = True
+
+    def __init__(self, metric: Metric) -> None:
+        if not isinstance(metric, Metric):
+            raise IndexingError(f"expected a Metric; got {type(metric).__name__}")
+        if self.requires_metric and not metric.is_metric:
+            raise IndexingError(
+                f"{type(self).__name__} relies on the triangle inequality, but "
+                f"{metric.name} is not a metric; use LinearScanIndex instead"
+            )
+        self._metric = metric
+        self._ids: list[int] = []
+        self._vectors: np.ndarray | None = None
+        self._built = False
+        self._build_stats = BuildStats()
+        self._search_stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def metric(self) -> Metric:
+        """The distance function the index was built with."""
+        return self._metric
+
+    @property
+    def size(self) -> int:
+        """Number of indexed items."""
+        return len(self._ids)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed vectors."""
+        if self._vectors is None:
+            raise IndexingError("index has not been built yet")
+        return self._vectors.shape[1]
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has succeeded."""
+        return self._built
+
+    @property
+    def build_stats(self) -> BuildStats:
+        """Cost counters of the last :meth:`build`."""
+        return self._build_stats
+
+    @property
+    def last_stats(self) -> SearchStats:
+        """Cost counters of the most recent query."""
+        return self._search_stats
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, ids: Sequence[int], vectors: np.ndarray) -> "MetricIndex":
+        """Build the index over ``(ids[i], vectors[i])`` pairs.
+
+        Parameters
+        ----------
+        ids:
+            Integer identifiers, one per vector; duplicates are rejected.
+        vectors:
+            ``(n, d)`` float array, ``n >= 1``.
+
+        Returns
+        -------
+        MetricIndex
+            ``self``, for chaining.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise IndexingError(
+                f"vectors must be a non-empty (n, d) array; got shape {vectors.shape}"
+            )
+        ids = [int(i) for i in ids]
+        if len(ids) != vectors.shape[0]:
+            raise IndexingError(
+                f"{len(ids)} ids but {vectors.shape[0]} vectors"
+            )
+        if len(set(ids)) != len(ids):
+            raise IndexingError("duplicate ids in build input")
+        if not np.all(np.isfinite(vectors)):
+            raise IndexingError("vectors contain non-finite values")
+
+        self._ids = ids
+        self._vectors = vectors.copy()
+        self._vectors.setflags(write=False)
+        self._build_stats = BuildStats()
+        self._build(ids, self._vectors)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        """All items with ``distance(item, query) <= radius``, nearest first."""
+        query = self._check_query(query)
+        if radius < 0.0:
+            raise IndexingError(f"radius must be non-negative; got {radius}")
+        self._search_stats = SearchStats()
+        result = self._range_search(query, float(radius))
+        result.sort(key=lambda nb: (nb.distance, nb.id))
+        return result
+
+    def knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        """The ``k`` nearest items (or all of them when ``k >= size``)."""
+        query = self._check_query(query)
+        if k < 1:
+            raise IndexingError(f"k must be >= 1; got {k}")
+        self._search_stats = SearchStats()
+        result = self._knn_search(query, int(k))
+        result.sort(key=lambda nb: (nb.distance, nb.id))
+        return result
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        if not self._built or self._vectors is None:
+            raise IndexingError("index has not been built yet")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape != (self._vectors.shape[1],):
+            raise IndexingError(
+                f"query has dim {query.size}, index expects {self._vectors.shape[1]}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise IndexingError("query contains non-finite values")
+        return query
+
+    def _dist(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Metric evaluation, counted in the current query's stats."""
+        self._search_stats.distance_computations += 1
+        return self._metric.distance(a, b)
+
+    def _build_dist(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Metric evaluation, counted in the build stats."""
+        self._build_stats.distance_computations += 1
+        return self._metric.distance(a, b)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        """Construct internal structure (vectors are already validated)."""
+
+    @abstractmethod
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        """Unsorted range result; base class sorts."""
+
+    @abstractmethod
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        """Unsorted k-NN result; base class sorts."""
+
+    def __repr__(self) -> str:
+        state = f"size={self.size}" if self._built else "unbuilt"
+        return f"{type(self).__name__}({state}, metric={self._metric.name})"

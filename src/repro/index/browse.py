@@ -1,0 +1,118 @@
+"""Distance browsing: lazy best-first neighbor enumeration.
+
+k-NN search needs ``k`` up front, but the classic CBIR interaction is a
+result page the user keeps scrolling — "show me more like this" until
+they stop.  Re-running k-NN with growing k repeats all earlier work;
+*distance browsing* (Hjaltason & Samet's incremental nearest-neighbor
+algorithm) instead yields neighbors one at a time, nearest first,
+doing only the work each next result needs.
+
+One priority queue holds both unvisited subtrees (keyed by the lower
+bound of anything inside them) and already-measured items (keyed by
+their true distance).  When an *item* surfaces at the front, no subtree
+can contain anything closer, so it is safe to yield immediately.
+
+:func:`browse` works against any :class:`~repro.index.base.MetricIndex`:
+indexes that expose a ``_browse_parts`` hook (the VP-tree) are browsed
+lazily; anything else falls back to a fully-sorted scan (correct, not
+lazy — the docstring of the fallback says so loudly).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IndexingError
+from repro.index.base import MetricIndex, Neighbor
+from repro.index.vptree import VPTree, _interval_gap, _Leaf, _Node
+
+__all__ = ["browse"]
+
+
+def browse(index: MetricIndex, query: np.ndarray) -> Iterator[Neighbor]:
+    """Yield the index's items nearest-first, lazily where supported.
+
+    For a :class:`~repro.index.vptree.VPTree` this is true incremental
+    browsing: consuming the first few results costs only the distance
+    computations their proof of rank requires.  For other indexes the
+    fallback computes every distance up front and yields from a sorted
+    list — same output contract, linear cost.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.index.vptree import VPTree
+    >>> from repro.metrics.minkowski import EuclideanDistance
+    >>> rng = np.random.default_rng(0)
+    >>> tree = VPTree(EuclideanDistance()).build(range(50), rng.random((50, 3)))
+    >>> stream = browse(tree, rng.random(3))
+    >>> first = next(stream)
+    >>> second = next(stream)
+    >>> first.distance <= second.distance
+    True
+    """
+    if not index.is_built:
+        raise IndexingError("index has not been built yet")
+    if isinstance(index, VPTree):
+        return _browse_vptree(index, query)
+    return _browse_sorted(index, query)
+
+
+def _browse_sorted(index: MetricIndex, query: np.ndarray) -> Iterator[Neighbor]:
+    """Fallback: one full k=n query, then yield from the sorted result."""
+    return iter(index.knn_search(query, index.size))
+
+
+def _browse_vptree(tree: VPTree, query: np.ndarray) -> Iterator[Neighbor]:
+    query = tree._check_query(query)
+    from repro.index.stats import SearchStats
+
+    tree._search_stats = SearchStats()
+    stats = tree._search_stats
+
+    # Queue entries: (bound, kind, tiebreak, payload); kind 0 = measured
+    # item (payload: Neighbor), kind 1 = pending subtree (payload: node).
+    # Measured items sort before subtrees at an equal bound, so an item
+    # is yielded as soon as nothing strictly closer can exist (ties in
+    # distance may surface in any order).
+    tiebreak = itertools.count()
+    queue: list[tuple[float, int, int, object]] = []
+    root = tree._root
+    if root is not None:
+        heapq.heappush(queue, (0.0, 1, next(tiebreak), root))
+
+    while queue:
+        bound, kind, _, payload = heapq.heappop(queue)
+        if kind == 0:
+            yield payload  # type: ignore[misc]
+            continue
+
+        node = payload
+        if isinstance(node, _Leaf):
+            stats.leaves_visited += 1
+            for item_id, vector in zip(node.ids, node.vectors):
+                stats.distance_computations += 1
+                d = tree.metric.distance(query, vector)
+                heapq.heappush(
+                    queue, (d, 0, next(tiebreak), Neighbor(item_id, d))
+                )
+            continue
+
+        assert isinstance(node, _Node)
+        stats.nodes_visited += 1
+        stats.distance_computations += 1
+        d = tree.metric.distance(query, node.pivot_vector)
+        heapq.heappush(
+            queue, (d, 0, next(tiebreak), Neighbor(node.pivot_id, d))
+        )
+        for child, low, high in (
+            (node.inside, node.in_low, node.in_high),
+            (node.outside, node.out_low, node.out_high),
+        ):
+            if child is not None:
+                child_bound = max(bound, _interval_gap(d, low, high))
+                heapq.heappush(queue, (child_bound, 1, next(tiebreak), child))

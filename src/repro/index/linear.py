@@ -1,0 +1,55 @@
+"""Linear scan: the exact, index-free baseline.
+
+Every query computes the distance to all N items.  This is both the
+correctness oracle for the tree indexes (property tests compare against
+it) and the cost baseline the evaluation's speedup factors are quoted
+against.  It accepts non-metric distances, since it never prunes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.base import MetricIndex, Neighbor
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex(MetricIndex):
+    """Brute-force scan over all stored vectors."""
+
+    requires_metric = False
+
+    def _build(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        # Nothing to construct: the validated arrays on the base class are
+        # the whole data structure.
+        self._build_stats.n_leaves = 1
+        self._build_stats.depth = 0
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        assert self._vectors is not None
+        result = []
+        for item_id, vector in zip(self._ids, self._vectors):
+            d = self._dist(query, vector)
+            if d <= radius:
+                result.append(Neighbor(item_id, d))
+        self._search_stats.leaves_visited = 1
+        return result
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        assert self._vectors is not None
+        # Max-heap of the best k via negated distances; ties broken toward
+        # earlier insertion (smaller id position) for determinism.
+        heap: list[tuple[float, int, int]] = []
+        for position, (item_id, vector) in enumerate(zip(self._ids, self._vectors)):
+            d = self._dist(query, vector)
+            entry = (-d, -position, item_id)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+        self._search_stats.leaves_visited = 1
+        return [Neighbor(item_id, -neg_d) for neg_d, _neg_pos, item_id in heap]

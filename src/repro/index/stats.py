@@ -1,0 +1,75 @@
+"""Instrumentation for index builds and searches.
+
+The evaluation's primary cost unit is the **distance computation**: in the
+reproduced system feature vectors lived on disk, so each distance
+evaluation implied a page fetch, and CPU time was secondary.  Every index
+therefore fills in a :class:`SearchStats` per query and a
+:class:`BuildStats` per construction, and the test suite cross-checks the
+distance counts against an externally wrapped counting metric — the
+numbers in the result tables are measured, not estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats", "BuildStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated while answering one query.
+
+    Attributes
+    ----------
+    distance_computations:
+        Metric evaluations performed (pivots and leaf items alike).
+    nodes_visited:
+        Internal tree nodes expanded.
+    nodes_pruned:
+        Subtrees discarded via the triangle inequality without visiting.
+    leaves_visited:
+        Leaf buckets whose contents were examined.
+    items_included_wholesale:
+        Items reported *without* a distance computation because their
+        whole cluster provably lies inside the query ball (the Antipole
+        tree's inclusion-side use of the triangle inequality).
+    """
+
+    distance_computations: int = 0
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    leaves_visited: int = 0
+    items_included_wholesale: int = 0
+
+    def __add__(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            self.distance_computations + other.distance_computations,
+            self.nodes_visited + other.nodes_visited,
+            self.nodes_pruned + other.nodes_pruned,
+            self.leaves_visited + other.leaves_visited,
+            self.items_included_wholesale + other.items_included_wholesale,
+        )
+
+    def merge(self, other: "SearchStats") -> None:
+        """In-place accumulation (used when averaging over a workload)."""
+        self.distance_computations += other.distance_computations
+        self.nodes_visited += other.nodes_visited
+        self.nodes_pruned += other.nodes_pruned
+        self.leaves_visited += other.leaves_visited
+        self.items_included_wholesale += other.items_included_wholesale
+
+
+@dataclass
+class BuildStats:
+    """Counters describing one index construction.
+
+    ``depth`` is the longest root-to-leaf path; ``n_nodes`` counts internal
+    nodes and ``n_leaves`` leaf buckets.
+    """
+
+    distance_computations: int = 0
+    n_nodes: int = 0
+    n_leaves: int = 0
+    depth: int = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,317 @@
+"""The vantage-point tree — the reproduction's headline index.
+
+Construction (recursive):
+
+1. choose a *vantage point* (pivot) from the current item set,
+2. compute the distance from the pivot to every remaining item,
+3. split at the median distance ``mu``: items with ``d <= mu`` form the
+   *inside* subtree, the rest the *outside* subtree,
+4. recurse until subsets fit in a leaf bucket.
+
+Each node also stores the exact distance interval ``[low, high]`` of each
+child subset as seen from the pivot — tighter than ``[0, mu]`` /
+``[mu, inf)`` and therefore better at pruning.
+
+Search relies solely on the triangle inequality: if the query is at
+distance ``d`` from a pivot, every item in a child whose interval is
+``[low, high]`` satisfies ``distance(query, item) >= max(low - d, d - high, 0)``,
+so a child whose interval does not intersect ``[d - r, d + r]`` cannot
+contain an answer.  k-NN search is branch-and-bound: ``r`` is the
+distance of the current k-th best candidate and shrinks as better
+candidates surface; the child closer to the query is explored first to
+shrink ``r`` early.
+
+Two bounded approximation modes (experiment F5):
+
+* ``epsilon > 0`` — prune children unless they could contain an item
+  closer than ``tau / (1 + epsilon)``; every reported neighbour is then
+  within ``(1 + epsilon)`` of the true k-th distance.
+* ``max_distance_computations`` — hard budget; search stops expanding new
+  nodes once spent (already-found candidates are returned).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import IndexingError
+from repro.index.base import MetricIndex, Neighbor
+from repro.index.pivot import MaxSpreadPivot, PivotStrategy
+from repro.metrics.base import Metric
+
+__all__ = ["VPTree"]
+
+
+@dataclass
+class _Leaf:
+    ids: list[int]
+    vectors: np.ndarray
+
+
+@dataclass
+class _Node:
+    pivot_id: int
+    pivot_vector: np.ndarray
+    inside: "_Node | _Leaf | None"
+    outside: "_Node | _Leaf | None"
+    in_low: float
+    in_high: float
+    out_low: float
+    out_high: float
+
+
+class VPTree(MetricIndex):
+    """Vantage-point tree over an arbitrary metric.
+
+    Parameters
+    ----------
+    metric:
+        Any true metric (the triangle inequality is load-bearing).
+    leaf_size:
+        Maximum items per leaf bucket (default 8).  Smaller leaves prune
+        more but cost more pivot evaluations per query.
+    pivot_strategy:
+        How vantage points are chosen (default :class:`MaxSpreadPivot`).
+    seed:
+        Seed for the strategy's random generator; builds are deterministic
+        given (data, parameters, seed).
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        *,
+        leaf_size: int = 8,
+        pivot_strategy: PivotStrategy | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        if leaf_size < 1:
+            raise IndexingError(f"leaf_size must be >= 1; got {leaf_size}")
+        self._leaf_size = leaf_size
+        self._pivot_strategy = pivot_strategy or MaxSpreadPivot()
+        self._seed = seed
+        self._root: _Node | _Leaf | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._root = self._build_node(list(ids), vectors, rng, depth=0)
+
+    def _build_node(
+        self, ids: list[int], vectors: np.ndarray, rng: np.random.Generator, depth: int
+    ) -> "_Node | _Leaf":
+        stats = self._build_stats
+        stats.depth = max(stats.depth, depth)
+        if len(ids) <= self._leaf_size:
+            stats.n_leaves += 1
+            return _Leaf(ids, vectors)
+
+        pivot_row = self._pivot_strategy.select(vectors, self._build_dist, rng)
+        pivot_id = ids[pivot_row]
+        pivot_vector = vectors[pivot_row]
+
+        rest_rows = [row for row in range(len(ids)) if row != pivot_row]
+        rest_ids = [ids[row] for row in rest_rows]
+        rest_vectors = vectors[rest_rows]
+        distances = np.array(
+            [self._build_dist(pivot_vector, vec) for vec in rest_vectors]
+        )
+
+        mu = float(np.median(distances))
+        inside_mask = distances <= mu
+        outside_mask = ~inside_mask
+
+        # Degenerate split (all items at the same distance): bucket them.
+        if not inside_mask.any() or not outside_mask.any():
+            stats.n_nodes += 1
+            only_mask = inside_mask if inside_mask.any() else outside_mask
+            child = self._build_node(
+                [i for i, keep in zip(rest_ids, only_mask) if keep],
+                rest_vectors[only_mask],
+                rng,
+                depth + 1,
+            )
+            d_lo = float(distances.min())
+            d_hi = float(distances.max())
+            if inside_mask.any():
+                return _Node(pivot_id, pivot_vector, child, None, d_lo, d_hi, 0.0, 0.0)
+            return _Node(pivot_id, pivot_vector, None, child, 0.0, 0.0, d_lo, d_hi)
+
+        stats.n_nodes += 1
+        inside = self._build_node(
+            [i for i, keep in zip(rest_ids, inside_mask) if keep],
+            rest_vectors[inside_mask],
+            rng,
+            depth + 1,
+        )
+        outside = self._build_node(
+            [i for i, keep in zip(rest_ids, outside_mask) if keep],
+            rest_vectors[outside_mask],
+            rng,
+            depth + 1,
+        )
+        return _Node(
+            pivot_id,
+            pivot_vector,
+            inside,
+            outside,
+            float(distances[inside_mask].min()),
+            float(distances[inside_mask].max()),
+            float(distances[outside_mask].min()),
+            float(distances[outside_mask].max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Range search
+    # ------------------------------------------------------------------
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        result: list[Neighbor] = []
+        self._range_visit(self._root, query, radius, result)
+        return result
+
+    def _range_visit(
+        self,
+        node: "_Node | _Leaf | None",
+        query: np.ndarray,
+        radius: float,
+        result: list[Neighbor],
+    ) -> None:
+        if node is None:
+            return
+        if isinstance(node, _Leaf):
+            self._search_stats.leaves_visited += 1
+            for item_id, vector in zip(node.ids, node.vectors):
+                d = self._dist(query, vector)
+                if d <= radius:
+                    result.append(Neighbor(item_id, d))
+            return
+
+        self._search_stats.nodes_visited += 1
+        d = self._dist(query, node.pivot_vector)
+        if d <= radius:
+            result.append(Neighbor(node.pivot_id, d))
+
+        if node.inside is not None:
+            if d - radius <= node.in_high and d + radius >= node.in_low:
+                self._range_visit(node.inside, query, radius, result)
+            else:
+                self._search_stats.nodes_pruned += 1
+        if node.outside is not None:
+            if d - radius <= node.out_high and d + radius >= node.out_low:
+                self._range_visit(node.outside, query, radius, result)
+            else:
+                self._search_stats.nodes_pruned += 1
+
+    # ------------------------------------------------------------------
+    # k-NN search
+    # ------------------------------------------------------------------
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        return self._knn_impl(query, k, epsilon=0.0, budget=None)
+
+    def knn_search_approximate(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        epsilon: float = 0.0,
+        max_distance_computations: int | None = None,
+    ) -> list[Neighbor]:
+        """Approximate k-NN with a relative-error and/or budget bound.
+
+        Parameters
+        ----------
+        epsilon:
+            Relative slack: children are pruned unless they could contain
+            an item closer than ``tau / (1 + epsilon)``.  ``0`` is exact.
+        max_distance_computations:
+            Hard cap on metric evaluations for this query; when reached,
+            unexpanded subtrees are abandoned.  ``None`` means unlimited.
+        """
+        query = self._check_query(query)
+        if k < 1:
+            raise IndexingError(f"k must be >= 1; got {k}")
+        if epsilon < 0.0:
+            raise IndexingError(f"epsilon must be non-negative; got {epsilon}")
+        if max_distance_computations is not None and max_distance_computations < 1:
+            raise IndexingError("max_distance_computations must be >= 1")
+        from repro.index.stats import SearchStats
+
+        self._search_stats = SearchStats()
+        result = self._knn_impl(query, k, epsilon, max_distance_computations)
+        result.sort(key=lambda nb: (nb.distance, nb.id))
+        return result
+
+    def _knn_impl(
+        self, query: np.ndarray, k: int, epsilon: float, budget: int | None
+    ) -> list[Neighbor]:
+        # Max-heap of the k best candidates, as (-distance, id).
+        heap: list[tuple[float, int]] = []
+        shrink = 1.0 / (1.0 + epsilon)
+
+        def tau() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def offer(item_id: int, d: float) -> None:
+            # (-d, -id): the max-heap then evicts the larger id among
+            # equal-distance entries, matching the documented tie-break.
+            entry = (-d, -item_id)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+
+        def out_of_budget() -> bool:
+            return (
+                budget is not None
+                and self._search_stats.distance_computations >= budget
+            )
+
+        def visit(node: "_Node | _Leaf | None") -> None:
+            if node is None or out_of_budget():
+                return
+            if isinstance(node, _Leaf):
+                self._search_stats.leaves_visited += 1
+                for item_id, vector in zip(node.ids, node.vectors):
+                    if out_of_budget():
+                        return
+                    offer(item_id, self._dist(query, vector))
+                return
+
+            self._search_stats.nodes_visited += 1
+            d = self._dist(query, node.pivot_vector)
+            offer(node.pivot_id, d)
+
+            # Explore the child whose interval is nearer to d first, so tau
+            # shrinks before the other child is tested.
+            children = [
+                (node.inside, node.in_low, node.in_high),
+                (node.outside, node.out_low, node.out_high),
+            ]
+            children.sort(key=lambda c: _interval_gap(d, c[1], c[2]))
+            for child, low, high in children:
+                if child is None:
+                    continue
+                if _interval_gap(d, low, high) <= tau() * shrink:
+                    visit(child)
+                else:
+                    self._search_stats.nodes_pruned += 1
+
+        visit(self._root)
+        return [Neighbor(-neg_id, -neg_d) for neg_d, neg_id in heap]
+
+
+def _interval_gap(d: float, low: float, high: float) -> float:
+    """Lower bound on the query-to-item distance for a child subset.
+
+    The child's items lie at distances in ``[low, high]`` from the pivot;
+    the query is at distance ``d``.  By the triangle inequality no item
+    can be closer to the query than ``max(low - d, d - high, 0)``.
+    """
+    return max(low - d, d - high, 0.0)

@@ -1,0 +1,81 @@
+"""Match distance: the 1-D earth mover's distance between histograms.
+
+For histograms over an *ordered* domain (intensity levels, distance-
+transform cells) the right notion of difference is how much mass must be
+moved how far, not how bins differ point-wise.  In one dimension the
+earth mover's distance has a closed form: the L1 distance between the
+cumulative distributions,
+
+    EMD(h, g) = sum_i | H_i - G_i |,   H, G = prefix sums of h, g.
+
+This is Werman's *match distance*; it is a true metric on equal-mass
+histograms.  A circular variant handles periodic domains (hue,
+orientation) by optimally choosing the cut point (Pele & Werman's
+closed form: subtract the median of the CDF differences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.base import Metric, validate_same_shape
+
+__all__ = ["MatchDistance", "circular_match_distance", "match_distance"]
+
+
+def match_distance(h: np.ndarray, g: np.ndarray) -> float:
+    """1-D EMD between two same-mass non-negative histograms."""
+    h, g = validate_same_shape(h, g, "match")
+    if np.any(h < 0) or np.any(g < 0):
+        raise MetricError("match distance requires non-negative histograms")
+    mass_h, mass_g = float(h.sum()), float(g.sum())
+    if not np.isclose(mass_h, mass_g, rtol=1e-6, atol=1e-9):
+        raise MetricError(
+            f"match distance requires equal masses; got {mass_h:.6g} vs {mass_g:.6g}"
+        )
+    return float(np.abs(np.cumsum(h - g)).sum())
+
+
+def circular_match_distance(h: np.ndarray, g: np.ndarray) -> float:
+    """1-D EMD on a circular domain (optimal cut via the median shift)."""
+    h, g = validate_same_shape(h, g, "circular-match")
+    if np.any(h < 0) or np.any(g < 0):
+        raise MetricError("match distance requires non-negative histograms")
+    if not np.isclose(float(h.sum()), float(g.sum()), rtol=1e-6, atol=1e-9):
+        raise MetricError("circular match distance requires equal masses")
+    cdf_diff = np.cumsum(h - g)
+    return float(np.abs(cdf_diff - np.median(cdf_diff)).sum())
+
+
+class MatchDistance(Metric):
+    """Metric wrapper around :func:`match_distance`.
+
+    Parameters
+    ----------
+    circular:
+        Treat the histogram domain as periodic (hue, edge orientation).
+    normalize:
+        L1-normalize operands first, so histograms of different total mass
+        (different image sizes) are comparable.  Default True.
+    """
+
+    def __init__(self, *, circular: bool = False, normalize: bool = True) -> None:
+        self._circular = circular
+        self._normalize = normalize
+
+    @property
+    def name(self) -> str:
+        return "circular_match" if self._circular else "match"
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        a, b = validate_same_shape(a, b, self.name)
+        if self._normalize:
+            mass_a, mass_b = float(a.sum()), float(b.sum())
+            if mass_a <= 0.0 or mass_b <= 0.0:
+                return 0.0 if mass_a == mass_b else 1.0
+            a = a / mass_a
+            b = b / mass_b
+        if self._circular:
+            return circular_match_distance(a, b)
+        return match_distance(a, b)

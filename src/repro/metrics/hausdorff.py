@@ -1,0 +1,91 @@
+"""Hausdorff distance between point sets.
+
+For features that are *sets* (edge-pixel coordinates, dominant-color
+palettes) rather than fixed-length vectors, the paper uses the Hausdorff
+distance: the farthest any point of one set is from the other set,
+
+    H(A, B) = max( h(A, B), h(B, A) ),
+    h(A, B) = max_{a in A} min_{b in B} d(a, b),
+
+with Euclidean point-to-point distance.  It is a true metric on non-empty
+compact sets.  The implementation is vectorized over the smaller side and
+exact; point sets are modest (edge maps are subsampled upstream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.base import Metric
+
+__all__ = ["directed_hausdorff", "hausdorff", "HausdorffDistance"]
+
+
+def _as_point_set(points: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2 or array.shape[0] == 0:
+        raise MetricError(f"{name}: expected a non-empty (n, d) point set; got {array.shape}")
+    return array
+
+
+def directed_hausdorff(a: np.ndarray, b: np.ndarray) -> float:
+    """``h(A, B) = max_a min_b ||a - b||`` (one-sided)."""
+    a = _as_point_set(a, "hausdorff")
+    b = _as_point_set(b, "hausdorff")
+    if a.shape[1] != b.shape[1]:
+        raise MetricError(
+            f"hausdorff: point dimensionality differs: {a.shape[1]} vs {b.shape[1]}"
+        )
+    worst = 0.0
+    # Chunk over A to bound the (|A| x |B|) intermediate.
+    chunk = max(1, 4096 // max(1, b.shape[0]) + 1)
+    for start in range(0, a.shape[0], chunk):
+        block = a[start : start + chunk]
+        deltas = block[:, None, :] - b[None, :, :]
+        nearest = np.sqrt((deltas**2).sum(axis=2)).min(axis=1)
+        worst = max(worst, float(nearest.max()))
+    return worst
+
+
+def hausdorff(a: np.ndarray, b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance ``max(h(A,B), h(B,A))``."""
+    return max(directed_hausdorff(a, b), directed_hausdorff(b, a))
+
+
+class HausdorffDistance(Metric):
+    """Metric adapter: operands are flattened ``(n*d,)`` point buffers.
+
+    Because the index layer traffics in 1-D vectors, point sets are packed
+    as flat arrays with a declared point dimensionality; trailing NaN
+    padding (from fixed-size store records) is dropped.
+
+    Parameters
+    ----------
+    point_dim:
+        Dimensionality of each point (2 for pixel coordinates).
+    """
+
+    def __init__(self, point_dim: int = 2) -> None:
+        if point_dim < 1:
+            raise MetricError(f"point_dim must be >= 1; got {point_dim}")
+        self._point_dim = point_dim
+
+    @property
+    def name(self) -> str:
+        return f"hausdorff_{self._point_dim}d"
+
+    def _unpack(self, flat: np.ndarray) -> np.ndarray:
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        flat = flat[~np.isnan(flat)]
+        if flat.size == 0 or flat.size % self._point_dim:
+            raise MetricError(
+                f"hausdorff: buffer of {flat.size} values is not a whole number "
+                f"of {self._point_dim}-d points"
+            )
+        return flat.reshape(-1, self._point_dim)
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        return hausdorff(self._unpack(a), self._unpack(b))

@@ -1,0 +1,41 @@
+"""Dimensionality reduction for feature signatures.
+
+High-dimensional signatures (joint color histograms, correlograms) defeat
+every index eventually — experiment F2's curse-of-dimensionality curve.
+The era's answer (the GEMINI approach: *GEneric Multimedia INdexIng*) was
+to search a **cheap low-dimensional projection** of the features and
+re-check only the survivors with the full distance.  The projection must
+be **contractive** — it may only *shrink* distances — because then the
+filter can never lose a true answer (no false dismissals), only admit
+false alarms that the refine step removes.
+
+Two reducers are provided:
+
+:class:`~repro.reduce.kl.KLTransform`
+    The Karhunen-Loève transform (data-dependent PCA): project onto the
+    leading eigenvectors of the signature covariance.  An orthonormal
+    projection never lengthens a Euclidean distance, so contractiveness
+    is a theorem, and the retained variance tells you how tight the
+    lower bound is.
+:class:`~repro.reduce.fastmap.FastMap`
+    Faloutsos & Lin's pivot-pair embedding.  Unlike the KL transform it
+    needs only the *metric*, not coordinates, so it can embed signatures
+    compared with any distance (histogram intersection, match distance)
+    into k Euclidean axes.  For non-Euclidean inputs contractiveness is
+    heuristic, which is why it is a measured quantity in experiment F8
+    rather than an assumption.
+
+Both implement the tiny :class:`~repro.reduce.base.Reducer` contract that
+:class:`~repro.index.filter_refine.FilterRefineIndex` builds on.
+"""
+
+from repro.reduce.base import Reducer, contractiveness_violations
+from repro.reduce.kl import KLTransform
+from repro.reduce.fastmap import FastMap
+
+__all__ = [
+    "Reducer",
+    "contractiveness_violations",
+    "KLTransform",
+    "FastMap",
+]

@@ -1,0 +1,154 @@
+"""The reducer contract and the contractiveness check.
+
+A :class:`Reducer` maps original feature vectors into a low-dimensional
+Euclidean space.  The one property the filter-and-refine machinery cares
+about is **contractiveness**:
+
+    ``euclidean(reduce(x), reduce(y)) <= metric(x, y)``  for all x, y.
+
+A contractive projection makes the reduced-space search a true *lower
+bound* filter: anything it rejects is provably outside the query ball,
+so filter-and-refine search stays exact.  Reducers declare whether they
+guarantee this (``contractive``), and
+:func:`contractiveness_violations` measures it empirically for the ones
+that do not.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metrics.base import Metric
+
+__all__ = ["Reducer", "contractiveness_violations"]
+
+
+class Reducer(ABC):
+    """Fit-then-transform projection into a low-dimensional space.
+
+    Subclasses implement ``_fit`` and ``_transform``; this base class
+    owns validation and the fitted-state lifecycle.
+
+    Attributes
+    ----------
+    contractive:
+        True when the projection provably never lengthens distances
+        (with respect to the metric it was fitted for).  The
+        filter-and-refine index uses this to decide whether its results
+        are exact or need the "approximate" label.
+    """
+
+    contractive: bool = False
+
+    def __init__(self, out_dim: int) -> None:
+        if out_dim < 1:
+            raise ReproError(f"out_dim must be >= 1; got {out_dim}")
+        self._out_dim = int(out_dim)
+        self._in_dim: int | None = None
+
+    @property
+    def out_dim(self) -> int:
+        """Dimensionality of the reduced space."""
+        return self._out_dim
+
+    @property
+    def in_dim(self) -> int:
+        """Dimensionality of the original space (known after :meth:`fit`)."""
+        if self._in_dim is None:
+            raise ReproError("reducer has not been fitted yet")
+        return self._in_dim
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has succeeded."""
+        return self._in_dim is not None
+
+    def fit(self, vectors: np.ndarray) -> "Reducer":
+        """Learn the projection from a sample of original vectors.
+
+        Returns ``self`` for chaining.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ReproError(
+                f"fit needs a non-empty (n, d) array; got shape {vectors.shape}"
+            )
+        if not np.all(np.isfinite(vectors)):
+            raise ReproError("fit input contains non-finite values")
+        if self._out_dim > vectors.shape[1]:
+            raise ReproError(
+                f"out_dim {self._out_dim} exceeds input dim {vectors.shape[1]}"
+            )
+        self._in_dim = vectors.shape[1]
+        self._fit(vectors)
+        return self
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project vectors; accepts one ``(d,)`` vector or an ``(n, d)`` batch."""
+        if self._in_dim is None:
+            raise ReproError("reducer has not been fitted yet")
+        array = np.asarray(vectors, dtype=np.float64)
+        single = array.ndim == 1
+        if single:
+            array = array[None, :]
+        if array.ndim != 2 or array.shape[1] != self._in_dim:
+            raise ReproError(
+                f"transform expects dim {self._in_dim}; got shape {array.shape}"
+            )
+        result = self._transform(array)
+        return result[0] if single else result
+
+    @abstractmethod
+    def _fit(self, vectors: np.ndarray) -> None:
+        """Learn projection parameters (input already validated)."""
+
+    @abstractmethod
+    def _transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project a validated ``(n, in_dim)`` batch to ``(n, out_dim)``."""
+
+    def __repr__(self) -> str:
+        fitted = f"in_dim={self._in_dim}" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(out_dim={self._out_dim}, {fitted})"
+
+
+def contractiveness_violations(
+    reducer: Reducer,
+    vectors: np.ndarray,
+    metric: Metric,
+    *,
+    n_pairs: int = 500,
+    seed: int = 0,
+    tol: float = 1e-9,
+) -> tuple[float, float]:
+    """Empirically measure how contractive a fitted reducer is.
+
+    Samples ``n_pairs`` random pairs and compares the reduced Euclidean
+    distance against the original metric distance.
+
+    Returns
+    -------
+    (violation_rate, worst_ratio):
+        ``violation_rate`` is the fraction of sampled pairs where the
+        reduced distance exceeds the original one by more than ``tol``;
+        ``worst_ratio`` is the largest ``reduced / original`` observed
+        (1.0 or less means perfectly contractive on the sample).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.shape[0] < 2:
+        raise ReproError("need at least two vectors to sample pairs")
+    rng = np.random.default_rng(seed)
+    reduced = reducer.transform(vectors)
+    violations = 0
+    worst = 0.0
+    for _ in range(n_pairs):
+        i, j = rng.choice(vectors.shape[0], size=2, replace=False)
+        original = metric.distance(vectors[i], vectors[j])
+        projected = float(np.linalg.norm(reduced[i] - reduced[j]))
+        if projected > original + tol:
+            violations += 1
+        if original > 0:
+            worst = max(worst, projected / original)
+    return violations / n_pairs, worst

@@ -1,0 +1,186 @@
+"""FastMap — pivot-pair embedding of a metric space into k axes.
+
+The KL transform needs coordinates; FastMap (Faloutsos & Lin) needs only
+distances, so it can embed objects compared with *any* metric into a
+Euclidean space an ordinary spatial index can search.
+
+One axis at a time:
+
+1. pick two distant *pivot objects* ``a, b`` (a few alternating
+   farthest-point passes — the paper's ``choose-distant-objects``);
+2. project every object onto the line through them with the cosine law:
+
+   ``x_i = (d(a,i)^2 + d(a,b)^2 - d(b,i)^2) / (2 d(a,b))``
+
+3. recurse on the *residual* distance
+   ``d'(i,j)^2 = d(i,j)^2 - (x_i - x_j)^2`` for the next axis.
+
+For genuinely Euclidean data the residual is again Euclidean and the
+embedding is contractive; for general metrics the squared residual can
+go negative (clamped to zero here, as in the original), which is what
+makes FastMap's lower-bound property *heuristic* — declared
+``contractive = False`` and measured, not assumed, by experiment F8.
+
+Transforming an unseen query costs ``2 * out_dim`` metric evaluations
+(one per pivot per axis), so queries remain cheap even when the metric
+is expensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metrics.base import Metric
+from repro.metrics.minkowski import EuclideanDistance
+from repro.reduce.base import Reducer
+
+__all__ = ["FastMap"]
+
+#: Alternating farthest-point passes when choosing a pivot pair.
+_PIVOT_PASSES = 5
+
+
+class FastMap(Reducer):
+    """Metric-only embedding into ``out_dim`` Euclidean coordinates.
+
+    Parameters
+    ----------
+    out_dim:
+        Number of axes to produce.
+    metric:
+        The distance the embedding should approximate (default
+        Euclidean).  Only ``metric.distance`` is ever called — no
+        coordinate structure is assumed.
+    seed:
+        Seed for the random start of each pivot-pair search.
+    """
+
+    contractive = False
+
+    def __init__(
+        self, out_dim: int, metric: Metric | None = None, *, seed: int = 0
+    ) -> None:
+        super().__init__(out_dim)
+        metric = metric if metric is not None else EuclideanDistance()
+        if not isinstance(metric, Metric):
+            raise ReproError(f"FastMap needs a Metric; got {type(metric).__name__}")
+        self._metric = metric
+        self._seed = seed
+        #: Per axis: (pivot_a vector, pivot_b vector, d(a, b)).
+        self._pivots: list[tuple[np.ndarray, np.ndarray, float]] = []
+        #: Per axis: the pivots' already-fitted coordinates on earlier axes,
+        #: cached so query embedding needs no training-set lookups.
+        self._pivot_coords: list[tuple[np.ndarray, np.ndarray]] = []
+
+    @property
+    def metric(self) -> Metric:
+        """The metric the embedding was fitted against."""
+        return self._metric
+
+    @property
+    def pivot_pairs(self) -> list[tuple[np.ndarray, np.ndarray, float]]:
+        """The fitted ``(pivot_a, pivot_b, d_ab)`` triple per axis."""
+        if not self._pivots:
+            raise ReproError("reducer has not been fitted yet")
+        return list(self._pivots)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _fit(self, vectors: np.ndarray) -> None:
+        rng = np.random.default_rng(self._seed)
+        n = vectors.shape[0]
+        self._pivots = []
+        self._pivot_coords = []
+        # coords[i, axis] accumulates the training embedding; residual
+        # distances are derived from the raw metric minus these.
+        coords = np.zeros((n, self._out_dim))
+
+        def residual_distance(i: int, j: int, axis: int) -> float:
+            d = self._metric.distance(vectors[i], vectors[j])
+            gap = d * d - float(np.sum((coords[i, :axis] - coords[j, :axis]) ** 2))
+            return float(np.sqrt(max(gap, 0.0)))
+
+        for axis in range(self._out_dim):
+            a, b = self._choose_pivots(n, lambda i, j: residual_distance(i, j, axis), rng)
+            d_ab = residual_distance(a, b, axis)
+            self._pivot_coords.append(
+                (coords[a, :axis].copy(), coords[b, :axis].copy())
+            )
+            if d_ab == 0.0:
+                # All residual distances are zero: the data is fully
+                # explained; remaining axes stay zero.
+                self._pivots.append((vectors[a].copy(), vectors[b].copy(), 0.0))
+                continue
+            d_a = np.array([residual_distance(a, i, axis) for i in range(n)])
+            d_b = np.array([residual_distance(b, i, axis) for i in range(n)])
+            coords[:, axis] = (d_a**2 + d_ab**2 - d_b**2) / (2.0 * d_ab)
+            self._pivots.append((vectors[a].copy(), vectors[b].copy(), d_ab))
+
+    @staticmethod
+    def _choose_pivots(n: int, dist, rng: np.random.Generator) -> tuple[int, int]:
+        """Alternating farthest-point passes from a random start."""
+        b = int(rng.integers(n))
+        a = b
+        for _ in range(_PIVOT_PASSES):
+            distances = np.array([dist(a, i) for i in range(n)])
+            candidate = int(np.argmax(distances))
+            if candidate == b:
+                break
+            a, b = candidate, a
+        return a, b
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def _transform(self, vectors: np.ndarray) -> np.ndarray:
+        result = np.zeros((vectors.shape[0], self._out_dim))
+        for row in range(vectors.shape[0]):
+            result[row] = self._embed_one(vectors[row])
+        return result
+
+    def _embed_one(self, vector: np.ndarray) -> np.ndarray:
+        coords = np.zeros(self._out_dim)
+        for axis, (pivot_a, pivot_b, d_ab) in enumerate(self._pivots):
+            if d_ab == 0.0:
+                continue
+            coords_a, coords_b = self._pivot_coords[axis]
+            d_a = self._residual_to(vector, coords, pivot_a, coords_a, axis)
+            d_b = self._residual_to(vector, coords, pivot_b, coords_b, axis)
+            coords[axis] = (d_a**2 + d_ab**2 - d_b**2) / (2.0 * d_ab)
+        return coords
+
+    def _residual_to(
+        self,
+        vector: np.ndarray,
+        coords: np.ndarray,
+        pivot: np.ndarray,
+        pivot_coords: np.ndarray,
+        axis: int,
+    ) -> float:
+        """Residual distance from ``vector`` to a fitted pivot object."""
+        d = self._metric.distance(vector, pivot)
+        gap = d * d - float(np.sum((coords[:axis] - pivot_coords) ** 2))
+        return float(np.sqrt(max(gap, 0.0)))
+
+    def stress(self, vectors: np.ndarray, *, n_pairs: int = 200, seed: int = 0) -> float:
+        """Normalized embedding stress on sampled pairs (0 = perfect).
+
+        ``sqrt(sum (d_emb - d_orig)^2 / sum d_orig^2)`` — the standard
+        goodness-of-embedding number from the FastMap paper.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.shape[0] < 2:
+            raise ReproError("need at least two vectors to sample pairs")
+        rng = np.random.default_rng(seed)
+        embedded = self.transform(vectors)
+        num = 0.0
+        den = 0.0
+        for _ in range(n_pairs):
+            i, j = rng.choice(vectors.shape[0], size=2, replace=False)
+            original = self._metric.distance(vectors[i], vectors[j])
+            projected = float(np.linalg.norm(embedded[i] - embedded[j]))
+            num += (projected - original) ** 2
+            den += original**2
+        return float(np.sqrt(num / den)) if den > 0 else 0.0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.image.core import Image
+from repro.image import synth
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def gray_image() -> Image:
+    """A 32x32 grayscale ramp with some structure."""
+    ys, xs = np.mgrid[0:32, 0:32].astype(np.float64)
+    return Image((xs + ys) / 62.0)
+
+
+@pytest.fixture
+def rgb_image() -> Image:
+    """A 32x32 RGB image with distinct regions (red disk on gray)."""
+    base = synth.solid(32, 32, (0.5, 0.5, 0.5))
+    return synth.draw_disk(base, (16, 16), 8, (0.9, 0.1, 0.1))
+
+
+@pytest.fixture
+def scene_image(rng: np.random.Generator) -> Image:
+    """A random composed scene."""
+    return synth.compose_scene(48, 48, rng, n_shapes=3)
+
+
+@pytest.fixture
+def tiny_corpus() -> tuple[list[Image], list[str]]:
+    """Two images per class at 32x32 (kept small: extraction is the cost)."""
+    from repro.eval.datasets import make_corpus_images
+
+    return make_corpus_images(2, size=32, seed=5)

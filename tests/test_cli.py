@@ -1,0 +1,131 @@
+"""Tests for the command-line interface: demo -> build -> info -> query."""
+
+import numpy as np
+import pytest
+
+from repro.cli import iter_image_files, main, read_image_file
+from repro.errors import ReproError
+from repro.image.core import Image
+from repro.image.io_ppm import write_ppm
+
+
+@pytest.fixture(scope="module")
+def demo_dir(tmp_path_factory):
+    """A small synthetic corpus written once for the whole module."""
+    directory = tmp_path_factory.mktemp("corpus")
+    code = main(
+        ["demo", str(directory), "--per-class", "2", "--size", "32", "--seed", "5"]
+    )
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def built_db(demo_dir, tmp_path_factory):
+    db_dir = tmp_path_factory.mktemp("db") / "corpus.db"
+    code = main(
+        ["--working-size", "32", "build", str(demo_dir), "--db", str(db_dir)]
+    )
+    assert code == 0
+    return db_dir
+
+
+class TestFileHelpers:
+    def test_read_image_file_roundtrip(self, tmp_path, rng):
+        image = Image(rng.random((8, 10, 3)))
+        write_ppm(image, tmp_path / "x.ppm")
+        loaded = read_image_file(tmp_path / "x.ppm")
+        assert loaded.allclose(image, atol=1 / 255)
+
+    def test_read_image_file_rejects_unknown_extension(self, tmp_path):
+        (tmp_path / "x.jpeg").write_bytes(b"not really")
+        with pytest.raises(ReproError, match="unsupported"):
+            read_image_file(tmp_path / "x.jpeg")
+
+    def test_iter_image_files_labels_by_directory(self, tmp_path, rng):
+        (tmp_path / "cats").mkdir()
+        image = Image(rng.random((4, 4)))
+        write_ppm(image, tmp_path / "cats" / "a.pgm")
+        write_ppm(image, tmp_path / "loose.pgm")
+        found = iter_image_files(tmp_path)
+        labels = {path.name: label for path, label in found}
+        assert labels == {"a.pgm": "cats", "loose.pgm": ""}
+
+    def test_iter_image_files_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(ReproError, match="directory"):
+            iter_image_files(tmp_path / "nope")
+
+
+class TestDemoCommand:
+    def test_writes_class_directories(self, demo_dir):
+        from repro.eval.datasets import CORPUS_CLASS_NAMES
+
+        subdirs = {p.name for p in demo_dir.iterdir() if p.is_dir()}
+        assert subdirs == set(CORPUS_CLASS_NAMES)
+        files = list(demo_dir.rglob("*.ppm"))
+        assert len(files) == 2 * len(CORPUS_CLASS_NAMES)
+
+    def test_bmp_format(self, tmp_path):
+        code = main(
+            ["demo", str(tmp_path / "c"), "--per-class", "1", "--size", "16",
+             "--format", "bmp"]
+        )
+        assert code == 0
+        assert len(list((tmp_path / "c").rglob("*.bmp"))) == 8
+
+    def test_demo_images_are_readable(self, demo_dir):
+        path, label = iter_image_files(demo_dir)[0]
+        image = read_image_file(path)
+        assert image.width == 32
+        assert label in str(path)
+
+
+class TestBuildAndInfo:
+    def test_build_creates_database(self, built_db):
+        assert (built_db / "catalog.json").exists()
+        assert (built_db / "config.json").exists()
+
+    def test_info_reports_labels(self, built_db, capsys):
+        code = main(["--working-size", "32", "info", "--db", str(built_db)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "red_scenes" in out
+        assert "features:" in out
+
+    def test_build_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path), "--db", str(tmp_path / "db")])
+        assert code == 1
+        assert "no images" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_query_finds_same_class_neighbours(self, demo_dir, built_db, capsys):
+        query_file = next(demo_dir.glob("checkerboards/*.ppm"))
+        code = main(
+            ["--working-size", "32", "query", str(query_file),
+             "--db", str(built_db), "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The query image itself is in the database: distance 0, same label.
+        assert "checkerboards" in out
+        assert "distance computations" in out
+
+    def test_query_with_explicit_feature(self, demo_dir, built_db, capsys):
+        query_file = next(demo_dir.glob("noise_fine/*.ppm"))
+        code = main(
+            ["--working-size", "32", "query", str(query_file),
+             "--db", str(built_db), "-k", "2", "--feature", "wavelet_sig_3l"]
+        )
+        assert code == 0
+        assert "wavelet_sig_3l" in capsys.readouterr().out
+
+    def test_query_unknown_file_fails_cleanly(self, built_db, capsys):
+        code = main(
+            ["--working-size", "32", "query", "missing.png", "--db", str(built_db)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401  (import must succeed)

@@ -1,0 +1,142 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.db.bufferpool import BufferPool
+from repro.errors import StoreError
+
+
+class _FetchRecorder:
+    """Fetch callback that records which pages were loaded."""
+
+    def __init__(self):
+        self.fetched = []
+
+    def __call__(self, page_id):
+        self.fetched.append(page_id)
+        return f"page-{page_id}"
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        fetch = _FetchRecorder()
+        pool = BufferPool(4, fetch)
+        assert pool.get(1) == "page-1"
+        assert pool.get(1) == "page-1"
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert fetch.fetched == [1]
+
+    def test_capacity_validated(self):
+        with pytest.raises(StoreError):
+            BufferPool(0, lambda p: p)
+
+    def test_hit_ratio(self):
+        pool = BufferPool(4, _FetchRecorder())
+        assert pool.hit_ratio() == 0.0
+        pool.get(1)
+        pool.get(1)
+        pool.get(1)
+        assert pool.hit_ratio() == pytest.approx(2 / 3)
+
+    def test_reset_counters_keeps_contents(self):
+        fetch = _FetchRecorder()
+        pool = BufferPool(4, fetch)
+        pool.get(1)
+        pool.reset_counters()
+        assert pool.misses == 0
+        pool.get(1)  # still resident
+        assert pool.hits == 1
+        assert fetch.fetched == [1]
+
+
+class TestLRUEviction:
+    def test_lru_victim_is_least_recent(self):
+        fetch = _FetchRecorder()
+        pool = BufferPool(2, fetch)
+        pool.get(1)
+        pool.get(2)
+        pool.get(1)       # 1 is now most recent
+        pool.get(3)       # evicts 2
+        assert pool.contains(1)
+        assert not pool.contains(2)
+        assert pool.contains(3)
+        assert pool.evictions == 1
+
+    def test_eviction_count_under_thrash(self):
+        pool = BufferPool(2, _FetchRecorder())
+        for page in range(10):
+            pool.get(page)
+        assert pool.evictions == 8
+        assert pool.resident == 2
+
+    def test_sequential_scan_larger_than_pool_never_hits(self):
+        pool = BufferPool(3, _FetchRecorder())
+        for _ in range(3):
+            for page in range(5):
+                pool.get(page)
+        assert pool.hits == 0  # classic LRU sequential-flooding behaviour
+
+    def test_working_set_within_capacity_all_hits(self):
+        pool = BufferPool(5, _FetchRecorder())
+        for _ in range(4):
+            for page in range(5):
+                pool.get(page)
+        assert pool.misses == 5
+        assert pool.hits == 15
+
+
+class TestDirtyPages:
+    def test_flush_writes_back(self):
+        written = []
+        pool = BufferPool(4, lambda p: [p], write_back=lambda p, page: written.append(p))
+        pool.get(1)
+        pool.mark_dirty(1)
+        pool.flush()
+        assert written == [1]
+        pool.flush()  # idempotent: already clean
+        assert written == [1]
+
+    def test_eviction_writes_back_dirty_page(self):
+        written = []
+        pool = BufferPool(1, lambda p: [p], write_back=lambda p, page: written.append(p))
+        pool.get(1)
+        pool.mark_dirty(1)
+        pool.get(2)  # evicts dirty 1
+        assert written == [1]
+
+    def test_clean_eviction_does_not_write(self):
+        written = []
+        pool = BufferPool(1, lambda p: [p], write_back=lambda p, page: written.append(p))
+        pool.get(1)
+        pool.get(2)
+        assert written == []
+
+    def test_mark_dirty_requires_write_back(self):
+        pool = BufferPool(2, lambda p: [p])
+        pool.get(1)
+        with pytest.raises(StoreError, match="write_back"):
+            pool.mark_dirty(1)
+
+    def test_mark_dirty_requires_residency(self):
+        pool = BufferPool(2, lambda p: [p], write_back=lambda p, page: None)
+        with pytest.raises(StoreError, match="non-resident"):
+            pool.mark_dirty(9)
+
+    def test_invalidate_drops_without_write(self):
+        written = []
+        pool = BufferPool(2, lambda p: [p], write_back=lambda p, page: written.append(p))
+        pool.get(1)
+        pool.mark_dirty(1)
+        pool.invalidate(1)
+        pool.flush()
+        assert written == []
+        assert not pool.contains(1)
+
+    def test_put_and_clear(self):
+        pool = BufferPool(2, lambda p: [p], write_back=lambda p, page: None)
+        pool.put(5, "direct")
+        assert pool.get(5) == "direct"
+        assert pool.misses == 0
+        pool.clear()
+        assert pool.resident == 0

@@ -1,0 +1,113 @@
+"""Tests for the image catalog."""
+
+import pytest
+
+from repro.db.catalog import Catalog, ImageRecord
+from repro.errors import CatalogError
+
+
+def _record(image_id, label=None, **extra):
+    return ImageRecord(
+        image_id=image_id,
+        name=f"img_{image_id}",
+        width=64,
+        height=48,
+        mode="rgb",
+        label=label,
+        extra=extra,
+    )
+
+
+class TestRecords:
+    def test_round_trip_dict(self):
+        record = _record(3, label="cats", source="camera")
+        assert ImageRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(CatalogError, match="malformed"):
+            ImageRecord.from_dict({"name": "x"})
+
+    def test_frozen(self):
+        record = _record(1)
+        with pytest.raises(AttributeError):
+            record.name = "other"
+
+
+class TestCatalogOperations:
+    def test_insert_and_get(self):
+        catalog = Catalog()
+        record = _record(0)
+        catalog.insert(record)
+        assert catalog.get(0) == record
+        assert 0 in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_id_rejected(self):
+        catalog = Catalog()
+        catalog.insert(_record(0))
+        with pytest.raises(CatalogError, match="duplicate"):
+            catalog.insert(_record(0))
+
+    def test_get_unknown(self):
+        with pytest.raises(CatalogError, match="unknown"):
+            Catalog().get(5)
+
+    def test_delete(self):
+        catalog = Catalog()
+        catalog.insert(_record(0))
+        removed = catalog.delete(0)
+        assert removed.image_id == 0
+        assert 0 not in catalog
+        with pytest.raises(CatalogError):
+            catalog.delete(0)
+
+    def test_allocate_id_monotonic(self):
+        catalog = Catalog()
+        first = catalog.allocate_id()
+        second = catalog.allocate_id()
+        assert second == first + 1
+
+    def test_allocate_respects_inserted_ids(self):
+        catalog = Catalog()
+        catalog.insert(_record(10))
+        assert catalog.allocate_id() == 11
+
+    def test_iteration_order(self):
+        catalog = Catalog()
+        for image_id in (2, 0, 5):
+            catalog.insert(_record(image_id))
+        assert [r.image_id for r in catalog] == [2, 0, 5]
+        assert catalog.ids == [2, 0, 5]
+
+    def test_by_label_and_counts(self):
+        catalog = Catalog()
+        catalog.insert(_record(0, label="a"))
+        catalog.insert(_record(1, label="b"))
+        catalog.insert(_record(2, label="a"))
+        catalog.insert(_record(3))
+        assert [r.image_id for r in catalog.by_label("a")] == [0, 2]
+        assert catalog.labels() == {"a": 2, "b": 1, None: 1}
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        catalog = Catalog()
+        catalog.insert(_record(0, label="x", note="hello"))
+        catalog.insert(_record(7, label="y"))
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        loaded = Catalog.load(path)
+        assert len(loaded) == 2
+        assert loaded.get(7).label == "y"
+        assert loaded.get(0).extra == {"note": "hello"}
+        assert loaded.allocate_id() == 8
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError, match="does not exist"):
+            Catalog.load(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CatalogError, match="JSON"):
+            Catalog.load(path)

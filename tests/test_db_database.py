@@ -1,0 +1,219 @@
+"""Tests for the ImageDatabase facade."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import ImageDatabase
+from repro.errors import QueryError
+from repro.features.histogram import GrayHistogram, RGBJointHistogram
+from repro.features.pipeline import FeatureSchema
+from repro.image import synth
+from repro.index.linear import LinearScanIndex
+from repro.metrics.minkowski import ManhattanDistance
+
+
+@pytest.fixture
+def small_schema():
+    return FeatureSchema([RGBJointHistogram(2, working_size=32), GrayHistogram(8, working_size=32)])
+
+
+@pytest.fixture
+def db(small_schema):
+    return ImageDatabase(small_schema)
+
+
+@pytest.fixture
+def populated(db, rng):
+    red_ids = [
+        db.add_image(
+            synth.compose_scene(
+                32, 32, rng, background=synth.solid(32, 32, (0.7, 0.3, 0.3)),
+                palette=[(0.9, 0.1, 0.1)],
+            ),
+            label="red",
+        )
+        for _ in range(5)
+    ]
+    blue_ids = [
+        db.add_image(
+            synth.compose_scene(
+                32, 32, rng, background=synth.solid(32, 32, (0.3, 0.3, 0.7)),
+                palette=[(0.1, 0.1, 0.9)],
+            ),
+            label="blue",
+        )
+        for _ in range(5)
+    ]
+    return db, red_ids, blue_ids
+
+
+class TestInsertion:
+    def test_add_image_assigns_ids_and_metadata(self, db, rng):
+        image = synth.compose_scene(32, 32, rng)
+        image_id = db.add_image(image, label="scenes", name="first", camera="x100")
+        assert image_id == 0
+        record = db.catalog.get(0)
+        assert record.label == "scenes"
+        assert record.name == "first"
+        assert record.extra == {"camera": "x100"}
+        assert record.width == 32
+        assert len(db) == 1
+
+    def test_add_images_bulk(self, db, rng):
+        pairs = [(synth.compose_scene(32, 32, rng), "a") for _ in range(3)]
+        ids = db.add_images(pairs)
+        assert ids == [0, 1, 2]
+
+    def test_feature_matrix_shapes(self, populated):
+        db, _, _ = populated
+        ids, matrix = db.feature_matrix("rgb_hist_2")
+        assert len(ids) == 10
+        assert matrix.shape == (10, 8)
+
+    def test_delete_image(self, populated):
+        db, red_ids, _ = populated
+        db.delete_image(red_ids[0])
+        assert len(db) == 9
+        ids, _ = db.feature_matrix("rgb_hist_2")
+        assert red_ids[0] not in ids
+
+    def test_schema_must_be_nonempty(self):
+        with pytest.raises(QueryError):
+            ImageDatabase(FeatureSchema())
+
+
+class TestSingleFeatureQueries:
+    def test_query_returns_ranked_results(self, populated, rng):
+        db, _, _ = populated
+        results = db.query(synth.compose_scene(32, 32, rng), k=4)
+        assert len(results) == 4
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+        assert all(r.record is not None for r in results)
+
+    def test_query_finds_color_neighbours(self, populated, rng):
+        db, red_ids, blue_ids = populated
+        red_query = synth.compose_scene(
+            32, 32, rng, background=synth.solid(32, 32, (0.7, 0.3, 0.3)),
+            palette=[(0.9, 0.1, 0.1)],
+        )
+        results = db.query(red_query, k=3, feature="rgb_hist_2")
+        hits = sum(1 for r in results if r.image_id in red_ids)
+        assert hits >= 2
+
+    def test_query_accepts_raw_vector(self, populated):
+        db, _, _ = populated
+        ids, matrix = db.feature_matrix("rgb_hist_2")
+        results = db.query(matrix[0], k=len(db), feature="rgb_hist_2")
+        assert results[0].distance == pytest.approx(0.0)
+        exact_ids = {r.image_id for r in results if r.distance == 0.0}
+        assert ids[0] in exact_ids  # several scenes may share the histogram
+
+    def test_range_query(self, populated):
+        db, _, _ = populated
+        ids, matrix = db.feature_matrix("rgb_hist_2")
+        results = db.range_query(matrix[0], radius=0.0, feature="rgb_hist_2")
+        assert any(r.image_id == ids[0] for r in results)
+
+    def test_unknown_feature_rejected(self, populated, rng):
+        db, _, _ = populated
+        with pytest.raises(QueryError, match="unknown feature"):
+            db.query(synth.compose_scene(32, 32, rng), feature="nope")
+
+    def test_empty_database_rejected(self, db, rng):
+        with pytest.raises(QueryError, match="empty"):
+            db.query(synth.compose_scene(32, 32, rng))
+
+    def test_wrong_vector_dim_rejected(self, populated):
+        db, _, _ = populated
+        with pytest.raises(QueryError, match="dim"):
+            db.query(np.zeros(5), feature="rgb_hist_2")
+
+    def test_index_rebuilt_after_mutation(self, populated, rng):
+        db, red_ids, _ = populated
+        db.query(synth.compose_scene(32, 32, rng), k=2)  # builds index
+        db.delete_image(red_ids[0])
+        results = db.query(synth.compose_scene(32, 32, rng), k=len(db))
+        assert red_ids[0] not in [r.image_id for r in results]
+
+    def test_custom_metric_and_index_factory(self, small_schema, rng):
+        db = ImageDatabase(
+            small_schema,
+            metrics={"rgb_hist_2": ManhattanDistance()},
+            index_factory=lambda metric: LinearScanIndex(metric),
+        )
+        db.add_image(synth.compose_scene(32, 32, rng))
+        db.add_image(synth.compose_scene(32, 32, rng))
+        results = db.query(synth.compose_scene(32, 32, rng), k=1)
+        assert len(results) == 1
+        assert isinstance(db.index_for("rgb_hist_2"), LinearScanIndex)
+
+    def test_unknown_metric_feature_rejected(self, small_schema):
+        with pytest.raises(QueryError, match="unknown features"):
+            ImageDatabase(small_schema, metrics={"zzz": ManhattanDistance()})
+
+
+class TestMultiFeatureQueries:
+    def test_query_multi_returns_per_feature_detail(self, populated, rng):
+        db, _, _ = populated
+        results = db.query_multi(synth.compose_scene(32, 32, rng), k=3)
+        assert len(results) == 3
+        for result in results:
+            assert set(result.per_feature) == {"rgb_hist_2", "gray_hist_8"}
+
+    def test_query_multi_with_weights(self, populated, rng):
+        db, _, _ = populated
+        query = synth.compose_scene(32, 32, rng)
+        color_only = db.query_multi(query, k=5, weights={"rgb_hist_2": 1.0})
+        multi = db.query_multi(query, k=5, weights={"rgb_hist_2": 1.0, "gray_hist_8": 1.0})
+        assert len(color_only) == len(multi) == 5
+
+    def test_query_multi_validation(self, populated, rng):
+        db, _, _ = populated
+        query = synth.compose_scene(32, 32, rng)
+        with pytest.raises(QueryError, match="positive"):
+            db.query_multi(query, weights={"rgb_hist_2": 0.0})
+        with pytest.raises(QueryError, match="k must be"):
+            db.query_multi(query, k=0)
+        with pytest.raises(QueryError, match="requires an Image"):
+            db.query_multi(np.zeros(8), k=1)
+
+    def test_query_fused_methods(self, populated, rng):
+        db, _, _ = populated
+        query = synth.compose_scene(32, 32, rng)
+        for method in ("borda", "rrf"):
+            results = db.query_fused(query, k=3, method=method)
+            assert len(results) == 3
+        with pytest.raises(QueryError, match="method"):
+            db.query_fused(query, method="median")
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, populated, small_schema, tmp_path, rng):
+        db, _, _ = populated
+        query = synth.compose_scene(32, 32, rng)
+        before = [r.image_id for r in db.query(query, k=5)]
+
+        db.save(tmp_path)
+        loaded = ImageDatabase.load(tmp_path, small_schema)
+        after = [r.image_id for r in loaded.query(query, k=5)]
+        assert before == after
+        assert len(loaded) == len(db)
+        assert loaded.catalog.get(0).label == db.catalog.get(0).label
+
+    def test_load_rejects_schema_mismatch(self, populated, tmp_path):
+        db, _, _ = populated
+        db.save(tmp_path)
+        other = FeatureSchema([GrayHistogram(8, working_size=32)])
+        with pytest.raises(QueryError, match="do not match"):
+            ImageDatabase.load(tmp_path, other)
+
+    def test_load_rejects_dim_mismatch(self, populated, tmp_path):
+        db, _, _ = populated
+        db.save(tmp_path)
+        other = FeatureSchema(
+            [RGBJointHistogram(3, working_size=32), GrayHistogram(8, working_size=32)]
+        )
+        # Same count, different names/dims -> name check fires first.
+        with pytest.raises(QueryError):
+            ImageDatabase.load(tmp_path, other)

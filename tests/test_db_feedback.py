@@ -1,0 +1,177 @@
+"""Tests for Rocchio relevance feedback and the session loop."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import ImageDatabase
+from repro.db.feedback import FeedbackSession, Rocchio
+from repro.errors import QueryError
+from repro.eval.datasets import make_corpus
+from repro.features.histogram import HSVHistogram
+from repro.features.pipeline import FeatureSchema
+
+
+@pytest.fixture(scope="module")
+def corpus_db():
+    """A small labelled database shared by the session tests."""
+    schema = FeatureSchema([HSVHistogram((6, 2, 2), working_size=32)])
+    db = ImageDatabase(schema)
+    for image, label in make_corpus(6, size=32, seed=11):
+        db.add_image(image, label=label)
+    return db
+
+
+class TestRocchioRule:
+    def test_no_judgments_is_identity(self, rng):
+        rule = Rocchio()
+        query = rng.random(8)
+        assert np.allclose(rule.refine(query), query)
+
+    def test_moves_toward_relevant(self, rng):
+        rule = Rocchio(alpha=1.0, beta=1.0, gamma=0.0)
+        query = np.zeros(4)
+        target = np.ones(4)
+        refined = rule.refine(query, relevant=[target])
+        # Halfway (alpha + beta normalization): (0 + 1) / 2.
+        assert np.allclose(refined, 0.5)
+
+    def test_moves_away_from_non_relevant(self):
+        rule = Rocchio(alpha=1.0, beta=0.0, gamma=0.5, clip_negative=False)
+        query = np.full(4, 0.5)
+        refined = rule.refine(query, non_relevant=[np.ones(4)])
+        assert np.all(refined < query)
+
+    def test_negative_clip_keeps_histograms_valid(self):
+        rule = Rocchio(alpha=1.0, beta=0.0, gamma=2.0)
+        refined = rule.refine(np.zeros(3), non_relevant=[np.ones(3)])
+        assert np.all(refined >= 0.0)
+
+    def test_multiple_relevant_use_centroid(self, rng):
+        rule = Rocchio(alpha=0.0, beta=1.0, gamma=0.0)
+        examples = [rng.random(5) for _ in range(4)]
+        refined = rule.refine(np.zeros(5), relevant=examples)
+        assert np.allclose(refined, np.mean(examples, axis=0))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(QueryError):
+            Rocchio(alpha=-0.1)
+
+    def test_rejects_all_zero_anchor(self):
+        with pytest.raises(QueryError):
+            Rocchio(alpha=0.0, beta=0.0)
+
+    def test_repr(self):
+        assert "alpha=1.0" in repr(Rocchio())
+
+
+class TestFeedbackSession:
+    def _query_image(self):
+        from repro.eval.datasets import make_class_image
+
+        rng = np.random.default_rng(99)
+        return make_class_image("red_scenes", rng, size=32)
+
+    def test_search_without_feedback_matches_plain_query(self, corpus_db):
+        image = self._query_image()
+        session = FeedbackSession(corpus_db, image)
+        expected = corpus_db.query(image, 5)
+        got = session.search(5)
+        assert [r.image_id for r in got] == [r.image_id for r in expected]
+        assert session.rounds == 0
+
+    def test_positive_feedback_improves_precision(self, corpus_db):
+        """Marking same-class results relevant must not hurt precision@5."""
+        image = self._query_image()
+        session = FeedbackSession(corpus_db, image)
+        first = session.search(8)
+
+        def precision(results):
+            labels = [r.record.label for r in results[:5]]
+            return labels.count("red_scenes") / 5.0
+
+        before = precision(first)
+        relevant = [r.image_id for r in first if r.record.label == "red_scenes"]
+        non_relevant = [r.image_id for r in first if r.record.label != "red_scenes"]
+        session.mark_relevant(relevant)
+        session.mark_non_relevant(non_relevant)
+        after = precision(session.search(8))
+        assert after >= before
+
+    def test_round_counter_and_query_movement(self, corpus_db):
+        image = self._query_image()
+        session = FeedbackSession(corpus_db, image)
+        original = session.query_vector
+        first = session.search(6)
+        session.mark_relevant([first[0].image_id])
+        session.search(6)
+        assert session.rounds == 1
+        assert not np.allclose(session.query_vector, original)
+
+    def test_judgments_flip_consistently(self, corpus_db):
+        image = self._query_image()
+        session = FeedbackSession(corpus_db, image)
+        results = session.search(4)
+        target = results[0].image_id
+        session.mark_relevant([target])
+        session.mark_non_relevant([target])  # user changed their mind
+        relevant, non_relevant = session.judged
+        assert target not in relevant
+        assert target in non_relevant
+
+    def test_reset_restores_original_ranking(self, corpus_db):
+        image = self._query_image()
+        session = FeedbackSession(corpus_db, image)
+        first = session.search(5)
+        session.mark_non_relevant([r.image_id for r in first[:2]])
+        session.search(5)
+        session.reset()
+        assert session.rounds == 0
+        again = session.search(5)
+        assert [r.image_id for r in again] == [r.image_id for r in first]
+
+    def test_vector_query_accepted(self, corpus_db):
+        vector = corpus_db.vector_of(corpus_db.default_feature, 0)
+        session = FeedbackSession(corpus_db, vector)
+        results = session.search(3)
+        assert results[0].image_id == 0
+
+    def test_unknown_image_id_rejected(self, corpus_db):
+        session = FeedbackSession(corpus_db, self._query_image())
+        with pytest.raises(Exception):
+            session.mark_relevant([987654])
+
+    def test_unknown_feature_rejected(self, corpus_db):
+        with pytest.raises(QueryError, match="unknown feature"):
+            FeedbackSession(corpus_db, self._query_image(), feature="nope")
+
+    def test_wrong_vector_dim_rejected(self, corpus_db):
+        with pytest.raises(QueryError, match="dim"):
+            FeedbackSession(corpus_db, np.zeros(3))
+
+    def test_empty_database_rejected(self):
+        schema = FeatureSchema([HSVHistogram((6, 2, 2), working_size=32)])
+        with pytest.raises(QueryError, match="empty"):
+            FeedbackSession(ImageDatabase(schema), np.zeros(24))
+
+    def test_repr_shows_counts(self, corpus_db):
+        session = FeedbackSession(corpus_db, self._query_image())
+        first = session.search(3)
+        session.mark_relevant([first[0].image_id])
+        assert "relevant=1" in repr(session)
+
+
+class TestVectorOfAccessor:
+    def test_returns_copy(self, corpus_db):
+        feature = corpus_db.default_feature
+        a = corpus_db.vector_of(feature, 0)
+        a[0] = 123.0
+        b = corpus_db.vector_of(feature, 0)
+        assert b[0] != 123.0
+
+    def test_unknown_id_rejected(self, corpus_db):
+        with pytest.raises(QueryError, match="no image"):
+            corpus_db.vector_of(corpus_db.default_feature, 424242)
+
+    def test_unknown_feature_rejected(self, corpus_db):
+        with pytest.raises(QueryError, match="unknown feature"):
+            corpus_db.vector_of("nope", 0)

@@ -1,0 +1,125 @@
+"""Tests for multi-feature combination and rank fusion."""
+
+import pytest
+
+from repro.db.query import (
+    RetrievalResult,
+    borda_fuse,
+    combine_feature_distances,
+    reciprocal_rank_fuse,
+)
+from repro.errors import QueryError
+
+
+class TestCombineFeatureDistances:
+    def test_single_feature_preserves_order(self):
+        distances = {"color": {1: 0.1, 2: 0.5, 3: 0.3}}
+        combined = combine_feature_distances(distances, {"color": 1.0})
+        ranked = sorted(combined, key=lambda c: combined[c][0])
+        assert ranked == [1, 3, 2]
+
+    def test_weights_shift_ranking(self):
+        per_feature = {
+            "color": {1: 0.0, 2: 1.0},
+            "texture": {1: 1.0, 2: 0.0},
+        }
+        color_heavy = combine_feature_distances(per_feature, {"color": 10.0, "texture": 1.0})
+        texture_heavy = combine_feature_distances(per_feature, {"color": 1.0, "texture": 10.0})
+        assert color_heavy[1][0] < color_heavy[2][0]
+        assert texture_heavy[2][0] < texture_heavy[1][0]
+
+    def test_missing_candidate_gets_worst_distance(self):
+        per_feature = {
+            "color": {1: 0.1, 2: 0.2},
+            "texture": {1: 0.3},  # candidate 2 unseen by texture
+        }
+        combined = combine_feature_distances(per_feature, {"color": 1.0, "texture": 1.0})
+        assert combined[2][1]["texture"] == pytest.approx(combined[1][1]["texture"])
+        assert combined[2][0] >= combined[1][0]
+
+    def test_scale_invariance_across_features(self):
+        # One feature's distances 1000x larger: median scaling equalizes.
+        per_feature = {
+            "a": {1: 100.0, 2: 300.0},
+            "b": {1: 0.3, 2: 0.1},
+        }
+        combined = combine_feature_distances(per_feature, {"a": 1.0, "b": 1.0})
+        # Candidate 1 best on a, candidate 2 best on b, equally scaled:
+        # combined scores tie.
+        assert combined[1][0] == pytest.approx(combined[2][0])
+
+    def test_detail_contains_scaled_distances(self):
+        combined = combine_feature_distances({"f": {5: 0.4}}, {"f": 1.0})
+        score, detail = combined[5]
+        assert set(detail) == {"f"}
+
+    def test_validation(self):
+        with pytest.raises(QueryError, match="no per-feature"):
+            combine_feature_distances({}, {})
+        with pytest.raises(QueryError, match="unknown"):
+            combine_feature_distances({"a": {1: 0.1}}, {"b": 1.0})
+        with pytest.raises(QueryError, match="non-negative"):
+            combine_feature_distances({"a": {1: 0.1}}, {"a": -1.0})
+        with pytest.raises(QueryError, match="positive"):
+            combine_feature_distances({"a": {1: 0.1}}, {"a": 0.0})
+
+    def test_empty_candidates(self):
+        assert combine_feature_distances({"a": {}}, {"a": 1.0}) == {}
+
+
+class TestBordaFuse:
+    def test_unanimous_winner(self):
+        rankings = [[1, 2, 3], [1, 3, 2], [1, 2, 3]]
+        assert borda_fuse(rankings, 1) == [1]
+
+    def test_consensus_beats_single_first_place(self):
+        # 9 is first once but absent elsewhere; 2 is second everywhere.
+        rankings = [[9, 2, 3], [2, 3, 4], [2, 4, 3]]
+        assert borda_fuse(rankings, 1) == [2]
+
+    def test_k_truncation(self):
+        rankings = [[1, 2, 3, 4]]
+        assert borda_fuse(rankings, 2) == [1, 2]
+
+    def test_deterministic_tie_break_by_id(self):
+        rankings = [[1], [2]]
+        assert borda_fuse(rankings, 2) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            borda_fuse([], 1)
+        with pytest.raises(QueryError):
+            borda_fuse([[1]], 0)
+
+
+class TestReciprocalRankFuse:
+    def test_unanimous_winner(self):
+        rankings = [[1, 2], [1, 3]]
+        assert reciprocal_rank_fuse(rankings, 1) == [1]
+
+    def test_appearing_in_more_lists_wins(self):
+        rankings = [[5, 1], [2, 1], [3, 1]]
+        assert reciprocal_rank_fuse(rankings, 1) == [1]
+
+    def test_smoothing_validated(self):
+        with pytest.raises(QueryError):
+            reciprocal_rank_fuse([[1]], 1, smoothing=0.0)
+
+    def test_k_and_rankings_validated(self):
+        with pytest.raises(QueryError):
+            reciprocal_rank_fuse([], 1)
+        with pytest.raises(QueryError):
+            reciprocal_rank_fuse([[1]], 0)
+
+
+class TestRetrievalResult:
+    def test_ordering_by_distance(self):
+        a = RetrievalResult(image_id=2, distance=0.1)
+        b = RetrievalResult(image_id=1, distance=0.2)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_tie_broken_by_id(self):
+        a = RetrievalResult(image_id=1, distance=0.1)
+        b = RetrievalResult(image_id=2, distance=0.1)
+        assert a < b

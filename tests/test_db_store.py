@@ -1,0 +1,173 @@
+"""Tests for the paged feature store."""
+
+import numpy as np
+import pytest
+
+from repro.db.store import FeatureStore
+from repro.errors import StoreError
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "test.feat"
+
+
+class TestLifecycle:
+    def test_create_and_reopen_empty(self, store_path):
+        with FeatureStore.create(store_path, dim=4):
+            pass
+        with FeatureStore.open(store_path) as store:
+            assert len(store) == 0
+            assert store.dim == 4
+
+    def test_create_refuses_existing(self, store_path):
+        FeatureStore.create(store_path, dim=4).close()
+        with pytest.raises(StoreError, match="exists"):
+            FeatureStore.create(store_path, dim=4)
+        FeatureStore.create(store_path, dim=4, overwrite=True).close()
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            FeatureStore.open(tmp_path / "nope.feat")
+
+    def test_open_rejects_bad_magic(self, store_path):
+        store_path.write_bytes(b"NOTASTORE" + b"\x00" * 32)
+        with pytest.raises(StoreError, match="magic"):
+            FeatureStore.open(store_path)
+
+    def test_open_rejects_short_file(self, store_path):
+        store_path.write_bytes(b"RF")
+        with pytest.raises(StoreError, match="short"):
+            FeatureStore.open(store_path)
+
+    def test_operations_after_close_fail(self, store_path):
+        store = FeatureStore.create(store_path, dim=2)
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.append([1.0, 2.0])
+        store.close()  # idempotent
+
+    def test_validates_create_parameters(self, store_path):
+        with pytest.raises(StoreError):
+            FeatureStore.create(store_path, dim=0)
+        with pytest.raises(StoreError):
+            FeatureStore.create(store_path, dim=4, page_records=0)
+
+
+class TestAppendGet:
+    def test_round_trip_within_session(self, store_path, rng):
+        vectors = rng.random((10, 6))
+        with FeatureStore.create(store_path, dim=6, page_records=4) as store:
+            slots = [store.append(v) for v in vectors]
+            assert slots == list(range(10))
+            for slot, vector in zip(slots, vectors):
+                assert np.allclose(store.get(slot), vector)
+
+    def test_round_trip_across_sessions(self, store_path, rng):
+        vectors = rng.random((10, 6))
+        with FeatureStore.create(store_path, dim=6, page_records=4) as store:
+            for v in vectors:
+                store.append(v)
+        with FeatureStore.open(store_path) as store:
+            assert len(store) == 10
+            for slot, vector in enumerate(vectors):
+                assert np.allclose(store.get(slot), vector)
+
+    def test_append_after_reopen(self, store_path, rng):
+        first = rng.random((5, 3))
+        second = rng.random((5, 3))
+        with FeatureStore.create(store_path, dim=3, page_records=4) as store:
+            for v in first:
+                store.append(v)
+        with FeatureStore.open(store_path) as store:
+            for v in second:
+                store.append(v)
+        with FeatureStore.open(store_path) as store:
+            assert len(store) == 10
+            everything = np.vstack([first, second])
+            for slot in range(10):
+                assert np.allclose(store.get(slot), everything[slot])
+
+    def test_get_out_of_range(self, store_path):
+        with FeatureStore.create(store_path, dim=2) as store:
+            store.append([1.0, 2.0])
+            with pytest.raises(StoreError, match="range"):
+                store.get(1)
+            with pytest.raises(StoreError, match="range"):
+                store.get(-1)
+
+    def test_append_validates_vector(self, store_path):
+        with FeatureStore.create(store_path, dim=3) as store:
+            with pytest.raises(StoreError, match="dim"):
+                store.append([1.0, 2.0])
+            with pytest.raises(StoreError, match="non-finite"):
+                store.append([1.0, np.nan, 2.0])
+
+    def test_get_returns_copy(self, store_path):
+        with FeatureStore.create(store_path, dim=2) as store:
+            store.append([1.0, 2.0])
+            vector = store.get(0)
+            vector[0] = 99.0
+            assert store.get(0)[0] == 1.0
+
+    def test_get_many_order(self, store_path, rng):
+        vectors = rng.random((8, 2))
+        with FeatureStore.create(store_path, dim=2, page_records=2) as store:
+            for v in vectors:
+                store.append(v)
+            out = store.get_many([5, 0, 3])
+            assert np.allclose(out, vectors[[5, 0, 3]])
+
+    def test_read_all(self, store_path, rng):
+        vectors = rng.random((9, 4))
+        with FeatureStore.create(store_path, dim=4, page_records=4) as store:
+            for v in vectors:
+                store.append(v)
+            assert np.allclose(store.read_all(), vectors)
+
+    def test_read_all_empty(self, store_path):
+        with FeatureStore.create(store_path, dim=4) as store:
+            assert store.read_all().shape == (0, 4)
+
+
+class TestPagingAndCache:
+    def test_page_reads_counted(self, store_path, rng):
+        vectors = rng.random((16, 2))
+        with FeatureStore.create(store_path, dim=2, page_records=4) as store:
+            for v in vectors:
+                store.append(v)
+        with FeatureStore.open(store_path, buffer_pages=2) as store:
+            store.get(0)   # page 0: miss
+            store.get(1)   # page 0: hit
+            store.get(4)   # page 1: miss
+            store.get(8)   # page 2: miss, evicts page 0
+            store.get(0)   # page 0: miss again
+            assert store.page_reads == 4
+            assert store.pool.hits == 1
+
+    def test_sequential_locality(self, store_path, rng):
+        vectors = rng.random((64, 2))
+        with FeatureStore.create(store_path, dim=2, page_records=8) as store:
+            for v in vectors:
+                store.append(v)
+        with FeatureStore.open(store_path, buffer_pages=2) as store:
+            for slot in range(64):
+                store.get(slot)
+            assert store.page_reads == 8  # one miss per page
+
+    def test_tail_reads_before_flush(self, store_path):
+        with FeatureStore.create(store_path, dim=2, page_records=100) as store:
+            store.append([1.0, 2.0])
+            # Unflushed tail page must still be readable.
+            assert np.allclose(store.get(0), [1.0, 2.0])
+
+    def test_crash_before_flush_loses_tail_only(self, store_path):
+        store = FeatureStore.create(store_path, dim=2, page_records=4)
+        store.append([1.0, 1.0])
+        store.flush()
+        store.append([2.0, 2.0])
+        # Simulate crash: drop the handle without close/flush.
+        store._file.close()
+        with FeatureStore.open(store_path) as reopened:
+            assert len(reopened) == 1
+            assert np.allclose(reopened.get(0), [1.0, 1.0])

@@ -1,0 +1,140 @@
+"""Tests for corpus generation and relevance judgments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.datasets import (
+    CORPUS_CLASS_NAMES,
+    gaussian_clusters,
+    make_class_image,
+    make_corpus,
+    make_corpus_images,
+    uniform_vectors,
+)
+from repro.eval.groundtruth import RelevanceJudgments
+
+
+class TestCorpus:
+    def test_eight_classes(self):
+        assert len(CORPUS_CLASS_NAMES) == 8
+
+    def test_corpus_size_and_labels(self):
+        corpus = make_corpus(2, size=16, seed=0)
+        assert len(corpus) == 16
+        labels = [label for _, label in corpus]
+        for name in CORPUS_CLASS_NAMES:
+            assert labels.count(name) == 2
+
+    def test_deterministic_given_seed(self):
+        a = make_corpus(1, size=16, seed=3)
+        b = make_corpus(1, size=16, seed=3)
+        for (img_a, lbl_a), (img_b, lbl_b) in zip(a, b):
+            assert lbl_a == lbl_b
+            assert img_a == img_b
+
+    def test_different_seeds_differ(self):
+        a = make_corpus(1, size=16, seed=1)
+        b = make_corpus(1, size=16, seed=2)
+        assert any(img_a != img_b for (img_a, _), (img_b, _) in zip(a, b))
+
+    def test_requested_image_size(self):
+        corpus = make_corpus(1, size=24, seed=0)
+        for image, _ in corpus:
+            assert image.width == 24
+            assert image.height == 24
+
+    def test_subset_of_classes(self):
+        corpus = make_corpus(3, size=16, seed=0, classes=("noise_fine",))
+        assert len(corpus) == 3
+        assert all(label == "noise_fine" for _, label in corpus)
+
+    def test_parallel_lists_variant(self):
+        images, labels = make_corpus_images(1, size=16, seed=0)
+        assert len(images) == len(labels) == 8
+
+    def test_unknown_class_rejected(self, rng):
+        with pytest.raises(ReproError, match="unknown corpus class"):
+            make_class_image("cats", rng)
+
+    def test_per_class_validated(self):
+        with pytest.raises(ReproError):
+            make_corpus(0)
+
+    def test_classes_visually_distinct(self):
+        # Mean color separates at least the color classes.
+        images, labels = make_corpus_images(1, size=32, seed=0)
+        by_label = dict(zip(labels, images))
+        red_mean = by_label["red_scenes"].pixels[..., 0].mean()
+        green_mean = by_label["green_scenes"].pixels[..., 1].mean()
+        assert red_mean > by_label["green_scenes"].pixels[..., 0].mean()
+        assert green_mean > by_label["red_scenes"].pixels[..., 1].mean()
+
+
+class TestVectorDatasets:
+    def test_uniform_shape_and_range(self):
+        vectors = uniform_vectors(50, 7, seed=0)
+        assert vectors.shape == (50, 7)
+        assert vectors.min() >= 0.0
+        assert vectors.max() <= 1.0
+
+    def test_uniform_deterministic(self):
+        assert np.array_equal(uniform_vectors(10, 3, seed=5), uniform_vectors(10, 3, seed=5))
+
+    def test_uniform_validates(self):
+        with pytest.raises(ReproError):
+            uniform_vectors(0, 3)
+
+    def test_clusters_shape_and_labels(self):
+        vectors, labels = gaussian_clusters(100, 5, n_clusters=4, seed=0)
+        assert vectors.shape == (100, 5)
+        assert labels.shape == (100,)
+        assert set(labels) <= set(range(4))
+
+    def test_clusters_are_tight(self):
+        vectors, labels = gaussian_clusters(200, 4, n_clusters=4, cluster_std=0.01, seed=0)
+        for cluster in range(4):
+            members = vectors[labels == cluster]
+            if len(members) > 1:
+                spread = np.linalg.norm(members - members.mean(axis=0), axis=1).mean()
+                assert spread < 0.05
+
+    def test_clusters_validate(self):
+        with pytest.raises(ReproError):
+            gaussian_clusters(10, 2, n_clusters=0)
+        with pytest.raises(ReproError):
+            gaussian_clusters(10, 2, cluster_std=-0.1)
+
+
+class TestRelevanceJudgments:
+    def test_from_labels_excludes_self(self):
+        judgments = RelevanceJudgments.from_labels([0, 1, 2, 3], ["a", "a", "b", "a"])
+        assert judgments.relevant(0) == {1, 3}
+        assert judgments.relevant(2) == frozenset()
+
+    def test_n_relevant(self):
+        judgments = RelevanceJudgments.from_labels([0, 1, 2], ["x", "x", "x"])
+        assert judgments.n_relevant(0) == 2
+
+    def test_unknown_query(self):
+        judgments = RelevanceJudgments.from_labels([0], ["a"])
+        with pytest.raises(ReproError, match="no judgments"):
+            judgments.relevant(99)
+
+    def test_contains_and_len(self):
+        judgments = RelevanceJudgments.from_labels([0, 1], ["a", "b"])
+        assert 0 in judgments
+        assert 99 not in judgments
+        assert len(judgments) == 2
+
+    def test_filter_queries(self):
+        judgments = RelevanceJudgments.from_labels([0, 1, 2], ["a", "a", "a"])
+        filtered = judgments.filter_queries([1])
+        assert len(filtered) == 1
+        assert filtered.relevant(1) == {0, 2}
+
+    def test_validates_input(self):
+        with pytest.raises(ReproError, match="ids but"):
+            RelevanceJudgments.from_labels([0], ["a", "b"])
+        with pytest.raises(ReproError, match="unique"):
+            RelevanceJudgments.from_labels([0, 0], ["a", "b"])

@@ -1,0 +1,182 @@
+"""Tests for retrieval-quality metrics and distance-distribution stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.metrics import (
+    average_precision,
+    f1_score,
+    mean_average_precision,
+    mean_precision_at_k,
+    precision_at_k,
+    precision_recall_curve,
+    recall_at_k,
+)
+from repro.eval.stats import (
+    distance_histogram,
+    distance_sample,
+    estimate_radius_for_selectivity,
+    intrinsic_dimensionality,
+)
+from repro.metrics.minkowski import EuclideanDistance
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 2) == 0.5
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, 4) == 0.5
+        assert precision_at_k([1, 3], {1, 3}, 2) == 1.0
+
+    def test_precision_short_ranking_penalized(self):
+        assert precision_at_k([1], {1}, 5) == 0.2
+
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 2, 3], {1, 9}, 3) == 0.5
+        assert recall_at_k([1, 9], {1, 9}, 2) == 1.0
+
+    def test_recall_empty_relevant_is_one(self):
+        assert recall_at_k([1, 2], frozenset(), 2) == 1.0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            precision_at_k([1, 1], {1}, 2)
+
+    def test_k_validated(self):
+        with pytest.raises(ReproError):
+            precision_at_k([1], {1}, 0)
+
+    def test_f1(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+        with pytest.raises(ReproError):
+            f1_score(-0.1, 0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 9, 8], {1, 2}) == 1.0
+
+    def test_worst_ranking(self):
+        # Both relevant at the end of 4: (1/3 + 2/4) / 2
+        assert average_precision([8, 9, 1, 2], {1, 2}) == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_missing_relevant_items_lower_score(self):
+        assert average_precision([1], {1, 2}) == pytest.approx(0.5)
+
+    def test_empty_relevant_is_one(self):
+        assert average_precision([1, 2], frozenset()) == 1.0
+
+    def test_map_over_workload(self):
+        rankings = {0: [1, 2], 1: [9, 3]}
+        judgments = {0: {1}, 1: {3}}
+        expected = (1.0 + 0.5) / 2
+        assert mean_average_precision(rankings, judgments) == pytest.approx(expected)
+
+    def test_map_duck_types_judgment_object(self):
+        from repro.eval.groundtruth import RelevanceJudgments
+
+        judgments = RelevanceJudgments.from_labels([0, 1, 2], ["a", "a", "b"])
+        rankings = {0: [1, 2], 2: [0, 1]}
+        value = mean_average_precision(rankings, judgments)
+        assert 0.0 <= value <= 1.0
+
+    def test_map_validates_empty(self):
+        with pytest.raises(ReproError):
+            mean_average_precision({}, {})
+
+    def test_mean_precision_at_k(self):
+        rankings = {0: [1, 2], 1: [2, 3]}
+        judgments = {0: {1, 2}, 1: {9}}
+        assert mean_precision_at_k(rankings, judgments, 2) == pytest.approx(0.5)
+
+
+class TestPRCurve:
+    def test_monotone_recall(self):
+        precision, recall = precision_recall_curve([1, 9, 2, 8], {1, 2})
+        assert np.all(np.diff(recall) >= 0)
+        assert recall[-1] == 1.0
+
+    def test_values(self):
+        precision, recall = precision_recall_curve([1, 9], {1, 2})
+        assert precision.tolist() == [1.0, 0.5]
+        assert recall.tolist() == [0.5, 0.5]
+
+    def test_empty_relevant(self):
+        precision, recall = precision_recall_curve([1, 2], frozenset())
+        assert np.all(precision == 0.0)
+        assert np.all(recall == 1.0)
+
+
+class TestDistanceStats:
+    def test_sample_size_and_positivity(self, rng):
+        vectors = rng.random((50, 4))
+        sample = distance_sample(EuclideanDistance(), vectors, n_pairs=200, seed=1)
+        assert sample.shape == (200,)
+        assert np.all(sample >= 0.0)
+
+    def test_sample_excludes_self_pairs(self):
+        # Two distinct points: every sampled pair has positive distance.
+        vectors = np.array([[0.0, 0.0], [1.0, 1.0]])
+        sample = distance_sample(EuclideanDistance(), vectors, n_pairs=50, seed=0)
+        assert np.all(sample > 0.0)
+
+    def test_sample_validates(self, rng):
+        with pytest.raises(ReproError):
+            distance_sample(EuclideanDistance(), rng.random((1, 3)))
+        with pytest.raises(ReproError):
+            distance_sample(EuclideanDistance(), rng.random((5, 3)), n_pairs=0)
+
+    def test_intrinsic_dim_grows_with_embedding_dim(self):
+        low = intrinsic_dimensionality(
+            EuclideanDistance(), np.random.default_rng(0).random((300, 2)), seed=0
+        )
+        high = intrinsic_dimensionality(
+            EuclideanDistance(), np.random.default_rng(0).random((300, 32)), seed=0
+        )
+        assert high > low * 3
+
+    def test_intrinsic_dim_clustered_below_uniform(self):
+        from repro.eval.datasets import gaussian_clusters, uniform_vectors
+
+        uniform = uniform_vectors(300, 16, seed=0)
+        clustered, _ = gaussian_clusters(300, 16, n_clusters=5, cluster_std=0.02, seed=0)
+        metric = EuclideanDistance()
+        assert intrinsic_dimensionality(metric, clustered, seed=0) < intrinsic_dimensionality(
+            metric, uniform, seed=0
+        )
+
+    def test_identical_points_zero_or_inf(self):
+        vectors = np.zeros((10, 3))
+        assert intrinsic_dimensionality(EuclideanDistance(), vectors, seed=0) == 0.0
+
+    def test_radius_for_selectivity_monotone(self, rng):
+        vectors = rng.random((200, 4))
+        metric = EuclideanDistance()
+        r10 = estimate_radius_for_selectivity(metric, vectors, 0.1, seed=0)
+        r50 = estimate_radius_for_selectivity(metric, vectors, 0.5, seed=0)
+        assert r10 < r50
+
+    def test_radius_achieves_target_selectivity(self, rng):
+        vectors = rng.random((300, 3))
+        metric = EuclideanDistance()
+        radius = estimate_radius_for_selectivity(metric, vectors, 0.2, n_pairs=4000, seed=0)
+        from repro.index.linear import LinearScanIndex
+
+        index = LinearScanIndex(metric).build(list(range(300)), vectors)
+        sizes = [
+            len(index.range_search(vectors[i], radius)) for i in range(0, 300, 30)
+        ]
+        achieved = np.mean(sizes) / 300
+        assert 0.1 < achieved < 0.35
+
+    def test_selectivity_validated(self, rng):
+        with pytest.raises(ReproError):
+            estimate_radius_for_selectivity(EuclideanDistance(), rng.random((10, 2)), 0.0)
+
+    def test_distance_histogram(self, rng):
+        counts, edges = distance_histogram(EuclideanDistance(), rng.random((50, 3)), bins=16)
+        assert counts.shape == (16,)
+        assert edges.shape == (17,)
+        assert counts.sum() == 2000  # default n_pairs

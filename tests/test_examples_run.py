@@ -1,0 +1,79 @@
+"""Smoke tests: every shipped example must run and tell its story.
+
+Each example is executed in-process (same interpreter, stdout captured)
+and checked for the landmark lines of its narrative — so a refactor that
+breaks an example's imports, API calls, or headline claim fails CI, not
+a user's first five minutes with the library.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    """Execute one example as __main__ and return its stdout."""
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    saved_argv = sys.argv
+    sys.argv = [str(script)]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "top-5 by HSV histogram" in out
+    assert "distance computations" in out
+
+
+def test_photo_search(capsys):
+    out = _run("photo_search.py", capsys)
+    assert "precision" in out.lower() or "fusion" in out.lower()
+
+
+def test_near_duplicates(capsys):
+    out = _run("near_duplicates.py", capsys)
+    assert "duplicate" in out.lower()
+
+
+def test_texture_browser(capsys):
+    out = _run("texture_browser.py", capsys)
+    assert "texture" in out.lower()
+
+
+def test_relevance_feedback(capsys):
+    out = _run("relevance_feedback.py", capsys)
+    assert "round 0" in out or "round" in out
+    assert "hue bins" in out
+
+
+def test_gemini_search(capsys):
+    out = _run("gemini_search.py", capsys)
+    assert "answered exactly" in out
+    assert "FastMap" in out
+
+
+def test_browse_neighbors(capsys):
+    out = _run("browse_neighbors.py", capsys)
+    assert "browsing served" in out
+    assert "x more" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [p.name for p in sorted(EXAMPLES.glob("*.py"))],
+)
+def test_every_example_has_docstring_and_main(name):
+    """Examples are documentation: each needs a docstring and a main()."""
+    text = (EXAMPLES / name).read_text()
+    assert text.lstrip().startswith('"""'), name
+    assert "def main()" in text, name
+    assert 'if __name__ == "__main__":' in text, name

@@ -1,0 +1,82 @@
+"""Tests for the extractor protocol and vector utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.base import (
+    FeatureExtractor,
+    l1_normalize,
+    l2_normalize,
+    minmax_normalize,
+)
+from repro.image.core import Image
+
+
+class _ConstantExtractor(FeatureExtractor):
+    def __init__(self, output):
+        self._name = "constant"
+        self._dim = 3
+        self._output = output
+
+    def _extract(self, image):
+        return self._output
+
+
+class TestNormalizers:
+    def test_l1_sums_to_one(self, rng):
+        v = l1_normalize(rng.random(16))
+        assert v.sum() == pytest.approx(1.0)
+
+    def test_l1_zero_vector_passthrough(self):
+        assert np.array_equal(l1_normalize(np.zeros(4)), np.zeros(4))
+
+    def test_l2_unit_norm(self, rng):
+        v = l2_normalize(rng.random(16))
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_l2_zero_vector_passthrough(self):
+        assert np.array_equal(l2_normalize(np.zeros(4)), np.zeros(4))
+
+    def test_minmax_range(self, rng):
+        v = minmax_normalize(rng.normal(size=16))
+        assert v.min() == pytest.approx(0.0)
+        assert v.max() == pytest.approx(1.0)
+
+    def test_minmax_constant_maps_to_zeros(self):
+        assert np.array_equal(minmax_normalize(np.full(4, 3.0)), np.zeros(4))
+
+    def test_normalizers_return_copies(self):
+        original = np.array([1.0, 1.0])
+        for fn in (l1_normalize, l2_normalize, minmax_normalize):
+            out = fn(original)
+            out[0] = 99.0
+            assert original[0] == 1.0
+
+
+class TestExtractorContract:
+    def test_valid_output_passes(self, gray_image):
+        extractor = _ConstantExtractor(np.array([1.0, 2.0, 3.0]))
+        out = extractor.extract(gray_image)
+        assert out.shape == (3,)
+        assert out.dtype == np.float64
+
+    def test_wrong_dim_raises(self, gray_image):
+        extractor = _ConstantExtractor(np.array([1.0, 2.0]))
+        with pytest.raises(FeatureError, match="declared dim"):
+            extractor.extract(gray_image)
+
+    def test_non_finite_raises(self, gray_image):
+        extractor = _ConstantExtractor(np.array([1.0, np.nan, 3.0]))
+        with pytest.raises(FeatureError, match="non-finite"):
+            extractor.extract(gray_image)
+
+    def test_non_image_input_raises(self):
+        extractor = _ConstantExtractor(np.zeros(3))
+        with pytest.raises(FeatureError, match="requires an Image"):
+            extractor.extract(np.zeros((4, 4)))
+
+    def test_repr_mentions_name_and_dim(self):
+        extractor = _ConstantExtractor(np.zeros(3))
+        assert "constant" in repr(extractor)
+        assert "dim=3" in repr(extractor)

@@ -1,0 +1,207 @@
+"""Tests for edge and shape features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.edges import EdgeDensity, EdgeOrientationHistogram
+from repro.features.shape import (
+    RegionMoments,
+    ShapeHistogram,
+    chamfer_propagate,
+    distance_transform,
+    salience_distance_transform,
+)
+from repro.image import synth, transforms
+from repro.image.core import Image
+
+
+class TestEdgeOrientationHistogram:
+    def test_normalized(self, scene_image):
+        h = EdgeOrientationHistogram(18).extract(scene_image)
+        assert h.shape == (18,)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_vertical_stripes_peak_at_zero_orientation(self):
+        img = synth.stripes(64, 64, 8.0, angle=0.0)
+        h = EdgeOrientationHistogram(18).extract(img)
+        # Vertical stripes -> horizontal gradient -> orientation ~0 (folded).
+        assert np.argmax(h) in (0, 17)
+
+    def test_horizontal_stripes_peak_at_quarter_turn(self):
+        img = synth.stripes(64, 64, 8.0, angle=np.pi / 2)
+        h = EdgeOrientationHistogram(18).extract(img)
+        assert abs(int(np.argmax(h)) - 9) <= 1
+
+    def test_distinguishes_stripe_orientations(self):
+        horizontal = synth.stripes(64, 64, 8.0, angle=np.pi / 2)
+        diagonal = synth.stripes(64, 64, 8.0, angle=np.pi / 4)
+        extractor = EdgeOrientationHistogram(18)
+        d = np.abs(extractor.extract(horizontal) - extractor.extract(diagonal)).sum()
+        assert d > 0.5
+
+    def test_not_rotation_invariant_but_shift_related(self):
+        # The paper's point: rotating the image circularly shifts the
+        # orientation histogram.
+        img = synth.stripes(64, 64, 8.0, angle=0.0)
+        rotated = transforms.rotate90(img)
+        extractor = EdgeOrientationHistogram(18)
+        h = extractor.extract(img)
+        h_rot = extractor.extract(rotated)
+        assert np.abs(h - h_rot).sum() > 0.5  # not invariant
+        shifted = np.roll(h, 9)  # 90 degrees = 9 bins of 10 degrees
+        assert np.abs(shifted - h_rot).sum() < 0.2  # but shift-matched
+
+    def test_unweighted_mode(self, scene_image):
+        h = EdgeOrientationHistogram(18, magnitude_weighted=False).extract(scene_image)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_flat_image_gives_zero_histogram(self):
+        h = EdgeOrientationHistogram(18).extract(Image.full(32, 32, 0.5))
+        assert np.allclose(h, 0.0)
+
+    def test_validates(self):
+        with pytest.raises(FeatureError):
+            EdgeOrientationHistogram(1)
+        with pytest.raises(FeatureError):
+            EdgeOrientationHistogram(18, sigma=-1.0)
+
+
+class TestEdgeDensity:
+    def test_busy_beats_flat(self, rng):
+        busy = synth.checkerboard(64, 64, 4)
+        flat = synth.value_noise(64, 64, rng, scale=32)
+        extractor = EdgeDensity()
+        assert extractor.extract(busy)[0] > extractor.extract(flat)[0]
+
+    def test_range(self, scene_image):
+        value = EdgeDensity().extract(scene_image)[0]
+        assert 0.0 <= value <= 1.0
+
+
+class TestChamferPropagation:
+    def test_distance_to_single_seed(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        dt = distance_transform(mask)
+        assert dt[4, 4] == 0.0
+        assert dt[4, 8] == pytest.approx(4.0)          # axial
+        assert dt[8, 8] == pytest.approx(4 * np.sqrt(2))  # diagonal
+        assert dt[0, 0] == pytest.approx(4 * np.sqrt(2))
+
+    def test_mixed_path(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 0] = True
+        dt = distance_transform(mask)
+        # (2, 5): 2 diagonal + 3 axial steps.
+        assert dt[2, 5] == pytest.approx(2 * np.sqrt(2) + 3)
+
+    def test_empty_mask_gives_inf(self):
+        dt = distance_transform(np.zeros((4, 4), dtype=bool))
+        assert np.all(np.isinf(dt))
+
+    def test_full_mask_gives_zero(self):
+        dt = distance_transform(np.ones((4, 4), dtype=bool))
+        assert np.all(dt == 0.0)
+
+    def test_nonuniform_seeds(self):
+        seeds = np.full((1, 5), np.inf)
+        seeds[0, 0] = 2.0
+        seeds[0, 4] = 0.0
+        dt = chamfer_propagate(seeds)
+        # Position 1: min(2 + 1, 0 + 3) = 3; position 3: min(2+3, 0+1)=1.
+        assert dt[0, 1] == pytest.approx(3.0)
+        assert dt[0, 3] == pytest.approx(1.0)
+
+    def test_monotone_in_seed_costs(self, rng):
+        mask = rng.random((16, 16)) < 0.1
+        if not mask.any():
+            mask[0, 0] = True
+        base = distance_transform(mask)
+        seeded = chamfer_propagate(np.where(mask, 1.0, np.inf))
+        assert np.all(seeded >= base)
+        assert np.allclose(seeded, base + 1.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FeatureError):
+            chamfer_propagate(np.zeros(5))
+
+
+class TestSalienceDistanceTransform:
+    def test_strong_edges_dominate(self):
+        # One strong edge and one weak edge: near the weak edge, the SDT
+        # is larger than the plain DT would be.
+        img = np.full((32, 32), 0.5)
+        img[:, 16:] = 1.0     # strong edge at x=16
+        img[8, 4] = 0.52      # tiny blip at (8, 4)
+        sdt = salience_distance_transform(Image(img), sigma=0.0)
+        assert sdt[8, 15] < sdt[8, 5]  # strong edge pulls harder
+
+    def test_flat_image_is_all_inf(self):
+        sdt = salience_distance_transform(Image.full(16, 16, 0.5), sigma=0.0)
+        assert np.all(np.isinf(sdt))
+
+    def test_validates_scale(self, gray_image):
+        with pytest.raises(FeatureError):
+            salience_distance_transform(gray_image, salience_scale=-1.0)
+
+
+class TestShapeHistogram:
+    def test_normalized(self, scene_image):
+        h = ShapeHistogram(16).extract(scene_image)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_cluttered_vs_sparse(self, rng):
+        # Cluttered: mass at small distances; sparse: mass spread farther.
+        cluttered = synth.checkerboard(64, 64, 4)
+        sparse = synth.draw_disk(synth.solid(64, 64, (0.2,) * 3), (32, 32), 6, (0.9,) * 3)
+        extractor = ShapeHistogram(16, salience=False)
+        h_cluttered = extractor.extract(cluttered)
+        h_sparse = extractor.extract(sparse)
+        assert h_cluttered[0] > h_sparse[0]
+
+    def test_featureless_image_mass_in_last_cell(self):
+        h = ShapeHistogram(16).extract(Image.full(32, 32, 0.5))
+        assert h[-1] == pytest.approx(1.0)
+
+    def test_plain_dt_variant(self, scene_image):
+        h = ShapeHistogram(16, salience=False).extract(scene_image)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_validates(self):
+        with pytest.raises(FeatureError):
+            ShapeHistogram(1)
+        with pytest.raises(FeatureError):
+            ShapeHistogram(16, max_fraction=0.0)
+
+
+class TestRegionMoments:
+    def test_dim(self):
+        assert RegionMoments().dim == 5
+
+    def test_centroid_tracks_object(self):
+        left = synth.draw_disk(synth.solid(64, 64, (0.1,) * 3), (16, 32), 8, (0.9,) * 3)
+        right = synth.draw_disk(synth.solid(64, 64, (0.1,) * 3), (48, 32), 8, (0.9,) * 3)
+        m_left = RegionMoments().extract(left)
+        m_right = RegionMoments().extract(right)
+        assert m_left[1] < 0.5 < m_right[1]  # centroid x
+
+    def test_disk_has_low_eccentricity(self):
+        disk = synth.draw_disk(synth.solid(64, 64, (0.1,) * 3), (32, 32), 12, (0.9,) * 3)
+        assert RegionMoments().extract(disk)[3] < 0.4
+
+    def test_bar_has_high_eccentricity(self):
+        bar = synth.draw_rectangle(
+            synth.solid(64, 64, (0.1,) * 3), (8, 28), (56, 36), (0.9,) * 3
+        )
+        assert RegionMoments().extract(bar)[3] > 0.8
+
+    def test_area_fraction(self):
+        disk = synth.draw_disk(synth.solid(64, 64, (0.1,) * 3), (32, 32), 12, (0.9,) * 3)
+        area = RegionMoments().extract(disk)[0]
+        assert area == pytest.approx(np.pi * 12**2 / 64**2, rel=0.2)
+
+    def test_flat_image_gives_zeros_or_valid(self):
+        m = RegionMoments().extract(Image.full(32, 32, 0.5))
+        assert m.shape == (5,)
+        assert np.all(np.isfinite(m))

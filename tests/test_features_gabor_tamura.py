@@ -1,0 +1,253 @@
+"""Tests for the Gabor filter bank and Tamura texture features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.gabor import (
+    GaborFeatures,
+    gabor_bank,
+    gabor_kernel,
+    gabor_response_magnitude,
+)
+from repro.features.tamura import (
+    TamuraFeatures,
+    tamura_coarseness,
+    tamura_contrast,
+    tamura_directionality,
+)
+from repro.image import synth
+from repro.image.core import Image
+
+
+def _stripes(angle, period=8.0, size=64):
+    return synth.stripes(
+        size, size, period, angle=angle, color_a=(0.1,) * 3, color_b=(0.9,) * 3
+    ).to_gray()
+
+
+def _noise(rng, size=64):
+    return synth.gaussian_noise_image(size, size, rng, mean=0.5, std=0.15, channels=1)
+
+
+class TestGaborKernel:
+    def test_kernel_is_zero_mean_and_unit_norm(self):
+        kernel = gabor_kernel(6.0, 0.3)
+        assert kernel.mean() == pytest.approx(0.0, abs=1e-12)
+        assert np.linalg.norm(kernel) == pytest.approx(1.0)
+
+    def test_kernel_is_odd_sized_square(self):
+        kernel = gabor_kernel(4.0, 0.0)
+        assert kernel.shape[0] == kernel.shape[1]
+        assert kernel.shape[0] % 2 == 1
+
+    def test_kernel_size_grows_with_wavelength(self):
+        small = gabor_kernel(3.0, 0.0)
+        large = gabor_kernel(12.0, 0.0)
+        assert large.shape[0] > small.shape[0]
+
+    def test_rotation_by_pi_is_identity_for_even_phase(self):
+        a = gabor_kernel(5.0, 0.4, phase=0.0)
+        b = gabor_kernel(5.0, 0.4 + np.pi, phase=0.0)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(FeatureError):
+            gabor_kernel(1.0, 0.0)
+        with pytest.raises(FeatureError):
+            gabor_kernel(4.0, 0.0, sigma_ratio=0.0)
+        with pytest.raises(FeatureError):
+            gabor_kernel(4.0, 0.0, gamma=-1.0)
+
+    def test_bank_layout(self):
+        bank = gabor_bank(3, 4, min_wavelength=3.0)
+        assert len(bank) == 12
+        wavelengths = sorted({w for w, _ in bank})
+        assert wavelengths == [3.0, 6.0, 12.0]
+        orientations = sorted({o for _, o in bank})
+        assert len(orientations) == 4
+
+    def test_bank_rejects_bad_arguments(self):
+        with pytest.raises(FeatureError):
+            gabor_bank(0, 4)
+
+
+class TestGaborResponse:
+    def test_tuned_filter_responds_strongest(self):
+        """A stripe pattern excites the filter tuned to its orientation."""
+        image = _stripes(angle=0.0, period=8.0)
+        tuned = gabor_response_magnitude(image.pixels, 8.0, 0.0).mean()
+        orthogonal = gabor_response_magnitude(image.pixels, 8.0, np.pi / 2).mean()
+        assert tuned > 3.0 * orthogonal
+
+    def test_constant_image_gives_zero_response(self):
+        flat = np.full((32, 32), 0.7)
+        response = gabor_response_magnitude(flat, 6.0, 0.5)
+        assert response.max() < 1e-9
+
+    def test_magnitude_is_phase_invariant(self):
+        """Shifting the stripes must not change the response energy much."""
+        a = synth.stripes(64, 64, 8.0, angle=0.0).to_gray()
+        b = Image(np.roll(a.pixels, 4, axis=1))  # half a period sideways
+        resp_a = gabor_response_magnitude(a.pixels, 8.0, 0.0).mean()
+        resp_b = gabor_response_magnitude(b.pixels, 8.0, 0.0).mean()
+        assert resp_a == pytest.approx(resp_b, rel=0.15)
+
+
+class TestGaborFeatures:
+    def test_declared_dim_matches_output(self, rgb_image):
+        extractor = GaborFeatures(2, 3)
+        assert extractor.dim == 12
+        assert extractor.extract(rgb_image).shape == (12,)
+
+    def test_separates_stripe_orientations(self):
+        """Horizontal vs diagonal stripes: same colors, different channels."""
+        extractor = GaborFeatures(3, 4)
+        horizontal = extractor.extract(_stripes(np.pi / 2))
+        diagonal = extractor.extract(_stripes(np.pi / 4))
+        separation = float(np.linalg.norm(horizontal - diagonal))
+        same_a = extractor.extract(_stripes(np.pi / 2, period=8.5))
+        within = float(np.linalg.norm(horizontal - same_a))
+        assert separation > 2.0 * within
+
+    def test_deterministic(self, scene_image):
+        extractor = GaborFeatures()
+        assert np.array_equal(
+            extractor.extract(scene_image), extractor.extract(scene_image)
+        )
+
+    def test_rgb_and_gray_agree_on_achromatic_input(self):
+        gray = _stripes(0.3)
+        extractor = GaborFeatures(2, 2)
+        assert np.allclose(
+            extractor.extract(gray), extractor.extract(gray.to_rgb()), atol=1e-9
+        )
+
+    def test_bank_property_matches_dim(self):
+        extractor = GaborFeatures(2, 5)
+        assert len(extractor.bank) * 2 == extractor.dim
+
+    def test_rejects_oversized_wavelength(self):
+        with pytest.raises(FeatureError, match="wavelength"):
+            GaborFeatures(5, 2, working_size=32)
+
+    def test_name_reflects_configuration(self):
+        assert GaborFeatures(3, 4).name == "gabor_3s_4o"
+
+
+class TestTamuraCoarseness:
+    def test_fine_texture_scores_low(self, rng):
+        fine = _noise(rng).pixels
+        coarse = synth.value_noise(64, 64, rng, scale=16, channels=1).pixels
+        assert tamura_coarseness(fine) < tamura_coarseness(coarse)
+
+    def test_checkerboard_scale_ordering(self):
+        small = synth.checkerboard(64, 64, 2, (0.0,) * 3, (1.0,) * 3).to_gray()
+        large = synth.checkerboard(64, 64, 16, (0.0,) * 3, (1.0,) * 3).to_gray()
+        assert tamura_coarseness(small.pixels) < tamura_coarseness(large.pixels)
+
+    def test_bounded_by_window_range(self, rng):
+        value = tamura_coarseness(_noise(rng).pixels, levels=4)
+        assert 2.0 <= value <= 16.0
+
+    def test_small_image_rejected(self):
+        with pytest.raises(FeatureError):
+            tamura_coarseness(np.zeros((4, 4)))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(FeatureError):
+            tamura_coarseness(np.zeros(16))
+        with pytest.raises(FeatureError):
+            tamura_coarseness(np.zeros((32, 32)), levels=0)
+
+
+class TestTamuraContrast:
+    def test_constant_image_is_zero(self):
+        assert tamura_contrast(np.full((32, 32), 0.5)) == 0.0
+
+    def test_binary_beats_gentle_gradient(self):
+        binary = synth.checkerboard(64, 64, 8, (0.0,) * 3, (1.0,) * 3).to_gray()
+        gradient = synth.linear_gradient(
+            64, 64, (0.45,) * 3, (0.55,) * 3, angle=0.0
+        ).to_gray()
+        assert tamura_contrast(binary.pixels) > 3.0 * tamura_contrast(gradient.pixels)
+
+    def test_scales_with_amplitude(self, rng):
+        base = rng.normal(0.0, 1.0, (48, 48))
+        narrow = 0.5 + 0.05 * base
+        wide = 0.5 + 0.20 * base
+        assert tamura_contrast(np.clip(wide, 0, 1)) > tamura_contrast(
+            np.clip(narrow, 0, 1)
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(FeatureError):
+            tamura_contrast(np.zeros(10))
+
+
+class TestTamuraDirectionality:
+    def test_stripes_are_directional(self):
+        assert tamura_directionality(_stripes(np.pi / 4).pixels) > 0.8
+
+    def test_isotropic_noise_is_not(self, rng):
+        assert tamura_directionality(_noise(rng).pixels) < 0.5
+
+    def test_stripes_beat_noise(self, rng):
+        stripes = tamura_directionality(_stripes(0.0).pixels)
+        noise = tamura_directionality(_noise(rng).pixels)
+        assert stripes > noise + 0.3
+
+    def test_flat_image_is_zero(self):
+        assert tamura_directionality(np.full((32, 32), 0.3)) == 0.0
+
+    def test_orientation_angle_does_not_matter_much(self):
+        horizontal = tamura_directionality(_stripes(np.pi / 2).pixels)
+        diagonal = tamura_directionality(_stripes(np.pi / 4).pixels)
+        assert horizontal == pytest.approx(diagonal, abs=0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(FeatureError):
+            tamura_directionality(np.zeros((32, 32)), bins=2)
+        with pytest.raises(FeatureError):
+            tamura_directionality(np.zeros((32, 32)), peak_factor=0.5)
+        with pytest.raises(FeatureError):
+            tamura_directionality(np.zeros(9))
+
+
+class TestTamuraFeatures:
+    def test_declared_dim_matches_output(self, rgb_image):
+        extractor = TamuraFeatures()
+        assert extractor.dim == 3
+        assert extractor.extract(rgb_image).shape == (3,)
+
+    def test_separates_texture_classes(self, rng):
+        """Checkerboard vs noise vs stripes land in different regions."""
+        extractor = TamuraFeatures()
+        stripes = extractor.extract(_stripes(0.0).to_rgb())
+        noise = extractor.extract(_noise(rng).to_rgb())
+        # Directionality separates them decisively.
+        assert stripes[2] > noise[2] + 0.3
+
+    def test_deterministic(self, scene_image):
+        extractor = TamuraFeatures()
+        assert np.array_equal(
+            extractor.extract(scene_image), extractor.extract(scene_image)
+        )
+
+    def test_configuration_validated(self):
+        with pytest.raises(FeatureError):
+            TamuraFeatures(working_size=8)
+        with pytest.raises(FeatureError):
+            TamuraFeatures(levels=0)
+        with pytest.raises(FeatureError):
+            TamuraFeatures(bins=3)
+
+    def test_name_reflects_configuration(self):
+        assert TamuraFeatures(levels=3, bins=8).name == "tamura_3l_8b"
+
+    def test_composable_in_schema(self, scene_image):
+        from repro.features.pipeline import FeatureSchema
+
+        schema = FeatureSchema([TamuraFeatures(), GaborFeatures(2, 2)])
+        signatures = schema.extract_all(scene_image)
+        assert set(signatures) == {"tamura_4l_16b", "gabor_2s_2o"}

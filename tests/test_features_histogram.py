@@ -1,0 +1,118 @@
+"""Tests for color histogram extractors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.histogram import (
+    GrayHistogram,
+    HSVHistogram,
+    RGBJointHistogram,
+    RGBMarginalHistogram,
+)
+from repro.image import synth, transforms
+from repro.image.core import Image
+
+
+class TestGrayHistogram:
+    def test_dim_and_normalization(self, gray_image):
+        h = GrayHistogram(32).extract(gray_image)
+        assert h.shape == (32,)
+        assert h.sum() == pytest.approx(1.0)
+        assert h.min() >= 0.0
+
+    def test_black_image_mass_in_first_bin(self):
+        h = GrayHistogram(16).extract(Image.zeros(8, 8))
+        assert h[0] == pytest.approx(1.0)
+
+    def test_white_image_mass_in_last_bin(self):
+        h = GrayHistogram(16).extract(Image.full(8, 8, 1.0))
+        assert h[-1] == pytest.approx(1.0)
+
+    def test_size_invariance(self, rng):
+        img = synth.value_noise(64, 64, rng)
+        small = img.resize(32, 32)
+        h_big = GrayHistogram(16).extract(img)
+        h_small = GrayHistogram(16).extract(small)
+        assert np.abs(h_big - h_small).sum() < 0.15
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(FeatureError):
+            GrayHistogram(0)
+        with pytest.raises(FeatureError):
+            GrayHistogram(8, working_size=0)
+
+
+class TestRGBJointHistogram:
+    def test_dim_is_levels_cubed(self):
+        assert RGBJointHistogram(4).dim == 64
+        assert RGBJointHistogram(2).dim == 8
+
+    def test_pure_red_in_expected_bin(self):
+        red = synth.solid(8, 8, (1.0, 0.0, 0.0))
+        h = RGBJointHistogram(2).extract(red)
+        assert h[4] == pytest.approx(1.0)  # code r=1,g=0,b=0 -> 4
+
+    def test_distinguishes_red_from_green(self):
+        red = synth.solid(16, 16, (0.9, 0.1, 0.1))
+        green = synth.solid(16, 16, (0.1, 0.9, 0.1))
+        extractor = RGBJointHistogram(4)
+        h_red = extractor.extract(red)
+        h_green = extractor.extract(green)
+        assert np.abs(h_red - h_green).sum() == pytest.approx(2.0)  # disjoint
+
+    def test_rotation_invariance(self, scene_image):
+        extractor = RGBJointHistogram(4)
+        h = extractor.extract(scene_image)
+        h_rot = extractor.extract(transforms.rotate90(scene_image))
+        assert np.abs(h - h_rot).sum() < 1e-9
+
+    def test_flip_invariance(self, scene_image):
+        extractor = RGBJointHistogram(4)
+        h = extractor.extract(scene_image)
+        h_flip = extractor.extract(transforms.flip_horizontal(scene_image))
+        assert np.abs(h - h_flip).sum() < 1e-9
+
+    def test_layout_blindness(self):
+        # Two different layouts with identical color mass: the histogram
+        # limitation the paper calls out explicitly.
+        top_red = synth.solid(16, 16, (0.0, 0.0, 1.0))
+        top_red = synth.draw_rectangle(top_red, (0, 0), (15, 7), (1.0, 0.0, 0.0))
+        bottom_red = synth.solid(16, 16, (0.0, 0.0, 1.0))
+        bottom_red = synth.draw_rectangle(bottom_red, (0, 8), (15, 15), (1.0, 0.0, 0.0))
+        extractor = RGBJointHistogram(4, working_size=16)
+        diff = np.abs(
+            extractor.extract(top_red) - extractor.extract(bottom_red)
+        ).sum()
+        assert diff < 0.1
+
+
+class TestRGBMarginalHistogram:
+    def test_dim(self):
+        assert RGBMarginalHistogram(32).dim == 96
+
+    def test_sections_individually_normalized(self, scene_image):
+        h = RGBMarginalHistogram(16).extract(scene_image)
+        for channel in range(3):
+            assert h[channel * 16 : (channel + 1) * 16].sum() == pytest.approx(1.0)
+
+
+class TestHSVHistogram:
+    def test_default_dim(self):
+        assert HSVHistogram().dim == 162
+
+    def test_normalized(self, scene_image):
+        h = HSVHistogram().extract(scene_image)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_hue_separation_better_than_value(self):
+        # Same value/saturation, different hue: HSV histogram separates.
+        red = synth.solid(16, 16, (0.8, 0.2, 0.2))
+        blue = synth.solid(16, 16, (0.2, 0.2, 0.8))
+        extractor = HSVHistogram((18, 3, 3))
+        diff = np.abs(extractor.extract(red) - extractor.extract(blue)).sum()
+        assert diff == pytest.approx(2.0)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(FeatureError):
+            HSVHistogram((18, 0, 3))

@@ -1,0 +1,130 @@
+"""Tests for color moments and the color auto-correlogram."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.correlogram import ColorAutoCorrelogram, auto_correlogram
+from repro.features.moments import ColorMoments
+from repro.image import synth
+from repro.image.core import Image
+
+
+class TestColorMoments:
+    def test_dim_is_nine(self):
+        assert ColorMoments().dim == 9
+
+    def test_constant_image_moments(self):
+        img = synth.solid(8, 8, (0.25, 0.5, 0.75))
+        m = ColorMoments("rgb").extract(img)
+        # mean per channel; std and skew zero.
+        assert m[0] == pytest.approx(0.25)
+        assert m[3] == pytest.approx(0.5)
+        assert m[6] == pytest.approx(0.75)
+        assert m[1] == m[2] == 0.0
+        assert m[4] == m[5] == 0.0
+
+    def test_symmetric_distribution_has_zero_skew(self):
+        # Half 0.2, half 0.8: symmetric around 0.5.
+        data = np.zeros((4, 4, 3))
+        data[:2] = 0.2
+        data[2:] = 0.8
+        m = ColorMoments("rgb").extract(Image(data))
+        # Cube root amplifies float error in the third moment: tolerance
+        # is cbrt(eps)-scale, not eps-scale.
+        assert m[2] == pytest.approx(0.0, abs=1e-4)
+
+    def test_skew_sign(self):
+        # Mostly dark with a bright tail: positive skew.
+        data = np.full((10, 10, 3), 0.1)
+        data[0, 0] = 1.0
+        m = ColorMoments("rgb").extract(Image(data))
+        assert m[2] > 0.0
+
+    def test_hsv_space_differs_from_rgb(self, scene_image):
+        rgb_m = ColorMoments("rgb").extract(scene_image)
+        hsv_m = ColorMoments("hsv").extract(scene_image)
+        assert not np.allclose(rgb_m, hsv_m)
+
+    def test_rejects_unknown_space(self):
+        with pytest.raises(FeatureError):
+            ColorMoments("lab")
+
+    def test_gray_image_broadcasts(self, gray_image):
+        m = ColorMoments("rgb").extract(gray_image)
+        assert m[0] == pytest.approx(m[3]) == pytest.approx(m[6])
+
+
+class TestAutoCorrelogramFunction:
+    def test_constant_image_probability_one(self):
+        codes = np.zeros((16, 16), dtype=int)
+        table = auto_correlogram(codes, 4, (1, 3))
+        assert table[0, 0] == pytest.approx(1.0)
+        assert np.all(table[:, 1:] == 0.0)  # absent colors
+
+    def test_fine_checkerboard_distance_one_is_zero(self):
+        # On a unit checkerboard, axial neighbours at distance 1 always
+        # differ; diagonal neighbours always match: probability = 2/8 ...
+        # computed per the 8-direction ring definition.
+        ys, xs = np.mgrid[0:16, 0:16]
+        codes = ((xs + ys) % 2).astype(int)
+        table = auto_correlogram(codes, 2, (1,))
+        # 4 diagonal directions match, 4 axial differ (up to borders).
+        assert 0.4 < table[0, 0] < 0.6
+        assert 0.4 < table[0, 1] < 0.6
+
+    def test_probabilities_in_unit_interval(self, rng):
+        codes = rng.integers(0, 8, (32, 32))
+        table = auto_correlogram(codes, 8, (1, 3, 5))
+        assert table.min() >= 0.0
+        assert table.max() <= 1.0
+
+    def test_coherent_region_beats_scattered(self, rng):
+        # Same color mass: one coherent block vs salt-and-pepper.
+        coherent = np.zeros((32, 32), dtype=int)
+        coherent[:16] = 1
+        scattered = rng.permuted(coherent.ravel()).reshape(32, 32)
+        t_coherent = auto_correlogram(coherent, 2, (1,))
+        t_scattered = auto_correlogram(scattered, 2, (1,))
+        assert t_coherent[0, 1] > t_scattered[0, 1] + 0.2
+
+    def test_rejects_bad_distances(self):
+        with pytest.raises(FeatureError):
+            auto_correlogram(np.zeros((4, 4), dtype=int), 2, (0,))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FeatureError):
+            auto_correlogram(np.zeros(16, dtype=int), 2, (1,))
+
+
+class TestColorAutoCorrelogramExtractor:
+    def test_dim(self):
+        extractor = ColorAutoCorrelogram(4, (1, 3, 5, 7))
+        assert extractor.dim == 64 * 4
+
+    def test_distinguishes_layout_with_same_histogram(self):
+        # The correlogram's raison d'etre: same color mass, different layout.
+        block = synth.solid(64, 64, (0.0, 0.0, 1.0))
+        block = synth.draw_rectangle(block, (0, 0), (63, 31), (1.0, 0.0, 0.0))
+        rng = np.random.default_rng(0)
+        pixels = block.pixels.reshape(-1, 3).copy()
+        rng.shuffle(pixels)
+        scattered = Image(pixels.reshape(64, 64, 3))
+
+        extractor = ColorAutoCorrelogram(2, (1, 3), working_size=64)
+        d = np.abs(extractor.extract(block) - extractor.extract(scattered)).sum()
+        assert d > 0.5
+
+    def test_deterministic(self, scene_image):
+        extractor = ColorAutoCorrelogram(2, (1, 3))
+        assert np.array_equal(
+            extractor.extract(scene_image), extractor.extract(scene_image)
+        )
+
+    def test_validates_parameters(self):
+        with pytest.raises(FeatureError):
+            ColorAutoCorrelogram(0)
+        with pytest.raises(FeatureError):
+            ColorAutoCorrelogram(4, ())
+        with pytest.raises(FeatureError, match="too small"):
+            ColorAutoCorrelogram(4, (1, 40), working_size=64)

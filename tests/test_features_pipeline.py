@@ -1,0 +1,118 @@
+"""Tests for FeatureSchema and CompositeExtractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor
+from repro.features.histogram import GrayHistogram, RGBJointHistogram
+from repro.features.moments import ColorMoments
+from repro.features.pipeline import (
+    CompositeExtractor,
+    FeatureSchema,
+    default_schema,
+    normalize_weights,
+)
+
+
+class TestFeatureSchema:
+    def test_registration_order_preserved(self):
+        schema = FeatureSchema([GrayHistogram(8), ColorMoments()])
+        assert schema.names == ("gray_hist_8", "color_moments_rgb")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FeatureError, match="duplicate"):
+            FeatureSchema([GrayHistogram(8), GrayHistogram(8)])
+
+    def test_lookup(self):
+        schema = FeatureSchema([GrayHistogram(8)])
+        assert isinstance(schema.get("gray_hist_8"), GrayHistogram)
+        with pytest.raises(FeatureError, match="unknown feature"):
+            schema.get("nope")
+
+    def test_contains_and_len(self):
+        schema = FeatureSchema([GrayHistogram(8)])
+        assert "gray_hist_8" in schema
+        assert "other" not in schema
+        assert len(schema) == 1
+
+    def test_extract_all(self, scene_image):
+        schema = FeatureSchema([GrayHistogram(8), ColorMoments()])
+        result = schema.extract_all(scene_image)
+        assert set(result) == {"gray_hist_8", "color_moments_rgb"}
+        assert result["gray_hist_8"].shape == (8,)
+        assert result["color_moments_rgb"].shape == (9,)
+
+    def test_total_dim(self):
+        schema = FeatureSchema([GrayHistogram(8), ColorMoments()])
+        assert schema.total_dim() == 17
+
+    def test_add_chains(self):
+        schema = FeatureSchema().add(GrayHistogram(8)).add(ColorMoments())
+        assert len(schema) == 2
+
+    def test_default_schema_extracts(self, scene_image):
+        schema = default_schema()
+        result = schema.extract_all(scene_image)
+        assert len(result) == len(schema)
+        for name, vector in result.items():
+            assert vector.shape == (schema.get(name).dim,)
+
+
+class TestCompositeExtractor:
+    def test_dim_is_sum(self):
+        composite = CompositeExtractor([GrayHistogram(8), ColorMoments()])
+        assert composite.dim == 17
+
+    def test_segments(self):
+        composite = CompositeExtractor([GrayHistogram(8), ColorMoments()])
+        assert composite.segments == [("gray_hist_8", 8), ("color_moments_rgb", 9)]
+
+    def test_weight_zero_blanks_segment(self, scene_image):
+        composite = CompositeExtractor(
+            [GrayHistogram(8), ColorMoments()], weights=[1.0, 0.0]
+        )
+        vector = composite.extract(scene_image)
+        assert np.allclose(vector[8:], 0.0)
+        assert not np.allclose(vector[:8], 0.0)
+
+    def test_l2_normalization_equalizes_segments(self, scene_image):
+        composite = CompositeExtractor(
+            [GrayHistogram(8), RGBJointHistogram(2)], normalize="l2"
+        )
+        vector = composite.extract(scene_image)
+        assert np.linalg.norm(vector[:8]) == pytest.approx(1.0)
+        assert np.linalg.norm(vector[8:]) == pytest.approx(1.0)
+
+    def test_none_normalization_keeps_raw(self, scene_image):
+        composite = CompositeExtractor([GrayHistogram(8)], normalize="none")
+        raw = GrayHistogram(8).extract(scene_image)
+        assert np.allclose(composite.extract(scene_image), raw)
+
+    def test_validates(self):
+        with pytest.raises(FeatureError):
+            CompositeExtractor([])
+        with pytest.raises(FeatureError, match="weights"):
+            CompositeExtractor([GrayHistogram(8)], weights=[1.0, 2.0])
+        with pytest.raises(FeatureError, match="non-negative"):
+            CompositeExtractor([GrayHistogram(8)], weights=[-1.0])
+        with pytest.raises(FeatureError, match="normalize"):
+            CompositeExtractor([GrayHistogram(8)], normalize="max")
+
+    def test_custom_name(self):
+        composite = CompositeExtractor([GrayHistogram(8)], name="combo")
+        assert composite.name == "combo"
+
+
+class TestNormalizeWeights:
+    def test_normalizes_to_unit_sum(self):
+        weights = normalize_weights({"a": 2.0, "b": 2.0}, ["a", "b", "c"])
+        assert weights == {"a": 0.5, "b": 0.5, "c": 0.0}
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(FeatureError, match="unknown"):
+            normalize_weights({"z": 1.0}, ["a"])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(FeatureError, match="positive"):
+            normalize_weights({"a": 0.0}, ["a"])

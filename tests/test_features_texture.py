@@ -1,0 +1,126 @@
+"""Tests for GLCM texture features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.texture import GLCMFeatures, STAT_NAMES, glcm, haralick_stats
+from repro.image import synth
+
+
+class TestGLCMMatrix:
+    def test_known_small_matrix(self):
+        codes = np.array([[0, 0, 1], [1, 2, 2], [2, 2, 3]])
+        matrix = glcm(codes, 4, (0, 1), symmetric=False, normalize=False)
+        # Horizontal pairs: (0,0) (0,1) / (1,2) (2,2) / (2,2) (2,3)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 2] == 1
+        assert matrix[2, 2] == 2
+        assert matrix[2, 3] == 1
+        assert matrix.sum() == 6
+
+    def test_symmetric_matrix_is_symmetric(self, rng):
+        codes = rng.integers(0, 8, (16, 16))
+        matrix = glcm(codes, 8, (1, 1))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_normalized_sums_to_one(self, rng):
+        codes = rng.integers(0, 8, (16, 16))
+        assert glcm(codes, 8, (0, 1)).sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(FeatureError):
+            glcm(np.zeros((4, 4), dtype=int), 4, (0, 0))
+
+    def test_rejects_oversized_offset(self):
+        with pytest.raises(FeatureError):
+            glcm(np.zeros((4, 4), dtype=int), 4, (0, 5))
+
+    def test_constant_image_concentrates_diagonal(self):
+        codes = np.full((8, 8), 3, dtype=int)
+        matrix = glcm(codes, 8, (0, 1))
+        assert matrix[3, 3] == pytest.approx(1.0)
+
+
+class TestHaralickStats:
+    def test_stat_order(self):
+        assert STAT_NAMES == ("energy", "entropy", "contrast", "homogeneity", "correlation")
+
+    def test_uniform_matrix_extremes(self):
+        levels = 8
+        uniform = np.full((levels, levels), 1.0 / levels**2)
+        stats = haralick_stats(uniform)
+        energy, entropy = stats[0], stats[1]
+        assert energy == pytest.approx(1.0 / levels**2)
+        assert entropy == pytest.approx(2 * np.log2(levels))
+
+    def test_delta_matrix_extremes(self):
+        matrix = np.zeros((8, 8))
+        matrix[2, 2] = 1.0
+        energy, entropy, contrast, homogeneity, correlation = haralick_stats(matrix)
+        assert energy == 1.0
+        assert entropy == 0.0
+        assert contrast == 0.0
+        assert homogeneity == 1.0
+        assert correlation == 0.0  # degenerate convention
+
+    def test_contrast_grows_with_off_diagonal_mass(self):
+        near = np.zeros((8, 8))
+        near[0, 1] = near[1, 0] = 0.5
+        far = np.zeros((8, 8))
+        far[0, 7] = far[7, 0] = 0.5
+        assert haralick_stats(far)[2] > haralick_stats(near)[2]
+
+    def test_correlation_bounds(self, rng):
+        codes = rng.integers(0, 8, (32, 32))
+        stats = haralick_stats(glcm(codes, 8, (0, 1)))
+        assert -1.0 <= stats[4] <= 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(FeatureError):
+            haralick_stats(np.zeros((3, 4)))
+
+
+class TestGLCMFeatures:
+    def test_mean_aggregate_dim(self):
+        assert GLCMFeatures(16, aggregate="mean").dim == 5
+
+    def test_concat_aggregate_dim(self):
+        assert GLCMFeatures(16, aggregate="concat").dim == 20
+
+    def test_checkerboard_vs_smooth(self, rng):
+        # High-frequency checkerboard: high contrast; smooth noise: low.
+        checker = synth.checkerboard(64, 64, 4)
+        smooth = synth.value_noise(64, 64, rng, scale=16)
+        extractor = GLCMFeatures(16)
+        contrast_index = STAT_NAMES.index("contrast")
+        assert (
+            extractor.extract(checker)[contrast_index]
+            > extractor.extract(smooth)[contrast_index]
+        )
+
+    def test_regular_texture_has_high_energy(self, rng):
+        stripes = synth.stripes(64, 64, 8.0)
+        noise = synth.gaussian_noise_image(64, 64, rng)
+        extractor = GLCMFeatures(16)
+        energy_index = STAT_NAMES.index("energy")
+        assert (
+            extractor.extract(stripes)[energy_index]
+            > extractor.extract(noise)[energy_index]
+        )
+
+    def test_concat_distinguishes_stripe_orientation(self):
+        horizontal = synth.stripes(64, 64, 8.0, angle=np.pi / 2)
+        vertical = synth.stripes(64, 64, 8.0, angle=0.0)
+        extractor = GLCMFeatures(16, aggregate="concat")
+        d = np.abs(extractor.extract(horizontal) - extractor.extract(vertical)).sum()
+        assert d > 0.1
+
+    def test_validates_parameters(self):
+        with pytest.raises(FeatureError):
+            GLCMFeatures(1)
+        with pytest.raises(FeatureError):
+            GLCMFeatures(16, offsets=())
+        with pytest.raises(FeatureError):
+            GLCMFeatures(16, aggregate="max")

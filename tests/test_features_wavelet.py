@@ -1,0 +1,122 @@
+"""Tests for the Haar wavelet transform and signatures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.wavelet import (
+    WaveletSignature,
+    haar2d,
+    haar2d_inverse,
+    haar_decompose,
+)
+from repro.image import synth
+from repro.image.core import Image
+
+
+class TestHaar2D:
+    def test_subband_shapes(self, rng):
+        array = rng.random((16, 12))
+        ll, lh, hl, hh = haar2d(array)
+        for band in (ll, lh, hl, hh):
+            assert band.shape == (8, 6)
+
+    def test_exact_inverse(self, rng):
+        array = rng.random((16, 16))
+        assert np.allclose(haar2d_inverse(*haar2d(array)), array, atol=1e-12)
+
+    def test_energy_preservation(self, rng):
+        # Orthonormal transform: Parseval's identity holds exactly.
+        array = rng.random((16, 16))
+        ll, lh, hl, hh = haar2d(array)
+        transformed_energy = sum(float((b * b).sum()) for b in (ll, lh, hl, hh))
+        assert transformed_energy == pytest.approx(float((array * array).sum()))
+
+    def test_constant_image_details_vanish(self):
+        array = np.full((8, 8), 0.5)
+        ll, lh, hl, hh = haar2d(array)
+        assert np.allclose(lh, 0.0)
+        assert np.allclose(hl, 0.0)
+        assert np.allclose(hh, 0.0)
+        assert np.allclose(ll, 1.0)  # 0.5 * 2 (two /sqrt2 averagings)
+
+    def test_horizontal_edge_lands_in_lh(self):
+        # Top half 0, bottom half 1: vertical variation -> LH band
+        # (high-pass along rows=y in this implementation's convention).
+        array = np.zeros((8, 8))
+        array[4:] = 1.0
+        ll, lh, hl, hh = haar2d(array)
+        assert np.abs(hl).sum() + np.abs(hh).sum() == pytest.approx(0.0)
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(FeatureError, match="even"):
+            haar2d(np.zeros((7, 8)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FeatureError):
+            haar2d(np.zeros(8))
+
+    def test_inverse_validates_shapes(self):
+        with pytest.raises(FeatureError, match="identical shape"):
+            haar2d_inverse(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestHaarDecompose:
+    def test_band_count(self, rng):
+        bands = haar_decompose(rng.random((32, 32)), 3)
+        assert len(bands) == 10  # the paper's "10 sub images"
+
+    def test_coarsest_band_shape(self, rng):
+        bands = haar_decompose(rng.random((32, 32)), 3)
+        assert bands[0].shape == (4, 4)
+
+    def test_full_energy_preserved(self, rng):
+        array = rng.random((32, 32))
+        bands = haar_decompose(array, 3)
+        total = sum(float((b * b).sum()) for b in bands)
+        assert total == pytest.approx(float((array * array).sum()))
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(FeatureError):
+            haar_decompose(np.zeros((8, 8)), 0)
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(FeatureError, match="even"):
+            haar_decompose(np.zeros((12, 12)), 3)  # 12/2/2 = 3, odd
+
+
+class TestWaveletSignature:
+    def test_default_dim_is_ten(self):
+        assert WaveletSignature().dim == 10
+
+    def test_levels_control_dim(self):
+        assert WaveletSignature(2).dim == 7
+        assert WaveletSignature(4, working_size=64).dim == 13
+
+    def test_constant_image_signature(self):
+        sig = WaveletSignature().extract(Image.full(32, 32, 0.5))
+        assert sig[0] > 0.0          # approximation energy
+        assert np.allclose(sig[1:], 0.0)  # no detail anywhere
+
+    def test_resolution_invariance(self, rng):
+        img = synth.value_noise(128, 128, rng, scale=16)
+        sig_full = WaveletSignature().extract(img)
+        sig_half = WaveletSignature().extract(img.resize(64, 64))
+        assert np.abs(sig_full - sig_half).max() < 0.05
+
+    def test_separates_smooth_from_busy(self, rng):
+        # Cell size 1 so adjacent pixels differ (a cell-2 board has zero
+        # level-1 Haar detail: each transform pair sits inside one cell).
+        smooth = synth.value_noise(64, 64, rng, scale=32)
+        busy = synth.checkerboard(64, 64, 1)
+        sig_smooth = WaveletSignature().extract(smooth)
+        sig_busy = WaveletSignature().extract(busy)
+        # Busy textures put much more energy into fine-detail bands (the
+        # last three are the level-1 details).
+        assert sig_busy[-3:].sum() > sig_smooth[-3:].sum() * 5
+
+    def test_validates_parameters(self):
+        with pytest.raises(FeatureError):
+            WaveletSignature(0)
+        with pytest.raises(FeatureError, match="divisible"):
+            WaveletSignature(3, working_size=20)

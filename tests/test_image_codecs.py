@@ -1,0 +1,165 @@
+"""Tests for the PPM/PGM and BMP codecs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.image.core import Image
+from repro.image.io_bmp import read_bmp, read_bmp_bytes, write_bmp, write_bmp_bytes
+from repro.image.io_ppm import read_ppm, read_ppm_bytes, write_ppm, write_ppm_bytes
+
+
+@pytest.fixture
+def gray_bytes_image(rng):
+    return Image.from_uint8(rng.integers(0, 256, (7, 5), dtype=np.uint8))
+
+
+@pytest.fixture
+def rgb_bytes_image(rng):
+    return Image.from_uint8(rng.integers(0, 256, (6, 9, 3), dtype=np.uint8))
+
+
+class TestPPMRoundTrip:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_gray_round_trip(self, gray_bytes_image, binary):
+        data = write_ppm_bytes(gray_bytes_image, binary=binary)
+        assert read_ppm_bytes(data) == gray_bytes_image
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_rgb_round_trip(self, rgb_bytes_image, binary):
+        data = write_ppm_bytes(rgb_bytes_image, binary=binary)
+        assert read_ppm_bytes(data) == rgb_bytes_image
+
+    def test_16bit_round_trip(self, rng):
+        img = Image(rng.integers(0, 65536, (4, 4)).astype(np.float64) / 65535.0)
+        data = write_ppm_bytes(img, binary=True, maxval=65535)
+        assert read_ppm_bytes(data).allclose(img, atol=1e-9)
+
+    def test_file_round_trip(self, tmp_path, rgb_bytes_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(rgb_bytes_image, path)
+        assert read_ppm(path) == rgb_bytes_image
+
+    def test_magic_bytes(self, gray_bytes_image, rgb_bytes_image):
+        assert write_ppm_bytes(gray_bytes_image, binary=True).startswith(b"P5")
+        assert write_ppm_bytes(gray_bytes_image, binary=False).startswith(b"P2")
+        assert write_ppm_bytes(rgb_bytes_image, binary=True).startswith(b"P6")
+        assert write_ppm_bytes(rgb_bytes_image, binary=False).startswith(b"P3")
+
+
+class TestPPMParsing:
+    def test_comments_in_header(self):
+        data = b"P2\n# a comment\n2 2\n# another\n255\n0 64 128 255\n"
+        img = read_ppm_bytes(data)
+        assert img.shape == (2, 2)
+        assert img.pixels[1, 1] == 1.0
+
+    def test_single_whitespace_variants(self):
+        data = b"P2 2 1 255 10 20"
+        img = read_ppm_bytes(data)
+        assert img.shape == (1, 2)
+
+    def test_rejects_unknown_magic(self):
+        with pytest.raises(CodecError, match="magic"):
+            read_ppm_bytes(b"P9\n1 1\n255\n0")
+
+    def test_rejects_truncated_binary(self):
+        data = b"P5\n4 4\n255\n" + b"\x00" * 5
+        with pytest.raises(CodecError, match="truncated"):
+            read_ppm_bytes(data)
+
+    def test_rejects_truncated_ascii(self):
+        with pytest.raises(CodecError, match="truncated"):
+            read_ppm_bytes(b"P2\n2 2\n255\n1 2 3")
+
+    def test_rejects_bad_maxval(self):
+        with pytest.raises(CodecError, match="maxval"):
+            read_ppm_bytes(b"P2\n1 1\n0\n0")
+        with pytest.raises(CodecError, match="maxval"):
+            write_ppm_bytes(Image.zeros(1, 1), maxval=70000)
+
+    def test_rejects_sample_above_maxval(self):
+        with pytest.raises(CodecError, match="exceeds"):
+            read_ppm_bytes(b"P2\n1 1\n100\n101")
+
+    def test_rejects_negative_dimensions_token(self):
+        with pytest.raises(CodecError, match="invalid header byte"):
+            read_ppm_bytes(b"P2\n-1 1\n255\n0")
+
+    def test_rejects_eof_in_header(self):
+        with pytest.raises(CodecError, match="end of file"):
+            read_ppm_bytes(b"P2\n2")
+
+
+class TestBMP:
+    def test_rgb_round_trip(self, rgb_bytes_image):
+        data = write_bmp_bytes(rgb_bytes_image)
+        assert read_bmp_bytes(data) == rgb_bytes_image
+
+    def test_gray_written_as_rgb(self, gray_bytes_image):
+        data = write_bmp_bytes(gray_bytes_image)
+        out = read_bmp_bytes(data)
+        assert out.mode == "rgb"
+        assert out.to_gray().allclose(gray_bytes_image, atol=1e-9)
+
+    def test_file_round_trip(self, tmp_path, rgb_bytes_image):
+        path = tmp_path / "img.bmp"
+        write_bmp(rgb_bytes_image, path)
+        assert read_bmp(path) == rgb_bytes_image
+
+    def test_row_padding_widths(self, rng):
+        # Widths 1..5 exercise all 4-byte padding cases.
+        for width in range(1, 6):
+            img = Image.from_uint8(rng.integers(0, 256, (3, width, 3), dtype=np.uint8))
+            assert read_bmp_bytes(write_bmp_bytes(img)) == img
+
+    def test_magic(self, rgb_bytes_image):
+        assert write_bmp_bytes(rgb_bytes_image).startswith(b"BM")
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(CodecError, match="not a BMP"):
+            read_bmp_bytes(b"XX" + b"\x00" * 60)
+
+    def test_rejects_short_data(self):
+        with pytest.raises(CodecError, match="shorter"):
+            read_bmp_bytes(b"BM\x00")
+
+    def test_rejects_unsupported_bpp(self, rgb_bytes_image):
+        data = bytearray(write_bmp_bytes(rgb_bytes_image))
+        data[28] = 8  # bpp lives at offset 28
+        with pytest.raises(CodecError, match="24-bit"):
+            read_bmp_bytes(bytes(data))
+
+    def test_rejects_compressed(self, rgb_bytes_image):
+        data = bytearray(write_bmp_bytes(rgb_bytes_image))
+        data[30] = 1  # compression field
+        with pytest.raises(CodecError, match="uncompressed"):
+            read_bmp_bytes(bytes(data))
+
+    def test_rejects_truncated_payload(self, rgb_bytes_image):
+        data = write_bmp_bytes(rgb_bytes_image)
+        with pytest.raises(CodecError, match="truncated"):
+            read_bmp_bytes(data[:-4])
+
+    def test_top_down_bmp(self, rgb_bytes_image):
+        # Flip the height sign and reorder rows: decoder must handle both.
+        import struct
+
+        data = bytearray(write_bmp_bytes(rgb_bytes_image))
+        height = rgb_bytes_image.height
+        struct.pack_into("<i", data, 22, -height)
+        header_size = 14 + 40
+        row_bytes = (rgb_bytes_image.width * 3 + 3) & ~3
+        rows = [
+            bytes(data[header_size + i * row_bytes : header_size + (i + 1) * row_bytes])
+            for i in range(height)
+        ]
+        data[header_size:] = b"".join(reversed(rows))
+        assert read_bmp_bytes(bytes(data)) == rgb_bytes_image
+
+
+class TestCrossCodec:
+    def test_ppm_and_bmp_agree(self, rgb_bytes_image):
+        via_ppm = read_ppm_bytes(write_ppm_bytes(rgb_bytes_image))
+        via_bmp = read_bmp_bytes(write_bmp_bytes(rgb_bytes_image))
+        assert via_ppm == via_bmp

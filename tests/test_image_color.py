@@ -1,0 +1,127 @@
+"""Tests for color conversion and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image.color import (
+    LUMA_WEIGHTS,
+    hsv_to_rgb,
+    hsv_to_rgb_array,
+    quantize_gray,
+    quantize_hsv,
+    quantize_rgb,
+    quantize_uniform,
+    rgb_to_gray,
+    rgb_to_hsv,
+    rgb_to_hsv_array,
+)
+from repro.image.core import Image
+
+
+class TestGrayConversion:
+    def test_luma_weights_sum_to_one(self):
+        assert abs(LUMA_WEIGHTS.sum() - 1.0) < 1e-12
+
+    def test_pure_channels(self):
+        red = Image.full(2, 2, (1.0, 0.0, 0.0), mode="rgb")
+        green = Image.full(2, 2, (0.0, 1.0, 0.0), mode="rgb")
+        blue = Image.full(2, 2, (0.0, 0.0, 1.0), mode="rgb")
+        assert abs(rgb_to_gray(red).pixels[0, 0] - 0.299) < 1e-12
+        assert abs(rgb_to_gray(green).pixels[0, 0] - 0.587) < 1e-12
+        assert abs(rgb_to_gray(blue).pixels[0, 0] - 0.114) < 1e-12
+
+    def test_white_maps_to_one(self):
+        white = Image.full(2, 2, (1.0, 1.0, 1.0), mode="rgb")
+        assert abs(rgb_to_gray(white).pixels[0, 0] - 1.0) < 1e-12
+
+    def test_gray_input_passthrough(self, gray_image):
+        assert rgb_to_gray(gray_image) is gray_image
+
+
+class TestHSV:
+    @pytest.mark.parametrize(
+        "rgb, expected_hsv",
+        [
+            ((1.0, 0.0, 0.0), (0.0, 1.0, 1.0)),          # red
+            ((0.0, 1.0, 0.0), (1.0 / 3.0, 1.0, 1.0)),    # green
+            ((0.0, 0.0, 1.0), (2.0 / 3.0, 1.0, 1.0)),    # blue
+            ((1.0, 1.0, 0.0), (1.0 / 6.0, 1.0, 1.0)),    # yellow
+            ((0.0, 1.0, 1.0), (0.5, 1.0, 1.0)),          # cyan
+            ((1.0, 0.0, 1.0), (5.0 / 6.0, 1.0, 1.0)),    # magenta
+            ((0.5, 0.5, 0.5), (0.0, 0.0, 0.5)),          # gray: h=s=0
+            ((0.0, 0.0, 0.0), (0.0, 0.0, 0.0)),          # black
+        ],
+    )
+    def test_known_colors(self, rgb, expected_hsv):
+        hsv = rgb_to_hsv_array(np.array(rgb))
+        assert np.allclose(hsv, expected_hsv, atol=1e-12)
+
+    def test_round_trip_random(self, rng):
+        rgb = rng.random((16, 16, 3))
+        back = hsv_to_rgb_array(rgb_to_hsv_array(rgb))
+        assert np.allclose(back, rgb, atol=1e-10)
+
+    def test_image_level_round_trip(self, rgb_image):
+        back = hsv_to_rgb(rgb_to_hsv(rgb_image))
+        assert back.allclose(rgb_image, atol=1e-10)
+
+    def test_rejects_gray_images(self, gray_image):
+        with pytest.raises(ImageError):
+            rgb_to_hsv(gray_image)
+
+    def test_rejects_wrong_trailing_dim(self):
+        with pytest.raises(ImageError, match="trailing dimension"):
+            rgb_to_hsv_array(np.zeros((4, 4, 2)))
+
+    def test_hue_range(self, rng):
+        hsv = rgb_to_hsv_array(rng.random((32, 32, 3)))
+        assert hsv[..., 0].min() >= 0.0
+        assert hsv[..., 0].max() < 1.0
+
+
+class TestQuantization:
+    def test_uniform_boundaries(self):
+        values = np.array([0.0, 0.249, 0.25, 0.5, 0.99, 1.0])
+        codes = quantize_uniform(values, 4)
+        assert codes.tolist() == [0, 0, 1, 2, 3, 3]
+
+    def test_uniform_single_level(self):
+        assert np.all(quantize_uniform(np.linspace(0, 1, 10), 1) == 0)
+
+    def test_uniform_rejects_bad_levels(self):
+        with pytest.raises(ImageError):
+            quantize_uniform(np.zeros(3), 0)
+
+    def test_gray_codes_in_range(self, gray_image):
+        codes = quantize_gray(gray_image, 16)
+        assert codes.min() >= 0
+        assert codes.max() <= 15
+
+    def test_rgb_joint_codes(self):
+        red = Image.full(2, 2, (1.0, 0.0, 0.0), mode="rgb")
+        codes = quantize_rgb(red, 2)
+        # Red channel in top cell (1), G and B in bottom (0): code = 1*4 = 4.
+        assert np.all(codes == 4)
+
+    def test_rgb_code_range(self, rng):
+        img = Image(rng.random((8, 8, 3)))
+        codes = quantize_rgb(img, 4)
+        assert codes.min() >= 0
+        assert codes.max() < 64
+
+    def test_hsv_code_range(self, rng):
+        img = Image(rng.random((8, 8, 3)))
+        codes = quantize_hsv(img, (18, 3, 3))
+        assert codes.min() >= 0
+        assert codes.max() < 162
+
+    def test_hsv_rejects_bad_bins(self, rgb_image):
+        with pytest.raises(ImageError):
+            quantize_hsv(rgb_image, (0, 3, 3))
+
+    def test_hsv_pure_red_lands_in_first_hue_bin(self):
+        red = Image.full(2, 2, (1.0, 0.0, 0.0), mode="rgb")
+        codes = quantize_hsv(red, (18, 3, 3))
+        # hue bin 0, saturation bin 2, value bin 2 -> (0*3 + 2)*3 + 2 = 8
+        assert np.all(codes == 8)

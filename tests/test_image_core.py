@@ -1,0 +1,160 @@
+"""Tests for the Image value type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image.core import Image
+
+
+class TestConstruction:
+    def test_gray_from_2d_array(self):
+        img = Image(np.zeros((4, 6)))
+        assert img.mode == "gray"
+        assert img.width == 6
+        assert img.height == 4
+        assert img.is_gray
+
+    def test_rgb_from_3d_array(self):
+        img = Image(np.zeros((4, 6, 3)))
+        assert img.mode == "rgb"
+        assert not img.is_gray
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ImageError, match="3 channels"):
+            Image(np.zeros((4, 6, 4)))
+
+    def test_rejects_1d_array(self):
+        with pytest.raises(ImageError, match="2-D"):
+            Image(np.zeros(12))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError, match="non-empty"):
+            Image(np.zeros((0, 5)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ImageError, match=r"\[0, 1\]"):
+            Image(np.full((2, 2), 1.5))
+        with pytest.raises(ImageError, match=r"\[0, 1\]"):
+            Image(np.full((2, 2), -0.5))
+
+    def test_rejects_nan(self):
+        data = np.zeros((2, 2))
+        data[0, 0] = np.nan
+        with pytest.raises(ImageError, match="NaN"):
+            Image(data)
+
+    def test_pixels_are_read_only(self):
+        img = Image(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            img.pixels[0, 0] = 1.0
+
+    def test_input_array_is_copied(self):
+        data = np.zeros((2, 2))
+        img = Image(data)
+        data[0, 0] = 1.0
+        assert img.pixels[0, 0] == 0.0
+
+    def test_integer_input_converted(self):
+        img = Image(np.array([[0, 1], [1, 0]]))
+        assert img.pixels.dtype == np.float64
+
+
+class TestConstructors:
+    def test_from_uint8_scales(self):
+        img = Image.from_uint8(np.array([[0, 255], [128, 64]], dtype=np.uint8))
+        assert img.pixels[0, 1] == 1.0
+        assert img.pixels[0, 0] == 0.0
+        assert abs(img.pixels[1, 0] - 128 / 255) < 1e-12
+
+    def test_from_uint8_rejects_other_dtypes(self):
+        with pytest.raises(ImageError, match="uint8"):
+            Image.from_uint8(np.zeros((2, 2), dtype=np.float64))
+
+    def test_from_array_normalize(self):
+        img = Image.from_array(np.array([[10.0, 20.0], [15.0, 10.0]]), normalize=True)
+        assert img.pixels.min() == 0.0
+        assert img.pixels.max() == 1.0
+
+    def test_from_array_normalize_constant(self):
+        img = Image.from_array(np.full((3, 3), 7.0), normalize=True)
+        assert np.all(img.pixels == 0.0)
+
+    def test_zeros_and_full(self):
+        assert np.all(Image.zeros(3, 2).pixels == 0.0)
+        img = Image.full(3, 2, (0.1, 0.2, 0.3), mode="rgb")
+        assert img.mode == "rgb"
+        assert np.allclose(img.pixels[1, 2], [0.1, 0.2, 0.3])
+
+    def test_full_rejects_bad_size(self):
+        with pytest.raises(ImageError, match="positive"):
+            Image.zeros(0, 4)
+
+    def test_full_rejects_bad_mode(self):
+        with pytest.raises(ImageError, match="unknown image mode"):
+            Image.full(2, 2, 0.5, mode="cmyk")
+
+
+class TestConversions:
+    def test_to_uint8_round_trip(self):
+        original = np.array([[0, 100, 255]], dtype=np.uint8)
+        assert np.array_equal(Image.from_uint8(original).to_uint8(), original)
+
+    def test_to_rgb_replicates_gray(self):
+        img = Image(np.array([[0.25, 0.5]]))
+        rgb = img.to_rgb()
+        assert rgb.mode == "rgb"
+        for channel in range(3):
+            assert np.allclose(rgb.channel(channel), img.pixels)
+
+    def test_to_rgb_identity_on_rgb(self, rgb_image):
+        assert rgb_image.to_rgb() is rgb_image
+
+    def test_to_gray_identity_on_gray(self, gray_image):
+        assert gray_image.to_gray() is gray_image
+
+    def test_channel_access(self, rgb_image):
+        assert rgb_image.channel(0).shape == (32, 32)
+        with pytest.raises(ImageError):
+            rgb_image.channel(3)
+
+    def test_channel_rejected_on_gray(self, gray_image):
+        with pytest.raises(ImageError, match="no separate channels"):
+            gray_image.channel(0)
+
+
+class TestOperations:
+    def test_map_clips(self, gray_image):
+        doubled = gray_image.map(lambda p: p * 2.0)
+        assert doubled.pixels.max() <= 1.0
+
+    def test_equality_and_hash(self):
+        a = Image(np.full((2, 2), 0.5))
+        b = Image(np.full((2, 2), 0.5))
+        c = Image(np.full((2, 2), 0.6))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_allclose(self):
+        a = Image(np.full((2, 2), 0.5))
+        b = Image(np.full((2, 2), 0.5 + 1e-12))
+        assert a.allclose(b)
+        assert not a.allclose(Image(np.zeros((3, 3))))
+
+    def test_stack_channels(self):
+        r = np.full((2, 2), 0.1)
+        g = np.full((2, 2), 0.2)
+        b = np.full((2, 2), 0.3)
+        img = Image.stack_channels([r, g, b])
+        assert np.allclose(img.pixels[0, 0], [0.1, 0.2, 0.3])
+
+    def test_stack_channels_validates(self):
+        with pytest.raises(ImageError, match="exactly 3"):
+            Image.stack_channels([np.zeros((2, 2))])
+        with pytest.raises(ImageError, match="identical shape"):
+            Image.stack_channels([np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((2, 2))])
+
+    def test_repr(self, rgb_image):
+        assert "rgb" in repr(rgb_image)
+        assert "width=32" in repr(rgb_image)

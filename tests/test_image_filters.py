@@ -1,0 +1,173 @@
+"""Tests for convolution, smoothing, gradients, thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image.core import Image
+from repro.image.filters import (
+    SOBEL_X,
+    SOBEL_Y,
+    binomial_blur3,
+    convolve2d,
+    convolve_separable,
+    edge_map,
+    gaussian_blur,
+    gaussian_kernel1d,
+    gradient_magnitude,
+    gradient_orientation,
+    otsu_threshold,
+    sobel_gradients,
+)
+
+
+class TestConvolve2d:
+    def test_identity_kernel(self, rng):
+        array = rng.random((8, 8))
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        assert np.allclose(convolve2d(array, kernel), array)
+
+    def test_shift_free_averaging(self):
+        array = np.full((6, 6), 0.5)
+        kernel = np.full((3, 3), 1.0 / 9.0)
+        assert np.allclose(convolve2d(array, kernel), 0.5)
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ImageError, match="odd"):
+            convolve2d(np.zeros((4, 4)), np.zeros((2, 2)))
+
+    def test_rejects_unknown_pad_mode(self):
+        with pytest.raises(ImageError, match="pad mode"):
+            convolve2d(np.zeros((4, 4)), np.zeros((3, 3)), pad_mode="wrap")
+
+    def test_constant_pad_darkens_border(self):
+        array = np.ones((5, 5))
+        kernel = np.full((3, 3), 1.0 / 9.0)
+        out = convolve2d(array, kernel, pad_mode="constant")
+        assert out[2, 2] == pytest.approx(1.0)
+        assert out[0, 0] == pytest.approx(4.0 / 9.0)
+
+    def test_separable_matches_full(self, rng):
+        array = rng.random((10, 12))
+        rows = np.array([1.0, 2.0, 1.0]) / 4.0
+        cols = np.array([1.0, 0.0, -1.0])
+        full_kernel = np.outer(rows, cols)
+        assert np.allclose(
+            convolve_separable(array, rows, cols), convolve2d(array, full_kernel)
+        )
+
+
+class TestGaussian:
+    def test_kernel_normalized_and_symmetric(self):
+        kernel = gaussian_kernel1d(1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_kernel_rejects_bad_sigma(self):
+        with pytest.raises(ImageError):
+            gaussian_kernel1d(0.0)
+
+    def test_blur_preserves_constant(self):
+        out = gaussian_blur(np.full((8, 8), 0.7), 1.0)
+        assert np.allclose(out, 0.7)
+
+    def test_blur_reduces_variance(self, rng):
+        noisy = rng.random((32, 32))
+        blurred = gaussian_blur(noisy, 1.5)
+        assert blurred.var() < noisy.var()
+
+    def test_binomial_blur_matches_paper_kernel(self, rng):
+        # The 3x3 1/16 [[1,2,1],[2,4,2],[1,2,1]] mask applied directly.
+        array = rng.random((8, 8))
+        kernel = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float64) / 16.0
+        assert np.allclose(binomial_blur3(array), convolve2d(array, kernel))
+
+    def test_accepts_image_argument(self, rgb_image):
+        out = gaussian_blur(rgb_image, 1.0)
+        assert out.shape == (32, 32)  # converted to gray
+
+
+class TestSobel:
+    def test_kernels_match_standard_definition(self):
+        assert SOBEL_X[1, 2] == 2.0 and SOBEL_X[1, 0] == -2.0
+        assert SOBEL_Y[0, 1] == 2.0 and SOBEL_Y[2, 1] == -2.0
+
+    def test_vertical_edge_detected_by_gx(self):
+        # Left half dark, right half bright: strong gx, no gy.
+        array = np.zeros((8, 8))
+        array[:, 4:] = 1.0
+        gx, gy = sobel_gradients(array)
+        assert np.abs(gx).max() > 1.0
+        assert np.abs(gy[2:-2, 2:-2]).max() == pytest.approx(0.0)
+
+    def test_horizontal_edge_detected_by_gy(self):
+        array = np.zeros((8, 8))
+        array[4:, :] = 1.0
+        gx, gy = sobel_gradients(array)
+        assert np.abs(gy).max() > 1.0
+        assert np.abs(gx[2:-2, 2:-2]).max() == pytest.approx(0.0)
+
+    def test_flat_image_has_zero_gradient(self):
+        gx, gy = sobel_gradients(np.full((8, 8), 0.5))
+        assert np.allclose(gx, 0.0)
+        assert np.allclose(gy, 0.0)
+
+    def test_magnitude_is_hypot(self, rng):
+        gx = rng.normal(size=(5, 5))
+        gy = rng.normal(size=(5, 5))
+        assert np.allclose(gradient_magnitude(gx, gy), np.hypot(gx, gy))
+
+    def test_orientation_folded_to_half_turn(self, rng):
+        gx = rng.normal(size=(5, 5))
+        gy = rng.normal(size=(5, 5))
+        theta = gradient_orientation(gx, gy)
+        assert theta.min() >= 0.0
+        assert theta.max() < np.pi
+        # Opposite gradients describe the same edge orientation.
+        assert np.allclose(gradient_orientation(-gx, -gy), theta, atol=1e-9)
+
+    def test_vertical_edge_orientation_is_zero(self):
+        array = np.zeros((8, 8))
+        array[:, 4:] = 1.0
+        gx, gy = sobel_gradients(array)
+        magnitude = gradient_magnitude(gx, gy)
+        theta = gradient_orientation(gx, gy)
+        strong = magnitude > 0.5 * magnitude.max()
+        folded = np.minimum(theta[strong], np.pi - theta[strong])
+        assert np.all(folded < 1e-9)
+
+
+class TestOtsu:
+    def test_bimodal_separation(self, rng):
+        low = rng.normal(0.2, 0.02, 500)
+        high = rng.normal(0.8, 0.02, 500)
+        threshold = otsu_threshold(np.concatenate([low, high]))
+        assert 0.3 < threshold < 0.7
+
+    def test_constant_input(self):
+        assert otsu_threshold(np.full(10, 0.4)) == pytest.approx(0.4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError):
+            otsu_threshold(np.array([]))
+
+
+class TestEdgeMap:
+    def test_detects_disk_boundary(self, rgb_image):
+        edges = edge_map(rgb_image, sigma=1.0)
+        assert edges.dtype == bool
+        assert edges.any()
+        # Edges concentrate around radius 8 from the centre.
+        ys, xs = np.nonzero(edges)
+        radii = np.hypot(xs - 16, ys - 16)
+        assert np.median(radii) == pytest.approx(8.0, abs=2.5)
+
+    def test_flat_image_has_no_edges(self):
+        edges = edge_map(Image.full(16, 16, 0.5), sigma=0.0, threshold=0.1)
+        assert not edges.any()
+
+    def test_explicit_threshold_respected(self):
+        array = np.zeros((8, 8))
+        array[:, 4:] = 1.0
+        assert edge_map(array, sigma=0.0, threshold=100.0).sum() == 0

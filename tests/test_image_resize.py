@@ -1,0 +1,85 @@
+"""Tests for resampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image.core import Image
+from repro.image.resize import resize, resize_bilinear, resize_nearest
+
+
+class TestResizeGeneral:
+    def test_identity_when_same_size(self, gray_image):
+        assert resize(gray_image, 32, 32) is gray_image
+
+    def test_rejects_bad_target(self, gray_image):
+        with pytest.raises(ImageError, match="positive"):
+            resize(gray_image, 0, 10)
+
+    def test_rejects_unknown_method(self, gray_image):
+        with pytest.raises(ImageError, match="unknown resize method"):
+            resize(gray_image, 8, 8, method="bicubic")
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear"])
+    def test_output_shape_gray(self, gray_image, method):
+        out = resize(gray_image, 13, 9, method=method)
+        assert out.shape == (9, 13)
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear"])
+    def test_output_shape_rgb(self, rgb_image, method):
+        out = resize(rgb_image, 13, 9, method=method)
+        assert out.shape == (9, 13, 3)
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear"])
+    def test_constant_image_stays_constant(self, method):
+        img = Image.full(10, 10, 0.37)
+        out = resize(img, 23, 7, method=method)
+        assert np.allclose(out.pixels, 0.37)
+
+    def test_values_stay_in_range(self, rng):
+        img = Image(rng.random((16, 16, 3)))
+        out = resize_bilinear(img, 40, 40)
+        assert out.pixels.min() >= 0.0
+        assert out.pixels.max() <= 1.0
+
+
+class TestNearest:
+    def test_2x_upscale_replicates(self):
+        img = Image(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        out = resize_nearest(img, 4, 4)
+        expected = np.array(
+            [
+                [0.0, 0.0, 1.0, 1.0],
+                [0.0, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0, 0.0],
+                [1.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        assert np.array_equal(out.pixels, expected)
+
+    def test_downscale_picks_existing_values(self, rng):
+        img = Image(rng.random((16, 16)))
+        out = resize_nearest(img, 4, 4)
+        flat = set(np.round(img.pixels, 12).ravel())
+        assert all(round(v, 12) in flat for v in out.pixels.ravel())
+
+
+class TestBilinear:
+    def test_preserves_linear_ramp(self):
+        # A linear ramp resampled bilinearly must stay linear.
+        xs = np.linspace(0.0, 1.0, 8)
+        img = Image(np.tile(xs, (8, 1)))
+        out = resize_bilinear(img, 16, 8)
+        row = out.pixels[0]
+        diffs = np.diff(row[1:-1])  # interior: constant slope
+        assert np.allclose(diffs, diffs[0], atol=1e-9)
+
+    def test_mean_roughly_preserved_on_downscale(self, rng):
+        img = Image(rng.random((32, 32)))
+        out = resize_bilinear(img, 8, 8)
+        assert abs(out.pixels.mean() - img.pixels.mean()) < 0.05
+
+    def test_down_up_is_stable(self):
+        img = Image.full(16, 16, 0.6)
+        out = resize_bilinear(resize_bilinear(img, 8, 8), 16, 16)
+        assert np.allclose(out.pixels, 0.6)

@@ -1,0 +1,161 @@
+"""Tests for synthetic image generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image import synth
+from repro.image.color import rgb_to_gray
+
+
+class TestSolidAndGradients:
+    def test_solid_color(self):
+        img = synth.solid(8, 6, (0.2, 0.4, 0.6))
+        assert img.shape == (6, 8, 3)
+        assert np.allclose(img.pixels, [0.2, 0.4, 0.6])
+
+    def test_solid_rejects_out_of_range_color(self):
+        with pytest.raises(ImageError, match=r"\[0, 1\]"):
+            synth.solid(4, 4, (1.5, 0.0, 0.0))
+
+    def test_linear_gradient_endpoints(self):
+        img = synth.linear_gradient(16, 4, (0, 0, 0), (1, 1, 1), angle=0.0)
+        assert np.allclose(img.pixels[:, 0], 0.0)
+        assert np.allclose(img.pixels[:, -1], 1.0)
+
+    def test_linear_gradient_vertical(self):
+        img = synth.linear_gradient(4, 16, (0, 0, 0), (1, 1, 1), angle=np.pi / 2)
+        assert np.allclose(img.pixels[0, :], 0.0)
+        assert np.allclose(img.pixels[-1, :], 1.0)
+
+    def test_radial_gradient_center_value(self):
+        img = synth.radial_gradient(17, 17, (1, 0, 0), (0, 0, 1))
+        assert np.allclose(img.pixels[8, 8], [1, 0, 0])
+        assert img.pixels[0, 0, 2] > img.pixels[8, 8, 2]
+
+
+class TestPatterns:
+    def test_checkerboard_alternates(self):
+        img = synth.checkerboard(8, 8, 2, 0.0, 1.0)
+        gray = rgb_to_gray(img).pixels
+        assert gray[0, 0] == pytest.approx(0.0)
+        assert gray[0, 2] == pytest.approx(1.0)
+        assert gray[2, 0] == pytest.approx(1.0)
+        assert gray[2, 2] == pytest.approx(0.0)
+
+    def test_checkerboard_rejects_bad_cell(self):
+        with pytest.raises(ImageError):
+            synth.checkerboard(8, 8, 0)
+
+    def test_stripes_period(self):
+        img = synth.stripes(16, 4, 4.0, angle=0.0, color_a=0.0, color_b=1.0)
+        gray = rgb_to_gray(img).pixels
+        # Period 4 with duty 0.5: two dark then two bright, repeating.
+        assert np.allclose(gray[0, :8], [0, 0, 1, 1, 0, 0, 1, 1])
+
+    def test_stripes_horizontal_bands(self):
+        img = synth.stripes(4, 16, 8.0, angle=np.pi / 2)
+        gray = rgb_to_gray(img).pixels
+        # Rows are constant (bands run horizontally).
+        assert np.allclose(gray.std(axis=1), 0.0)
+
+    def test_stripes_validate(self):
+        with pytest.raises(ImageError):
+            synth.stripes(8, 8, 0.0)
+        with pytest.raises(ImageError):
+            synth.stripes(8, 8, 4.0, duty=1.0)
+
+
+class TestNoise:
+    def test_value_noise_smooth(self, rng):
+        img = synth.value_noise(32, 32, rng, scale=8)
+        horizontal_jumps = np.abs(np.diff(img.pixels, axis=1)).mean()
+        assert horizontal_jumps < 0.1  # smooth by construction
+
+    def test_value_noise_deterministic(self):
+        a = synth.value_noise(16, 16, np.random.default_rng(3))
+        b = synth.value_noise(16, 16, np.random.default_rng(3))
+        assert a == b
+
+    def test_value_noise_channels(self, rng):
+        assert synth.value_noise(8, 8, rng, channels=3).mode == "rgb"
+        with pytest.raises(ImageError):
+            synth.value_noise(8, 8, rng, channels=2)
+
+    def test_gaussian_noise_clipped(self, rng):
+        img = synth.gaussian_noise_image(16, 16, rng, mean=0.5, std=3.0)
+        assert img.pixels.min() >= 0.0
+        assert img.pixels.max() <= 1.0
+
+
+class TestShapes:
+    def test_disk_center_painted(self):
+        base = synth.solid(16, 16, (0, 0, 0))
+        img = synth.draw_disk(base, (8, 8), 4, (1, 0, 0))
+        assert np.allclose(img.pixels[8, 8], [1, 0, 0])
+        assert np.allclose(img.pixels[0, 0], [0, 0, 0])
+
+    def test_disk_area_close_to_circle(self):
+        base = synth.solid(64, 64, (0, 0, 0))
+        img = synth.draw_disk(base, (32, 32), 10, (1, 1, 1))
+        area = (img.pixels[:, :, 0] > 0).sum()
+        assert area == pytest.approx(np.pi * 100, rel=0.1)
+
+    def test_disk_does_not_mutate_input(self):
+        base = synth.solid(8, 8, (0, 0, 0))
+        synth.draw_disk(base, (4, 4), 2, (1, 1, 1))
+        assert np.allclose(base.pixels, 0.0)
+
+    def test_rectangle(self):
+        base = synth.solid(16, 16, (0, 0, 0))
+        img = synth.draw_rectangle(base, (2, 3), (6, 9), (0, 1, 0))
+        assert np.allclose(img.pixels[3, 2], [0, 1, 0])
+        assert np.allclose(img.pixels[9, 6], [0, 1, 0])
+        assert np.allclose(img.pixels[10, 7], [0, 0, 0])
+
+    def test_rectangle_validates_corners(self):
+        base = synth.solid(8, 8, (0, 0, 0))
+        with pytest.raises(ImageError):
+            synth.draw_rectangle(base, (5, 5), (2, 2), (1, 1, 1))
+
+    def test_triangle_contains_centroid(self):
+        base = synth.solid(32, 32, (0, 0, 0))
+        vertices = [(4.0, 4.0), (28.0, 6.0), (14.0, 28.0)]
+        img = synth.draw_triangle(base, vertices, (0, 0, 1))
+        cx = int(sum(v[0] for v in vertices) / 3)
+        cy = int(sum(v[1] for v in vertices) / 3)
+        assert np.allclose(img.pixels[cy, cx], [0, 0, 1])
+
+    def test_triangle_winding_order_irrelevant(self):
+        base = synth.solid(16, 16, (0, 0, 0))
+        vertices = [(2.0, 2.0), (13.0, 3.0), (7.0, 13.0)]
+        a = synth.draw_triangle(base, vertices, (1, 1, 1))
+        b = synth.draw_triangle(base, list(reversed(vertices)), (1, 1, 1))
+        assert a == b
+
+
+class TestScene:
+    def test_scene_deterministic_given_seed(self):
+        a = synth.compose_scene(32, 32, np.random.default_rng(9))
+        b = synth.compose_scene(32, 32, np.random.default_rng(9))
+        assert a == b
+
+    def test_scene_differs_across_seeds(self):
+        a = synth.compose_scene(32, 32, np.random.default_rng(1))
+        b = synth.compose_scene(32, 32, np.random.default_rng(2))
+        assert a != b
+
+    def test_scene_respects_background(self, rng):
+        background = synth.solid(32, 32, (0, 0, 0))
+        img = synth.compose_scene(32, 32, rng, background=background, n_shapes=1)
+        # Most of the canvas keeps the background color.
+        dark = np.all(img.pixels < 0.01, axis=2).mean()
+        assert dark > 0.5
+
+    def test_scene_validates_background_size(self, rng):
+        with pytest.raises(ImageError, match="background size"):
+            synth.compose_scene(32, 32, rng, background=synth.solid(16, 16, 0.5))
+
+    def test_scene_rejects_unknown_shape(self, rng):
+        with pytest.raises(ImageError, match="shape"):
+            synth.compose_scene(32, 32, rng, shape_kinds=("hexagon",))

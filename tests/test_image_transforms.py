@@ -1,0 +1,122 @@
+"""Tests for geometric/photometric transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image import transforms as tf
+from repro.image.core import Image
+
+
+class TestGeometric:
+    def test_rotate90_four_times_is_identity(self, rgb_image):
+        out = rgb_image
+        for _ in range(4):
+            out = tf.rotate90(out)
+        assert out == rgb_image
+
+    def test_rotate90_moves_corner(self):
+        img = Image(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        rotated = tf.rotate90(img)  # counter-clockwise
+        assert rotated.pixels[1, 0] == 1.0
+
+    def test_rotate90_k_equivalence(self, rgb_image):
+        assert tf.rotate90(rgb_image, 2) == tf.rotate90(tf.rotate90(rgb_image))
+        assert tf.rotate90(rgb_image, -1) == tf.rotate90(rgb_image, 3)
+
+    def test_flips_are_involutions(self, rgb_image):
+        assert tf.flip_horizontal(tf.flip_horizontal(rgb_image)) == rgb_image
+        assert tf.flip_vertical(tf.flip_vertical(rgb_image)) == rgb_image
+
+    def test_flip_horizontal_mirrors_columns(self):
+        img = Image(np.array([[0.0, 1.0]]))
+        assert tf.flip_horizontal(img).pixels[0, 0] == 1.0
+
+    def test_crop_extracts_rectangle(self, gray_image):
+        out = tf.crop(gray_image, 4, 2, 10, 6)
+        assert out.shape == (6, 10)
+        assert out.pixels[0, 0] == gray_image.pixels[2, 4]
+
+    def test_crop_validates_bounds(self, gray_image):
+        with pytest.raises(ImageError, match="exceeds"):
+            tf.crop(gray_image, 30, 30, 10, 10)
+        with pytest.raises(ImageError, match="positive"):
+            tf.crop(gray_image, 0, 0, 0, 5)
+
+    def test_center_crop_fraction(self, gray_image):
+        out = tf.center_crop(gray_image, 0.5)
+        assert out.shape == (16, 16)
+        with pytest.raises(ImageError):
+            tf.center_crop(gray_image, 0.0)
+
+
+class TestPhotometric:
+    def test_brightness_shifts_mean(self, gray_image):
+        brighter = tf.adjust_brightness(gray_image, 0.2)
+        assert brighter.pixels.mean() > gray_image.pixels.mean()
+
+    def test_brightness_clips(self):
+        img = Image.full(4, 4, 0.9)
+        assert tf.adjust_brightness(img, 0.5).pixels.max() == 1.0
+
+    def test_contrast_one_is_identity(self, gray_image):
+        assert tf.adjust_contrast(gray_image, 1.0).allclose(gray_image)
+
+    def test_contrast_zero_flattens(self, gray_image):
+        out = tf.adjust_contrast(gray_image, 0.0)
+        assert np.allclose(out.pixels, 0.5)
+
+    def test_contrast_rejects_negative(self, gray_image):
+        with pytest.raises(ImageError):
+            tf.adjust_contrast(gray_image, -1.0)
+
+    def test_gamma_one_is_identity(self, gray_image):
+        assert tf.adjust_gamma(gray_image, 1.0).allclose(gray_image)
+
+    def test_gamma_below_one_brightens(self, gray_image):
+        out = tf.adjust_gamma(gray_image, 0.5)
+        interior = gray_image.pixels > 0
+        assert np.all(out.pixels[interior] >= gray_image.pixels[interior])
+
+    def test_gamma_rejects_nonpositive(self, gray_image):
+        with pytest.raises(ImageError):
+            tf.adjust_gamma(gray_image, 0.0)
+
+
+class TestNoiseAndOcclusion:
+    def test_gaussian_noise_changes_pixels(self, gray_image, rng):
+        out = tf.add_gaussian_noise(gray_image, rng, 0.1)
+        assert out != gray_image
+        assert out.pixels.min() >= 0.0 and out.pixels.max() <= 1.0
+
+    def test_gaussian_noise_zero_std_identity(self, gray_image, rng):
+        assert tf.add_gaussian_noise(gray_image, rng, 0.0) == gray_image
+
+    def test_salt_pepper_fraction(self, rng):
+        img = Image.full(32, 32, 0.5)
+        out = tf.add_salt_pepper(img, rng, 0.1)
+        corrupted = np.sum((out.pixels == 0.0) | (out.pixels == 1.0))
+        assert corrupted == round(0.1 * 32 * 32)
+
+    def test_salt_pepper_zero_fraction(self, gray_image, rng):
+        assert tf.add_salt_pepper(gray_image, rng, 0.0) == gray_image
+
+    def test_salt_pepper_validates_fraction(self, gray_image, rng):
+        with pytest.raises(ImageError):
+            tf.add_salt_pepper(gray_image, rng, 1.5)
+
+    def test_salt_pepper_rgb_sets_whole_pixel(self, rng):
+        img = Image(np.full((16, 16, 3), 0.5))
+        out = tf.add_salt_pepper(img, rng, 0.2)
+        changed = np.any(out.pixels != 0.5, axis=2)
+        pure = np.all((out.pixels == 0.0) | (out.pixels == 1.0), axis=2)
+        assert np.array_equal(changed, pure)
+
+    def test_occlude_paints_block(self, gray_image):
+        out = tf.occlude(gray_image, 4, 4, 8, 8, color=0.0)
+        assert np.all(out.pixels[4:12, 4:12] == 0.0)
+        assert out.pixels[0, 0] == gray_image.pixels[0, 0]
+
+    def test_occlude_validates(self, gray_image):
+        with pytest.raises(ImageError):
+            tf.occlude(gray_image, 30, 30, 10, 10)

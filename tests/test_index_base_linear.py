@@ -1,0 +1,175 @@
+"""Tests for the index protocol and the linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexingError
+from repro.index.base import Neighbor
+from repro.index.linear import LinearScanIndex
+from repro.index.stats import BuildStats, SearchStats
+from repro.metrics.base import CountingMetric
+from repro.metrics.histogram import ChiSquareDistance
+from repro.metrics.minkowski import EuclideanDistance
+
+
+@pytest.fixture
+def built_index(rng):
+    vectors = rng.random((50, 4))
+    return LinearScanIndex(EuclideanDistance()).build(list(range(50)), vectors), vectors
+
+
+class TestBuildValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(IndexingError, match="non-empty"):
+            LinearScanIndex(EuclideanDistance()).build([], np.empty((0, 3)))
+
+    def test_rejects_id_count_mismatch(self, rng):
+        with pytest.raises(IndexingError, match="ids but"):
+            LinearScanIndex(EuclideanDistance()).build([1, 2], rng.random((3, 2)))
+
+    def test_rejects_duplicate_ids(self, rng):
+        with pytest.raises(IndexingError, match="duplicate"):
+            LinearScanIndex(EuclideanDistance()).build([1, 1], rng.random((2, 2)))
+
+    def test_rejects_non_finite_vectors(self):
+        vectors = np.array([[0.0, np.inf]])
+        with pytest.raises(IndexingError, match="non-finite"):
+            LinearScanIndex(EuclideanDistance()).build([0], vectors)
+
+    def test_rejects_non_metric_tool(self):
+        with pytest.raises(IndexingError, match="Metric"):
+            LinearScanIndex("euclidean")
+
+    def test_accepts_non_metric_distance(self, rng):
+        # Linear scan never prunes, so chi-square is fine here.
+        index = LinearScanIndex(ChiSquareDistance())
+        index.build([0, 1], np.abs(rng.random((2, 4))))
+        assert index.size == 2
+
+    def test_vectors_copied(self, rng):
+        vectors = rng.random((5, 3))
+        index = LinearScanIndex(EuclideanDistance()).build(list(range(5)), vectors)
+        original = vectors[0].copy()
+        vectors[0] = 9.0
+        assert index.knn_search(original, 1)[0].distance == pytest.approx(0.0)
+
+
+class TestQueryValidation:
+    def test_query_before_build(self):
+        index = LinearScanIndex(EuclideanDistance())
+        with pytest.raises(IndexingError, match="not been built"):
+            index.knn_search(np.zeros(3), 1)
+
+    def test_dim_mismatch(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexingError, match="dim"):
+            index.knn_search(np.zeros(5), 1)
+
+    def test_bad_k(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexingError, match="k must be"):
+            index.knn_search(np.zeros(4), 0)
+
+    def test_negative_radius(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexingError, match="radius"):
+            index.range_search(np.zeros(4), -0.1)
+
+    def test_non_finite_query(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexingError, match="non-finite"):
+            index.knn_search(np.array([np.nan, 0, 0, 0]), 1)
+
+
+class TestLinearScanSemantics:
+    def test_knn_returns_k_sorted(self, built_index, rng):
+        index, _ = built_index
+        result = index.knn_search(rng.random(4), 5)
+        assert len(result) == 5
+        distances = [n.distance for n in result]
+        assert distances == sorted(distances)
+
+    def test_knn_k_larger_than_size(self, built_index, rng):
+        index, _ = built_index
+        result = index.knn_search(rng.random(4), 500)
+        assert len(result) == 50
+
+    def test_knn_exact_against_numpy(self, built_index, rng):
+        index, vectors = built_index
+        query = rng.random(4)
+        result = index.knn_search(query, 7)
+        expected = np.sort(np.linalg.norm(vectors - query, axis=1))[:7]
+        assert np.allclose([n.distance for n in result], expected)
+
+    def test_range_matches_definition(self, built_index, rng):
+        index, vectors = built_index
+        query = rng.random(4)
+        radius = 0.5
+        result = index.range_search(query, radius)
+        expected_ids = {
+            i for i, v in enumerate(vectors) if np.linalg.norm(v - query) <= radius
+        }
+        assert {n.id for n in result} == expected_ids
+
+    def test_range_zero_radius_finds_exact_item(self, built_index):
+        index, vectors = built_index
+        result = index.range_search(vectors[13], 0.0)
+        assert [n.id for n in result] == [13]
+
+    def test_cost_is_exactly_n(self, built_index, rng):
+        index, _ = built_index
+        index.knn_search(rng.random(4), 3)
+        assert index.last_stats.distance_computations == 50
+        index.range_search(rng.random(4), 0.2)
+        assert index.last_stats.distance_computations == 50
+
+    def test_stats_match_counting_metric(self, rng):
+        counter = CountingMetric(EuclideanDistance())
+        index = LinearScanIndex(counter).build(list(range(20)), rng.random((20, 3)))
+        counter.reset()
+        index.knn_search(rng.random(3), 4)
+        assert counter.count == index.last_stats.distance_computations
+
+    def test_neighbor_is_named_tuple(self, built_index, rng):
+        index, _ = built_index
+        neighbor = index.knn_search(rng.random(4), 1)[0]
+        assert isinstance(neighbor, Neighbor)
+        assert neighbor == (neighbor.id, neighbor.distance)
+
+    def test_nonconsecutive_ids_preserved(self, rng):
+        ids = [100, 7, 42]
+        vectors = rng.random((3, 2))
+        index = LinearScanIndex(EuclideanDistance()).build(ids, vectors)
+        result = index.knn_search(vectors[1], 1)
+        assert result[0].id == 7
+
+    def test_deterministic_tie_handling(self):
+        vectors = np.array([[0.0, 1.0], [0.0, -1.0], [1.0, 0.0]])
+        index = LinearScanIndex(EuclideanDistance()).build([0, 1, 2], vectors)
+        result = index.knn_search(np.zeros(2), 2)
+        assert {n.id for n in result} <= {0, 1, 2}
+        assert len(result) == 2
+        assert result[0].distance == result[1].distance == 1.0
+
+    def test_repr(self, built_index):
+        index, _ = built_index
+        assert "size=50" in repr(index)
+
+
+class TestStatsDataclasses:
+    def test_search_stats_add(self):
+        a = SearchStats(1, 2, 3, 4, 5)
+        b = SearchStats(10, 20, 30, 40, 50)
+        total = a + b
+        assert total.distance_computations == 11
+        assert total.items_included_wholesale == 55
+
+    def test_search_stats_merge(self):
+        a = SearchStats(1, 1, 1, 1, 1)
+        a.merge(SearchStats(2, 2, 2, 2, 2))
+        assert a.nodes_visited == 3
+
+    def test_build_stats_defaults(self):
+        stats = BuildStats()
+        assert stats.distance_computations == 0
+        assert stats.extra == {}

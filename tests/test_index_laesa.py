@@ -1,0 +1,124 @@
+"""Tests for the LAESA pivot-table index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexingError
+from repro.index.laesa import LAESAIndex
+from repro.index.linear import LinearScanIndex
+from repro.metrics.base import CountingMetric
+from repro.metrics.histogram import ChiSquareDistance, HistogramIntersection
+from repro.metrics.minkowski import EuclideanDistance
+
+
+def _build_pair(rng, n=150, dim=3, n_pivots=8):
+    metric = EuclideanDistance()
+    vectors = rng.random((n, dim))
+    ids = list(range(n))
+    linear = LinearScanIndex(metric).build(ids, vectors)
+    laesa = LAESAIndex(metric, n_pivots=n_pivots).build(ids, vectors)
+    return linear, laesa, vectors
+
+
+class TestExactness:
+    @pytest.mark.parametrize("dim", [1, 2, 4, 8])
+    def test_knn_matches_linear_scan(self, rng, dim):
+        linear, laesa, _ = _build_pair(rng, dim=dim)
+        for _ in range(10):
+            query = rng.random(dim)
+            expected = [n.distance for n in linear.knn_search(query, 8)]
+            got = [n.distance for n in laesa.knn_search(query, 8)]
+            assert np.allclose(got, expected)
+
+    @pytest.mark.parametrize("radius", [0.0, 0.1, 0.3, 1.0])
+    def test_range_matches_linear_scan(self, rng, radius):
+        linear, laesa, _ = _build_pair(rng)
+        for _ in range(5):
+            query = rng.random(3)
+            expected = {n.id for n in linear.range_search(query, radius)}
+            assert {n.id for n in laesa.range_search(query, radius)} == expected
+
+    def test_exact_under_histogram_intersection(self, rng):
+        from repro.features.base import l1_normalize
+
+        vectors = np.array([l1_normalize(rng.random(16)) for _ in range(100)])
+        metric = HistogramIntersection()
+        ids = list(range(100))
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        laesa = LAESAIndex(metric).build(ids, vectors)
+        query = l1_normalize(rng.random(16))
+        assert [n.id for n in laesa.knn_search(query, 5)] == [
+            n.id for n in linear.knn_search(query, 5)
+        ]
+
+    def test_duplicates_and_single_item(self):
+        metric = EuclideanDistance()
+        dup = LAESAIndex(metric).build(list(range(10)), np.zeros((10, 3)))
+        assert len(dup.range_search(np.zeros(3), 0.0)) == 10
+        single = LAESAIndex(metric).build([3], np.array([[1.0, 1.0]]))
+        assert single.knn_search(np.zeros(2), 1)[0].id == 3
+
+    def test_pivot_count_capped_at_n(self, rng):
+        laesa = LAESAIndex(EuclideanDistance(), n_pivots=50).build(
+            list(range(10)), rng.random((10, 3))
+        )
+        assert laesa.n_pivots <= 10
+        assert len(laesa.pivot_ids) == laesa.n_pivots
+
+
+class TestCostBehaviour:
+    def test_query_cost_is_pivots_plus_survivors(self, rng):
+        counter = CountingMetric(EuclideanDistance())
+        vectors = rng.random((300, 2))
+        laesa = LAESAIndex(counter, n_pivots=8).build(list(range(300)), vectors)
+        counter.reset()
+        laesa.knn_search(rng.random(2), 5)
+        assert counter.count == laesa.last_stats.distance_computations
+        # m pivot evaluations are unavoidable; bound checks are free.
+        assert laesa.last_stats.distance_computations >= laesa.n_pivots
+
+    def test_prunes_on_low_dim_data(self, rng):
+        _, laesa, _ = _build_pair(rng, n=500, dim=2, n_pivots=8)
+        total = 0
+        for _ in range(10):
+            laesa.knn_search(rng.random(2), 5)
+            total += laesa.last_stats.distance_computations
+        assert total < 0.5 * 10 * 500
+
+    def test_more_pivots_tighter_bounds(self, rng):
+        vectors = rng.random((500, 4))
+        ids = list(range(500))
+        query_set = rng.random((10, 4))
+        survivors = {}
+        for m in (2, 16):
+            laesa = LAESAIndex(EuclideanDistance(), n_pivots=m).build(ids, vectors)
+            total = 0
+            for query in query_set:
+                laesa.knn_search(query, 5)
+                # Count only the non-pivot evaluations: the bound's tightness.
+                total += laesa.last_stats.distance_computations - laesa.n_pivots
+            survivors[m] = total
+        assert survivors[16] < survivors[2]
+
+    def test_pruned_accounting(self, rng):
+        _, laesa, _ = _build_pair(rng, n=300, dim=2)
+        laesa.range_search(rng.random(2), 0.05)
+        stats = laesa.last_stats
+        assert stats.nodes_pruned > 0
+
+
+class TestConfiguration:
+    def test_rejects_non_metric(self):
+        with pytest.raises(IndexingError, match="triangle"):
+            LAESAIndex(ChiSquareDistance())
+
+    def test_rejects_bad_pivot_count(self):
+        with pytest.raises(IndexingError):
+            LAESAIndex(EuclideanDistance(), n_pivots=0)
+
+    def test_deterministic_given_seed(self, rng):
+        vectors = rng.random((100, 3))
+        ids = list(range(100))
+        a = LAESAIndex(EuclideanDistance(), seed=4).build(ids, vectors)
+        b = LAESAIndex(EuclideanDistance(), seed=4).build(ids, vectors)
+        assert a.pivot_ids == b.pivot_ids

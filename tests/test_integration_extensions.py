@@ -1,0 +1,172 @@
+"""Integration tests: the extension modules wired through the facade.
+
+The unit suites prove each piece in isolation; these tests prove the
+pieces compose the way a downstream user would actually wire them:
+M-tree / GNAT / filter-refine as the database's index factory, feedback
+sessions over a database persisted and reloaded from disk, and reducers
+fitted on real extracted signatures rather than synthetic vectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.database import ImageDatabase
+from repro.db.feedback import FeedbackSession
+from repro.eval.datasets import make_class_image, make_corpus
+from repro.features.gabor import GaborFeatures
+from repro.features.histogram import HSVHistogram
+from repro.features.pipeline import FeatureSchema
+from repro.features.tamura import TamuraFeatures
+from repro.index.filter_refine import FilterRefineIndex
+from repro.index.gnat import GNAT
+from repro.index.mtree import MTree
+from repro.index.vptree import VPTree
+from repro.reduce import KLTransform
+
+
+def _schema():
+    return FeatureSchema([HSVHistogram((6, 2, 2), working_size=32)])
+
+
+def _populate(db, per_class=4, seed=31):
+    for image, label in make_corpus(per_class, size=32, seed=seed):
+        db.add_image(image, label=label)
+    return db
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    """Ground-truth ranking from the default VP-tree database."""
+    db = _populate(ImageDatabase(_schema()))
+    query = make_class_image("red_scenes", np.random.default_rng(8), size=32)
+    return query, [r.image_id for r in db.query(query, k=8)]
+
+
+class TestAlternativeIndexFactories:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda metric: MTree(metric, capacity=6),
+            lambda metric: GNAT(metric, degree=4),
+            lambda metric: FilterRefineIndex(metric, KLTransform(6)),
+        ],
+        ids=["mtree", "gnat", "kl-filter"],
+    )
+    def test_same_ranking_as_vptree(self, factory, reference_results):
+        query, expected = reference_results
+        db = _populate(ImageDatabase(_schema(), index_factory=factory))
+        got = [r.image_id for r in db.query(query, k=8)]
+        assert got == expected
+
+    def test_mtree_database_survives_incremental_growth(self):
+        """Add images after the first query; the rebuilt index sees them."""
+        db = _populate(ImageDatabase(_schema(), index_factory=lambda m: MTree(m)))
+        query = make_class_image("checkerboards", np.random.default_rng(3), size=32)
+        before = db.query(query, k=3)
+        assert len(before) == 3
+        new_id = db.add_image(
+            make_class_image("checkerboards", np.random.default_rng(4), size=32),
+            label="checkerboards",
+        )
+        after = db.query(query, k=len(db))
+        assert new_id in {r.image_id for r in after}
+
+    def test_filter_refine_multi_feature_query(self):
+        schema = FeatureSchema(
+            [
+                HSVHistogram((6, 2, 2), working_size=32),
+                GaborFeatures(2, 2, working_size=32),
+            ]
+        )
+        db = _populate(
+            ImageDatabase(
+                schema,
+                index_factory=lambda m: FilterRefineIndex(m, KLTransform(4)),
+            )
+        )
+        query = make_class_image("stripes_diagonal", np.random.default_rng(5), size=32)
+        results = db.query_multi(query, k=5)
+        assert len(results) == 5
+        assert all(r.per_feature for r in results)
+
+
+class TestFeedbackOverPersistedDatabase:
+    def test_session_on_reloaded_database(self, tmp_path):
+        schema = _schema()
+        db = _populate(ImageDatabase(schema))
+        db.save(tmp_path / "db")
+        reloaded = ImageDatabase.load(tmp_path / "db", _schema())
+
+        query = make_class_image("green_scenes", np.random.default_rng(6), size=32)
+        session = FeedbackSession(reloaded, query)
+        first = session.search(6)
+        relevant = [r.image_id for r in first if r.record.label == "green_scenes"]
+        if relevant:
+            session.mark_relevant(relevant)
+            second = session.search(6)
+            assert len(second) == 6
+            assert session.rounds == 1
+
+    def test_reloaded_database_rankings_match(self, tmp_path):
+        db = _populate(ImageDatabase(_schema()))
+        query = make_class_image("blue_gradients", np.random.default_rng(7), size=32)
+        expected = [r.image_id for r in db.query(query, k=6)]
+        db.save(tmp_path / "db")
+        reloaded = ImageDatabase.load(tmp_path / "db", _schema())
+        assert [r.image_id for r in reloaded.query(query, k=6)] == expected
+
+
+class TestReducersOnRealSignatures:
+    @pytest.fixture(scope="class")
+    def signatures(self):
+        extractor = HSVHistogram((18, 3, 3), working_size=32)
+        images = [image for image, _ in make_corpus(4, size=32, seed=13)]
+        return np.array([extractor.extract(image) for image in images])
+
+    def test_kl_concentrates_histogram_variance(self, signatures):
+        kl = KLTransform(8).fit(signatures)
+        assert kl.explained_variance_ratio > 0.9
+
+    def test_kl_projection_contractive_on_signatures(self, signatures):
+        from repro.metrics.minkowski import EuclideanDistance
+        from repro.reduce import contractiveness_violations
+
+        kl = KLTransform(8).fit(signatures)
+        rate, worst = contractiveness_violations(
+            kl, signatures, EuclideanDistance(), n_pairs=200
+        )
+        assert rate == 0.0
+        assert worst <= 1.0 + 1e-9
+
+    def test_fastmap_embeds_signatures_under_non_euclidean_metric(self, signatures):
+        from repro.metrics.emd import MatchDistance
+        from repro.reduce import FastMap
+
+        fastmap = FastMap(4, MatchDistance()).fit(signatures)
+        embedded = fastmap.transform(signatures)
+        assert embedded.shape == (len(signatures), 4)
+        assert np.all(np.isfinite(embedded))
+
+
+class TestNewTextureFeaturesInDefaultFlow:
+    def test_schema_with_all_texture_families(self):
+        schema = FeatureSchema(
+            [
+                GaborFeatures(2, 2, working_size=32),
+                TamuraFeatures(working_size=32),
+            ]
+        )
+        db = ImageDatabase(schema)
+        _populate(db, per_class=2)
+        query = make_class_image("noise_fine", np.random.default_rng(9), size=32)
+        results = db.query(query, k=4, feature="tamura_4l_16b")
+        assert len(results) == 4
+        fused = db.query_fused(query, k=4)
+        assert len(fused) == 4
+
+    def test_vptree_indexes_gabor_space(self):
+        schema = FeatureSchema([GaborFeatures(2, 2, working_size=32)])
+        db = ImageDatabase(schema, index_factory=lambda m: VPTree(m, leaf_size=4))
+        _populate(db, per_class=3)
+        index = db.index_for(db.default_feature)
+        assert index.size == len(db)

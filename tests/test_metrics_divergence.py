@@ -1,0 +1,156 @@
+"""Tests for cosine, Canberra and Jensen-Shannon distances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.features.base import l1_normalize
+from repro.metrics.divergence import (
+    CanberraDistance,
+    CosineDistance,
+    JensenShannonDistance,
+)
+
+
+class TestCosineDistance:
+    def test_identical_direction_is_zero(self, rng):
+        metric = CosineDistance()
+        v = rng.random(8)
+        assert metric.distance(v, v) == pytest.approx(0.0)
+        assert metric.distance(v, 3.0 * v) == pytest.approx(0.0)
+
+    def test_orthogonal_is_one(self):
+        metric = CosineDistance()
+        assert metric.distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_opposite_is_two(self):
+        metric = CosineDistance()
+        assert metric.distance([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(2.0)
+
+    def test_zero_vector_convention(self, rng):
+        metric = CosineDistance()
+        zero = np.zeros(4)
+        assert metric.distance(zero, rng.random(4)) == 1.0
+        assert metric.distance(zero, zero) == 1.0
+
+    def test_symmetric(self, rng):
+        metric = CosineDistance()
+        a, b = rng.random(6), rng.random(6)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+
+    def test_declared_non_metric(self):
+        assert CosineDistance().is_metric is False
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            CosineDistance().distance([1.0, 2.0], [1.0])
+
+
+class TestCanberraDistance:
+    def test_identity(self, rng):
+        v = rng.random(8)
+        assert CanberraDistance().distance(v, v) == pytest.approx(0.0)
+
+    def test_symmetric(self, rng):
+        metric = CanberraDistance()
+        a, b = rng.random(6), rng.random(6)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+
+    def test_triangle_inequality_on_random_triples(self, rng):
+        metric = CanberraDistance()
+        for _ in range(100):
+            a, b, c = rng.random((3, 5))
+            assert metric.distance(a, c) <= (
+                metric.distance(a, b) + metric.distance(b, c) + 1e-12
+            )
+
+    def test_emphasizes_small_bins(self):
+        metric = CanberraDistance()
+        # Same absolute difference (0.1), but in a small bin vs a large one.
+        small_bin = metric.distance([0.0, 1.0], [0.1, 1.0])
+        large_bin = metric.distance([1.0, 1.0], [1.1, 1.0])
+        assert small_bin > 5.0 * large_bin
+
+    def test_both_zero_coordinate_ignored(self):
+        assert CanberraDistance().distance([0.0, 1.0], [0.0, 2.0]) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_all_zeros(self):
+        assert CanberraDistance().distance(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_bounded_by_dimension(self, rng):
+        metric = CanberraDistance()
+        a, b = rng.random(7), rng.random(7)
+        assert metric.distance(a, b) <= 7.0
+
+
+class TestJensenShannonDistance:
+    def test_identity(self, rng):
+        metric = JensenShannonDistance()
+        p = l1_normalize(rng.random(12))
+        assert metric.distance(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric(self, rng):
+        metric = JensenShannonDistance()
+        p = l1_normalize(rng.random(12))
+        q = l1_normalize(rng.random(12))
+        assert metric.distance(p, q) == pytest.approx(metric.distance(q, p))
+
+    def test_disjoint_supports_is_one(self):
+        metric = JensenShannonDistance()
+        assert metric.distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_triangle_inequality_on_random_triples(self, rng):
+        metric = JensenShannonDistance()
+        for _ in range(100):
+            p, q, r = (l1_normalize(rng.random(6)) for _ in range(3))
+            assert metric.distance(p, r) <= (
+                metric.distance(p, q) + metric.distance(q, r) + 1e-12
+            )
+
+    def test_scale_invariant_via_normalization(self, rng):
+        metric = JensenShannonDistance()
+        p = rng.random(8)
+        q = rng.random(8)
+        assert metric.distance(p, q) == pytest.approx(
+            metric.distance(10.0 * p, 0.3 * q)
+        )
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(MetricError, match="non-negative"):
+            JensenShannonDistance().distance([0.5, -0.1], [0.5, 0.5])
+
+    def test_empty_histogram_convention(self):
+        metric = JensenShannonDistance()
+        zero = np.zeros(4)
+        assert metric.distance(zero, zero) == 0.0
+        assert metric.distance(zero, np.ones(4)) == 1.0
+
+    def test_bounded_by_one(self, rng):
+        metric = JensenShannonDistance()
+        for _ in range(50):
+            p = l1_normalize(rng.random(10))
+            q = l1_normalize(rng.random(10))
+            assert 0.0 <= metric.distance(p, q) <= 1.0
+
+    def test_indexable_by_metric_trees(self, rng):
+        from repro.index.linear import LinearScanIndex
+        from repro.index.vptree import VPTree
+
+        histograms = np.array([l1_normalize(rng.random(8)) for _ in range(80)])
+        ids = list(range(80))
+        metric = JensenShannonDistance()
+        tree = VPTree(metric).build(ids, histograms)
+        linear = LinearScanIndex(metric).build(ids, histograms)
+        query = l1_normalize(rng.random(8))
+        assert [n.id for n in tree.knn_search(query, 5)] == [
+            n.id for n in linear.knn_search(query, 5)
+        ]
+
+    def test_cosine_refused_by_metric_trees(self):
+        from repro.errors import IndexingError
+        from repro.index.vptree import VPTree
+
+        with pytest.raises(IndexingError, match="triangle inequality"):
+            VPTree(CosineDistance())

@@ -1,0 +1,122 @@
+"""Tests for histogram dissimilarities (intersection, chi-square, Bhattacharyya)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.features.base import l1_normalize
+from repro.metrics.histogram import (
+    BhattacharyyaDistance,
+    ChiSquareDistance,
+    HistogramIntersection,
+)
+
+
+def _random_histogram(rng, dim=16):
+    return l1_normalize(rng.random(dim))
+
+
+class TestHistogramIntersection:
+    def test_identical_histograms_distance_zero(self, rng):
+        h = _random_histogram(rng)
+        assert HistogramIntersection().distance(h, h) == pytest.approx(0.0)
+
+    def test_disjoint_histograms_distance_one(self):
+        h = np.array([1.0, 0.0, 0.0, 0.0])
+        g = np.array([0.0, 0.0, 1.0, 0.0])
+        assert HistogramIntersection().distance(h, g) == pytest.approx(1.0)
+
+    def test_equals_half_l1_on_normalized(self, rng):
+        h, g = _random_histogram(rng), _random_histogram(rng)
+        expected = 0.5 * np.abs(h - g).sum()
+        assert HistogramIntersection().distance(h, g) == pytest.approx(expected)
+
+    def test_normalizes_by_smaller_mass(self):
+        # g is h at double mass: intersection covers all of h.
+        h = np.array([0.2, 0.3, 0.5])
+        g = 2.0 * h
+        assert HistogramIntersection().distance(h, g) == pytest.approx(0.0)
+
+    def test_background_suppression(self):
+        # Colors absent from the query contribute nothing: adding a large
+        # background-only bin to g does not change the distance to h.
+        h = np.array([0.5, 0.5, 0.0])
+        g1 = np.array([0.5, 0.5, 0.0])
+        g2 = np.array([0.5, 0.5, 5.0])
+        metric = HistogramIntersection()
+        assert metric.distance(h, g1) == pytest.approx(metric.distance(h, g2))
+
+    def test_empty_histograms(self):
+        metric = HistogramIntersection()
+        zeros = np.zeros(4)
+        assert metric.distance(zeros, zeros) == 0.0
+        assert metric.distance(zeros, np.array([1.0, 0, 0, 0])) == 1.0
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(MetricError, match="non-negative"):
+            HistogramIntersection().distance([-0.1, 1.1], [0.5, 0.5])
+
+    def test_triangle_inequality_on_normalized(self, rng):
+        metric = HistogramIntersection()
+        for _ in range(25):
+            h, g, f = (_random_histogram(rng) for _ in range(3))
+            assert metric.distance(h, f) <= metric.distance(h, g) + metric.distance(g, f) + 1e-12
+
+
+class TestChiSquare:
+    def test_identity(self, rng):
+        h = _random_histogram(rng)
+        assert ChiSquareDistance().distance(h, h) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        h, g = _random_histogram(rng), _random_histogram(rng)
+        metric = ChiSquareDistance()
+        assert metric.distance(h, g) == pytest.approx(metric.distance(g, h))
+
+    def test_flagged_non_metric(self):
+        assert not ChiSquareDistance().is_metric
+
+    def test_known_value(self):
+        h = np.array([1.0, 0.0])
+        g = np.array([0.0, 1.0])
+        # 0.5 * (1/1 + 1/1) = 1.0
+        assert ChiSquareDistance().distance(h, g) == pytest.approx(1.0)
+
+    def test_empty_bins_skipped(self):
+        h = np.array([0.0, 1.0, 0.0])
+        g = np.array([0.0, 1.0, 0.0])
+        assert ChiSquareDistance().distance(h, g) == 0.0
+
+    def test_both_zero(self):
+        assert ChiSquareDistance().distance(np.zeros(3), np.zeros(3)) == 0.0
+
+
+class TestBhattacharyya:
+    def test_identity(self, rng):
+        h = _random_histogram(rng)
+        assert BhattacharyyaDistance().distance(h, h) == pytest.approx(0.0, abs=1e-7)
+
+    def test_disjoint_is_quarter_turn(self):
+        h = np.array([1.0, 0.0])
+        g = np.array([0.0, 1.0])
+        assert BhattacharyyaDistance().distance(h, g) == pytest.approx(np.pi / 2)
+
+    def test_scale_invariance(self, rng):
+        h, g = _random_histogram(rng), _random_histogram(rng)
+        metric = BhattacharyyaDistance()
+        assert metric.distance(h, g) == pytest.approx(metric.distance(3.0 * h, g))
+
+    def test_triangle_inequality(self, rng):
+        metric = BhattacharyyaDistance()
+        for _ in range(25):
+            h, g, f = (_random_histogram(rng) for _ in range(3))
+            assert metric.distance(h, f) <= metric.distance(h, g) + metric.distance(g, f) + 1e-9
+
+    def test_bounded_by_quarter_turn(self, rng):
+        metric = BhattacharyyaDistance()
+        h, g = _random_histogram(rng), _random_histogram(rng)
+        assert 0.0 <= metric.distance(h, g) <= np.pi / 2 + 1e-12
+
+    def test_rejects_negative(self):
+        with pytest.raises(MetricError):
+            BhattacharyyaDistance().distance([-0.5, 1.5], [0.5, 0.5])

@@ -1,0 +1,168 @@
+"""Tests for quadratic-form distance and 1-D EMD (match distance)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.features.base import l1_normalize
+from repro.metrics.emd import MatchDistance, circular_match_distance, match_distance
+from repro.metrics.minkowski import EuclideanDistance
+from repro.metrics.quadratic import (
+    QuadraticFormDistance,
+    color_similarity_matrix,
+    rgb_bin_centers,
+)
+
+
+class TestQuadraticForm:
+    def test_identity_matrix_recovers_euclidean(self, rng):
+        metric = QuadraticFormDistance(np.eye(8))
+        a, b = rng.random(8), rng.random(8)
+        assert metric.distance(a, b) == pytest.approx(EuclideanDistance().distance(a, b))
+
+    def test_identity_axiom(self, rng):
+        matrix = color_similarity_matrix(2)
+        metric = QuadraticFormDistance(matrix)
+        h = rng.random(8)
+        assert metric.distance(h, h) == pytest.approx(0.0)
+
+    def test_cross_bin_tolerance(self):
+        # Moving mass to a *similar* color costs less than to a dissimilar
+        # one -- the property Euclidean lacks and QBIC introduced A for.
+        matrix = color_similarity_matrix(2)  # 8 colors; codes r*4+g*2+b
+        metric = QuadraticFormDistance(matrix)
+        base = np.zeros(8)
+        base[0] = 1.0  # black
+        near = np.zeros(8)
+        near[1] = 1.0  # dark blue (differs in one channel)
+        far = np.zeros(8)
+        far[7] = 1.0  # white (differs in all three)
+        assert metric.distance(base, near) < metric.distance(base, far)
+
+    def test_euclidean_is_blind_to_bin_similarity(self):
+        base, near, far = np.zeros(8), np.zeros(8), np.zeros(8)
+        base[0], near[1], far[7] = 1.0, 1.0, 1.0
+        euclid = EuclideanDistance()
+        assert euclid.distance(base, near) == pytest.approx(euclid.distance(base, far))
+
+    def test_triangle_inequality(self, rng):
+        metric = QuadraticFormDistance(color_similarity_matrix(2))
+        for _ in range(25):
+            a, b, c = (l1_normalize(rng.random(8)) for _ in range(3))
+            assert metric.distance(a, c) <= metric.distance(a, b) + metric.distance(b, c) + 1e-9
+
+    def test_rejects_asymmetric_matrix(self):
+        matrix = np.eye(3)
+        matrix[0, 1] = 0.5
+        with pytest.raises(MetricError, match="symmetric"):
+            QuadraticFormDistance(matrix)
+
+    def test_rejects_indefinite_matrix(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(MetricError, match="semi-definite"):
+            QuadraticFormDistance(matrix)
+
+    def test_rejects_dim_mismatch(self):
+        metric = QuadraticFormDistance(np.eye(4))
+        with pytest.raises(MetricError):
+            metric.distance(np.zeros(5), np.zeros(5))
+
+
+class TestColorSimilarityMatrix:
+    def test_diagonal_is_one(self):
+        matrix = color_similarity_matrix(3)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_most_dissimilar_pair_is_zero(self):
+        matrix = color_similarity_matrix(2)
+        assert matrix.min() == pytest.approx(0.0, abs=1e-9)
+        # Black (code 0) vs white (code 7) is the extreme pair.
+        assert matrix[0, 7] == pytest.approx(0.0, abs=1e-9)
+
+    def test_psd(self):
+        for levels in (2, 3, 4):
+            eigenvalues = np.linalg.eigvalsh(color_similarity_matrix(levels))
+            assert eigenvalues.min() >= -1e-9
+
+    def test_bin_centers_order(self):
+        centers = rgb_bin_centers(2)
+        assert np.allclose(centers[0], [0.25, 0.25, 0.25])
+        assert np.allclose(centers[7], [0.75, 0.75, 0.75])
+        assert np.allclose(centers[4], [0.75, 0.25, 0.25])  # r most significant
+
+
+class TestMatchDistance:
+    def test_adjacent_shift_costs_its_distance(self):
+        h = np.array([1.0, 0.0, 0.0, 0.0])
+        g_near = np.array([0.0, 1.0, 0.0, 0.0])
+        g_far = np.array([0.0, 0.0, 0.0, 1.0])
+        assert match_distance(h, g_near) == pytest.approx(1.0)
+        assert match_distance(h, g_far) == pytest.approx(3.0)
+
+    def test_l1_is_blind_to_shift_size(self):
+        h = np.array([1.0, 0.0, 0.0, 0.0])
+        g_near = np.array([0.0, 1.0, 0.0, 0.0])
+        g_far = np.array([0.0, 0.0, 0.0, 1.0])
+        assert np.abs(h - g_near).sum() == np.abs(h - g_far).sum()
+
+    def test_requires_equal_mass(self):
+        with pytest.raises(MetricError, match="equal mass"):
+            match_distance(np.array([1.0, 0.0]), np.array([0.5, 0.0]))
+
+    def test_identity_and_symmetry(self, rng):
+        h = l1_normalize(rng.random(8))
+        g = l1_normalize(rng.random(8))
+        assert match_distance(h, h) == pytest.approx(0.0)
+        assert match_distance(h, g) == pytest.approx(match_distance(g, h))
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(25):
+            h, g, f = (l1_normalize(rng.random(8)) for _ in range(3))
+            assert match_distance(h, f) <= match_distance(h, g) + match_distance(g, f) + 1e-9
+
+
+class TestCircularMatchDistance:
+    def test_wraparound_cheaper_than_linear(self):
+        # Mass at bin 0 vs bin 7 on an 8-bin circle: one step around.
+        h = np.array([1.0, 0, 0, 0, 0, 0, 0, 0])
+        g = np.array([0, 0, 0, 0, 0, 0, 0, 1.0])
+        assert match_distance(h, g) == pytest.approx(7.0)
+        assert circular_match_distance(h, g) == pytest.approx(1.0)
+
+    def test_identity(self, rng):
+        h = l1_normalize(rng.random(8))
+        assert circular_match_distance(h, h) == pytest.approx(0.0)
+
+    def test_rotation_invariance_of_cost(self):
+        h = np.array([0.5, 0.5, 0, 0])
+        g = np.array([0, 0.5, 0.5, 0])
+        rolled_h = np.roll(h, 2)
+        rolled_g = np.roll(g, 2)
+        assert circular_match_distance(h, g) == pytest.approx(
+            circular_match_distance(rolled_h, rolled_g)
+        )
+
+
+class TestMatchDistanceWrapper:
+    def test_normalizes_by_default(self):
+        metric = MatchDistance()
+        h = np.array([2.0, 0.0])
+        g = np.array([0.0, 1.0])
+        assert metric.distance(h, g) == pytest.approx(1.0)
+
+    def test_circular_flag(self):
+        metric = MatchDistance(circular=True)
+        h = np.zeros(8)
+        g = np.zeros(8)
+        h[0] = 1.0
+        g[7] = 1.0
+        assert metric.distance(h, g) == pytest.approx(1.0 / 1.0 * 1.0)
+
+    def test_empty_vs_nonempty(self):
+        metric = MatchDistance()
+        assert metric.distance(np.zeros(4), np.zeros(4)) == 0.0
+        assert metric.distance(np.zeros(4), np.array([1.0, 0, 0, 0])) == 1.0
+
+    def test_name(self):
+        assert MatchDistance().name == "match"
+        assert MatchDistance(circular=True).name == "circular_match"

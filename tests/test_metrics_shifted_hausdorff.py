@@ -1,0 +1,117 @@
+"""Tests for circular-shift matching and Hausdorff distance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.hausdorff import HausdorffDistance, directed_hausdorff, hausdorff
+from repro.metrics.minkowski import EuclideanDistance, ManhattanDistance
+from repro.metrics.shifted import CircularShiftDistance
+
+
+class TestCircularShiftDistance:
+    def test_pure_rotation_scores_zero(self, rng):
+        h = rng.random(12)
+        metric = CircularShiftDistance()
+        assert metric.distance(h, np.roll(h, 5)) == pytest.approx(0.0)
+
+    def test_never_exceeds_base_distance(self, rng):
+        base = EuclideanDistance()
+        metric = CircularShiftDistance(base)
+        for _ in range(10):
+            a, b = rng.random(8), rng.random(8)
+            assert metric.distance(a, b) <= base.distance(a, b) + 1e-12
+
+    def test_max_shift_limits_window(self):
+        h = np.zeros(12)
+        h[0] = 1.0
+        g = np.roll(h, 6)
+        limited = CircularShiftDistance(max_shift=2)
+        unlimited = CircularShiftDistance()
+        assert unlimited.distance(h, g) == pytest.approx(0.0)
+        assert limited.distance(h, g) > 0.5
+
+    def test_max_shift_zero_is_base_distance(self, rng):
+        a, b = rng.random(8), rng.random(8)
+        metric = CircularShiftDistance(max_shift=0)
+        assert metric.distance(a, b) == pytest.approx(EuclideanDistance().distance(a, b))
+
+    def test_flagged_non_metric(self):
+        assert not CircularShiftDistance().is_metric
+
+    def test_custom_base_metric(self, rng):
+        a, b = rng.random(6), rng.random(6)
+        metric = CircularShiftDistance(ManhattanDistance(), max_shift=0)
+        assert metric.distance(a, b) == pytest.approx(ManhattanDistance().distance(a, b))
+
+    def test_rejects_negative_max_shift(self):
+        with pytest.raises(MetricError):
+            CircularShiftDistance(max_shift=-1)
+
+    def test_name_mentions_limit(self):
+        assert "3" in CircularShiftDistance(max_shift=3).name
+        assert "all" in CircularShiftDistance().name
+
+
+class TestHausdorffFunctions:
+    def test_identical_sets(self, rng):
+        points = rng.random((10, 2))
+        assert hausdorff(points, points) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0]])
+        assert directed_hausdorff(a, b) == pytest.approx(1.0)
+        assert directed_hausdorff(b, a) == pytest.approx(0.0)
+        assert hausdorff(a, b) == pytest.approx(1.0)
+
+    def test_asymmetry_of_directed_form(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert directed_hausdorff(a, b) != directed_hausdorff(b, a)
+
+    def test_subset_has_zero_directed_distance(self, rng):
+        b = rng.random((20, 2))
+        a = b[:5]
+        assert directed_hausdorff(a, b) == pytest.approx(0.0)
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(10):
+            a = rng.random((6, 2))
+            b = rng.random((6, 2))
+            c = rng.random((6, 2))
+            assert hausdorff(a, c) <= hausdorff(a, b) + hausdorff(b, c) + 1e-12
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(MetricError, match="non-empty"):
+            directed_hausdorff(np.zeros((0, 2)), np.zeros((3, 2)))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(MetricError, match="dimensionality"):
+            directed_hausdorff(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_1d_points_accepted(self):
+        assert hausdorff(np.array([0.0, 1.0]), np.array([0.0, 3.0])) == pytest.approx(2.0)
+
+
+class TestHausdorffMetricAdapter:
+    def test_flat_buffer_unpacking(self):
+        metric = HausdorffDistance(point_dim=2)
+        a = np.array([0.0, 0.0, 1.0, 0.0])  # points (0,0), (1,0)
+        b = np.array([0.0, 0.0])            # point (0,0)
+        assert metric.distance(a, b) == pytest.approx(1.0)
+
+    def test_nan_padding_dropped(self):
+        metric = HausdorffDistance(point_dim=2)
+        a = np.array([0.0, 0.0, np.nan, np.nan])
+        b = np.array([3.0, 4.0])
+        assert metric.distance(a, b) == pytest.approx(5.0)
+
+    def test_rejects_ragged_buffer(self):
+        metric = HausdorffDistance(point_dim=2)
+        with pytest.raises(MetricError, match="whole number"):
+            metric.distance(np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0]))
+
+    def test_rejects_bad_point_dim(self):
+        with pytest.raises(MetricError):
+            HausdorffDistance(point_dim=0)

@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin the load-bearing mathematical properties:
+
+* metric axioms for every metric that claims ``is_metric``;
+* exact equivalence of every tree index with the linear scan, on
+  arbitrary data, queries, k, and radius;
+* distance-count consistency between index stats and a wrapped counter;
+* invertibility and energy preservation of the Haar transform;
+* codec round trips on arbitrary images;
+* LRU buffer pool residency bounds;
+* chamfer distance-transform bounds against exact Euclidean distance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.db.bufferpool import BufferPool
+from repro.features.base import l1_normalize
+from repro.features.shape import distance_transform
+from repro.features.wavelet import haar2d, haar2d_inverse
+from repro.image.core import Image
+from repro.image.io_bmp import read_bmp_bytes, write_bmp_bytes
+from repro.image.io_ppm import read_ppm_bytes, write_ppm_bytes
+from repro.index.antipole import AntipoleTree
+from repro.index.kdtree import KDTree
+from repro.index.linear import LinearScanIndex
+from repro.index.vptree import VPTree
+from repro.metrics.base import CountingMetric
+from repro.metrics.emd import MatchDistance
+from repro.metrics.histogram import BhattacharyyaDistance, HistogramIntersection
+from repro.metrics.minkowski import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+)
+from repro.metrics.quadratic import QuadraticFormDistance, color_similarity_matrix
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite_vectors = hnp.arrays(
+    np.float64,
+    st.integers(2, 12),
+    elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+)
+
+
+def _vector_triples(dim=6):
+    return hnp.arrays(
+        np.float64, (3, dim), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+    )
+
+
+def _dataset_and_query(max_n=60, dim=4):
+    return st.tuples(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, max_n), st.just(dim)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+        hnp.arrays(
+            np.float64, (dim,), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+        ),
+    )
+
+
+METRICS = [
+    EuclideanDistance(),
+    ManhattanDistance(),
+    ChebyshevDistance(),
+    BhattacharyyaDistance(),
+    QuadraticFormDistance(color_similarity_matrix(2)[:6, :6] + np.eye(6) * 0.5),
+]
+
+
+# ---------------------------------------------------------------------------
+# Metric axioms
+# ---------------------------------------------------------------------------
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: m.name)
+    @given(triple=_vector_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_axioms(self, metric, triple):
+        a, b, c = triple
+        d_ab = metric.distance(a, b)
+        d_ba = metric.distance(b, a)
+        d_ac = metric.distance(a, c)
+        d_bc = metric.distance(b, c)
+        assert d_ab >= 0.0
+        assert metric.distance(a, a) <= 1e-7
+        assert d_ab == pytest.approx(d_ba, abs=1e-9)
+        assert d_ac <= d_ab + d_bc + 1e-7
+
+    @given(triple=_vector_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_intersection_axioms_on_simplex(self, triple):
+        metric = HistogramIntersection()
+        assume(all(v.sum() > 0 for v in triple))  # zero vector is off-simplex
+        a, b, c = (l1_normalize(v) for v in triple)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a), abs=1e-9)
+        assert metric.distance(a, c) <= metric.distance(a, b) + metric.distance(b, c) + 1e-9
+
+    @given(triple=_vector_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_match_distance_axioms_on_simplex(self, triple):
+        metric = MatchDistance()
+        assume(all(v.sum() > 0 for v in triple))  # zero vector is off-simplex
+        a, b, c = (l1_normalize(v) for v in triple)
+        assert metric.distance(a, c) <= metric.distance(a, b) + metric.distance(b, c) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Index equivalence with linear scan
+# ---------------------------------------------------------------------------
+
+
+def _assert_same_distances(result_a, result_b):
+    assert np.allclose(
+        [n.distance for n in result_a], [n.distance for n in result_b], atol=1e-9
+    )
+
+
+class TestIndexEquivalence:
+    @given(data=_dataset_and_query(), k=st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_vptree_knn_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = VPTree(metric, leaf_size=3).build(ids, vectors)
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+    @given(data=_dataset_and_query(), radius=st.floats(0.0, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_vptree_range_equals_scan(self, data, radius):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = VPTree(metric, leaf_size=3).build(ids, vectors)
+        assert {n.id for n in tree.range_search(query, radius)} == {
+            n.id for n in linear.range_search(query, radius)
+        }
+
+    @given(data=_dataset_and_query(), k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_antipole_knn_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = AntipoleTree(metric).build(ids, vectors)
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+    @given(data=_dataset_and_query(), radius=st.floats(0.0, 1.5))
+    @settings(max_examples=30, deadline=None)
+    def test_antipole_range_equals_scan(self, data, radius):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = AntipoleTree(metric).build(ids, vectors)
+        assert {n.id for n in tree.range_search(query, radius)} == {
+            n.id for n in linear.range_search(query, radius)
+        }
+
+    @given(data=_dataset_and_query(), k=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_kdtree_knn_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = KDTree(metric, leaf_size=3).build(ids, vectors)
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+    @given(data=_dataset_and_query(), k=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_stats_match_external_counter(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        for make in (
+            lambda m: VPTree(m, leaf_size=3),
+            lambda m: AntipoleTree(m),
+        ):
+            counter = CountingMetric(EuclideanDistance())
+            tree = make(counter).build(ids, vectors)
+            counter.reset()
+            tree.knn_search(query, k)
+            assert counter.count == tree.last_stats.distance_computations
+
+
+# ---------------------------------------------------------------------------
+# Haar transform
+# ---------------------------------------------------------------------------
+
+
+class TestHaarProperties:
+    @given(
+        array=hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(1, 8).map(lambda k: 2 * k),
+                st.integers(1, 8).map(lambda k: 2 * k),
+            ),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invertible_and_energy_preserving(self, array):
+        bands = haar2d(array)
+        assert np.allclose(haar2d_inverse(*bands), array, atol=1e-10)
+        energy_in = float((array * array).sum())
+        energy_out = sum(float((b * b).sum()) for b in bands)
+        assert energy_out == pytest.approx(energy_in, rel=1e-9, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Codecs
+# ---------------------------------------------------------------------------
+
+
+class TestCodecProperties:
+    @given(
+        pixels=hnp.arrays(
+            np.uint8,
+            st.tuples(st.integers(1, 12), st.integers(1, 12), st.just(3)),
+            elements=st.integers(0, 255),
+        ),
+        binary=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ppm_round_trip(self, pixels, binary):
+        image = Image.from_uint8(pixels)
+        assert read_ppm_bytes(write_ppm_bytes(image, binary=binary)) == image
+
+    @given(
+        pixels=hnp.arrays(
+            np.uint8,
+            st.tuples(st.integers(1, 12), st.integers(1, 12), st.just(3)),
+            elements=st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bmp_round_trip(self, pixels):
+        image = Image.from_uint8(pixels)
+        assert read_bmp_bytes(write_bmp_bytes(image)) == image
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool
+# ---------------------------------------------------------------------------
+
+
+class TestBufferPoolProperties:
+    @given(
+        capacity=st.integers(1, 8),
+        accesses=st.lists(st.integers(0, 15), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_residency_and_counters(self, capacity, accesses):
+        pool = BufferPool(capacity, lambda p: p)
+        for page in accesses:
+            assert pool.get(page) == page  # fetch is identity: correctness
+            assert pool.resident <= capacity
+        assert pool.hits + pool.misses == len(accesses)
+        assert pool.misses >= min(capacity, len(set(accesses)))
+
+    @given(accesses=st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_infinite_capacity_never_evicts(self, accesses):
+        pool = BufferPool(100, lambda p: p)
+        for page in accesses:
+            pool.get(page)
+        assert pool.evictions == 0
+        assert pool.misses == len(set(accesses))
+
+
+# ---------------------------------------------------------------------------
+# Distance transform
+# ---------------------------------------------------------------------------
+
+
+class TestDistanceTransformProperties:
+    @given(
+        mask=hnp.arrays(
+            np.bool_, st.tuples(st.integers(2, 12), st.integers(2, 12)), elements=st.booleans()
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_chamfer_brackets_euclidean(self, mask):
+        if not mask.any():
+            return  # empty mask: all inf, nothing to compare
+        dt = distance_transform(mask)
+        ys, xs = np.nonzero(mask)
+        feature_points = np.stack([ys, xs], axis=1)
+        height, width = mask.shape
+        for y in range(height):
+            for x in range(width):
+                exact = np.hypot(
+                    feature_points[:, 0] - y, feature_points[:, 1] - x
+                ).min()
+                # Chamfer with (1, sqrt2) weights over-estimates Euclidean
+                # by at most ~8% and never under-estimates.
+                assert dt[y, x] >= exact - 1e-9
+                assert dt[y, x] <= exact * 1.0824 + 1e-9
+
+    @given(
+        mask=hnp.arrays(
+            np.bool_, st.tuples(st.integers(2, 10), st.integers(2, 10)), elements=st.booleans()
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_feature_pixels_are_zero(self, mask):
+        dt = distance_transform(mask)
+        assert np.all(dt[mask] == 0.0)

@@ -1,0 +1,224 @@
+"""Property-based tests for the extension modules.
+
+Pins, on arbitrary data:
+
+* exact scan-equivalence of the M-tree (bulk *and* incrementally grown),
+  the GNAT, and KL filter-and-refine;
+* metric axioms for the Canberra and Jensen-Shannon distances;
+* contractiveness of the KL transform at any output dimensionality;
+* Rocchio movement staying inside the non-negative orthant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.db.feedback import Rocchio
+from repro.features.base import l1_normalize
+from repro.index.filter_refine import FilterRefineIndex
+from repro.index.gnat import GNAT
+from repro.index.linear import LinearScanIndex
+from repro.index.mtree import MTree
+from repro.metrics.divergence import CanberraDistance, JensenShannonDistance
+from repro.metrics.minkowski import EuclideanDistance
+from repro.reduce import KLTransform
+
+
+def _dataset_and_query(max_n=60, dim=4):
+    return st.tuples(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, max_n), st.just(dim)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+        hnp.arrays(
+            np.float64, (dim,), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+        ),
+    )
+
+
+def _vector_triples(dim=6):
+    return hnp.arrays(
+        np.float64, (3, dim), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+    )
+
+
+def _assert_same_distances(result_a, result_b):
+    assert np.allclose(
+        [n.distance for n in result_a], [n.distance for n in result_b], atol=1e-9
+    )
+
+
+class TestMTreeEquivalence:
+    @given(data=_dataset_and_query(), k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = MTree(metric, capacity=4).build(ids, vectors)
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+    @given(data=_dataset_and_query(), radius=st.floats(0.0, 1.5))
+    @settings(max_examples=30, deadline=None)
+    def test_range_equals_scan(self, data, radius):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = MTree(metric, capacity=4).build(ids, vectors)
+        assert {n.id for n in tree.range_search(query, radius)} == {
+            n.id for n in linear.range_search(query, radius)
+        }
+
+    @given(data=_dataset_and_query(max_n=40), k=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_incrementally_grown_tree_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = MTree(metric, capacity=4).build(ids[:1], vectors[:1])
+        for item_id in ids[1:]:
+            tree.insert(item_id, vectors[item_id])
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+
+class TestGNATEquivalence:
+    @given(data=_dataset_and_query(), k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_equals_scan(self, data, k):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = GNAT(metric, degree=4).build(ids, vectors)
+        _assert_same_distances(tree.knn_search(query, k), linear.knn_search(query, k))
+
+    @given(data=_dataset_and_query(), radius=st.floats(0.0, 1.5))
+    @settings(max_examples=30, deadline=None)
+    def test_range_equals_scan(self, data, radius):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        tree = GNAT(metric, degree=4).build(ids, vectors)
+        assert {n.id for n in tree.range_search(query, radius)} == {
+            n.id for n in linear.range_search(query, radius)
+        }
+
+
+class TestFilterRefineEquivalence:
+    @given(
+        data=_dataset_and_query(dim=6),
+        k=st.integers(1, 8),
+        out_dim=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kl_filtered_knn_equals_scan(self, data, k, out_dim):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        index = FilterRefineIndex(metric, KLTransform(out_dim)).build(ids, vectors)
+        _assert_same_distances(
+            index.knn_search(query, k), linear.knn_search(query, k)
+        )
+
+    @given(
+        data=_dataset_and_query(dim=6),
+        radius=st.floats(0.0, 1.5),
+        out_dim=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kl_filtered_range_equals_scan(self, data, radius, out_dim):
+        vectors, query = data
+        ids = list(range(len(vectors)))
+        metric = EuclideanDistance()
+        linear = LinearScanIndex(metric).build(ids, vectors)
+        index = FilterRefineIndex(metric, KLTransform(out_dim)).build(ids, vectors)
+        assert {n.id for n in index.range_search(query, radius)} == {
+            n.id for n in linear.range_search(query, radius)
+        }
+
+
+class TestKLContractive:
+    @given(
+        vectors=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(3, 40), st.just(8)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+        out_dim=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_projection_never_lengthens(self, vectors, out_dim):
+        kl = KLTransform(out_dim).fit(vectors)
+        reduced = kl.transform(vectors)
+        n = len(vectors)
+        for i, j in ((0, n - 1), (0, n // 2), (n // 2, n - 1)):
+            original = float(np.linalg.norm(vectors[i] - vectors[j]))
+            projected = float(np.linalg.norm(reduced[i] - reduced[j]))
+            assert projected <= original + 1e-8
+
+
+class TestDivergenceAxioms:
+    @given(triple=_vector_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_canberra_axioms(self, triple):
+        metric = CanberraDistance()
+        a, b, c = triple
+        assert metric.distance(a, b) >= 0.0
+        assert metric.distance(a, a) == pytest.approx(0.0, abs=1e-12)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a), abs=1e-12)
+        assert metric.distance(a, c) <= (
+            metric.distance(a, b) + metric.distance(b, c) + 1e-9
+        )
+
+    @given(triple=_vector_triples())
+    @settings(max_examples=50, deadline=None)
+    def test_jensen_shannon_axioms_on_simplex(self, triple):
+        metric = JensenShannonDistance()
+        a, b, c = (l1_normalize(v) for v in triple)
+        assert 0.0 <= metric.distance(a, b) <= 1.0 + 1e-12
+        assert metric.distance(a, a) == pytest.approx(0.0, abs=1e-7)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a), abs=1e-9)
+        assert metric.distance(a, c) <= (
+            metric.distance(a, b) + metric.distance(b, c) + 1e-7
+        )
+
+
+class TestRocchioProperties:
+    @given(
+        query=hnp.arrays(
+            np.float64, (6,), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+        ),
+        relevant=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.just(6)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+        non_relevant=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.just(6)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_refined_query_stays_valid(self, query, relevant, non_relevant):
+        rule = Rocchio()
+        refined = rule.refine(query, list(relevant), list(non_relevant))
+        assert refined.shape == query.shape
+        assert np.all(np.isfinite(refined))
+        assert np.all(refined >= 0.0)  # clip_negative default
+
+    @given(
+        query=hnp.arrays(
+            np.float64, (5,), elements=st.floats(0.0, 1.0, allow_nan=False, width=64)
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_identity_without_judgments(self, query):
+        assert np.allclose(Rocchio().refine(query), query)

@@ -1,0 +1,241 @@
+"""Tests for the reducers: KL transform and FastMap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.emd import MatchDistance
+from repro.metrics.minkowski import EuclideanDistance, ManhattanDistance
+from repro.reduce import FastMap, KLTransform, contractiveness_violations
+from repro.reduce.base import Reducer
+
+
+def _correlated_data(rng, n=300, dim=16, rank=3):
+    """Random data whose variance is concentrated in ``rank`` directions."""
+    basis = rng.normal(size=(rank, dim))
+    weights = rng.normal(size=(n, rank)) * np.array([10.0, 3.0, 1.0])[:rank]
+    return weights @ basis + rng.normal(0.0, 0.01, (n, dim))
+
+
+class TestReducerContract:
+    def test_fit_validates_shape(self, rng):
+        with pytest.raises(ReproError, match="non-empty"):
+            KLTransform(2).fit(np.empty((0, 4)))
+        with pytest.raises(ReproError, match="non-empty"):
+            KLTransform(2).fit(rng.random(8))
+
+    def test_fit_rejects_nan(self, rng):
+        data = rng.random((10, 4))
+        data[3, 2] = np.nan
+        with pytest.raises(ReproError, match="non-finite"):
+            KLTransform(2).fit(data)
+
+    def test_out_dim_cannot_exceed_in_dim(self, rng):
+        with pytest.raises(ReproError, match="out_dim"):
+            KLTransform(8).fit(rng.random((10, 4)))
+
+    def test_out_dim_must_be_positive(self):
+        with pytest.raises(ReproError, match="out_dim"):
+            KLTransform(0)
+
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(ReproError, match="not been fitted"):
+            KLTransform(2).transform(rng.random(4))
+
+    def test_transform_validates_dim(self, rng):
+        kl = KLTransform(2).fit(rng.random((20, 6)))
+        with pytest.raises(ReproError, match="dim"):
+            kl.transform(rng.random(5))
+
+    def test_single_vector_and_batch_agree(self, rng):
+        kl = KLTransform(3).fit(rng.random((50, 8)))
+        batch = rng.random((5, 8))
+        stacked = kl.transform(batch)
+        for row in range(5):
+            assert np.allclose(kl.transform(batch[row]), stacked[row])
+
+    def test_repr_shows_fitted_state(self, rng):
+        kl = KLTransform(2)
+        assert "unfitted" in repr(kl)
+        kl.fit(rng.random((10, 4)))
+        assert "in_dim=4" in repr(kl)
+
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            Reducer(2)  # type: ignore[abstract]
+
+
+class TestKLTransform:
+    def test_contractive_on_random_pairs(self, rng):
+        data = rng.random((200, 24))
+        kl = KLTransform(6).fit(data)
+        rate, worst = contractiveness_violations(
+            kl, data, EuclideanDistance(), n_pairs=400
+        )
+        assert rate == 0.0
+        assert worst <= 1.0 + 1e-9
+
+    def test_recovers_low_rank_structure(self, rng):
+        data = _correlated_data(rng, rank=3)
+        kl = KLTransform(3).fit(data)
+        assert kl.explained_variance_ratio > 0.999
+
+    def test_variance_ratio_monotone_in_out_dim(self, rng):
+        data = _correlated_data(rng, rank=3)
+        ratios = [
+            KLTransform(d).fit(data).explained_variance_ratio for d in (1, 2, 3, 8)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_components_are_orthonormal(self, rng):
+        kl = KLTransform(4).fit(rng.random((100, 10)))
+        gram = kl.components @ kl.components.T
+        assert np.allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_full_rank_projection_preserves_distances(self, rng):
+        data = rng.random((60, 5))
+        kl = KLTransform(5).fit(data)
+        reduced = kl.transform(data)
+        for _ in range(20):
+            i, j = rng.choice(60, size=2, replace=False)
+            original = float(np.linalg.norm(data[i] - data[j]))
+            projected = float(np.linalg.norm(reduced[i] - reduced[j]))
+            assert projected == pytest.approx(original)
+
+    def test_inverse_transform_roundtrip_on_low_rank_data(self, rng):
+        data = _correlated_data(rng, rank=2)
+        kl = KLTransform(2).fit(data)
+        restored = kl.inverse_transform(kl.transform(data))
+        assert np.allclose(restored, data, atol=0.1)
+
+    def test_reconstruction_error_decreases_with_dim(self, rng):
+        data = rng.random((150, 12))
+        errors = [
+            KLTransform(d).fit(data).reconstruction_error(data) for d in (1, 4, 8, 12)
+        ]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_data_handled(self):
+        data = np.ones((20, 6))
+        kl = KLTransform(2).fit(data)
+        assert kl.explained_variance_ratio == 1.0
+        assert np.allclose(kl.transform(data), 0.0)
+
+    def test_eigenvalues_descending(self, rng):
+        kl = KLTransform(2).fit(rng.random((80, 7)))
+        eigenvalues = kl.eigenvalues
+        assert np.all(np.diff(eigenvalues) <= 1e-12)
+
+    def test_inverse_transform_validates_dim(self, rng):
+        kl = KLTransform(2).fit(rng.random((10, 4)))
+        with pytest.raises(ReproError, match="dim"):
+            kl.inverse_transform(rng.random(3))
+
+
+class TestFastMap:
+    def test_embeds_euclidean_data_with_low_stress(self, rng):
+        data = _correlated_data(rng, rank=3)
+        fastmap = FastMap(3).fit(data)
+        assert fastmap.stress(data) < 0.1
+
+    def test_stress_decreases_with_axes(self, rng):
+        data = rng.random((120, 10))
+        stresses = [FastMap(d, seed=1).fit(data).stress(data) for d in (1, 3, 6)]
+        assert stresses[0] >= stresses[1] >= stresses[2]
+
+    def test_near_contractive_on_euclidean_data(self, rng):
+        data = rng.random((150, 8))
+        fastmap = FastMap(4).fit(data)
+        rate, worst = contractiveness_violations(
+            fastmap, data, EuclideanDistance(), n_pairs=300
+        )
+        # Heuristic, but on genuinely Euclidean data violations are rare
+        # and mild (clamped residuals are the only source).
+        assert rate < 0.05
+        assert worst < 1.2
+
+    def test_works_with_non_coordinate_metric(self, rng):
+        from repro.features.base import l1_normalize
+
+        histograms = np.array([l1_normalize(rng.random(16)) for _ in range(80)])
+        fastmap = FastMap(3, MatchDistance()).fit(histograms)
+        embedded = fastmap.transform(histograms)
+        assert embedded.shape == (80, 3)
+        assert np.all(np.isfinite(embedded))
+        assert fastmap.stress(histograms) < 0.8
+
+    def test_embedding_preserves_cluster_structure(self, rng):
+        from repro.eval.datasets import gaussian_clusters
+
+        vectors, labels = gaussian_clusters(
+            120, 16, n_clusters=2, cluster_std=0.01, seed=5
+        )
+        fastmap = FastMap(2).fit(vectors)
+        embedded = fastmap.transform(vectors)
+        center_a = embedded[labels == 0].mean(axis=0)
+        center_b = embedded[labels == 1].mean(axis=0)
+        spread_a = embedded[labels == 0].std()
+        assert np.linalg.norm(center_a - center_b) > 5 * spread_a
+
+    def test_query_transform_matches_training_coordinates(self, rng):
+        data = rng.random((60, 6))
+        fastmap = FastMap(3).fit(data)
+        embedded = fastmap.transform(data)
+        # Re-embedding a training vector through the query path must give
+        # the same coordinates the fit produced.
+        for row in (0, 17, 59):
+            assert np.allclose(fastmap.transform(data[row]), embedded[row], atol=1e-9)
+
+    def test_duplicate_data_yields_zero_coordinates(self):
+        data = np.ones((10, 4))
+        fastmap = FastMap(2).fit(data)
+        assert np.allclose(fastmap.transform(data), 0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.random((50, 6))
+        a = FastMap(3, seed=3).fit(data).transform(data)
+        b = FastMap(3, seed=3).fit(data).transform(data)
+        assert np.allclose(a, b)
+
+    def test_pivot_pairs_exposed(self, rng):
+        data = rng.random((40, 5))
+        fastmap = FastMap(2).fit(data)
+        pairs = fastmap.pivot_pairs
+        assert len(pairs) == 2
+        for pivot_a, pivot_b, d_ab in pairs:
+            assert pivot_a.shape == (5,)
+            assert pivot_b.shape == (5,)
+            assert d_ab >= 0.0
+
+    def test_rejects_non_metric_argument(self):
+        with pytest.raises(ReproError, match="Metric"):
+            FastMap(2, metric="euclidean")  # type: ignore[arg-type]
+
+    def test_works_under_l1(self, rng):
+        data = rng.random((60, 6))
+        fastmap = FastMap(3, ManhattanDistance()).fit(data)
+        assert np.all(np.isfinite(fastmap.transform(data)))
+
+
+class TestContractivenessCheck:
+    def test_requires_two_vectors(self, rng):
+        kl = KLTransform(1).fit(rng.random((5, 3)))
+        with pytest.raises(ReproError, match="two vectors"):
+            contractiveness_violations(kl, rng.random((1, 3)), EuclideanDistance())
+
+    def test_detects_expansion(self, rng):
+        class Doubler(Reducer):
+            contractive = False
+
+            def _fit(self, vectors):
+                pass
+
+            def _transform(self, vectors):
+                return 2.0 * vectors[:, : self._out_dim]
+
+        data = rng.random((50, 4))
+        doubler = Doubler(4).fit(data)
+        rate, worst = contractiveness_violations(doubler, data, EuclideanDistance())
+        assert rate > 0.9
+        assert worst > 1.5
