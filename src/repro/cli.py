@@ -8,6 +8,7 @@ build an index, query by example.  This module is that tool::
     python -m repro build corpus/ --db my.db # extract features + save
     python -m repro info  --db my.db         # what's inside
     python -m repro query corpus/red_scenes/red_scenes_000.ppm --db my.db -k 5
+    python -m repro query-batch corpus/red_scenes/ --db my.db -k 5
 
 Images are read with the library's own codecs (PPM/PGM/BMP — the
 formats a 1994 system would have spoken); each image's *label* is the
@@ -169,6 +170,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    db = _load(args)
+    paths: list[Path] = []
+    for target in args.images:
+        path = Path(target)
+        if path.is_dir():
+            paths.extend(found for found, _label in iter_image_files(path))
+        else:
+            paths.append(path)
+    if not paths:
+        print("no query images found", file=sys.stderr)
+        return 1
+    images = [read_image_file(path) for path in paths]
+    feature = args.feature or db.default_feature
+
+    started = time.perf_counter()
+    batches = db.query_batch(images, k=args.k, feature=feature)
+    elapsed = time.perf_counter() - started
+
+    rows = []
+    for path, results in zip(paths, batches):
+        best = results[0]
+        rows.append([path.name, best.record.label or "-", best.record.name, best.distance])
+    print(
+        ascii_table(
+            ["query", "best label", "best match", "distance"],
+            rows,
+            title=f"best of top-{args.k} by {feature} for {len(paths)} queries",
+        )
+    )
+    stats = db.index_for(feature).last_stats
+    print(
+        f"\n{len(paths)} queries in {elapsed * 1e3:.1f} ms "
+        f"({len(paths) / elapsed:.0f} queries/s, batched engine); "
+        f"{stats.distance_computations} distance computations total"
+    )
+    return 0
+
+
 def _make_schema(working_size: int) -> FeatureSchema:
     return default_schema(working_size=working_size)
 
@@ -223,6 +263,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--feature", default=None, help="feature to search (default: schema's first)"
     )
     query.set_defaults(handler=_cmd_query)
+
+    query_batch = commands.add_parser(
+        "query-batch",
+        help="query a database with many example images in one batched pass",
+    )
+    query_batch.add_argument(
+        "images",
+        nargs="+",
+        help="query image files and/or directories (scanned recursively)",
+    )
+    query_batch.add_argument("--db", required=True)
+    query_batch.add_argument("-k", type=int, default=5)
+    query_batch.add_argument(
+        "--feature", default=None, help="feature to search (default: schema's first)"
+    )
+    query_batch.set_defaults(handler=_cmd_query_batch)
 
     return parser
 

@@ -12,20 +12,29 @@ queries combine evidence.  Two families are implemented:
   entirely.
 
 Experiment T5 compares both against single features.
+
+:func:`to_retrieval_results` is the shared last hop of every query path
+— scalar, batched, single- or multi-feature: index ``Neighbor`` lists
+become catalog-enriched :class:`RetrievalResult` lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import QueryError
 from repro.db.catalog import ImageRecord
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.db.catalog import Catalog
+    from repro.index.base import Neighbor
+
 __all__ = [
     "RetrievalResult",
+    "to_retrieval_results",
     "combine_feature_distances",
     "borda_fuse",
     "reciprocal_rank_fuse",
@@ -48,6 +57,18 @@ class RetrievalResult:
 
     def __lt__(self, other: "RetrievalResult") -> bool:
         return (self.distance, self.image_id) < (other.distance, other.image_id)
+
+
+def to_retrieval_results(
+    neighbors: Sequence["Neighbor"], catalog: "Catalog"
+) -> list[RetrievalResult]:
+    """Attach catalog records to raw index results, preserving order."""
+    return [
+        RetrievalResult(
+            image_id=nb.id, distance=nb.distance, record=catalog.get(nb.id)
+        )
+        for nb in neighbors
+    ]
 
 
 def _median_scale(values: np.ndarray) -> float:

@@ -46,9 +46,12 @@ triangle inequality, and every structure here is built on it:
     Only valid for Minkowski metrics, which is the point the dimensionality
     experiment makes about general metric data.
 
-All indexes share the :class:`~repro.index.base.MetricIndex` interface and
-report per-query :class:`~repro.index.stats.SearchStats` whose distance
-counts the test suite verifies against wrapped-metric ground truth.
+All indexes share the :class:`~repro.index.base.MetricIndex` interface —
+scalar ``range_search`` / ``knn_search`` plus their batched ``_batch``
+variants, which answer an ``(m, d)`` query matrix through the metrics'
+vectorized kernels with bit-identical results — and report per-query
+:class:`~repro.index.stats.SearchStats` whose distance counts the test
+suite verifies against wrapped-metric ground truth.
 """
 
 from repro.index.base import MetricIndex, Neighbor

@@ -11,6 +11,15 @@ chosen metric and then answers two query types:
 Both return lists of :class:`Neighbor` tuples.  Ties at equal distance
 are broken by insertion order so results are deterministic.  After each
 query, :attr:`MetricIndex.last_stats` holds the cost counters.
+
+Both also exist in batched form — ``range_search_batch(queries, radius)``
+and ``knn_search_batch(queries, k)`` take an ``(m, d)`` query matrix and
+return one result list per query.  The contract is strict equivalence:
+result ``i`` of a batch is identical (ids, distances, and per-query cost
+counters, bit for bit) to running query ``i`` alone; batching saves
+interpreter overhead via the metrics' vectorized kernels, never metric
+evaluations.  After a batch, :attr:`MetricIndex.last_batch_stats` holds
+the per-query counters and :attr:`MetricIndex.last_stats` their sum.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ class MetricIndex(ABC):
         self._built = False
         self._build_stats = BuildStats()
         self._search_stats = SearchStats()
+        self._batch_stats: list[SearchStats] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -93,8 +103,16 @@ class MetricIndex(ABC):
 
     @property
     def last_stats(self) -> SearchStats:
-        """Cost counters of the most recent query."""
+        """Cost counters of the most recent query (sum over a batch)."""
         return self._search_stats
+
+    @property
+    def last_batch_stats(self) -> list[SearchStats]:
+        """Per-query cost counters of the most recent batched query.
+
+        Empty when the most recent query was a scalar call.
+        """
+        return list(self._batch_stats)
 
     # ------------------------------------------------------------------
     # Construction
@@ -146,6 +164,7 @@ class MetricIndex(ABC):
         if radius < 0.0:
             raise IndexingError(f"radius must be non-negative; got {radius}")
         self._search_stats = SearchStats()
+        self._batch_stats = []
         result = self._range_search(query, float(radius))
         result.sort(key=lambda nb: (nb.distance, nb.id))
         return result
@@ -156,9 +175,79 @@ class MetricIndex(ABC):
         if k < 1:
             raise IndexingError(f"k must be >= 1; got {k}")
         self._search_stats = SearchStats()
+        self._batch_stats = []
         result = self._knn_search(query, int(k))
         result.sort(key=lambda nb: (nb.distance, nb.id))
         return result
+
+    def range_search_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[Neighbor]]:
+        """``range_search`` for every row of ``queries``; one list per row.
+
+        Equivalent to ``[range_search(q, radius) for q in queries]`` —
+        identical results and per-query counters — but routed through the
+        metric's batch kernel where an index supports it.
+        """
+        queries = self._check_query_batch(queries)
+        if radius < 0.0:
+            raise IndexingError(f"radius must be non-negative; got {radius}")
+        return self._run_batch(
+            queries, lambda query: self._range_search(query, float(radius))
+        )
+
+    def knn_search_batch(self, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
+        """``knn_search`` for every row of ``queries``; one list per row.
+
+        Equivalent to ``[knn_search(q, k) for q in queries]`` — identical
+        results and per-query counters — but routed through the metric's
+        batch kernel where an index supports it.
+        """
+        queries = self._check_query_batch(queries)
+        if k < 1:
+            raise IndexingError(f"k must be >= 1; got {k}")
+        return self._run_batch(queries, lambda query: self._knn_search(query, int(k)))
+
+    def _run_batch(self, queries, run_one) -> list[list[Neighbor]]:
+        """Run one search per query row, tracking per-query stats.
+
+        Subclasses get their batch speedups by vectorizing the per-query
+        hooks themselves (``_range_search`` / ``_knn_search`` built on
+        :meth:`_dist_batch`), which keeps the scalar and batched entry
+        points one code path and the per-query counters identical by
+        construction.
+        """
+        self._batch_stats = []
+        results = []
+        for query in queries:
+            self._search_stats = SearchStats()
+            result = run_one(query)
+            result.sort(key=lambda nb: (nb.distance, nb.id))
+            results.append(result)
+            self._batch_stats.append(self._search_stats)
+        total = SearchStats()
+        for stats in self._batch_stats:
+            total.merge(stats)
+        self._search_stats = total
+        return results
+
+    def _check_query_batch(self, queries: np.ndarray) -> np.ndarray:
+        if not self._built or self._vectors is None:
+            raise IndexingError("index has not been built yet")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise IndexingError(
+                f"queries must be a 2-D (m, d) array; got shape {queries.shape} "
+                f"(wrap a single query in a one-row matrix, or use the scalar API)"
+            )
+        if queries.shape[1] != self._vectors.shape[1]:
+            raise IndexingError(
+                f"queries have dim {queries.shape[1]}, index expects "
+                f"{self._vectors.shape[1]}"
+            )
+        if not np.all(np.isfinite(queries)):
+            raise IndexingError("queries contain non-finite values")
+        return queries
 
     def _check_query(self, query: np.ndarray) -> np.ndarray:
         if not self._built or self._vectors is None:
@@ -177,10 +266,27 @@ class MetricIndex(ABC):
         self._search_stats.distance_computations += 1
         return self._metric.distance(a, b)
 
+    def _dist_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Batched metric evaluation: one counted computation per row.
+
+        Goes through ``Metric.distance_batch`` so an externally wrapped
+        :class:`~repro.metrics.base.CountingMetric` sees the same count —
+        batching is never a way around the accounting.
+        """
+        distances = self._metric.distance_batch(query, vectors)
+        self._search_stats.distance_computations += int(distances.shape[0])
+        return distances
+
     def _build_dist(self, a: np.ndarray, b: np.ndarray) -> float:
         """Metric evaluation, counted in the build stats."""
         self._build_stats.distance_computations += 1
         return self._metric.distance(a, b)
+
+    def _build_dist_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Batched metric evaluation, counted in the build stats."""
+        distances = self._metric.distance_batch(query, vectors)
+        self._build_stats.distance_computations += int(distances.shape[0])
+        return distances
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -23,7 +23,10 @@ Cost accounting separates the two currencies: ``last_stats`` counts
 **full-metric evaluations** (the expensive, page-fetching kind GEMINI
 exists to avoid), while :attr:`FilterRefineIndex.last_filter_stats`
 counts the cheap reduced-space work.  Experiment F8 reports both, plus
-the candidate ratio.
+the candidate ratio.  The refine step computes the survivors' true
+distances through one batched metric evaluation per pass (same count,
+one NumPy call instead of a Python loop when the metric has a
+vectorized kernel).
 
 When the reducer is *not* provably contractive (FastMap on non-Euclidean
 metrics), results may miss true answers; the index surfaces this via
@@ -107,6 +110,9 @@ class FilterRefineIndex(MetricIndex):
         self._row_by_id: dict[int, int] = {}
         self._filter_stats = SearchStats()
         self._candidate_count = 0
+        self._batch_filter_stats: list[SearchStats] = []
+        self._batch_candidate_counts: list[int] = []
+        self._last_query_count = 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -130,18 +136,43 @@ class FilterRefineIndex(MetricIndex):
 
     @property
     def last_filter_stats(self) -> SearchStats:
-        """Reduced-space cost of the most recent query (both passes)."""
+        """Reduced-space cost of the most recent query (both passes).
+
+        After a batched query: the sum over the batch, mirroring
+        ``last_stats``; per-query counters are in
+        :attr:`last_batch_filter_stats`.
+        """
         return self._filter_stats
 
     @property
+    def last_batch_filter_stats(self) -> list[SearchStats]:
+        """Per-query reduced-space cost of the most recent batched query."""
+        return list(self._batch_filter_stats)
+
+    @property
     def last_candidate_count(self) -> int:
-        """How many items survived the filter in the most recent query."""
+        """Items that survived the filter in the most recent query.
+
+        After a batched query: the total over the batch (per-query
+        counts in :attr:`last_batch_candidate_counts`).
+        """
         return self._candidate_count
 
     @property
+    def last_batch_candidate_counts(self) -> list[int]:
+        """Per-query filter survivors of the most recent batched query."""
+        return list(self._batch_candidate_counts)
+
+    @property
     def last_candidate_ratio(self) -> float:
-        """Survivors as a fraction of the database (filter selectivity)."""
-        return self._candidate_count / self.size if self.size else 0.0
+        """Survivors as a fraction of the database (filter selectivity).
+
+        Averaged per query after a batch, so the ratio stays in [0, 1]
+        and comparable between scalar and batched workloads.
+        """
+        if not self.size:
+            return 0.0
+        return self._candidate_count / (self.size * self._last_query_count)
 
     # ------------------------------------------------------------------
     # Construction
@@ -166,6 +197,57 @@ class FilterRefineIndex(MetricIndex):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        result = super().range_search(query, radius)
+        self._reset_batch_views()
+        return result
+
+    def knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        result = super().knn_search(query, k)
+        self._reset_batch_views()
+        return result
+
+    def _reset_batch_views(self) -> None:
+        # A scalar query supersedes any earlier batch: the per-query
+        # lists empty out (mirroring last_batch_stats in the base class)
+        # and the aggregate views describe this single query again.
+        self._batch_filter_stats = []
+        self._batch_candidate_counts = []
+        self._last_query_count = 1
+
+    def _run_batch(self, queries, run_one):
+        # Collect the two extra per-query currencies alongside the base
+        # class's SearchStats, then aggregate them the same way so the
+        # ``last_*`` views stay mutually consistent after a batch.
+        self._batch_filter_stats = []
+        self._batch_candidate_counts = []
+
+        def tracked(query):
+            result = run_one(query)
+            self._batch_filter_stats.append(self._filter_stats)
+            self._batch_candidate_counts.append(self._candidate_count)
+            return result
+
+        results = super()._run_batch(queries, tracked)
+        total = SearchStats()
+        for stats in self._batch_filter_stats:
+            total.merge(stats)
+        self._filter_stats = total
+        self._candidate_count = sum(self._batch_candidate_counts)
+        self._last_query_count = max(len(self._batch_candidate_counts), 1)
+        return results
+
+    def _refine(self, query: np.ndarray, ids: Sequence[int]) -> np.ndarray:
+        """True distances for the given candidate ids, one batched call.
+
+        The refine step has no evaluation-order dependence (every
+        survivor's true distance is needed), so it rides the metric's
+        vectorized kernel; the count is ``len(ids)`` either way.
+        """
+        assert self._vectors is not None
+        rows = [self._row_by_id[item_id] for item_id in ids]
+        return self._dist_batch(query, self._vectors[rows])
+
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         assert self._inner is not None and self._vectors is not None
         reduced_query = self._reducer.transform(query)
@@ -174,12 +256,12 @@ class FilterRefineIndex(MetricIndex):
         self._filter_stats = self._inner.last_stats
         self._candidate_count = len(candidates)
 
-        result = []
-        for candidate in candidates:
-            d = self._dist(query, self._vectors[self._row_by_id[candidate.id]])
-            if d <= radius:
-                result.append(Neighbor(candidate.id, d))
-        return result
+        distances = self._refine(query, [candidate.id for candidate in candidates])
+        return [
+            Neighbor(candidate.id, float(d))
+            for candidate, d in zip(candidates, distances)
+            if d <= radius
+        ]
 
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         assert self._inner is not None and self._vectors is not None
@@ -190,8 +272,8 @@ class FilterRefineIndex(MetricIndex):
         seeds = self._inner.knn_search(reduced_query, k)
         self._filter_stats = self._inner.last_stats
         true_distance: dict[int, float] = {
-            nb.id: self._dist(query, self._vectors[self._row_by_id[nb.id]])
-            for nb in seeds
+            nb.id: float(d)
+            for nb, d in zip(seeds, self._refine(query, [nb.id for nb in seeds]))
         }
         bound = max(true_distance.values())
 
@@ -203,10 +285,10 @@ class FilterRefineIndex(MetricIndex):
         self._filter_stats = self._filter_stats + self._inner.last_stats
         self._candidate_count = len(candidates)
 
-        for candidate in candidates:
-            if candidate.id not in true_distance:
-                true_distance[candidate.id] = self._dist(
-                    query, self._vectors[self._row_by_id[candidate.id]]
-                )
+        fresh = [nb.id for nb in candidates if nb.id not in true_distance]
+        true_distance.update(
+            (item_id, float(d))
+            for item_id, d in zip(fresh, self._refine(query, fresh))
+        )
         ranked = sorted(true_distance.items(), key=lambda kv: (kv[1], kv[0]))
         return [Neighbor(item_id, d) for item_id, d in ranked[:k]]

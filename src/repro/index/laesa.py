@@ -17,6 +17,17 @@ Cost per query is ``m + (candidates that survive the bound)`` distance
 computations plus O(n·m) cheap arithmetic — the classic trade of memory
 (the table) for metric evaluations.  Pivots are chosen by the standard
 maximum-minimum-distance greedy sweep.
+
+The pivot machinery is batched wherever the evaluation order does not
+matter: the build sweeps and the pivot table go through
+``Metric.distance_batch``, query-time pivot distances are one batch call
+(the *batch prefilter* — bounds for all n objects from m evaluations),
+and range queries refine all surviving candidates in a second batch
+call.  Only the k-NN refinement stays sequential: its early-termination
+rule (stop when the lower bound exceeds the running k-th best) depends
+on each previous true distance, and short-circuiting evaluations is the
+whole point of the structure.  Counted distance computations are
+identical to the scalar path throughout.
 """
 
 from __future__ import annotations
@@ -58,6 +69,7 @@ class LAESAIndex(MetricIndex):
         self._seed = seed
         self._pivot_rows: list[int] = []
         self._pivot_table: np.ndarray | None = None  # (n, m) distances
+        self._pivot_vectors: np.ndarray | None = None  # (m, d) pivot rows
 
     @property
     def n_pivots(self) -> int:
@@ -78,29 +90,29 @@ class LAESAIndex(MetricIndex):
         rng = np.random.default_rng(self._seed)
 
         # Greedy max-min pivot selection: start random, then repeatedly
-        # take the object farthest from the chosen pivot set.
+        # take the object farthest from the chosen pivot set.  Each sweep
+        # is one batched evaluation over the whole table (n counted
+        # computations, as before).
         first = int(rng.integers(n))
         pivot_rows = [first]
-        min_dist = np.array([self._build_dist(vectors[first], v) for v in vectors])
+        min_dist = self._build_dist_batch(vectors[first], vectors)
         while len(pivot_rows) < m:
             candidate = int(np.argmax(min_dist))
             if min_dist[candidate] <= 0.0:
                 break  # remaining objects duplicate existing pivots
             pivot_rows.append(candidate)
-            distances = np.array(
-                [self._build_dist(vectors[candidate], v) for v in vectors]
-            )
+            distances = self._build_dist_batch(vectors[candidate], vectors)
             min_dist = np.minimum(min_dist, distances)
 
         # The pivot table re-uses no build distances (they were consumed
         # by the max-min sweep), so fill it explicitly.
         table = np.empty((n, len(pivot_rows)))
         for column, row in enumerate(pivot_rows):
-            for i in range(n):
-                table[i, column] = self._build_dist(vectors[row], vectors[i])
+            table[:, column] = self._build_dist_batch(vectors[row], vectors)
 
         self._pivot_rows = pivot_rows
         self._pivot_table = table
+        self._pivot_vectors = vectors[pivot_rows].copy()
         self._build_stats.n_leaves = 1
         self._build_stats.extra["n_pivots"] = len(pivot_rows)
 
@@ -110,14 +122,14 @@ class LAESAIndex(MetricIndex):
     def _lower_bounds(self, query: np.ndarray) -> tuple[np.ndarray, dict[int, float]]:
         """``L(x) = max_p |d(q,p) - d(x,p)|`` for every object x.
 
-        Also returns the exact query-to-pivot distances (keyed by row),
-        which the searches re-use so pivots never cost a second
-        evaluation.
+        The batch prefilter: all m query-to-pivot distances in one
+        batched evaluation, then bounds for every object with cheap
+        arithmetic.  Also returns the exact query-to-pivot distances
+        (keyed by row), which the searches re-use so pivots never cost a
+        second evaluation.
         """
-        assert self._pivot_table is not None and self._vectors is not None
-        pivot_distances = np.array(
-            [self._dist(query, self._vectors[row]) for row in self._pivot_rows]
-        )
+        assert self._pivot_table is not None and self._pivot_vectors is not None
+        pivot_distances = self._dist_batch(query, self._pivot_vectors)
         bounds = np.abs(self._pivot_table - pivot_distances[None, :]).max(axis=1)
         known = {
             row: float(d) for row, d in zip(self._pivot_rows, pivot_distances)
@@ -127,12 +139,18 @@ class LAESAIndex(MetricIndex):
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         assert self._vectors is not None
         bounds, known = self._lower_bounds(query)
+        candidates = [int(row) for row in np.flatnonzero(bounds <= radius)]
+        # Pivots already have exact distances; refine the rest in one
+        # batched evaluation (order is irrelevant for a range query).
+        unknown = [row for row in candidates if row not in known]
+        refined = dict(
+            zip(unknown, self._dist_batch(query, self._vectors[unknown]))
+        )
         result: list[Neighbor] = []
-        for row in np.flatnonzero(bounds <= radius):
-            row = int(row)
+        for row in candidates:
             d = known.get(row)
             if d is None:
-                d = self._dist(query, self._vectors[row])
+                d = float(refined[row])
             if d <= radius:
                 result.append(Neighbor(self._ids[row], d))
         self._search_stats.leaves_visited = 1

@@ -5,30 +5,38 @@ the **triangle inequality**.  Every class here declares via
 ``is_metric`` whether it provides it; the tree indexes refuse
 non-metrics, the linear scan accepts anything.
 
-Implemented measures (the paper's section 4 set plus the QBIC standards):
+Implemented measures (the paper's section 4 set plus the QBIC standards).
+"Batch?" marks measures with a vectorized ``distance_batch`` kernel; the
+rest inherit the correct per-row loop fallback (see
+:mod:`repro.metrics.base` for the batch contract):
 
-=============================  ========  ===================================
-Measure                        Metric?   Typical operand
-=============================  ========  ===================================
-L1 / L2 / L-infinity           yes       any vector
-WeightedEuclidean              yes       heterogeneous composite vectors
-HistogramIntersection          yes*      L1-normalized histograms
-ChiSquareDistance              no        histograms
-BhattacharyyaDistance          yes**     L1-normalized histograms
-QuadraticFormDistance          yes       histograms + bin-similarity matrix
-MatchDistance (1-D EMD)        yes       ordered histograms (CDF L1)
-CircularShiftDistance          no        orientation histograms
-HausdorffDistance              yes       point sets
-CosineDistance                 no        any vector (direction only)
-CanberraDistance               yes       any vector (relative per-bin)
-JensenShannonDistance          yes       histograms (sqrt JS divergence)
-=============================  ========  ===================================
+=============================  ========  ======  =============================
+Measure                        Metric?   Batch?  Typical operand
+=============================  ========  ======  =============================
+L1 / L2 / L-infinity           yes       yes     any vector
+WeightedEuclidean              yes       yes     heterogeneous composites
+HistogramIntersection          yes*      yes     L1-normalized histograms
+ChiSquareDistance              no        yes     histograms
+BhattacharyyaDistance          yes**     yes     L1-normalized histograms
+QuadraticFormDistance          yes       yes     histograms + bin similarity
+MatchDistance (1-D EMD)        yes       no      ordered histograms (CDF L1)
+CircularShiftDistance          no        no      orientation histograms
+HausdorffDistance              yes       no      point sets
+CosineDistance                 no        yes     any vector (direction only)
+CanberraDistance               yes       yes     any vector (relative per-bin)
+JensenShannonDistance          yes       yes     histograms (sqrt JS div.)
+=============================  ========  ======  =============================
 
 ``*`` equal to half the L1 distance on L1-normalized inputs, hence metric.
 ``**`` the Bhattacharyya *angle* form used here is a metric on the simplex.
 """
 
-from repro.metrics.base import CountingMetric, Metric, pairwise_distances
+from repro.metrics.base import (
+    CountingMetric,
+    Metric,
+    pairwise_distances,
+    validate_batch_operands,
+)
 from repro.metrics.minkowski import (
     ChebyshevDistance,
     EuclideanDistance,
@@ -55,6 +63,7 @@ __all__ = [
     "Metric",
     "CountingMetric",
     "pairwise_distances",
+    "validate_batch_operands",
     "ManhattanDistance",
     "EuclideanDistance",
     "ChebyshevDistance",

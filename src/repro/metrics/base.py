@@ -7,6 +7,24 @@ evaluation (each distance computation in the 1994 setting implied fetching
 a feature vector from disk), so the counter must be exact: indexes receive
 the wrapped metric and are never allowed to sneak vectorized shortcuts
 around it.
+
+Batched evaluation goes through the same accounting.  ``distance_batch``
+evaluates one query against many vectors in a single call; metrics with a
+vectorized kernel override it (and set ``supports_batch``), everything
+else inherits a loop fallback.  The contract either way:
+
+* ``distance_batch(q, V)[i]`` is **bit-identical** to ``distance(q, V[i])``
+  — a batch kernel may reorganize the arithmetic for SIMD, but not change
+  a single ulp, so scalar and batched query paths return the same floats;
+* a batch over ``n`` vectors counts as exactly ``n`` distance
+  computations on :class:`CountingMetric` and in index stats.  Batching
+  saves interpreter overhead, never metric evaluations.
+
+In practice bit-identity means kernels stick to elementwise arithmetic
+plus ``sum``/``max`` reductions over the last axis (NumPy's pairwise
+summation groups identically for a 1-D array and for each row of a 2-D
+array) and avoid BLAS (``dot`` / ``matmul`` / ``linalg.norm``), whose
+accumulation order differs between the vector and matrix code paths.
 """
 
 from __future__ import annotations
@@ -17,7 +35,13 @@ import numpy as np
 
 from repro.errors import MetricError
 
-__all__ = ["Metric", "CountingMetric", "pairwise_distances", "validate_same_shape"]
+__all__ = [
+    "Metric",
+    "CountingMetric",
+    "pairwise_distances",
+    "validate_same_shape",
+    "validate_batch_operands",
+]
 
 
 def validate_same_shape(a: np.ndarray, b: np.ndarray, name: str) -> tuple[np.ndarray, np.ndarray]:
@@ -31,6 +55,30 @@ def validate_same_shape(a: np.ndarray, b: np.ndarray, name: str) -> tuple[np.nda
     return a, b
 
 
+def validate_batch_operands(
+    query: np.ndarray, vectors: np.ndarray, name: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce a (query, vector-matrix) pair for batched evaluation.
+
+    The query becomes a float64 1-D array, the vectors a float64
+    ``(n, d)`` array with matching ``d``.  ``n == 0`` is allowed (the
+    batch is simply empty).
+    """
+    query = np.asarray(query, dtype=np.float64).ravel()
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise MetricError(
+            f"{name}: expected a 2-D (n, d) vector array; got shape {vectors.shape}"
+        )
+    if query.size == 0:
+        raise MetricError(f"{name}: operands are empty")
+    if vectors.shape[1] != query.size:
+        raise MetricError(
+            f"{name}: query has dim {query.size} but vectors have dim {vectors.shape[1]}"
+        )
+    return query, vectors
+
+
 class Metric(ABC):
     """A distance function between feature vectors.
 
@@ -40,9 +88,14 @@ class Metric(ABC):
         True when the function satisfies the metric axioms (symmetry,
         identity, triangle inequality).  Tree indexes require it; scans
         do not.
+    supports_batch:
+        True when :meth:`distance_batch` runs a vectorized kernel rather
+        than the per-row loop fallback.  Purely informational — the
+        fallback is correct, just slower.
     """
 
     is_metric: bool = True
+    supports_batch: bool = False
 
     @property
     def name(self) -> str:
@@ -52,6 +105,20 @@ class Metric(ABC):
     @abstractmethod
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Distance between two vectors (non-negative float)."""
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Distances from ``query`` to every row of ``vectors``.
+
+        ``result[i]`` equals ``distance(query, vectors[i])`` bit-for-bit;
+        vectorized overrides must preserve that (see the module docstring
+        for the arithmetic rules that make it hold).  This default is the
+        loop fallback: correct for any metric, one interpreted call per
+        row.
+        """
+        query, vectors = validate_batch_operands(query, vectors, self.name)
+        return np.array(
+            [self.distance(query, row) for row in vectors], dtype=np.float64
+        )
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
         return self.distance(a, b)
@@ -81,6 +148,7 @@ class CountingMetric(Metric):
         self._inner = inner
         self._count = 0
         self.is_metric = inner.is_metric
+        self.supports_batch = inner.supports_batch
 
     @property
     def inner(self) -> Metric:
@@ -107,6 +175,15 @@ class CountingMetric(Metric):
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         self._count += 1
         return self._inner.distance(a, b)
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        # Delegate to the inner kernel so batching stays fast, then count
+        # one evaluation per row — a batch is n fetches, not one.  (The
+        # inner loop fallback calls the *unwrapped* scalar distance, so
+        # nothing is double-counted.)
+        distances = self._inner.distance_batch(query, vectors)
+        self._count += int(distances.shape[0])
+        return distances
 
 
 def pairwise_distances(metric: Metric, vectors: np.ndarray) -> np.ndarray:

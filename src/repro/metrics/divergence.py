@@ -18,6 +18,11 @@ These three round out the section-4 similarity-measure inventory:
     entropy.  Endres & Schindelin proved the square root is a true
     metric, so the trees accept it; it is the information-theoretic
     alternative to the chi-square measure (which is not a metric).
+
+All three have vectorized batch kernels; the scalar ``distance`` runs
+the same kernel on a one-row matrix, keeping scalar and batched results
+bit-identical (the kernels use only elementwise ops and last-axis sums —
+no BLAS — per the contract in :mod:`repro.metrics.base`).
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
-from repro.metrics.base import Metric, validate_same_shape
+from repro.metrics.base import Metric, validate_batch_operands, validate_same_shape
 
 __all__ = ["CosineDistance", "CanberraDistance", "JensenShannonDistance"]
 
@@ -38,15 +43,25 @@ class CosineDistance(Metric):
     """
 
     is_metric = False
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        norm_q = np.sqrt((query * query).sum())
+        norms = np.sqrt((vectors * vectors).sum(axis=1))
+        dots = (query * vectors).sum(axis=1)
+        scales = norm_q * norms
+        safe = np.where(scales > 0.0, scales, 1.0)
+        cosines = np.clip(dots / safe, -1.0, 1.0)
+        return np.where(scales > 0.0, 1.0 - cosines, 1.0)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "CosineDistance")
-        norm_a = float(np.linalg.norm(a))
-        norm_b = float(np.linalg.norm(b))
-        if norm_a == 0.0 or norm_b == 0.0:
-            return 1.0
-        cosine = float(np.dot(a, b)) / (norm_a * norm_b)
-        return 1.0 - float(np.clip(cosine, -1.0, 1.0))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "CosineDistance")
+        return self._kernel(query, vectors)
 
 
 class CanberraDistance(Metric):
@@ -57,14 +72,24 @@ class CanberraDistance(Metric):
     """
 
     is_metric = True
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        denominators = np.abs(query) + np.abs(vectors)
+        safe = np.where(denominators > 0.0, denominators, 1.0)
+        contributions = np.where(
+            denominators > 0.0, np.abs(query - vectors) / safe, 0.0
+        )
+        return contributions.sum(axis=1)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "CanberraDistance")
-        denominator = np.abs(a) + np.abs(b)
-        mask = denominator > 0.0
-        if not mask.any():
-            return 0.0
-        return float(np.sum(np.abs(a - b)[mask] / denominator[mask]))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "CanberraDistance")
+        return self._kernel(query, vectors)
 
 
 class JensenShannonDistance(Metric):
@@ -76,29 +101,49 @@ class JensenShannonDistance(Metric):
     """
 
     is_metric = True
+    supports_batch = True
 
-    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
-        a, b = validate_same_shape(a, b, "JensenShannonDistance")
-        if np.any(a < 0.0) or np.any(b < 0.0):
-            raise MetricError("JensenShannonDistance: operands must be non-negative")
-        total_a = float(a.sum())
-        total_b = float(b.sum())
-        if total_a == 0.0 or total_b == 0.0:
-            # An empty histogram carries no distribution; it is identical
-            # to another empty one and maximally far from any non-empty one.
-            return 0.0 if total_a == total_b else 1.0
-        p = a / total_a
-        q = b / total_b
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        mass_q = query.sum()
+        masses = vectors.sum(axis=1)
+        valid = (masses > 0.0) & (mass_q > 0.0)
+        p = query / mass_q if mass_q > 0.0 else query
+        safe_masses = np.where(masses > 0.0, masses, 1.0)
+        q = vectors / safe_masses[:, None]
         mixture = 0.5 * (p + q)
 
-        def half_divergence(dist: np.ndarray) -> float:
+        def half_divergence(dist: np.ndarray) -> np.ndarray:
             # mixture >= dist/2 > 0 wherever dist > 0 mathematically, but
             # halving the smallest subnormal underflows to zero; such a
             # coordinate's true contribution is itself subnormal, so it
             # is safe (and necessary) to skip it.
             mask = (dist > 0.0) & (mixture > 0.0)
-            return float(np.sum(dist[mask] * np.log2(dist[mask] / mixture[mask])))
+            ratios = np.divide(dist, mixture, out=np.ones_like(mixture), where=mask)
+            return np.where(mask, dist * np.log2(ratios), 0.0).sum(axis=1)
 
-        divergence = 0.5 * half_divergence(p) + 0.5 * half_divergence(q)
+        divergences = 0.5 * half_divergence(np.broadcast_to(p, q.shape)) + (
+            0.5 * half_divergence(q)
+        )
         # Rounding can push the sum a hair outside the theoretical [0, 1].
-        return float(np.sqrt(np.clip(divergence, 0.0, 1.0)))
+        distances = np.sqrt(np.clip(divergences, 0.0, 1.0))
+        # An empty histogram carries no distribution; it is identical to
+        # another empty one and maximally far from any non-empty one.
+        return np.where(valid, distances, np.where(masses == mass_q, 0.0, 1.0))
+
+    @staticmethod
+    def _check_nonnegative(a: np.ndarray) -> None:
+        if np.any(a < 0.0):
+            raise MetricError("JensenShannonDistance: operands must be non-negative")
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        a, b = validate_same_shape(a, b, "JensenShannonDistance")
+        self._check_nonnegative(a)
+        self._check_nonnegative(b)
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "JensenShannonDistance")
+        self._check_nonnegative(query)
+        self._check_nonnegative(vectors)
+        return self._kernel(query, vectors)

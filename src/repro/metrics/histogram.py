@@ -12,6 +12,11 @@ These exploit the fact that histograms are probability mass functions:
 * **Bhattacharyya** — the angle form ``arccos(sum_i sqrt(h_i g_i))``,
   which is the geodesic distance on the probability simplex and hence a
   proper metric.
+
+All three carry vectorized batch kernels; the scalar ``distance`` runs
+the same kernel on a one-row matrix so scalar and batched results are
+bit-identical (degenerate empty-histogram cases included, handled with
+``np.where`` branches that mirror the scalar definitions).
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
-from repro.metrics.base import Metric, validate_same_shape
+from repro.metrics.base import Metric, validate_batch_operands, validate_same_shape
 
 __all__ = ["HistogramIntersection", "ChiSquareDistance", "BhattacharyyaDistance"]
 
@@ -38,15 +43,35 @@ class HistogramIntersection(Metric):
     samples".  Two empty histograms are defined to be identical.
     """
 
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        mass_q = query.sum()
+        masses = vectors.sum(axis=1)
+        smaller = np.minimum(masses, mass_q)
+        larger = np.maximum(masses, mass_q)
+        overlap = np.minimum(vectors, query).sum(axis=1)
+        # An empty histogram is identical to another empty one (distance
+        # 0) and maximally far (1) from any non-empty one.
+        safe = np.where(smaller > 0.0, smaller, 1.0)
+        return np.where(
+            smaller > 0.0,
+            1.0 - overlap / safe,
+            np.where(larger <= 0.0, 0.0, 1.0),
+        )
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "intersection")
         _check_nonnegative(a, "intersection")
         _check_nonnegative(b, "intersection")
-        smaller_mass = min(float(a.sum()), float(b.sum()))
-        if smaller_mass <= 0.0:
-            return 0.0 if max(float(a.sum()), float(b.sum())) <= 0.0 else 1.0
-        overlap = float(np.minimum(a, b).sum())
-        return 1.0 - overlap / smaller_mass
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "intersection")
+        _check_nonnegative(query, "intersection")
+        _check_nonnegative(vectors, "intersection")
+        return self._kernel(query, vectors)
 
 
 class ChiSquareDistance(Metric):
@@ -56,17 +81,27 @@ class ChiSquareDistance(Metric):
     """
 
     is_metric = False
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        total = query + vectors
+        diff = query - vectors
+        safe = np.where(total > 0.0, total, 1.0)
+        contributions = np.where(total > 0.0, diff * diff / safe, 0.0)
+        return 0.5 * contributions.sum(axis=1)
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "chi2")
         _check_nonnegative(a, "chi2")
         _check_nonnegative(b, "chi2")
-        total = a + b
-        mask = total > 0.0
-        if not np.any(mask):
-            return 0.0
-        diff = a[mask] - b[mask]
-        return float(0.5 * np.sum(diff * diff / total[mask]))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "chi2")
+        _check_nonnegative(query, "chi2")
+        _check_nonnegative(vectors, "chi2")
+        return self._kernel(query, vectors)
 
 
 class BhattacharyyaDistance(Metric):
@@ -77,13 +112,29 @@ class BhattacharyyaDistance(Metric):
     the triangle inequality, unlike the common ``-log`` form.
     """
 
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        mass_q = query.sum()
+        masses = vectors.sum(axis=1)
+        valid = (masses > 0.0) & (mass_q > 0.0)
+        normalized_q = np.clip(query / mass_q, 0, None) if mass_q > 0.0 else query
+        safe_masses = np.where(masses > 0.0, masses, 1.0)
+        normalized = np.clip(vectors / safe_masses[:, None], 0, None)
+        coefficients = np.sqrt(normalized_q * normalized).sum(axis=1)
+        angles = np.arccos(np.clip(coefficients, -1.0, 1.0))
+        # Empty vs. empty is identical; empty vs. non-empty is maximal.
+        return np.where(valid, angles, np.where(masses == mass_q, 0.0, np.pi / 2.0))
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "bhattacharyya")
         _check_nonnegative(a, "bhattacharyya")
         _check_nonnegative(b, "bhattacharyya")
-        mass_a = float(a.sum())
-        mass_b = float(b.sum())
-        if mass_a <= 0.0 or mass_b <= 0.0:
-            return 0.0 if mass_a == mass_b else float(np.pi / 2.0)
-        coefficient = float(np.sqrt(np.clip(a / mass_a, 0, None) * np.clip(b / mass_b, 0, None)).sum())
-        return float(np.arccos(np.clip(coefficient, -1.0, 1.0)))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "bhattacharyya")
+        _check_nonnegative(query, "bhattacharyya")
+        _check_nonnegative(vectors, "bhattacharyya")
+        return self._kernel(query, vectors)

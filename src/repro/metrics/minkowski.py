@@ -4,6 +4,11 @@ Histogram Euclidean distance — compare identical bins only, all bins
 contributing equally — is the paper's primary similarity measure; the
 rest of the family costs nothing extra to provide and the evaluation's
 metric-comparison experiment (T7) sweeps them all.
+
+Every member has a vectorized batch kernel.  The scalar ``distance``
+evaluates the same kernel on a one-row matrix, so scalar and batched
+results are bit-identical by construction (see :mod:`repro.metrics.base`
+for why the kernels avoid BLAS).
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
-from repro.metrics.base import Metric, validate_same_shape
+from repro.metrics.base import Metric, validate_batch_operands, validate_same_shape
 
 __all__ = [
     "ManhattanDistance",
@@ -25,30 +30,63 @@ __all__ = [
 class ManhattanDistance(Metric):
     """L1 distance: sum of absolute coordinate differences."""
 
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        return np.abs(query - vectors).sum(axis=1)
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "L1")
-        return float(np.abs(a - b).sum())
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "L1")
+        return self._kernel(query, vectors)
 
 
 class EuclideanDistance(Metric):
     """L2 distance — the paper's histogram comparison measure."""
 
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = query - vectors
+        return np.sqrt((diff * diff).sum(axis=1))
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "L2")
-        return float(np.linalg.norm(a - b))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "L2")
+        return self._kernel(query, vectors)
 
 
 class ChebyshevDistance(Metric):
     """L-infinity distance: the largest single-coordinate difference."""
 
+    supports_batch = True
+
+    @staticmethod
+    def _kernel(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        return np.abs(query - vectors).max(axis=1)
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "Linf")
-        return float(np.abs(a - b).max())
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "Linf")
+        return self._kernel(query, vectors)
 
 
 class MinkowskiDistance(Metric):
     """General L_p distance for ``p >= 1`` (p < 1 violates the triangle
     inequality and is rejected)."""
+
+    supports_batch = True
 
     def __init__(self, p: float) -> None:
         if p < 1.0:
@@ -64,9 +102,16 @@ class MinkowskiDistance(Metric):
     def name(self) -> str:
         return f"L{self._p:g}"
 
+    def _kernel(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        return (np.abs(query - vectors) ** self._p).sum(axis=1) ** (1.0 / self._p)
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, self.name)
-        return float(np.power(np.abs(a - b) ** self._p, 1.0).sum() ** (1.0 / self._p))
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, self.name)
+        return self._kernel(query, vectors)
 
 
 class WeightedEuclideanDistance(Metric):
@@ -77,6 +122,8 @@ class WeightedEuclideanDistance(Metric):
     texture" while staying a true metric (it is the Euclidean distance
     after rescaling each axis by ``sqrt(w_i)``).
     """
+
+    supports_batch = True
 
     def __init__(self, weights: np.ndarray) -> None:
         weights = np.asarray(weights, dtype=np.float64).ravel()
@@ -91,11 +138,22 @@ class WeightedEuclideanDistance(Metric):
         """The per-dimension weights (read-only copy)."""
         return self._weights.copy()
 
+    def _kernel(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = query - vectors
+        return np.sqrt((self._weights * diff * diff).sum(axis=1))
+
+    def _check_dim(self, dim: int) -> None:
+        if dim != self._weights.size:
+            raise MetricError(
+                f"weightedL2: operands have dim {dim}, weights have {self._weights.size}"
+            )
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "weightedL2")
-        if a.shape != self._weights.shape:
-            raise MetricError(
-                f"weightedL2: operands have dim {a.size}, weights have {self._weights.size}"
-            )
-        diff = a - b
-        return float(np.sqrt(np.sum(self._weights * diff * diff)))
+        self._check_dim(a.size)
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "weightedL2")
+        self._check_dim(query.size)
+        return self._kernel(query, vectors)

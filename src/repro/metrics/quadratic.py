@@ -20,11 +20,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MetricError
-from repro.metrics.base import Metric, validate_same_shape
+from repro.metrics.base import Metric, validate_batch_operands, validate_same_shape
 
 __all__ = ["QuadraticFormDistance", "color_similarity_matrix", "rgb_bin_centers"]
 
 _PSD_TOL = 1e-8
+
+#: Cap on elements per (chunk, d, d) intermediate in the batch kernel.
+_CHUNK_ELEMENTS = 1 << 22
 
 
 class QuadraticFormDistance(Metric):
@@ -36,7 +39,14 @@ class QuadraticFormDistance(Metric):
         Symmetric positive semi-definite ``(d, d)`` array.  Symmetry and
         PSD-ness are verified at construction (eigenvalues down to a small
         negative tolerance are accepted and clipped).
+
+    Both evaluation paths expand ``diff^T A diff`` with broadcasting and
+    axis sums instead of BLAS matmul: BLAS accumulates differently for a
+    single vector than for a matrix of them, which would break the
+    bit-identity contract between ``distance`` and ``distance_batch``.
     """
+
+    supports_batch = True
 
     def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=np.float64)
@@ -57,16 +67,33 @@ class QuadraticFormDistance(Metric):
         """Expected operand dimensionality."""
         return self._matrix.shape[0]
 
+    def _kernel(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        # values[i] = diff_i^T A diff_i via (chunk, d, d) broadcasting.
+        dim = self.dim
+        chunk = max(1, _CHUNK_ELEMENTS // (dim * dim))
+        values = np.empty(vectors.shape[0], dtype=np.float64)
+        for start in range(0, vectors.shape[0], chunk):
+            diff = query - vectors[start : start + chunk]
+            transformed = (diff[:, :, None] * self._matrix[None, :, :]).sum(axis=1)
+            values[start : start + chunk] = (transformed * diff).sum(axis=1)
+        # Guard tiny negative round-off before the root.
+        return np.sqrt(np.maximum(values, 0.0))
+
+    def _check_dim(self, dim: int) -> None:
+        if dim != self.dim:
+            raise MetricError(
+                f"quadratic: operands have dim {dim}, matrix expects {self.dim}"
+            )
+
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a, b = validate_same_shape(a, b, "quadratic")
-        if a.size != self.dim:
-            raise MetricError(
-                f"quadratic: operands have dim {a.size}, matrix expects {self.dim}"
-            )
-        diff = a - b
-        value = float(diff @ self._matrix @ diff)
-        # Guard tiny negative round-off before the root.
-        return float(np.sqrt(max(value, 0.0)))
+        self._check_dim(a.size)
+        return float(self._kernel(a, b[None, :])[0])
+
+    def distance_batch(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        query, vectors = validate_batch_operands(query, vectors, "quadratic")
+        self._check_dim(query.size)
+        return self._kernel(query, vectors)
 
 
 def rgb_bin_centers(levels_per_channel: int) -> np.ndarray:

@@ -120,6 +120,37 @@ class TestQueryCommand:
         assert code == 0
         assert "wavelet_sig_3l" in capsys.readouterr().out
 
+    def test_query_batch_over_directory(self, demo_dir, built_db, capsys):
+        code = main(
+            ["--working-size", "32", "query-batch",
+             str(demo_dir / "checkerboards"), "--db", str(built_db), "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Every query image is itself in the database: best match at 0.
+        assert "checkerboards" in out
+        assert "queries/s" in out
+        assert "distance computations" in out
+
+    def test_query_batch_explicit_files(self, demo_dir, built_db, capsys):
+        files = sorted(demo_dir.glob("noise_fine/*.ppm"))[:2]
+        code = main(
+            ["--working-size", "32", "query-batch", str(files[0]), str(files[1]),
+             "--db", str(built_db), "-k", "1", "--feature", "wavelet_sig_3l"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wavelet_sig_3l" in out
+        assert "2 queries" in out
+
+    def test_query_batch_unknown_file_fails_cleanly(self, built_db, capsys):
+        code = main(
+            ["--working-size", "32", "query-batch", "missing.png",
+             "--db", str(built_db)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_query_unknown_file_fails_cleanly(self, built_db, capsys):
         code = main(
             ["--working-size", "32", "query", "missing.png", "--db", str(built_db)]

@@ -115,6 +115,43 @@ class TestSingleFeatureQueries:
         results = db.range_query(matrix[0], radius=0.0, feature="rgb_hist_2")
         assert any(r.image_id == ids[0] for r in results)
 
+    def test_query_batch_matches_scalar_queries(self, populated, rng):
+        db, _, _ = populated
+        queries = [synth.compose_scene(32, 32, rng) for _ in range(3)]
+        batches = db.query_batch(queries, k=4, feature="rgb_hist_2")
+        assert len(batches) == 3
+        for query, results in zip(queries, batches):
+            scalar = db.query(query, k=4, feature="rgb_hist_2")
+            assert [(r.image_id, r.distance) for r in results] == [
+                (r.image_id, r.distance) for r in scalar
+            ]
+            assert all(r.record is not None for r in results)
+
+    def test_query_batch_accepts_raw_vectors(self, populated):
+        db, _, _ = populated
+        ids, matrix = db.feature_matrix("rgb_hist_2")
+        batches = db.query_batch([matrix[0], matrix[1]], k=1, feature="rgb_hist_2")
+        assert [len(results) for results in batches] == [1, 1]
+        assert batches[0][0].distance == pytest.approx(0.0)
+
+    def test_query_batch_empty_input(self, populated):
+        db, _, _ = populated
+        assert db.query_batch([], k=3, feature="rgb_hist_2") == []
+
+    def test_range_query_batch_matches_scalar(self, populated):
+        db, _, _ = populated
+        ids, matrix = db.feature_matrix("rgb_hist_2")
+        batches = db.range_query_batch([matrix[0], matrix[1]], 0.2, feature="rgb_hist_2")
+        for row, results in zip(matrix[:2], batches):
+            scalar = db.range_query(row, 0.2, feature="rgb_hist_2")
+            assert [(r.image_id, r.distance) for r in results] == [
+                (r.image_id, r.distance) for r in scalar
+            ]
+
+    def test_query_batch_on_empty_database_rejected(self, db, rng):
+        with pytest.raises(QueryError, match="empty"):
+            db.query_batch([synth.compose_scene(32, 32, rng)], k=2)
+
     def test_unknown_feature_rejected(self, populated, rng):
         db, _, _ = populated
         with pytest.raises(QueryError, match="unknown feature"):
