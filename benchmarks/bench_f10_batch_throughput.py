@@ -11,7 +11,7 @@ This experiment quantifies that: k-NN queries/sec over n=2000 vectors at
 d=64, per index, for
 
 * **scalar** — the pre-batch path: per-item evaluations through the
-  metric's loop fallback (``_ScalarPathMetric`` hides the vectorized
+  metric's loop fallback (``hide_batch_kernel`` hides the vectorized
   kernel, recreating the old per-item cost);
 * **batched** — ``knn_search_batch`` with the vectorized kernel.
 
@@ -22,43 +22,23 @@ distance floats, same per-query stats counters.
 
 from __future__ import annotations
 
+import os
 import time
-
-import numpy as np
 
 from benchmarks.conftest import print_experiment
 from repro.eval.harness import ascii_table
 from repro.index.laesa import LAESAIndex
 from repro.index.linear import LinearScanIndex
-from repro.metrics.base import Metric
+from repro.metrics.base import hide_batch_kernel
 from repro.metrics.minkowski import EuclideanDistance
 
-_N = 2000
+# ``REPRO_BENCH_N`` shrinks the dataset for CI smoke runs; the identity
+# checks still run, the wall-clock assertion only applies at full size.
+_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+_FULL_SIZE = _N >= 2000
 _DIM = 64
-_N_QUERIES = 50
+_N_QUERIES = max(4, _N // 40)
 _K = 10
-
-
-class _ScalarPathMetric(Metric):
-    """Hides a metric's vectorized kernel to model the pre-batch engine.
-
-    ``distance`` delegates; ``distance_batch`` is inherited from the base
-    class, i.e. the per-row loop fallback — exactly the interpreter cost
-    every query paid before kernels existed.  Distances are bit-identical
-    to the wrapped metric's by the batch contract, which is what lets
-    the identity checks below compare the two paths float-for-float.
-    """
-
-    def __init__(self, inner: Metric) -> None:
-        self._inner = inner
-        self.is_metric = inner.is_metric
-
-    @property
-    def name(self) -> str:
-        return f"scalar({self._inner.name})"
-
-    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
-        return self._inner.distance(a, b)
 
 
 def _dataset():
@@ -89,7 +69,7 @@ def test_f10_batch_throughput_table(benchmark):
     rows = []
     speedups = {}
     for name, factory in factories.items():
-        scalar_index = factory(_ScalarPathMetric(EuclideanDistance())).build(ids, vectors)
+        scalar_index = factory(hide_batch_kernel(EuclideanDistance())).build(ids, vectors)
         batch_index = factory(EuclideanDistance()).build(ids, vectors)
 
         def run_scalar(index=scalar_index):
@@ -127,7 +107,8 @@ def test_f10_batch_throughput_table(benchmark):
 
     # The headline acceptance number: vectorized kernels must buy the
     # linear scan at least 5x at this size (in practice far more).
-    assert speedups["linear"] >= 5.0
+    if _FULL_SIZE:
+        assert speedups["linear"] >= 5.0
 
     batch_index = LinearScanIndex(EuclideanDistance()).build(ids, vectors)
     benchmark(lambda: batch_index.knn_search_batch(queries, _K))
@@ -138,7 +119,7 @@ def test_f10_range_batch_identity():
     ids = list(range(_N))
     radius = 0.8
 
-    scalar_index = LinearScanIndex(_ScalarPathMetric(EuclideanDistance())).build(
+    scalar_index = LinearScanIndex(hide_batch_kernel(EuclideanDistance())).build(
         ids, vectors
     )
     batch_index = LinearScanIndex(EuclideanDistance()).build(ids, vectors)

@@ -45,6 +45,7 @@ from repro.metrics.base import Metric
 __all__ = ["AntipoleTree"]
 
 DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+DistanceBatchFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -79,15 +80,23 @@ class _Split:
     b_child: "_Split | _Cluster | None"
 
 
-def _exact_1_median_row(vectors: np.ndarray, rows: list[int], dist: DistanceFn) -> int:
-    """Row (from ``rows``) minimizing the sum of distances to the others."""
+def _exact_1_median_row(
+    vectors: np.ndarray, rows: list[int], dist_batch: DistanceBatchFn
+) -> int:
+    """Row (from ``rows``) minimizing the sum of distances to the others.
+
+    Each candidate's distances are one batched evaluation; the sum is
+    accumulated left to right so it is bit-identical to the scalar-era
+    running total (the winner must not shift by an ulp of reordering).
+    """
+    block = vectors[rows]
     best_row = rows[0]
     best_sum = np.inf
-    for candidate in rows:
+    for position, candidate in enumerate(rows):
+        others = np.delete(block, position, axis=0)
         total = 0.0
-        for other in rows:
-            if other != candidate:
-                total += dist(vectors[candidate], vectors[other])
+        for d in dist_batch(vectors[candidate], others).tolist():
+            total += d
         if total < best_sum:
             best_sum = total
             best_row = candidate
@@ -174,11 +183,15 @@ class AntipoleTree(MetricIndex):
             while len(current) - position >= 2 * self._tau:
                 group = current[position : position + self._tau]
                 position += self._tau
-                winners.append(_exact_1_median_row(vectors, group, self._build_dist))
+                winners.append(
+                    _exact_1_median_row(vectors, group, self._build_dist_batch)
+                )
             leftover = current[position:]
-            winners.append(_exact_1_median_row(vectors, leftover, self._build_dist))
+            winners.append(
+                _exact_1_median_row(vectors, leftover, self._build_dist_batch)
+            )
             current = winners
-        return _exact_1_median_row(vectors, current, self._build_dist)
+        return _exact_1_median_row(vectors, current, self._build_dist_batch)
 
     def _approx_antipole(
         self, vectors: np.ndarray, rows: list[int], rng: np.random.Generator
@@ -194,11 +207,11 @@ class AntipoleTree(MetricIndex):
             while len(current) - position >= 2 * self._tau:
                 group = current[position : position + self._tau]
                 position += self._tau
-                median = _exact_1_median_row(vectors, group, self._build_dist)
+                median = _exact_1_median_row(vectors, group, self._build_dist_batch)
                 survivors.extend(row for row in group if row != median)
             leftover = current[position:]
             if len(leftover) >= 2:
-                median = _exact_1_median_row(vectors, leftover, self._build_dist)
+                median = _exact_1_median_row(vectors, leftover, self._build_dist_batch)
                 survivors.extend(row for row in leftover if row != median)
             else:
                 survivors.extend(leftover)
@@ -207,11 +220,17 @@ class AntipoleTree(MetricIndex):
                 break
             current = survivors
 
+        # Exact farthest pair of the survivors: one batched sweep per
+        # anchor covers its combinations (same pairs, same order).
         best = (current[0], current[1], -1.0)
-        for row_a, row_b in itertools.combinations(current, 2):
-            d = self._build_dist(vectors[row_a], vectors[row_b])
-            if d > best[2]:
-                best = (row_a, row_b, d)
+        for position, row_a in enumerate(current[:-1]):
+            later = current[position + 1 :]
+            distances = self._build_dist_batch(
+                vectors[row_a], vectors[later]
+            ).tolist()
+            for row_b, d in zip(later, distances):
+                if d > best[2]:
+                    best = (row_a, row_b, d)
         return best
 
     # ------------------------------------------------------------------
@@ -255,16 +274,17 @@ class AntipoleTree(MetricIndex):
             return self._make_cluster(vectors, rows, rng)
 
         # The endpoints stay at this node; everything else joins the side
-        # of the closer endpoint.
+        # of the closer endpoint.  Both endpoint sweeps are batched (the
+        # metric's bitwise symmetry makes the flipped operand order safe).
+        rest = [row for row in rows if row not in (row_a, row_b)]
+        rest_block = vectors[rest]
+        distances_a = self._build_dist_batch(vectors[row_a], rest_block).tolist()
+        distances_b = self._build_dist_batch(vectors[row_b], rest_block).tolist()
         side_a: list[int] = []
         side_b: list[int] = []
         a_radius = 0.0
         b_radius = 0.0
-        for row in rows:
-            if row in (row_a, row_b):
-                continue
-            d_a = self._build_dist(vectors[row], vectors[row_a])
-            d_b = self._build_dist(vectors[row], vectors[row_b])
+        for row, d_a, d_b in zip(rest, distances_a, distances_b):
             if d_a <= d_b:
                 side_a.append(row)
                 a_radius = max(a_radius, d_a)
@@ -296,14 +316,17 @@ class AntipoleTree(MetricIndex):
             self._approx_1_median(vectors, rows, rng) if len(rows) > 1 else rows[0]
         )
         members = [row for row in rows if row != centroid_row]
-        distances = np.array(
-            [self._build_dist(vectors[centroid_row], vectors[row]) for row in members]
+        # Contiguous member block (single-kernel cluster scans) and one
+        # batched sweep for the cached centroid distances.
+        member_vectors = np.ascontiguousarray(
+            vectors[members] if members else vectors[:0]
         )
+        distances = self._build_dist_batch(vectors[centroid_row], member_vectors)
         return _Cluster(
             centroid_id=self._id_list[centroid_row],
             centroid_vector=vectors[centroid_row],
             member_ids=[self._id_list[row] for row in members],
-            member_vectors=vectors[members] if members else vectors[:0],
+            member_vectors=member_vectors,
             member_centroid_distances=distances,
             radius=float(distances.max()) if members else 0.0,
         )
@@ -329,6 +352,7 @@ class AntipoleTree(MetricIndex):
         if radius < 0.0:
             raise IndexingError(f"radius must be non-negative; got {radius}")
         self._search_stats = SearchStats()
+        self._batch_stats = []
         result: list[Neighbor] = []
         self._range_visit(self._root, query, float(radius), result, ids_only=True)
         return [neighbor.id for neighbor in result]
@@ -352,22 +376,36 @@ class AntipoleTree(MetricIndex):
                 result.append(Neighbor(node.centroid_id, d_centroid))
             if d_centroid - node.radius > radius:
                 return  # whole cluster provably outside
-            for member_id, vector, cached in zip(
-                node.member_ids, node.member_vectors, node.member_centroid_distances
-            ):
-                lower = abs(d_centroid - cached)
-                if lower > radius:
-                    continue  # exclusion without a distance computation
-                if d_centroid + cached <= radius:
+            # Exclusion and wholesale inclusion are arithmetic on the
+            # cached centroid distances, so the members that need a real
+            # evaluation are known up front: one batched kernel pass.
+            cached = node.member_centroid_distances
+            candidates = np.flatnonzero(np.abs(d_centroid - cached) <= radius)
+            wholesale = d_centroid + cached <= radius
+            if ids_only:
+                compute_rows = [int(r) for r in candidates if not wholesale[r]]
+            else:
+                compute_rows = [int(r) for r in candidates]
+            computed = iter(
+                self._dist_batch(query, node.member_vectors[compute_rows]).tolist()
+            )
+            cached_list = cached.tolist()
+            for row in candidates:
+                if wholesale[row]:
                     stats.items_included_wholesale += 1
                     if ids_only:
                         # Provably inside: report without evaluating.  The
                         # recorded distance is the upper bound.
-                        result.append(Neighbor(member_id, d_centroid + cached))
+                        result.append(
+                            Neighbor(
+                                node.member_ids[row],
+                                d_centroid + cached_list[row],
+                            )
+                        )
                         continue
-                d = self._dist(query, vector)
+                d = next(computed)
                 if d <= radius:
-                    result.append(Neighbor(member_id, d))
+                    result.append(Neighbor(node.member_ids[row], d))
             return
 
         stats.nodes_visited += 1
@@ -423,6 +461,11 @@ class AntipoleTree(MetricIndex):
                 stats.leaves_visited += 1
                 d_centroid = self._dist(query, node.centroid_vector)
                 offer(node.centroid_id, d_centroid)
+                # Stays scalar on purpose: tau shrinks as members of this
+                # same cluster are offered, so the cached-distance
+                # exclusion can spare later members entirely — batching
+                # up front would pay for evaluations the scalar path
+                # skips, breaking the exact distance accounting.
                 for member_id, vector, cached in zip(
                     node.member_ids, node.member_vectors, node.member_centroid_distances
                 ):

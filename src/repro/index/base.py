@@ -192,9 +192,7 @@ class MetricIndex(ABC):
         queries = self._check_query_batch(queries)
         if radius < 0.0:
             raise IndexingError(f"radius must be non-negative; got {radius}")
-        return self._run_batch(
-            queries, lambda query: self._range_search(query, float(radius))
-        )
+        return self._range_search_batch(queries, float(radius))
 
     def knn_search_batch(self, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
         """``knn_search`` for every row of ``queries``; one list per row.
@@ -206,7 +204,38 @@ class MetricIndex(ABC):
         queries = self._check_query_batch(queries)
         if k < 1:
             raise IndexingError(f"k must be >= 1; got {k}")
-        return self._run_batch(queries, lambda query: self._knn_search(query, int(k)))
+        return self._knn_search_batch(queries, int(k))
+
+    def _range_search_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[Neighbor]]:
+        """Overridable batched hook; the default runs one query at a time.
+
+        Indexes with a genuinely shared traversal (the VP-tree evaluates
+        each node's pivot against every active query in one kernel call)
+        override this; they must fill :attr:`_batch_stats` themselves —
+        :meth:`_finish_batch` does the shared ordering/aggregation work.
+        """
+        return self._run_batch(
+            queries, lambda query: self._range_search(query, radius)
+        )
+
+    def _knn_search_batch(self, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
+        """Overridable batched hook; see :meth:`_range_search_batch`."""
+        return self._run_batch(queries, lambda query: self._knn_search(query, k))
+
+    def _finish_batch(
+        self, results: list[list[Neighbor]], per_query: list[SearchStats]
+    ) -> list[list[Neighbor]]:
+        """Order results and publish per-query + aggregate batch stats."""
+        for result in results:
+            result.sort(key=lambda nb: (nb.distance, nb.id))
+        self._batch_stats = per_query
+        total = SearchStats()
+        for stats in per_query:
+            total.merge(stats)
+        self._search_stats = total
+        return results
 
     def _run_batch(self, queries, run_one) -> list[list[Neighbor]]:
         """Run one search per query row, tracking per-query stats.

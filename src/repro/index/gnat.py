@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import IndexingError
 from repro.index.base import MetricIndex, Neighbor
+from repro.index.pivot import anchor_distances
 from repro.metrics.base import Metric
 
 __all__ = ["GNAT", "greedy_maxmin_rows"]
@@ -43,19 +44,26 @@ def greedy_maxmin_rows(
     count: int,
     dist,
     rng: np.random.Generator,
+    *,
+    dist_batch=None,
 ) -> list[int]:
     """Pick ``count`` well-spread row indices by greedy max-min selection.
 
     The first row is random; each subsequent row maximizes its minimum
     distance to the rows already picked.  Costs ``count * n`` distance
-    evaluations through ``dist``.
+    evaluations through ``dist`` — or one batched kernel pass per sweep
+    when the caller supplies its counted ``dist_batch``.
     """
     n = vectors.shape[0]
     if count > n:
         raise IndexingError(f"cannot pick {count} split points from {n} items")
+
+    def sweep(anchor_row: int) -> np.ndarray:
+        return anchor_distances(vectors[anchor_row], vectors, dist, dist_batch)
+
     first = int(rng.integers(n))
     chosen = [first]
-    min_dist = np.array([dist(vectors[first], vectors[row]) for row in range(n)])
+    min_dist = sweep(first)
     while len(chosen) < count:
         candidate = int(np.argmax(min_dist))
         if min_dist[candidate] == 0.0 and n > len(chosen):
@@ -64,10 +72,7 @@ def greedy_maxmin_rows(
             remaining = [row for row in range(n) if row not in chosen]
             candidate = remaining[0]
         chosen.append(candidate)
-        new_dist = np.array(
-            [dist(vectors[candidate], vectors[row]) for row in range(n)]
-        )
-        min_dist = np.minimum(min_dist, new_dist)
+        min_dist = np.minimum(min_dist, sweep(candidate))
     return chosen
 
 
@@ -144,36 +149,47 @@ class GNAT(MetricIndex):
         stats.depth = max(stats.depth, depth)
         if len(ids) <= self._leaf_size:
             stats.n_leaves += 1
-            return _LeafNode(ids, vectors)
+            # Contiguous block: leaf scans are single kernel passes.
+            return _LeafNode(ids, np.ascontiguousarray(vectors))
         stats.n_nodes += 1
 
         m = min(self._degree, len(ids))
-        split_rows = greedy_maxmin_rows(vectors, m, self._build_dist, rng)
+        split_rows = greedy_maxmin_rows(
+            vectors, m, self._build_dist, rng, dist_batch=self._build_dist_batch
+        )
         split_ids = [ids[row] for row in split_rows]
-        split_vectors = vectors[split_rows]
+        split_vectors = np.ascontiguousarray(vectors[split_rows])
 
         # Assign every non-split item to its nearest split point, keeping
-        # the distances: they seed the range tables for free.
+        # the distances: they seed the range tables for free.  The whole
+        # (m, rest) distance matrix is m batched sweeps instead of one
+        # interpreted call per (split point, item) pair.
         rest_rows = [row for row in range(len(ids)) if row not in set(split_rows)]
+        rest_block = np.ascontiguousarray(vectors[rest_rows])
+        distance_matrix = np.empty((m, len(rest_rows)))
+        for i in range(m):
+            distance_matrix[i] = self._build_dist_batch(split_vectors[i], rest_block)
+
         low = np.full((m, m), np.inf)
         high = np.zeros((m, m))
         buckets: list[list[int]] = [[] for _ in range(m)]
-        for row in rest_rows:
-            distances = np.array(
-                [self._build_dist(split_vectors[i], vectors[row]) for i in range(m)]
-            )
-            owner = int(np.argmin(distances))
-            buckets[owner].append(row)
-            for i in range(m):
-                low[i, owner] = min(low[i, owner], distances[i])
-                high[i, owner] = max(high[i, owner], distances[i])
+        owners = (
+            np.argmin(distance_matrix, axis=0)
+            if rest_rows
+            else np.empty(0, dtype=int)
+        )
+        for owner in range(m):
+            columns = np.flatnonzero(owners == owner)
+            if columns.size:
+                low[:, owner] = distance_matrix[:, columns].min(axis=1)
+                high[:, owner] = distance_matrix[:, columns].max(axis=1)
+            buckets[owner] = [rest_rows[column] for column in columns]
 
         # Each child's interval must also cover its own split point.
         for i in range(m):
-            for j in range(m):
-                d = self._build_dist(split_vectors[i], split_vectors[j])
-                low[i, j] = min(low[i, j], d)
-                high[i, j] = max(high[i, j], d)
+            pair_distances = self._build_dist_batch(split_vectors[i], split_vectors)
+            low[i] = np.minimum(low[i], pair_distances)
+            high[i] = np.maximum(high[i], pair_distances)
 
         children: list[_InnerNode | _LeafNode | None] = []
         for owner, bucket in enumerate(buckets):
@@ -206,10 +222,10 @@ class GNAT(MetricIndex):
             return
         if isinstance(node, _LeafNode):
             self._search_stats.leaves_visited += 1
-            for item_id, vector in zip(node.ids, node.vectors):
-                d = self._dist(query, vector)
-                if d <= radius:
-                    result.append(Neighbor(item_id, d))
+            # One kernel pass over the leaf block + a vectorized filter.
+            distances = self._dist_batch(query, node.vectors)
+            for row in np.flatnonzero(distances <= radius):
+                result.append(Neighbor(node.ids[row], float(distances[row])))
             return
 
         self._search_stats.nodes_visited += 1
@@ -263,17 +279,20 @@ class GNAT(MetricIndex):
                 continue
             if isinstance(node, _LeafNode):
                 self._search_stats.leaves_visited += 1
-                for item_id, vector in zip(node.ids, node.vectors):
-                    offer(item_id, self._dist(query, vector))
+                # One kernel pass over the leaf block.
+                for item_id, d in zip(
+                    node.ids, self._dist_batch(query, node.vectors).tolist()
+                ):
+                    offer(item_id, d)
                 continue
 
             self._search_stats.nodes_visited += 1
             m = len(node.split_ids)
             lower = np.zeros(m)
-            for i in range(m):
-                # The split points nearest the current best bound first:
-                # their distances both seed candidates and sharpen bounds.
-                d = self._dist(query, node.split_vectors[i])
+            # Every split point's distance is needed (the scalar loop had
+            # no short-circuit), so all m are one batched evaluation.
+            split_distances = self._dist_batch(query, node.split_vectors).tolist()
+            for i, d in enumerate(split_distances):
                 offer(node.split_ids[i], d)
                 lower = np.maximum(
                     lower, np.maximum(node.low[i] - d, d - node.high[i])

@@ -118,7 +118,8 @@ class KDTree(MetricIndex):
         stats.depth = max(stats.depth, depth)
         if len(ids) <= self._leaf_size:
             stats.n_leaves += 1
-            return _KDLeaf(ids, vectors)
+            # Contiguous block: leaf scans are single kernel passes.
+            return _KDLeaf(ids, np.ascontiguousarray(vectors))
 
         box_low = vectors.min(axis=0)
         box_high = vectors.max(axis=0)
@@ -127,7 +128,7 @@ class KDTree(MetricIndex):
         if spreads[split_dim] <= 0.0:
             # All points identical: no split possible.
             stats.n_leaves += 1
-            return _KDLeaf(ids, vectors)
+            return _KDLeaf(ids, np.ascontiguousarray(vectors))
 
         column = vectors[:, split_dim]
         split_value = float(np.median(column))
@@ -137,7 +138,7 @@ class KDTree(MetricIndex):
             left_mask = column < split_value
             if not left_mask.any():
                 stats.n_leaves += 1
-                return _KDLeaf(ids, vectors)
+                return _KDLeaf(ids, np.ascontiguousarray(vectors))
 
         stats.n_nodes += 1
         right_mask = ~left_mask
@@ -167,10 +168,10 @@ class KDTree(MetricIndex):
         def visit(node: "_KDNode | _KDLeaf") -> None:
             if isinstance(node, _KDLeaf):
                 self._search_stats.leaves_visited += 1
-                for item_id, vector in zip(node.ids, node.vectors):
-                    d = self._dist(query, vector)
-                    if d <= radius:
-                        result.append(Neighbor(item_id, d))
+                # One kernel pass over the leaf block + vectorized filter.
+                distances = self._dist_batch(query, node.vectors)
+                for row in np.flatnonzero(distances <= radius):
+                    result.append(Neighbor(node.ids[row], float(distances[row])))
                 return
             self._search_stats.nodes_visited += 1
             for child in (node.left, node.right):
@@ -220,8 +221,11 @@ class KDTree(MetricIndex):
                 continue
             if isinstance(node, _KDLeaf):
                 self._search_stats.leaves_visited += 1
-                for item_id, vector in zip(node.ids, node.vectors):
-                    offer(item_id, self._dist(query, vector))
+                # One kernel pass over the leaf block.
+                for item_id, d in zip(
+                    node.ids, self._dist_batch(query, node.vectors).tolist()
+                ):
+                    offer(item_id, d)
                 continue
             self._search_stats.nodes_visited += 1
             for child in (node.left, node.right):

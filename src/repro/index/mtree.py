@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -210,7 +210,7 @@ class MTree(MetricIndex):
         self._root = None
         self._n_splits = 0
         for item_id, vector in zip(ids, vectors):
-            self._insert(item_id, vector, self._build_dist)
+            self._insert(item_id, vector)
         self._build_stats.n_leaves = sum(
             1 for node in self._iter_nodes() if node.is_leaf
         )
@@ -239,15 +239,13 @@ class MTree(MetricIndex):
             )
         if not np.all(np.isfinite(vector)):
             raise IndexingError("vector contains non-finite values")
-        self._insert(item_id, vector, self._build_dist)
+        self._insert(item_id, vector)
         self._ids.append(item_id)
         extended = np.vstack([self._vectors, vector[None, :]])
         extended.setflags(write=False)
         self._vectors = extended
 
-    def _insert(
-        self, item_id: int, vector: np.ndarray, dist: Callable[..., float]
-    ) -> None:
+    def _insert(self, item_id: int, vector: np.ndarray) -> None:
         if self._root is None:
             self._root = _Node(is_leaf=True)
             self._root.adopt(_Entry(item_id, vector))
@@ -255,14 +253,18 @@ class MTree(MetricIndex):
 
         # Descend to the best leaf, remembering the distance to each
         # chosen routing object so d_parent needs no recomputation.
+        # Every routing entry's distance is needed (no short-circuit in
+        # the choice rule), so each level is one batched evaluation.
         node = self._root
         d_to_parent = 0.0
         while not node.is_leaf:
+            distances = self._build_dist_batch(
+                vector, np.array([entry.vector for entry in node.entries])
+            ).tolist()
             best_entry: _Entry | None = None
             best_d = np.inf
             best_enlargement = np.inf
-            for entry in node.entries:
-                d = dist(vector, entry.vector)
+            for entry, d in zip(node.entries, distances):
                 enlargement = max(0.0, d - entry.radius)
                 if (enlargement, d) < (best_enlargement, best_d):
                     best_entry, best_d, best_enlargement = entry, d, enlargement
@@ -273,20 +275,23 @@ class MTree(MetricIndex):
 
         node.adopt(_Entry(item_id, vector, d_parent=d_to_parent))
         if len(node.entries) > self._capacity:
-            self._split(node, dist)
+            self._split(node)
 
     # ------------------------------------------------------------------
     # Splitting
     # ------------------------------------------------------------------
-    def _split(self, node: _Node, dist: Callable[..., float]) -> None:
+    def _split(self, node: _Node) -> None:
         self._n_splits += 1
         entries = node.entries
         n = len(entries)
+        # Upper-triangle pairwise matrix: one batched sweep per anchor
+        # (same n(n-1)/2 counted evaluations as the scalar double loop).
+        entry_matrix = np.array([entry.vector for entry in entries])
         pairwise = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = dist(entries[i].vector, entries[j].vector)
-                pairwise[i, j] = pairwise[j, i] = d
+        for i in range(n - 1):
+            row = self._build_dist_batch(entry_matrix[i], entry_matrix[i + 1 :])
+            pairwise[i, i + 1 :] = row
+            pairwise[i + 1 :, i] = row
 
         i1, i2 = self._promote(entries, pairwise)
         group1, group2 = self._partition(entries, pairwise, i1, i2)
@@ -316,7 +321,7 @@ class MTree(MetricIndex):
         parent_routing = parent.parent_entry
         for entry in (entry_left, entry_right):
             if parent_routing is not None:
-                entry.d_parent = dist(entry.vector, parent_routing.vector)
+                entry.d_parent = self._build_dist(entry.vector, parent_routing.vector)
                 # A promoted object may lie farther from the grandparent
                 # routing object than anything seen before.
                 parent_routing.radius = max(
@@ -324,7 +329,7 @@ class MTree(MetricIndex):
                 )
             parent.adopt(entry)
         if len(parent.entries) > self._capacity:
-            self._split(parent, dist)
+            self._split(parent)
 
     def _promote(
         self, entries: list[_Entry], pairwise: np.ndarray
@@ -423,14 +428,24 @@ class MTree(MetricIndex):
             self._search_stats.leaves_visited += 1
         else:
             self._search_stats.nodes_visited += 1
-        for entry in node.entries:
-            # Parent filtering: prunes without a new distance computation.
-            if d_q_parent is not None and (
-                abs(d_q_parent - entry.d_parent) > radius + entry.radius
-            ):
-                self._search_stats.nodes_pruned += 1
-                continue
-            d = self._dist(query, entry.vector)
+        # Parent filtering prunes without a new distance computation and
+        # depends only on the parent distance, so the survivors are known
+        # up front and their distances are one batched page evaluation.
+        if d_q_parent is None:
+            survivors = list(node.entries)
+        else:
+            survivors = []
+            for entry in node.entries:
+                if abs(d_q_parent - entry.d_parent) > radius + entry.radius:
+                    self._search_stats.nodes_pruned += 1
+                else:
+                    survivors.append(entry)
+        if not survivors:
+            return
+        distances = self._dist_batch(
+            query, np.array([entry.vector for entry in survivors])
+        ).tolist()
+        for entry, d in zip(survivors, distances):
             if entry.child is None:
                 if d <= radius:
                     result.append(Neighbor(entry.item_id, d))
@@ -447,6 +462,11 @@ class MTree(MetricIndex):
             return []
         # Best-first search: subtrees keyed by the lower bound of any
         # object they can contain; candidates kept in a k-bounded max-heap.
+        # This loop stays on scalar evaluations on purpose: the parent
+        # filter re-checks against tau, which shrinks as entries of the
+        # same page are offered, so later entries can be skipped entirely.
+        # Batching a page up front would evaluate entries the scalar path
+        # never pays for, breaking the exact distance accounting.
         best: list[tuple[float, int]] = []  # (-distance, id)
         tiebreak = itertools.count()
         queue: list[tuple[float, int, _Node, float | None]] = [

@@ -16,6 +16,12 @@ strategies it sweeps:
     the largest variance of distances to a data sample.
 
 Strategies are deterministic given their ``numpy.random.Generator``.
+
+Candidate spreads are computed in batch: when the index supplies its
+counted ``dist_batch`` callable, each sweep is one vectorized kernel
+pass over the candidate block (same evaluation order, same count — a
+batch of n rows is n computations).  Callers that only pass the scalar
+``dist`` get a loop with identical results.
 """
 
 from __future__ import annotations
@@ -27,10 +33,31 @@ import numpy as np
 
 from repro.errors import IndexingError
 
-__all__ = ["PivotStrategy", "RandomPivot", "MaxSpreadPivot", "MaxVariancePivot"]
+__all__ = [
+    "PivotStrategy",
+    "RandomPivot",
+    "MaxSpreadPivot",
+    "MaxVariancePivot",
+    "anchor_distances",
+]
 
 #: A distance callable supplied by the index (so pivot work is counted).
 DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+#: Its batched counterpart: distances from one anchor to a vector block.
+DistanceBatchFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def anchor_distances(
+    anchor: np.ndarray,
+    vectors: np.ndarray,
+    dist: DistanceFn,
+    dist_batch: DistanceBatchFn | None,
+) -> np.ndarray:
+    """Distances from ``anchor`` to every row, batched when possible."""
+    if dist_batch is not None:
+        return np.asarray(dist_batch(anchor, vectors))
+    return np.array([dist(anchor, row) for row in vectors])
 
 
 class PivotStrategy(ABC):
@@ -43,13 +70,18 @@ class PivotStrategy(ABC):
 
     @abstractmethod
     def select(
-        self, vectors: np.ndarray, dist: DistanceFn, rng: np.random.Generator
+        self,
+        vectors: np.ndarray,
+        dist: DistanceFn,
+        rng: np.random.Generator,
+        *,
+        dist_batch: DistanceBatchFn | None = None,
     ) -> int:
         """Return the row index of the chosen pivot.
 
         ``vectors`` is the ``(m, d)`` subset being split (``m >= 1``);
-        ``dist`` must be used for all distance evaluations so the build
-        cost accounting stays exact.
+        ``dist`` (and ``dist_batch``, when given) must be used for all
+        distance evaluations so the build cost accounting stays exact.
         """
 
     def __repr__(self) -> str:
@@ -60,7 +92,12 @@ class RandomPivot(PivotStrategy):
     """Uniformly random pivot."""
 
     def select(
-        self, vectors: np.ndarray, dist: DistanceFn, rng: np.random.Generator
+        self,
+        vectors: np.ndarray,
+        dist: DistanceFn,
+        rng: np.random.Generator,
+        *,
+        dist_batch: DistanceBatchFn | None = None,
     ) -> int:
         return int(rng.integers(vectors.shape[0]))
 
@@ -69,13 +106,18 @@ class MaxSpreadPivot(PivotStrategy):
     """Farthest point from a random seed (two-sweep heuristic)."""
 
     def select(
-        self, vectors: np.ndarray, dist: DistanceFn, rng: np.random.Generator
+        self,
+        vectors: np.ndarray,
+        dist: DistanceFn,
+        rng: np.random.Generator,
+        *,
+        dist_batch: DistanceBatchFn | None = None,
     ) -> int:
         m = vectors.shape[0]
         if m == 1:
             return 0
         seed = int(rng.integers(m))
-        distances = [dist(vectors[seed], vectors[i]) for i in range(m)]
+        distances = anchor_distances(vectors[seed], vectors, dist, dist_batch)
         return int(np.argmax(distances))
 
 
@@ -100,17 +142,25 @@ class MaxVariancePivot(PivotStrategy):
         self._sample_size = sample_size
 
     def select(
-        self, vectors: np.ndarray, dist: DistanceFn, rng: np.random.Generator
+        self,
+        vectors: np.ndarray,
+        dist: DistanceFn,
+        rng: np.random.Generator,
+        *,
+        dist_batch: DistanceBatchFn | None = None,
     ) -> int:
         m = vectors.shape[0]
         if m <= 2:
             return 0
         candidates = rng.choice(m, size=min(self._n_candidates, m), replace=False)
         sample = rng.choice(m, size=min(self._sample_size, m), replace=False)
+        sample_block = vectors[sample]
         best_index = int(candidates[0])
         best_variance = -1.0
         for candidate in candidates:
-            distances = [dist(vectors[candidate], vectors[j]) for j in sample]
+            distances = anchor_distances(
+                vectors[candidate], sample_block, dist, dist_batch
+            )
             variance = float(np.var(distances))
             if variance > best_variance:
                 best_variance = variance

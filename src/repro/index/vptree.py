@@ -28,6 +28,20 @@ Two bounded approximation modes (experiment F5):
   within ``(1 + epsilon)`` of the true k-th distance.
 * ``max_distance_computations`` — hard budget; search stops expanding new
   nodes once spent (already-found candidates are returned).
+
+All hot loops ride ``Metric.distance_batch``: the build evaluates each
+node's pivot against the remaining items in one kernel call, leaves are
+scanned as one batched evaluation over their contiguous vector block
+(truncated to the remaining budget in budgeted mode, so the accounting
+matches the scalar path item for item), and the batched entry points run
+a *shared* traversal — every node visit evaluates its pivot against all
+still-active queries of the batch in a single kernel call instead of one
+per query.  The shared traversal replays each query's scalar visit
+order exactly (per-query child ordering and branch-and-bound pruning),
+so results and per-query cost counters stay bit-identical to the scalar
+path; it also relies on the metric axiom ``d(p, q) == d(q, p)`` holding
+at the bit level, which every shipped kernel satisfies (elementwise
+arithmetic is commutative/sign-symmetric; the parity suite checks it).
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ import numpy as np
 from repro.errors import IndexingError
 from repro.index.base import MetricIndex, Neighbor
 from repro.index.pivot import MaxSpreadPivot, PivotStrategy
+from repro.index.stats import SearchStats
 from repro.metrics.base import Metric
 
 __all__ = ["VPTree"]
@@ -111,18 +126,21 @@ class VPTree(MetricIndex):
         stats.depth = max(stats.depth, depth)
         if len(ids) <= self._leaf_size:
             stats.n_leaves += 1
-            return _Leaf(ids, vectors)
+            # A contiguous block: leaf scans are single kernel passes and
+            # must never hand the metric a strided view.
+            return _Leaf(ids, np.ascontiguousarray(vectors))
 
-        pivot_row = self._pivot_strategy.select(vectors, self._build_dist, rng)
+        pivot_row = self._pivot_strategy.select(
+            vectors, self._build_dist, rng, dist_batch=self._build_dist_batch
+        )
         pivot_id = ids[pivot_row]
         pivot_vector = vectors[pivot_row]
 
-        rest_rows = [row for row in range(len(ids)) if row != pivot_row]
-        rest_ids = [ids[row] for row in rest_rows]
-        rest_vectors = vectors[rest_rows]
-        distances = np.array(
-            [self._build_dist(pivot_vector, vec) for vec in rest_vectors]
+        rest_ids = [item_id for row, item_id in enumerate(ids) if row != pivot_row]
+        rest_vectors = np.ascontiguousarray(
+            np.delete(vectors, pivot_row, axis=0)
         )
+        distances = self._build_dist_batch(pivot_vector, rest_vectors)
 
         mu = float(np.median(distances))
         inside_mask = distances <= mu
@@ -187,10 +205,10 @@ class VPTree(MetricIndex):
             return
         if isinstance(node, _Leaf):
             self._search_stats.leaves_visited += 1
-            for item_id, vector in zip(node.ids, node.vectors):
-                d = self._dist(query, vector)
-                if d <= radius:
-                    result.append(Neighbor(item_id, d))
+            # One kernel pass over the leaf block + a vectorized filter.
+            distances = self._dist_batch(query, node.vectors)
+            for row in np.flatnonzero(distances <= radius):
+                result.append(Neighbor(node.ids[row], float(distances[row])))
             return
 
         self._search_stats.nodes_visited += 1
@@ -241,9 +259,8 @@ class VPTree(MetricIndex):
             raise IndexingError(f"epsilon must be non-negative; got {epsilon}")
         if max_distance_computations is not None and max_distance_computations < 1:
             raise IndexingError("max_distance_computations must be >= 1")
-        from repro.index.stats import SearchStats
-
         self._search_stats = SearchStats()
+        self._batch_stats = []
         result = self._knn_impl(query, k, epsilon, max_distance_computations)
         result.sort(key=lambda nb: (nb.distance, nb.id))
         return result
@@ -278,10 +295,20 @@ class VPTree(MetricIndex):
                 return
             if isinstance(node, _Leaf):
                 self._search_stats.leaves_visited += 1
-                for item_id, vector in zip(node.ids, node.vectors):
-                    if out_of_budget():
+                # One kernel pass over the leaf block.  In budgeted mode
+                # the scalar path stopped mid-leaf once the budget ran
+                # out; evaluating only the affordable prefix keeps the
+                # accounting (and the candidate set) identical to it.
+                count = len(node.ids)
+                if budget is not None:
+                    count = min(
+                        count, budget - self._search_stats.distance_computations
+                    )
+                    if count <= 0:
                         return
-                    offer(item_id, self._dist(query, vector))
+                distances = self._dist_batch(query, node.vectors[:count]).tolist()
+                for item_id, d in zip(node.ids, distances):
+                    offer(item_id, d)
                 return
 
             self._search_stats.nodes_visited += 1
@@ -305,6 +332,146 @@ class VPTree(MetricIndex):
 
         visit(self._root)
         return [Neighbor(-neg_id, -neg_d) for neg_d, neg_id in heap]
+
+    # ------------------------------------------------------------------
+    # Shared batched traversals
+    # ------------------------------------------------------------------
+    # Both entry points walk the tree once for the whole query batch: a
+    # node's pivot is evaluated against every still-active query in one
+    # ``distance_batch`` call (operand order flipped — the metric axiom
+    # d(p, q) == d(q, p) holds bitwise for all shipped kernels), and each
+    # query keeps its own counters, candidate heap, and prune decisions.
+    # Per query, nodes are visited in exactly the scalar order, so the
+    # branch-and-bound state — and with it every counted distance — is
+    # identical to running the queries one at a time.
+
+    def _range_search_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[Neighbor]]:
+        m = queries.shape[0]
+        results: list[list[Neighbor]] = [[] for _ in range(m)]
+        stats = [SearchStats() for _ in range(m)]
+
+        def visit(node: "_Node | _Leaf | None", rows: list[int]) -> None:
+            if node is None or not rows:
+                return
+            if isinstance(node, _Leaf):
+                for qi in rows:
+                    st = stats[qi]
+                    st.leaves_visited += 1
+                    st.distance_computations += node.vectors.shape[0]
+                    distances = self._metric.distance_batch(
+                        queries[qi], node.vectors
+                    )
+                    for row in np.flatnonzero(distances <= radius):
+                        results[qi].append(
+                            Neighbor(node.ids[row], float(distances[row]))
+                        )
+                return
+
+            pivot_distances = self._metric.distance_batch(
+                node.pivot_vector, queries[rows]
+            ).tolist()
+            inside_rows: list[int] = []
+            outside_rows: list[int] = []
+            for qi, d in zip(rows, pivot_distances):
+                st = stats[qi]
+                st.nodes_visited += 1
+                st.distance_computations += 1
+                if d <= radius:
+                    results[qi].append(Neighbor(node.pivot_id, d))
+                if node.inside is not None:
+                    if d - radius <= node.in_high and d + radius >= node.in_low:
+                        inside_rows.append(qi)
+                    else:
+                        st.nodes_pruned += 1
+                if node.outside is not None:
+                    if d - radius <= node.out_high and d + radius >= node.out_low:
+                        outside_rows.append(qi)
+                    else:
+                        st.nodes_pruned += 1
+            visit(node.inside, inside_rows)
+            visit(node.outside, outside_rows)
+
+        visit(self._root, list(range(m)))
+        return self._finish_batch(results, stats)
+
+    def _knn_search_batch(self, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
+        m = queries.shape[0]
+        stats = [SearchStats() for _ in range(m)]
+        heaps: list[list[tuple[float, int]]] = [[] for _ in range(m)]
+
+        def tau(qi: int) -> float:
+            heap = heaps[qi]
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def offer(qi: int, item_id: int, d: float) -> None:
+            heap = heaps[qi]
+            entry = (-d, -item_id)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+
+        def visit(node: "_Node | _Leaf | None", rows: list[int]) -> None:
+            if node is None or not rows:
+                return
+            if isinstance(node, _Leaf):
+                for qi in rows:
+                    st = stats[qi]
+                    st.leaves_visited += 1
+                    st.distance_computations += node.vectors.shape[0]
+                    distances = self._metric.distance_batch(
+                        queries[qi], node.vectors
+                    ).tolist()
+                    for item_id, d in zip(node.ids, distances):
+                        offer(qi, item_id, d)
+                return
+
+            pivot_distances = self._metric.distance_batch(
+                node.pivot_vector, queries[rows]
+            ).tolist()
+            gaps: dict[int, tuple[float, float]] = {}
+            # Cohorts by preferred first child; the scalar path's stable
+            # sort explores 'inside' first on equal gaps.
+            inside_first: list[int] = []
+            outside_first: list[int] = []
+            for qi, d in zip(rows, pivot_distances):
+                st = stats[qi]
+                st.nodes_visited += 1
+                st.distance_computations += 1
+                offer(qi, node.pivot_id, d)
+                gap_in = _interval_gap(d, node.in_low, node.in_high)
+                gap_out = _interval_gap(d, node.out_low, node.out_high)
+                gaps[qi] = (gap_in, gap_out)
+                (inside_first if gap_in <= gap_out else outside_first).append(qi)
+
+            children = ((node.inside, 0), (node.outside, 1))
+            for cohort, order in (
+                (inside_first, children),
+                (outside_first, children[::-1]),
+            ):
+                if not cohort:
+                    continue
+                # The second child's prune test runs after the first
+                # child's subtree has shrunk tau, exactly as in the
+                # scalar branch-and-bound.
+                for child, gap_index in order:
+                    if child is None:
+                        continue
+                    survivors: list[int] = []
+                    for qi in cohort:
+                        if gaps[qi][gap_index] <= tau(qi):
+                            survivors.append(qi)
+                        else:
+                            stats[qi].nodes_pruned += 1
+                    visit(child, survivors)
+
+        visit(self._root, list(range(m)))
+        results = [
+            [Neighbor(-neg_id, -neg_d) for neg_d, neg_id in heap] for heap in heaps
+        ]
+        return self._finish_batch(results, stats)
 
 
 def _interval_gap(d: float, low: float, high: float) -> float:

@@ -38,6 +38,7 @@ from repro.errors import MetricError
 __all__ = [
     "Metric",
     "CountingMetric",
+    "hide_batch_kernel",
     "pairwise_distances",
     "validate_same_shape",
     "validate_batch_operands",
@@ -184,6 +185,28 @@ class CountingMetric(Metric):
         distances = self._inner.distance_batch(query, vectors)
         self._count += int(distances.shape[0])
         return distances
+
+
+def hide_batch_kernel(metric: Metric) -> Metric:
+    """A clone of ``metric`` whose ``distance_batch`` is the loop fallback.
+
+    Benchmarks and parity tests use this to model the scalar-era cost:
+    every batched call site degrades to one interpreted ``distance``
+    call per row, while results stay bit-identical by the batch
+    contract.  The clone subclasses the metric's own class, so indexes
+    with ``isinstance`` checks (the kd-tree) still accept it.
+    """
+    import copy
+
+    cls = type(metric)
+    hidden = type(
+        f"Scalar{cls.__name__}",
+        (cls,),
+        {"distance_batch": Metric.distance_batch, "supports_batch": False},
+    )
+    clone = copy.copy(metric)
+    clone.__class__ = hidden
+    return clone
 
 
 def pairwise_distances(metric: Metric, vectors: np.ndarray) -> np.ndarray:

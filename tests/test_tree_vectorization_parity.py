@@ -1,0 +1,464 @@
+"""Build/search parity suite for the vectorized tree indexes.
+
+The tree vectorization PR rewired every tree's hot loops from scalar
+``Metric.distance`` calls onto ``Metric.distance_batch`` kernels.  The
+contract is strict: batching saves interpreter overhead, never metric
+evaluations, and changes nothing observable —
+
+* **golden parity** — tree structure (pivots, split radii, page
+  contents), build stats, neighbor sets, distance floats, and every
+  per-query cost counter are bit-identical to the scalar-era
+  implementation.  The goldens in ``tests/data/golden_tree_parity.json``
+  were captured by running this module's profiler against the pre-change
+  code (``python tests/test_tree_vectorization_parity.py --write``);
+  the current code must reproduce them exactly.
+* **kernel/fallback parity** — hiding a metric's vectorized kernel (so
+  ``distance_batch`` degrades to the per-row loop) must not change one
+  bit of any build or query, including the approximate modes.
+* **batch entry-point parity** — ``knn_search_batch`` /
+  ``range_search_batch`` (now a shared traversal on the VP-tree, not the
+  per-query fallback) equal the scalar entry points result-for-result
+  and counter-for-counter.
+* **operand symmetry** — sharing pivot distances across a query batch
+  evaluates ``d(pivot, q)`` where the scalar path evaluated
+  ``d(q, pivot)``; every shipped metric must be bitwise symmetric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.index.antipole import AntipoleTree, _Cluster, _Split
+from repro.index.gnat import GNAT, _InnerNode, _LeafNode
+from repro.index.kdtree import KDTree, _KDLeaf, _KDNode
+from repro.index.mtree import MTree
+from repro.index.pivot import MaxVariancePivot, RandomPivot
+from repro.index.vptree import VPTree, _Leaf, _Node
+from repro.metrics.base import CountingMetric, Metric, hide_batch_kernel
+from repro.metrics.quadratic import QuadraticFormDistance
+from repro.metrics.divergence import CanberraDistance, CosineDistance, JensenShannonDistance
+from repro.metrics.emd import MatchDistance
+from repro.metrics.hausdorff import HausdorffDistance
+from repro.metrics.histogram import (
+    BhattacharyyaDistance,
+    ChiSquareDistance,
+    HistogramIntersection,
+)
+from repro.metrics.minkowski import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+    WeightedEuclideanDistance,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_tree_parity.json"
+
+_N = 160
+_DIM = 12
+_N_QUERIES = 6
+_K = 5
+_RADIUS = {"L2": 1.2, "L1": 3.5}
+
+
+def _dataset():
+    rng = np.random.default_rng(97)
+    vectors = rng.random((_N, _DIM))
+    queries = rng.random((_N_QUERIES, _DIM))
+    return list(range(_N)), vectors, queries
+
+
+def _metrics():
+    return {"L2": EuclideanDistance(), "L1": ManhattanDistance()}
+
+
+def _factories():
+    return {
+        "vptree": lambda m: VPTree(m, leaf_size=4, seed=3),
+        "vptree-variance": lambda m: VPTree(
+            m, leaf_size=4, seed=3, pivot_strategy=MaxVariancePivot()
+        ),
+        "vptree-random": lambda m: VPTree(
+            m, leaf_size=4, seed=3, pivot_strategy=RandomPivot()
+        ),
+        "mtree-mmrad": lambda m: MTree(m, capacity=4, promotion="mmrad", seed=5),
+        "mtree-maxdist": lambda m: MTree(m, capacity=4, promotion="maxdist", seed=5),
+        "mtree-random": lambda m: MTree(m, capacity=4, promotion="random", seed=5),
+        "gnat": lambda m: GNAT(m, degree=4, seed=2),
+        "antipole": lambda m: AntipoleTree(m, seed=1),
+        "kdtree": lambda m: KDTree(m, leaf_size=4),
+    }
+
+
+def _profile_keys():
+    for index_name in _factories():
+        for metric_name in _metrics():
+            yield f"{index_name}/{metric_name}"
+
+
+# ----------------------------------------------------------------------
+# Structure serializers (shape, split values, page contents — exact)
+# ----------------------------------------------------------------------
+def _structure(index) -> object:
+    if isinstance(index, VPTree):
+        return _vp_structure(index._root)
+    if isinstance(index, GNAT):
+        return _gnat_structure(index._root)
+    if isinstance(index, MTree):
+        return {
+            "height": index.height,
+            "n_pages": index.n_pages,
+            "n_splits": index.n_splits,
+            "root": _mtree_structure(index._root),
+        }
+    if isinstance(index, AntipoleTree):
+        return {
+            "threshold": index.effective_diameter_threshold,
+            "root": _antipole_structure(index._root),
+        }
+    if isinstance(index, KDTree):
+        return _kd_structure(index._root)
+    raise AssertionError(f"no serializer for {type(index).__name__}")
+
+
+def _vp_structure(node):
+    if node is None:
+        return None
+    if isinstance(node, _Leaf):
+        return {"leaf": list(node.ids)}
+    assert isinstance(node, _Node)
+    return {
+        "pivot": node.pivot_id,
+        "bounds": [node.in_low, node.in_high, node.out_low, node.out_high],
+        "inside": _vp_structure(node.inside),
+        "outside": _vp_structure(node.outside),
+    }
+
+
+def _gnat_structure(node):
+    if node is None:
+        return None
+    if isinstance(node, _LeafNode):
+        return {"leaf": list(node.ids)}
+    assert isinstance(node, _InnerNode)
+    return {
+        "splits": list(node.split_ids),
+        "low": node.low.tolist(),
+        "high": node.high.tolist(),
+        "children": [_gnat_structure(child) for child in node.children],
+    }
+
+
+def _mtree_structure(node):
+    if node is None:
+        return None
+    return {
+        "leaf": node.is_leaf,
+        "entries": [
+            {
+                "id": entry.item_id,
+                "radius": entry.radius,
+                "d_parent": entry.d_parent,
+                "child": _mtree_structure(entry.child),
+            }
+            for entry in node.entries
+        ],
+    }
+
+
+def _antipole_structure(node):
+    if node is None:
+        return None
+    if isinstance(node, _Cluster):
+        return {
+            "centroid": node.centroid_id,
+            "members": list(node.member_ids),
+            "cached": node.member_centroid_distances.tolist(),
+            "radius": node.radius,
+        }
+    assert isinstance(node, _Split)
+    return {
+        "a": node.a_id,
+        "b": node.b_id,
+        "a_radius": node.a_radius,
+        "b_radius": node.b_radius,
+        "a_child": _antipole_structure(node.a_child),
+        "b_child": _antipole_structure(node.b_child),
+    }
+
+
+def _kd_structure(node):
+    if node is None:
+        return None
+    if isinstance(node, _KDLeaf):
+        return {"leaf": list(node.ids)}
+    assert isinstance(node, _KDNode)
+    return {
+        "dim": node.split_dim,
+        "value": node.split_value,
+        "left": _kd_structure(node.left),
+        "right": _kd_structure(node.right),
+    }
+
+
+# ----------------------------------------------------------------------
+# Profiling: everything observable about builds and queries
+# ----------------------------------------------------------------------
+def _neighbors(result):
+    return [[nb.id, nb.distance] for nb in result]
+
+
+def _stats(stats):
+    return dataclasses.asdict(stats)
+
+
+def _capture(index_name: str, metric_name: str, metric: Metric | None = None) -> dict:
+    ids, vectors, queries = _dataset()
+    metric = metric if metric is not None else _metrics()[metric_name]
+    index = _factories()[index_name](metric).build(ids, vectors)
+    build = _stats(index.build_stats)
+    build["extra"] = dict(index.build_stats.extra)
+    profile = {
+        "build": build,
+        "structure": _structure(index),
+        "queries": [],
+    }
+    radius = _RADIUS[metric_name]
+    for query in queries:
+        record = {}
+        record["knn"] = _neighbors(index.knn_search(query, _K))
+        record["knn_stats"] = _stats(index.last_stats)
+        record["range"] = _neighbors(index.range_search(query, radius))
+        record["range_stats"] = _stats(index.last_stats)
+        if isinstance(index, VPTree):
+            record["knn_eps"] = _neighbors(
+                index.knn_search_approximate(query, _K, epsilon=0.5)
+            )
+            record["knn_eps_stats"] = _stats(index.last_stats)
+            record["knn_budget"] = _neighbors(
+                index.knn_search_approximate(query, _K, max_distance_computations=60)
+            )
+            record["knn_budget_stats"] = _stats(index.last_stats)
+        if isinstance(index, AntipoleTree):
+            record["range_ids"] = index.range_search_ids(query, radius)
+            record["range_ids_stats"] = _stats(index.last_stats)
+        profile["queries"].append(record)
+    return profile
+
+
+def _capture_all() -> dict:
+    return {
+        key: _capture(*key.split("/"))
+        for key in _profile_keys()
+    }
+
+
+# ----------------------------------------------------------------------
+# Golden parity: current code vs the recorded pre-change behavior
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with "
+        f"`python tests/test_tree_vectorization_parity.py --write` on a "
+        f"known-good checkout"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("key", list(_profile_keys()))
+def test_golden_parity(golden, key):
+    index_name, metric_name = key.split("/")
+    assert key in golden, f"golden profile for {key} missing; regenerate"
+    assert _capture(index_name, metric_name) == golden[key]
+
+
+# ----------------------------------------------------------------------
+# Kernel vs loop-fallback parity through the batched call sites
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", list(_profile_keys()))
+def test_scalar_kernel_parity(key):
+    index_name, metric_name = key.split("/")
+    kernel = _capture(index_name, metric_name)
+    fallback = _capture(
+        index_name, metric_name, hide_batch_kernel(_metrics()[metric_name])
+    )
+    assert fallback == kernel
+
+
+# ----------------------------------------------------------------------
+# Batched entry points vs scalar entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("index_name", list(_factories()))
+def test_batch_entry_points_match_scalar(index_name):
+    ids, vectors, queries = _dataset()
+    index = _factories()[index_name](EuclideanDistance()).build(ids, vectors)
+
+    scalar_knn, scalar_knn_stats = [], []
+    for query in queries:
+        scalar_knn.append(index.knn_search(query, _K))
+        scalar_knn_stats.append(index.last_stats)
+    batch_knn = index.knn_search_batch(queries, _K)
+    assert batch_knn == scalar_knn
+    assert index.last_batch_stats == scalar_knn_stats
+
+    radius = _RADIUS["L2"]
+    scalar_range, scalar_range_stats = [], []
+    for query in queries:
+        scalar_range.append(index.range_search(query, radius))
+        scalar_range_stats.append(index.last_stats)
+    batch_range = index.range_search_batch(queries, radius)
+    assert batch_range == scalar_range
+    assert index.last_batch_stats == scalar_range_stats
+
+
+# ----------------------------------------------------------------------
+# Counting metric cross-check: batching is never a way around accounting
+# ----------------------------------------------------------------------
+# The kd-tree is excluded: it only accepts the concrete Minkowski metric
+# classes, so a CountingMetric cannot wrap its way in (its accounting is
+# still pinned by the golden stats and the batch entry-point test).
+@pytest.mark.parametrize(
+    "index_name", [name for name in _factories() if name != "kdtree"]
+)
+def test_counting_metric_agrees_with_stats(index_name):
+    ids, vectors, queries = _dataset()
+    counter = CountingMetric(EuclideanDistance())
+    index = _factories()[index_name](counter).build(ids, vectors)
+    assert counter.count == index.build_stats.distance_computations
+
+    counter.reset()
+    index.knn_search(queries[0], _K)
+    assert counter.count == index.last_stats.distance_computations
+
+    counter.reset()
+    index.range_search(queries[1], _RADIUS["L2"])
+    assert counter.count == index.last_stats.distance_computations
+
+    counter.reset()
+    index.knn_search_batch(queries, _K)
+    assert counter.count == index.last_stats.distance_computations
+    assert counter.count == sum(
+        stats.distance_computations for stats in index.last_batch_stats
+    )
+
+
+def test_vptree_approximate_counting():
+    ids, vectors, queries = _dataset()
+    counter = CountingMetric(EuclideanDistance())
+    tree = VPTree(counter, leaf_size=4, seed=3).build(ids, vectors)
+    for kwargs in ({"epsilon": 0.5}, {"max_distance_computations": 60}):
+        counter.reset()
+        tree.knn_search_approximate(queries[0], _K, **kwargs)
+        assert counter.count == tree.last_stats.distance_computations
+    budget = 60
+    tree.knn_search_approximate(queries[0], _K, max_distance_computations=budget)
+    assert tree.last_stats.distance_computations <= budget
+
+
+# ----------------------------------------------------------------------
+# Operand symmetry: shared pivot distances flip the operand order
+# ----------------------------------------------------------------------
+_SYMMETRIC_METRICS = [
+    EuclideanDistance(),
+    ManhattanDistance(),
+    ChebyshevDistance(),
+    MinkowskiDistance(3.0),
+    WeightedEuclideanDistance(np.linspace(0.5, 2.0, 16)),
+    HistogramIntersection(),
+    ChiSquareDistance(),
+    BhattacharyyaDistance(),
+    CosineDistance(),
+    CanberraDistance(),
+    JensenShannonDistance(),
+    MatchDistance(),
+    MatchDistance(circular=True),
+    QuadraticFormDistance(np.exp(-0.3 * np.abs(np.subtract.outer(np.arange(16), np.arange(16))))),
+]
+
+
+@pytest.mark.parametrize("metric", _SYMMETRIC_METRICS, ids=lambda m: m.name)
+def test_kernel_operand_symmetry(metric):
+    rng = np.random.default_rng(11)
+    matrix = rng.random((20, 16)) + 1e-3
+    matrix /= matrix.sum(axis=1, keepdims=True)  # valid for histogram metrics
+    anchor = matrix[0]
+    transposed = metric.distance_batch(anchor, matrix)
+    for row, got in zip(matrix, transposed):
+        assert metric.distance(row, anchor) == got
+
+
+def test_hausdorff_operand_symmetry():
+    rng = np.random.default_rng(12)
+    metric = HausdorffDistance(point_dim=2)
+    sets = rng.random((10, 16))
+    anchor = sets[0]
+    transposed = metric.distance_batch(anchor, sets)
+    for row, got in zip(sets, transposed):
+        assert metric.distance(row, anchor) == got
+
+
+# ----------------------------------------------------------------------
+# Leaf blocks are contiguous (kernels never see strided views)
+# ----------------------------------------------------------------------
+def test_leaf_blocks_contiguous():
+    ids, vectors, _ = _dataset()
+
+    def walk_vp(node):
+        if node is None:
+            return
+        if isinstance(node, _Leaf):
+            assert node.vectors.flags["C_CONTIGUOUS"]
+            return
+        walk_vp(node.inside)
+        walk_vp(node.outside)
+
+    walk_vp(VPTree(EuclideanDistance(), leaf_size=4).build(ids, vectors)._root)
+
+    def walk_gnat(node):
+        if node is None:
+            return
+        if isinstance(node, _LeafNode):
+            assert node.vectors.flags["C_CONTIGUOUS"]
+            return
+        for child in node.children:
+            walk_gnat(child)
+
+    walk_gnat(GNAT(EuclideanDistance(), degree=4).build(ids, vectors)._root)
+
+    def walk_kd(node):
+        if node is None:
+            return
+        if isinstance(node, _KDLeaf):
+            assert node.vectors.flags["C_CONTIGUOUS"]
+            return
+        walk_kd(node.left)
+        walk_kd(node.right)
+
+    walk_kd(KDTree(EuclideanDistance(), leaf_size=4).build(ids, vectors)._root)
+
+    def walk_antipole(node):
+        if node is None:
+            return
+        if isinstance(node, _Cluster):
+            assert node.member_vectors.flags["C_CONTIGUOUS"]
+            return
+        walk_antipole(node.a_child)
+        walk_antipole(node.b_child)
+
+    walk_antipole(AntipoleTree(EuclideanDistance(), seed=1).build(ids, vectors)._root)
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(_capture_all(), indent=1))
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print("usage: python tests/test_tree_vectorization_parity.py --write")
