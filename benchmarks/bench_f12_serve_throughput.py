@@ -1,0 +1,210 @@
+"""F12 — Serving throughput: micro-batch coalescing vs per-request handling.
+
+The serving layer exists to turn concurrent independent requests into
+the large batches the vectorized engine is fast at, and to
+short-circuit repeated queries through its LRU result cache.  This
+experiment measures what that buys under a closed-loop load of 16
+concurrent clients issuing k-NN requests drawn from a pool of popular
+query signatures (each distinct query recurs ~8 times — the shape of
+interactive retrieval traffic, where hot examples dominate):
+
+``sequential``
+    One-request-at-a-time handling (``max_batch=1``, cache off) — what
+    a naive server would do with the same engine underneath.
+``coalesced``
+    Micro-batching on (``max_batch=16``), cache off: the pure
+    batch-forming win (shared VP-tree traversals across the batch).
+``service``
+    The full service: coalescing + the LRU result cache.
+
+Every configuration runs the identical workload through the identical
+:class:`~repro.serve.scheduler.QueryScheduler` machinery, and every
+served answer is checked bit-identical against direct
+``ImageDatabase.query`` calls — the scheduler's parity contract.
+
+Reproduction checks (full size): the full service clears **3x** the
+sequential throughput at concurrency 16, and pure coalescing beats
+sequential handling outright.  Results go to
+``benchmarks/BENCH_f12_serve_throughput.json`` for the perf trajectory.
+
+``REPRO_BENCH_N`` shrinks the dataset for CI smoke runs (the parity
+checks still bite; wall-clock assertions only apply at full size).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_experiment
+from repro.db.database import ImageDatabase
+from repro.eval.harness import ascii_table
+from repro.features.base import PresetSignature
+from repro.features.pipeline import FeatureSchema
+from repro.serve.scheduler import QueryScheduler
+
+_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+_FULL_SIZE = _N >= 2000
+_DIM = 64
+_K = 10
+_CONCURRENCY = 16
+_REQUESTS_PER_CLIENT = 40 if _FULL_SIZE else 4
+_POOL_SIZE = max(8, (_CONCURRENCY * _REQUESTS_PER_CLIENT) // 8)
+
+_JSON_PATH = Path(__file__).parent / "BENCH_f12_serve_throughput.json"
+
+_CONFIGS = {
+    "sequential": dict(max_batch=1, max_wait_ms=0.0, cache_size=0),
+    "coalesced": dict(max_batch=_CONCURRENCY, max_wait_ms=4.0, cache_size=0),
+    "service": dict(max_batch=_CONCURRENCY, max_wait_ms=4.0, cache_size=4096),
+}
+
+
+def _database() -> tuple[ImageDatabase, np.ndarray, np.ndarray]:
+    from repro.eval.datasets import gaussian_clusters
+
+    vectors, _ = gaussian_clusters(_N, _DIM, n_clusters=16, cluster_std=0.05, seed=42)
+    pool, _ = gaussian_clusters(
+        _POOL_SIZE, _DIM, n_clusters=16, cluster_std=0.05, seed=43
+    )
+    db = ImageDatabase(FeatureSchema([PresetSignature(_DIM, "signature")]))
+    db.add_vectors(vectors)
+    db.build_indexes()
+    picks = np.random.default_rng(7).integers(
+        0, _POOL_SIZE, size=(_CONCURRENCY, _REQUESTS_PER_CLIENT)
+    )
+    return db, pool, picks
+
+
+def _drive(db: ImageDatabase, pool: np.ndarray, picks: np.ndarray, options: dict):
+    """Run the closed-loop workload against one scheduler configuration."""
+    scheduler = QueryScheduler(db, max_queue=4096, **options)
+    responses: dict[tuple[int, int], list] = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(_CONCURRENCY + 1)
+
+    def client(client_id: int) -> None:
+        barrier.wait()
+        for step, pick in enumerate(picks[client_id]):
+            served = scheduler.submit_query(pool[pick], _K).result()
+            with lock:
+                responses[(client_id, step)] = served.results
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(_CONCURRENCY)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stats = scheduler.stats()
+    scheduler.close()
+
+    total = _CONCURRENCY * _REQUESTS_PER_CLIENT
+    assert len(responses) == total  # nothing dropped, nothing duplicated
+    return responses, elapsed, stats
+
+
+def test_f12_serve_throughput(benchmark):
+    db, pool, picks = _database()
+
+    # The parity oracle: every distinct pool query answered directly.
+    direct = {pick: db.query(pool[pick], _K) for pick in range(_POOL_SIZE)}
+
+    rows = []
+    report: dict[str, dict] = {}
+    for name, options in _CONFIGS.items():
+        responses, elapsed, stats = _drive(db, pool, picks, options)
+        # Bit-identical to direct queries — ids, distances, order.
+        for (client_id, step), results in responses.items():
+            assert results == direct[picks[client_id, step]], (
+                f"{name}: served result diverged for client {client_id} "
+                f"step {step}"
+            )
+        qps = stats.completed / elapsed
+        rows.append(
+            [
+                name,
+                stats.completed,
+                elapsed,
+                qps,
+                stats.mean_batch_size,
+                f"{stats.cache_hit_rate:.0%}",
+                stats.latency_p50_ms,
+                stats.latency_p95_ms,
+            ]
+        )
+        report[name] = {
+            "requests": stats.completed,
+            "elapsed_seconds": elapsed,
+            "qps": qps,
+            "mean_batch_size": stats.mean_batch_size,
+            "mean_group_size": stats.mean_group_size,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "latency_p50_ms": stats.latency_p50_ms,
+            "latency_p95_ms": stats.latency_p95_ms,
+        }
+
+    coalescing_speedup = report["coalesced"]["qps"] / report["sequential"]["qps"]
+    service_speedup = report["service"]["qps"] / report["sequential"]["qps"]
+    print_experiment(
+        ascii_table(
+            [
+                "config",
+                "requests",
+                "seconds",
+                "q/s",
+                "mean batch",
+                "hit rate",
+                "p50 ms",
+                "p95 ms",
+            ],
+            rows,
+            title=(
+                f"F12: serve throughput, {_CONCURRENCY} concurrent clients - "
+                f"N={_N}, d={_DIM}, k={_K}, pool={_POOL_SIZE} "
+                f"(coalescing x{coalescing_speedup:.2f}, "
+                f"full service x{service_speedup:.2f}; identical results)"
+            ),
+        )
+    )
+
+    if _FULL_SIZE:
+        # Tiny smoke runs (REPRO_BENCH_N) don't pollute the trajectory.
+        _JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "f12_serve_throughput",
+                    "n": _N,
+                    "dim": _DIM,
+                    "k": _K,
+                    "concurrency": _CONCURRENCY,
+                    "requests": _CONCURRENCY * _REQUESTS_PER_CLIENT,
+                    "pool_size": _POOL_SIZE,
+                    "metric": "L2",
+                    "index": "vptree",
+                    "configs": report,
+                    "coalescing_speedup": coalescing_speedup,
+                    "service_speedup": service_speedup,
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        # Headline acceptance: the full service clears 3x one-at-a-time
+        # handling, and batch forming alone already wins.
+        assert service_speedup >= 3.0
+        assert coalescing_speedup >= 1.1
+
+    # Representative op for pytest-benchmark: one coalesced engine pass
+    # over a full formed batch.
+    matrix = pool[: min(_CONCURRENCY, _POOL_SIZE)]
+    benchmark(lambda: db.query_batch(matrix, _K, precomputed=True))

@@ -30,6 +30,8 @@ Subpackages
                     kd-tree, GEMINI filter-and-refine, linear scan)
 ``repro.reduce``    dimensionality reduction (KL transform, FastMap)
 ``repro.db``        database layer (catalog, feature store, buffer pool, queries)
+``repro.serve``     concurrent query service (micro-batch scheduler, result
+                    cache, HTTP front end + client)
 ``repro.eval``      evaluation substrate (corpora, ground truth, IR metrics)
 """
 
@@ -42,6 +44,7 @@ from repro.errors import (
     MetricError,
     QueryError,
     ReproError,
+    ServeError,
     StoreError,
 )
 from repro.image.core import Image
@@ -74,6 +77,14 @@ from repro.db import (
     ImageRecord,
     Rocchio,
 )
+from repro.serve import (
+    QueryScheduler,
+    QueryServer,
+    ResultCache,
+    ServedResult,
+    ServiceClient,
+    ServiceStats,
+)
 
 __version__ = "1.1.0"
 
@@ -89,6 +100,7 @@ __all__ = [
     "StoreError",
     "CatalogError",
     "QueryError",
+    "ServeError",
     # core types
     "Image",
     "FeatureSchema",
@@ -121,4 +133,11 @@ __all__ = [
     "BufferPool",
     "FeedbackSession",
     "Rocchio",
+    # serving
+    "QueryScheduler",
+    "ServedResult",
+    "ResultCache",
+    "ServiceStats",
+    "QueryServer",
+    "ServiceClient",
 ]

@@ -9,6 +9,7 @@ build an index, query by example.  This module is that tool::
     python -m repro info  --db my.db         # what's inside
     python -m repro query corpus/red_scenes/red_scenes_000.ppm --db my.db -k 5
     python -m repro query-batch corpus/red_scenes/ --db my.db -k 5
+    python -m repro serve --db my.db --port 8753  # HTTP query service
 
 Images are read with the library's own codecs (PPM/PGM/BMP — the
 formats a 1994 system would have spoken); each image's *label* is the
@@ -209,6 +210,55 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve.http import QueryServer
+
+    db = _load(args)
+    db.build_indexes()  # pay the lazy builds before the first request
+    server = QueryServer(
+        db,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+    )
+    host, port = server.address
+    print(
+        f"serving {len(db)} images on http://{host}:{port} "
+        f"(features: {', '.join(db.schema.names)}; "
+        f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms:g}, "
+        f"cache_size={args.cache_size})",
+        flush=True,
+    )
+
+    # SIGTERM (CI, process managers) and Ctrl-C both exit cleanly: break
+    # out of the serving loop, drain the scheduler, report what was
+    # served.  (Raising is the signal-safe way out — calling shutdown()
+    # from the serving thread itself would deadlock.)
+    def _terminate(*_: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        stats = server.scheduler.stats()
+        print(
+            f"\nserved {stats.completed} requests "
+            f"({stats.throughput_qps:.1f} q/s, mean batch "
+            f"{stats.mean_batch_size:.1f}, cache hit rate "
+            f"{stats.cache_hit_rate:.0%}); shutdown clean",
+            flush=True,
+        )
+    return 0
+
+
 def _make_schema(working_size: int) -> FeatureSchema:
     return default_schema(working_size=working_size)
 
@@ -279,6 +329,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--feature", default=None, help="feature to search (default: schema's first)"
     )
     query_batch.set_defaults(handler=_cmd_query_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a database over HTTP with micro-batch coalescing "
+        "(POST /query, POST /range, GET /stats, GET /healthz)",
+    )
+    serve.add_argument("--db", required=True, help="saved database directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8753,
+        help="listen port (0 picks a free port, printed at startup)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="largest coalesced batch per engine call (default 32)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits for batch company (default 2.0)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU result-cache entries; 0 disables (default 1024)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

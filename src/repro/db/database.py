@@ -18,7 +18,11 @@ Ties every subsystem together into the system the paper describes:
   :class:`~repro.db.store.FeatureStore` per feature.
 
 All query entry points accept either an :class:`~repro.image.Image`
-(signatures are extracted on the fly) or a precomputed feature vector.
+(signatures are extracted on the fly) or a precomputed feature vector;
+callers that validated their vectors up front (the
+:mod:`repro.serve` scheduler) pass ``precomputed=True`` to skip the
+extraction/stacking pass.  :meth:`ImageDatabase.add_vectors` is the
+matching ingest path for signature matrices without images.
 """
 
 from __future__ import annotations
@@ -161,6 +165,20 @@ class ImageDatabase:
         except KeyError:
             raise QueryError(f"no image with id {image_id}") from None
 
+    def extract_query_vector(
+        self, query: Image | np.ndarray, feature: str | None = None
+    ) -> np.ndarray:
+        """The validated query signature the query entry points would use.
+
+        Callers that submit the same query several times — the serving
+        layer's admission path, which also digests the vector for its
+        result cache — extract once up front and then pass
+        ``precomputed=True`` to the query methods.
+        """
+        feature = feature or self.default_feature
+        self._check_feature(feature)
+        return self._query_vector(query, feature)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -199,6 +217,95 @@ class ImageDatabase:
         """Bulk insert of ``(image, label)`` pairs; returns the new ids."""
         return [self.add_image(image, label=label) for image, label in images]
 
+    def add_vectors(
+        self,
+        signatures: Mapping[str, np.ndarray] | np.ndarray,
+        *,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> list[int]:
+        """Bulk insert of precomputed signatures — no images, no extraction.
+
+        The ingest-side twin of the query methods' ``precomputed`` path:
+        serving benchmarks and load tests build databases directly from
+        vector matrices (typically under a
+        :class:`~repro.features.base.PresetSignature` schema).
+
+        Parameters
+        ----------
+        signatures:
+            ``{feature name -> (n, d_feature) matrix}`` covering every
+            schema feature, or a single ``(n, d)`` matrix when the schema
+            has exactly one feature.
+        labels, names:
+            Optional per-row metadata, each of length ``n``.
+
+        Returns
+        -------
+        list[int]
+            The allocated image ids, in row order.
+        """
+        if not isinstance(signatures, Mapping):
+            if len(self._schema) != 1:
+                raise QueryError(
+                    "a bare matrix needs a single-feature schema; this schema "
+                    f"has {list(self._schema.names)} — pass a mapping instead"
+                )
+            signatures = {self.default_feature: signatures}
+        unknown = set(signatures) - set(self._schema.names)
+        if unknown:
+            raise QueryError(
+                f"signatures refer to unknown features: {sorted(unknown)}"
+            )
+        missing = set(self._schema.names) - set(signatures)
+        if missing:
+            raise QueryError(f"signatures missing features: {sorted(missing)}")
+
+        matrices: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for feature in self._schema.names:
+            matrix = np.asarray(signatures[feature], dtype=np.float64)
+            dim = self._schema.get(feature).dim
+            if matrix.ndim != 2 or matrix.shape[1] != dim:
+                raise QueryError(
+                    f"feature {feature!r}: expected an (n, {dim}) matrix; "
+                    f"got shape {matrix.shape}"
+                )
+            if not np.all(np.isfinite(matrix)):
+                raise QueryError(f"feature {feature!r}: non-finite values")
+            if n_rows is None:
+                n_rows = matrix.shape[0]
+            elif matrix.shape[0] != n_rows:
+                raise QueryError(
+                    f"feature {feature!r} has {matrix.shape[0]} rows, "
+                    f"expected {n_rows}"
+                )
+            matrices[feature] = matrix
+        assert n_rows is not None
+        for field_name, values in (("labels", labels), ("names", names)):
+            if values is not None and len(values) != n_rows:
+                raise QueryError(
+                    f"{field_name} has {len(values)} entries for {n_rows} vectors"
+                )
+
+        ids: list[int] = []
+        for row in range(n_rows):
+            image_id = self._catalog.allocate_id()
+            record = ImageRecord(
+                image_id=image_id,
+                name=names[row] if names is not None else f"vector_{image_id}",
+                width=0,
+                height=0,
+                mode="vector",
+                label=labels[row] if labels is not None else None,
+            )
+            self._catalog.insert(record)
+            for feature, matrix in matrices.items():
+                self._vectors[feature][image_id] = matrix[row].copy()
+            ids.append(image_id)
+        self._stale.update(self._schema.names)
+        return ids
+
     def delete_image(self, image_id: int) -> ImageRecord:
         """Remove an image and its signatures; indexes become stale."""
         record = self._catalog.delete(image_id)
@@ -223,13 +330,25 @@ class ImageDatabase:
         k: int = 10,
         *,
         feature: str | None = None,
+        precomputed: bool = False,
     ) -> list[RetrievalResult]:
-        """k-NN query-by-example on one feature."""
+        """k-NN query-by-example on one feature.
+
+        With ``precomputed=True`` the query must already be the validated
+        signature vector (see :meth:`extract_query_vector`); extraction
+        and revalidation are skipped.  The serving layer uses this path:
+        it extracts once at admission, digests the vector for its cache,
+        and hands the same floats to the engine.
+        """
         feature = feature or self.default_feature
         self._check_feature(feature)
         if len(self._catalog) == 0:
             raise QueryError("database is empty")
-        vector = self._query_vector(query, feature)
+        vector = (
+            self._precomputed_vector(query, feature)
+            if precomputed
+            else self._query_vector(query, feature)
+        )
         index = self.index_for(feature)
         neighbors = index.knn_search(vector, k)
         return self._to_results(neighbors)
@@ -240,23 +359,29 @@ class ImageDatabase:
         radius: float,
         *,
         feature: str | None = None,
+        precomputed: bool = False,
     ) -> list[RetrievalResult]:
         """Range query-by-example on one feature."""
         feature = feature or self.default_feature
         self._check_feature(feature)
         if len(self._catalog) == 0:
             raise QueryError("database is empty")
-        vector = self._query_vector(query, feature)
+        vector = (
+            self._precomputed_vector(query, feature)
+            if precomputed
+            else self._query_vector(query, feature)
+        )
         index = self.index_for(feature)
         neighbors = index.range_search(vector, radius)
         return self._to_results(neighbors)
 
     def query_batch(
         self,
-        queries: Sequence[Image | np.ndarray],
+        queries: Sequence[Image | np.ndarray] | np.ndarray,
         k: int = 10,
         *,
         feature: str | None = None,
+        precomputed: bool = False,
     ) -> list[list[RetrievalResult]]:
         """k-NN query-by-example for a batch of queries on one feature.
 
@@ -266,12 +391,17 @@ class ImageDatabase:
         vectorized metric kernel evaluates each query against the whole
         table in a single pass.  Results (ids, distances, per-query cost
         counters) are identical to the scalar path.
+
+        With ``precomputed=True``, ``queries`` must already be an
+        ``(m, d)`` signature matrix; the per-row extraction/stacking pass
+        is skipped (the micro-batching scheduler stacks vectors it
+        validated at admission).
         """
         feature = feature or self.default_feature
         self._check_feature(feature)
         if len(self._catalog) == 0:
             raise QueryError("database is empty")
-        matrix = self._query_matrix(queries, feature)
+        matrix = self._query_matrix(queries, feature, precomputed=precomputed)
         index = self.index_for(feature)
         return [
             to_retrieval_results(neighbors, self._catalog)
@@ -280,17 +410,18 @@ class ImageDatabase:
 
     def range_query_batch(
         self,
-        queries: Sequence[Image | np.ndarray],
+        queries: Sequence[Image | np.ndarray] | np.ndarray,
         radius: float,
         *,
         feature: str | None = None,
+        precomputed: bool = False,
     ) -> list[list[RetrievalResult]]:
         """Range query-by-example for a batch of queries on one feature."""
         feature = feature or self.default_feature
         self._check_feature(feature)
         if len(self._catalog) == 0:
             raise QueryError("database is empty")
-        matrix = self._query_matrix(queries, feature)
+        matrix = self._query_matrix(queries, feature, precomputed=precomputed)
         index = self.index_for(feature)
         return [
             to_retrieval_results(neighbors, self._catalog)
@@ -507,10 +638,39 @@ class ImageDatabase:
             )
         return vector
 
+    def _precomputed_vector(
+        self, query: Image | np.ndarray, feature: str
+    ) -> np.ndarray:
+        if isinstance(query, Image):
+            raise QueryError(
+                "precomputed=True takes a signature vector, not an Image; "
+                "extract it first with extract_query_vector"
+            )
+        vector = np.asarray(query, dtype=np.float64)
+        dim = self._schema.get(feature).dim
+        if vector.shape != (dim,):
+            raise QueryError(
+                f"precomputed query has shape {vector.shape}, feature "
+                f"{feature!r} expects ({dim},)"
+            )
+        return vector
+
     def _query_matrix(
-        self, queries: Sequence[Image | np.ndarray], feature: str
+        self,
+        queries: Sequence[Image | np.ndarray] | np.ndarray,
+        feature: str,
+        *,
+        precomputed: bool = False,
     ) -> np.ndarray:
         extractor: FeatureExtractor = self._schema.get(feature)
+        if precomputed:
+            matrix = np.asarray(queries, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[1] != extractor.dim:
+                raise QueryError(
+                    f"precomputed queries must be an (m, {extractor.dim}) "
+                    f"matrix; got shape {matrix.shape}"
+                )
+            return matrix
         if len(queries) == 0:
             return np.empty((0, extractor.dim))
         return np.stack(

@@ -17,6 +17,7 @@ __all__ = [
     "StoreError",
     "CatalogError",
     "QueryError",
+    "ServeError",
 ]
 
 
@@ -54,3 +55,7 @@ class CatalogError(ReproError):
 
 class QueryError(ReproError):
     """A database query was malformed (unknown feature, bad weights, ...)."""
+
+
+class ServeError(ReproError):
+    """The query service refused a request (queue full, closed, bad HTTP)."""

@@ -30,6 +30,7 @@ RegionMoments           area / centroid / eccentricity of the salient region
 
 from repro.features.base import (
     FeatureExtractor,
+    PresetSignature,
     l1_normalize,
     l2_normalize,
 )
@@ -66,6 +67,7 @@ from repro.features.pipeline import CompositeExtractor, FeatureSchema, default_s
 
 __all__ = [
     "FeatureExtractor",
+    "PresetSignature",
     "l1_normalize",
     "l2_normalize",
     "GrayHistogram",

@@ -21,7 +21,13 @@ import numpy as np
 from repro.errors import FeatureError
 from repro.image.core import Image
 
-__all__ = ["FeatureExtractor", "l1_normalize", "l2_normalize", "minmax_normalize"]
+__all__ = [
+    "FeatureExtractor",
+    "PresetSignature",
+    "l1_normalize",
+    "l2_normalize",
+    "minmax_normalize",
+]
 
 
 def l1_normalize(vector: np.ndarray) -> np.ndarray:
@@ -105,3 +111,27 @@ class FeatureExtractor(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, dim={self.dim})"
+
+
+class PresetSignature(FeatureExtractor):
+    """A declared-dimension placeholder for vector-only databases.
+
+    Serving benchmarks, load tests, and any ingest path that already
+    holds signature vectors (:meth:`repro.db.ImageDatabase.add_vectors`)
+    need a schema that names a feature and fixes its dimensionality
+    without paying for — or even defining — image feature extraction.
+    ``extract`` therefore refuses images outright: a database built on a
+    preset feature is populated with precomputed vectors only.
+    """
+
+    def __init__(self, dim: int, name: str = "signature") -> None:
+        if dim < 1:
+            raise FeatureError(f"dim must be >= 1; got {dim}")
+        self._dim = int(dim)
+        self._name = str(name)
+
+    def _extract(self, image: Image) -> np.ndarray:
+        raise FeatureError(
+            f"{self.name} holds precomputed signatures; insert vectors with "
+            f"ImageDatabase.add_vectors, not images"
+        )

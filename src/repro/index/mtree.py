@@ -85,22 +85,43 @@ class _Entry:
 
 
 class _Node:
-    """One page: a list of entries plus the back-pointer used by splits."""
+    """One page: a list of entries plus the back-pointer used by splits.
 
-    __slots__ = ("entries", "is_leaf", "parent_node", "parent_entry")
+    The page caches a contiguous ``(len(entries), d)`` block of its entry
+    vectors so every visit (insert descent, split matrix, range scan)
+    reuses one array instead of re-stacking ``np.array([...])``.  Any
+    mutation of the entry list — :meth:`adopt`, :meth:`discard` — drops
+    the cache; entry *vectors* are immutable, so nothing else can
+    invalidate it.
+    """
+
+    __slots__ = ("entries", "is_leaf", "parent_node", "parent_entry", "_matrix")
 
     def __init__(self, is_leaf: bool) -> None:
         self.entries: list[_Entry] = []
         self.is_leaf = is_leaf
         self.parent_node: _Node | None = None
         self.parent_entry: _Entry | None = None
+        self._matrix: np.ndarray | None = None
 
     def adopt(self, entry: _Entry) -> None:
         """Add ``entry`` and, for routing entries, fix the child's back-pointers."""
         self.entries.append(entry)
+        self._matrix = None
         if entry.child is not None:
             entry.child.parent_node = self
             entry.child.parent_entry = entry
+
+    def discard(self, entry: _Entry) -> None:
+        """Remove ``entry`` (used when a split replaces a child page)."""
+        self.entries.remove(entry)
+        self._matrix = None
+
+    def matrix(self) -> np.ndarray:
+        """The page's entry vectors as one cached contiguous block."""
+        if self._matrix is None:
+            self._matrix = np.array([entry.vector for entry in self.entries])
+        return self._matrix
 
 
 class MTree(MetricIndex):
@@ -258,9 +279,7 @@ class MTree(MetricIndex):
         node = self._root
         d_to_parent = 0.0
         while not node.is_leaf:
-            distances = self._build_dist_batch(
-                vector, np.array([entry.vector for entry in node.entries])
-            ).tolist()
+            distances = self._build_dist_batch(vector, node.matrix()).tolist()
             best_entry: _Entry | None = None
             best_d = np.inf
             best_enlargement = np.inf
@@ -286,7 +305,7 @@ class MTree(MetricIndex):
         n = len(entries)
         # Upper-triangle pairwise matrix: one batched sweep per anchor
         # (same n(n-1)/2 counted evaluations as the scalar double loop).
-        entry_matrix = np.array([entry.vector for entry in entries])
+        entry_matrix = node.matrix()
         pairwise = np.zeros((n, n))
         for i in range(n - 1):
             row = self._build_dist_batch(entry_matrix[i], entry_matrix[i + 1 :])
@@ -317,7 +336,7 @@ class MTree(MetricIndex):
             self._root = new_root
             return
 
-        parent.entries.remove(node.parent_entry)
+        parent.discard(node.parent_entry)
         parent_routing = parent.parent_entry
         for entry in (entry_left, entry_right):
             if parent_routing is not None:
@@ -430,21 +449,26 @@ class MTree(MetricIndex):
             self._search_stats.nodes_visited += 1
         # Parent filtering prunes without a new distance computation and
         # depends only on the parent distance, so the survivors are known
-        # up front and their distances are one batched page evaluation.
+        # up front and their distances are one batched evaluation over
+        # the page's cached vector block (or a row subset of it).
         if d_q_parent is None:
             survivors = list(node.entries)
+            block = node.matrix()
         else:
             survivors = []
-            for entry in node.entries:
+            rows = []
+            for row, entry in enumerate(node.entries):
                 if abs(d_q_parent - entry.d_parent) > radius + entry.radius:
                     self._search_stats.nodes_pruned += 1
                 else:
                     survivors.append(entry)
+                    rows.append(row)
+            if not survivors:
+                return
+            block = node.matrix()[rows]
         if not survivors:
             return
-        distances = self._dist_batch(
-            query, np.array([entry.vector for entry in survivors])
-        ).tolist()
+        distances = self._dist_batch(query, block).tolist()
         for entry, d in zip(survivors, distances):
             if entry.child is None:
                 if d <= radius:

@@ -20,7 +20,7 @@ ChiSquareDistance              no        yes     histograms
 BhattacharyyaDistance          yes**     yes     L1-normalized histograms
 QuadraticFormDistance          yes       yes     histograms + bin similarity
 MatchDistance (1-D EMD)        yes       no      ordered histograms (CDF L1)
-CircularShiftDistance          no        no      orientation histograms
+CircularShiftDistance          no        yes***  orientation histograms
 HausdorffDistance              yes       no      point sets
 CosineDistance                 no        yes     any vector (direction only)
 CanberraDistance               yes       yes     any vector (relative per-bin)
@@ -29,6 +29,9 @@ JensenShannonDistance          yes       yes     histograms (sqrt JS div.)
 
 ``*`` equal to half the L1 distance on L1-normalized inputs, hence metric.
 ``**`` the Bhattacharyya *angle* form used here is a metric on the simplex.
+``***`` the stacked-shift kernel rolls the whole vector block per shift
+and reduces with ``np.minimum``; it is vectorized whenever the base
+distance has a kernel (the default Euclidean does).
 """
 
 from repro.metrics.base import (

@@ -1,0 +1,47 @@
+"""Concurrent query serving with micro-batch coalescing.
+
+The paper's system is an *online* image database — many users querying
+at interactive rates — while the library's batched engine (PR 1/2) only
+shines when a single caller hands it a pre-assembled query matrix.
+This package is the bridge: a serving layer that turns concurrent
+independent requests into the large batches the kernels are fast at.
+
+================================  =======================================
+Component                          Role
+================================  =======================================
+:class:`QueryScheduler`            bounded admission queue + batch-forming
+                                   worker; groups requests by (kind,
+                                   feature, parameter) and answers each
+                                   group with one batched engine call;
+                                   results are bit-identical to direct
+                                   ``ImageDatabase`` queries
+:class:`ResultCache`               LRU over finished result lists, keyed
+                                   by a quantized signature digest
+:class:`ServiceStats`              snapshot: throughput, p50/p95 latency,
+                                   formed-batch sizes, cache hit rate
+:class:`QueryServer`               stdlib ``http.server`` JSON front end
+                                   (``POST /query``, ``POST /range``,
+                                   ``GET /stats``, ``GET /healthz``)
+:class:`ServiceClient`             urllib JSON client for the above
+================================  =======================================
+
+``python -m repro serve --db my.db`` starts the HTTP service over a
+saved database; ``examples/serve_demo.py`` drives the whole stack
+in-process.  Design notes and knob semantics: ``docs/serving.md``.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServiceClient
+from repro.serve.http import QueryServer
+from repro.serve.scheduler import QueryScheduler, ServedResult
+from repro.serve.stats import ServiceStats, StatsCollector
+
+__all__ = [
+    "QueryScheduler",
+    "ServedResult",
+    "ResultCache",
+    "ServiceStats",
+    "StatsCollector",
+    "QueryServer",
+    "ServiceClient",
+]

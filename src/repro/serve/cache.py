@@ -1,0 +1,156 @@
+"""LRU result cache for the query service.
+
+Interactive image search traffic is heavily repetitive — popular query
+images, retried requests, paging over the same example — so the serving
+layer keeps a bounded LRU map from *query identity* to the finished
+result list.
+
+A cache key is ``(kind, feature, parameter, digest)`` where ``kind`` is
+``'knn'`` or ``'range'``, the parameter is ``k`` or the radius, and the
+digest hashes the query signature's bytes after rounding to
+``quantize_decimals`` decimals.  Quantization exists to merge float
+noise far below any extractor's precision (the default keeps 12
+decimals, ~1e-12 — two signatures that close produce the same ranking
+in any real corpus); pass ``quantize_decimals=None`` for exact-bytes
+keys when even that is too permissive.  Entries hold fully materialized
+:class:`~repro.db.query.RetrievalResult` lists, which are frozen
+dataclasses over an immutable catalog record — safe to hand to many
+readers.  The cache assumes a **static database** (the service serves a
+loaded snapshot); a mutating caller must :meth:`ResultCache.clear` after
+changing the database.
+
+Hit/miss counters are monotonic and thread-safe; the scheduler folds
+them into its :class:`~repro.serve.stats.ServiceStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.db.query import RetrievalResult
+from repro.errors import ServeError
+
+__all__ = ["ResultCache"]
+
+#: Cache keys: (kind, feature, parameter, digest).
+CacheKey = tuple[str, str, Hashable, str]
+
+
+class ResultCache:
+    """Bounded LRU map from query identity to retrieval results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached result lists; ``0`` disables caching
+        (every lookup misses, nothing is stored).
+    quantize_decimals:
+        Decimals kept when digesting query vectors (default 12);
+        ``None`` digests the exact bytes.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, *, quantize_decimals: int | None = 12
+    ) -> None:
+        if capacity < 0:
+            raise ServeError(f"cache capacity must be >= 0; got {capacity}")
+        if quantize_decimals is not None and quantize_decimals < 0:
+            raise ServeError(
+                f"quantize_decimals must be >= 0 or None; got {quantize_decimals}"
+            )
+        self._capacity = int(capacity)
+        self._decimals = quantize_decimals
+        self._entries: OrderedDict[CacheKey, list[RetrievalResult]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries (0 = disabled)."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """False when constructed with capacity 0."""
+        return self._capacity > 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache since construction."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to the engine since construction."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` (0.0 before any lookup)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def key(
+        self, kind: str, feature: str, parameter: Hashable, vector: np.ndarray
+    ) -> CacheKey:
+        """The cache key identifying one query.
+
+        The vector digest is position-dependent (BLAKE2b over the
+        rounded float64 bytes); ``+ 0.0`` folds ``-0.0`` into ``0.0`` so
+        the two signs of zero — equal to every metric — share a key.
+        """
+        vector = np.ascontiguousarray(vector, dtype=np.float64)
+        if self._decimals is not None:
+            vector = np.round(vector, self._decimals) + 0.0
+        digest = hashlib.blake2b(vector.tobytes(), digest_size=16).hexdigest()
+        return (kind, feature, parameter, digest)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> list[RetrievalResult] | None:
+        """The cached results for ``key`` (a fresh list), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return list(entry)
+
+    def put(self, key: CacheKey, results: Sequence[RetrievalResult]) -> None:
+        """Store ``results`` under ``key``, evicting the LRU tail."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = list(results)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep running)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self._entries)}/{self._capacity}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

@@ -1,0 +1,133 @@
+"""Minimal HTTP client for the query service.
+
+``ServiceClient`` speaks the JSON protocol of
+:class:`~repro.serve.http.QueryServer` over ``urllib`` — no
+dependencies, usable from scripts, examples, and CI smoke tests.  Server
+errors come back as :class:`~repro.errors.ServeError` carrying the
+server's message; responses are plain dicts mirroring the wire format
+(see ``docs/serving.md`` for the field inventory).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to a running :class:`~repro.serve.http.QueryServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens.
+    timeout:
+        Per-request socket timeout in seconds (default 10).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8753, *, timeout: float = 10.0
+    ) -> None:
+        self._base = f"http://{host}:{int(port)}"
+        self._timeout = float(timeout)
+
+    @property
+    def base_url(self) -> str:
+        """The server's root URL."""
+        return self._base
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self._base + path, data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", str(error))
+            except (json.JSONDecodeError, ValueError):
+                message = str(error)
+            raise ServeError(f"{path}: {message}") from None
+        except urllib.error.URLError as error:
+            raise ServeError(f"cannot reach {self._base}: {error.reason}") from None
+
+    @staticmethod
+    def _vector_payload(vector: Sequence[float] | np.ndarray) -> list[float]:
+        return [float(value) for value in np.asarray(vector, dtype=np.float64).ravel()]
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        vector: Sequence[float] | np.ndarray,
+        k: int = 10,
+        *,
+        feature: str | None = None,
+    ) -> dict:
+        """``POST /query``: k-NN by signature vector.
+
+        Returns the response dict: ``results`` (each with ``image_id``,
+        ``distance``, ``name``, ``label``), ``cache_hit``,
+        ``batch_size``, ``distance_computations``, ``latency_ms``.
+        """
+        payload: dict = {"vector": self._vector_payload(vector), "k": int(k)}
+        if feature is not None:
+            payload["feature"] = feature
+        return self._request("/query", payload)
+
+    def range_query(
+        self,
+        vector: Sequence[float] | np.ndarray,
+        radius: float,
+        *,
+        feature: str | None = None,
+    ) -> dict:
+        """``POST /range``: all items within ``radius``."""
+        payload: dict = {
+            "vector": self._vector_payload(vector),
+            "radius": float(radius),
+        }
+        if feature is not None:
+            payload["feature"] = feature
+        return self._request("/range", payload)
+
+    def stats(self) -> dict:
+        """``GET /stats``: the service's current counters."""
+        return self._request("/stats")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: liveness + database summary."""
+        return self._request("/healthz")
+
+    def wait_until_ready(self, timeout: float = 5.0) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self._base})"

@@ -1,0 +1,290 @@
+"""Stdlib HTTP front end for the query service.
+
+A thin JSON shell over :class:`~repro.serve.scheduler.QueryScheduler`,
+built on ``http.server.ThreadingHTTPServer`` — one handler thread per
+connection, all of them funnelling into the scheduler's admission
+queue, which is exactly the concurrency micro-batching feeds on.  No
+framework, no new dependencies: the 1994 system would have been a
+socket server too.
+
+Endpoints
+---------
+``POST /query``
+    ``{"vector": [...], "k": 5, "feature": "name"}`` → k-NN results.
+``POST /range``
+    ``{"vector": [...], "radius": 0.5, "feature": "name"}`` → range
+    results.
+``GET /stats``
+    The :class:`~repro.serve.stats.ServiceStats` snapshot as JSON.
+``GET /healthz``
+    Liveness: database size, feature list, uptime.
+
+Query responses carry the ranked results plus the request's serving
+metadata (cache hit, group batch size, exact distance-computation
+count).  Errors map to JSON bodies with appropriate status codes: 400
+for malformed requests, 404 for unknown paths, 503 when the admission
+queue is full.
+
+Queries take *signature vectors*, not image files — feature extraction
+is client-side (or via the library), keeping the wire format tiny and
+the server CPU for search.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.db.database import ImageDatabase
+from repro.errors import ReproError, ServeError
+from repro.serve.scheduler import QueryScheduler, ServedResult
+
+__all__ = ["QueryServer"]
+
+#: Longest accepted request body (a signature vector is a few KiB).
+_MAX_BODY_BYTES = 1 << 20
+
+
+def _result_payload(served: ServedResult) -> dict:
+    """JSON form of one served request."""
+    return {
+        "results": [
+            {
+                "image_id": result.image_id,
+                "distance": result.distance,
+                "name": result.record.name if result.record else None,
+                "label": result.record.label if result.record else None,
+            }
+            for result in served.results
+        ],
+        "cache_hit": served.cache_hit,
+        "batch_size": served.batch_size,
+        "distance_computations": (
+            served.stats.distance_computations if served.stats else 0
+        ),
+        "latency_ms": served.latency_s * 1e3,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the attached scheduler."""
+
+    protocol_version = "HTTP/1.1"
+    #: Idle keep-alive connections expire instead of pinning a thread.
+    timeout = 30
+    server: "_Server"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request logging (stats live at /stats)."""
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may not have read the request body; leftover
+            # bytes would desync a keep-alive connection, so drop it.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0:
+            raise ServeError("request body is empty")
+        if length > _MAX_BODY_BYTES:
+            raise ServeError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise ServeError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _vector_of(payload: dict) -> np.ndarray:
+        vector = payload.get("vector")
+        if not isinstance(vector, list) or not vector:
+            raise ServeError('"vector" must be a non-empty JSON array')
+        try:
+            return np.asarray(vector, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ServeError('"vector" must contain only numbers') from None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        scheduler = self.server.scheduler
+        if self.path == "/healthz":
+            db = self.server.db
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "images": len(db),
+                    "features": list(db.schema.names),
+                    "uptime_s": scheduler.stats().uptime_s,
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, scheduler.stats().to_dict())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path not in ("/query", "/range"):
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        scheduler = self.server.scheduler
+        try:
+            payload = self._read_json()
+            vector = self._vector_of(payload)
+            feature = payload.get("feature")
+            if feature is not None and not isinstance(feature, str):
+                raise ServeError('"feature" must be a string')
+            if self.path == "/query":
+                k = payload.get("k", 10)
+                if not isinstance(k, int) or isinstance(k, bool):
+                    raise ServeError('"k" must be an integer')
+                future = scheduler.submit_query(vector, k, feature=feature)
+            else:
+                radius = payload.get("radius")
+                if not isinstance(radius, (int, float)) or isinstance(radius, bool):
+                    raise ServeError('"radius" must be a number')
+                future = scheduler.submit_range(
+                    vector, float(radius), feature=feature
+                )
+        except ServeError as error:
+            status = 503 if "queue full" in str(error) else 400
+            self._send_json(status, {"error": str(error)})
+            return
+        except ReproError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            served = future.result()
+        except ReproError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        self._send_json(200, _result_payload(served))
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the scheduler/database references."""
+
+    daemon_threads = True
+    #: Don't join handler threads on close: a client holding a
+    #: keep-alive connection open would stall shutdown otherwise.
+    block_on_close = False
+    scheduler: QueryScheduler
+    db: ImageDatabase
+
+
+class QueryServer:
+    """The HTTP query service: scheduler + threaded JSON front end.
+
+    Parameters
+    ----------
+    db:
+        The (static) database to serve.
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port —
+        :attr:`address` reports the real one.
+    scheduler:
+        A preconfigured :class:`QueryScheduler`; when omitted one is
+        built from the remaining keyword arguments (``max_batch``,
+        ``max_wait_ms``, ``max_queue``, ``cache_size``, ...).
+
+    Examples
+    --------
+    >>> from repro.features.base import PresetSignature
+    >>> from repro.features.pipeline import FeatureSchema
+    >>> import numpy as np
+    >>> db = ImageDatabase(FeatureSchema([PresetSignature(4)]))
+    >>> _ = db.add_vectors(np.random.default_rng(0).random((32, 4)))
+    >>> server = QueryServer(db, port=0).start()
+    >>> host, port = server.address
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        db: ImageDatabase,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        scheduler: QueryScheduler | None = None,
+        **scheduler_options: object,
+    ) -> None:
+        if scheduler is not None and scheduler_options:
+            raise ServeError(
+                "pass either a prebuilt scheduler or scheduler options, not both"
+            )
+        self._scheduler = scheduler or QueryScheduler(db, **scheduler_options)  # type: ignore[arg-type]
+        self._http = _Server((host, port), _Handler)
+        self._http.scheduler = self._scheduler
+        self._http.db = db
+        self._thread: threading.Thread | None = None
+        self._serving = False
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — authoritative when ``port=0``."""
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def scheduler(self) -> QueryScheduler:
+        """The underlying micro-batching scheduler."""
+        return self._scheduler
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (CLI mode)."""
+        self._serving = True
+        self._http.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "QueryServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._serving = True  # the thread will reach serve_forever
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the HTTP loop, close the socket, drain the scheduler."""
+        if self._stopped:
+            return
+        self._stopped = True
+        # shutdown() waits on an event only serve_forever manages — it
+        # would block forever on a server that never served.
+        if self._serving:
+            self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._scheduler.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        state = "stopped" if self._stopped else "serving"
+        return f"QueryServer({state}, http://{host}:{port})"

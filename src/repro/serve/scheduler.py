@@ -1,0 +1,406 @@
+"""Micro-batch coalescing scheduler: concurrent requests → large batches.
+
+The batched engine (PR 1/2) is fast when someone hands it a big query
+matrix — but an online service receives *independent* single queries
+from many clients.  This module closes that gap with the standard
+serving trick (micro-batching): admit requests into a bounded queue,
+let a worker collect them for up to ``max_wait_ms`` (or until
+``max_batch`` arrive — whichever happens first), group the formed batch
+by ``(kind, feature, parameter)``, and execute each group through one
+``query_batch`` / ``range_query_batch`` call.  Callers get
+:class:`~concurrent.futures.Future` objects that resolve to
+:class:`ServedResult`.
+
+**Parity is the contract.**  The scheduler only *regroups* work: a
+group's vectors go through the same batched entry points whose results
+are bit-identical to per-query ``ImageDatabase.query`` /
+``range_query`` calls (ids, distance floats, tie-breaks, and per-query
+cost counters — see ``repro.index.base``).  Coalescing therefore never
+changes an answer, only when it is computed; the concurrency parity
+suite (``tests/test_serve.py``) replays every served request directly
+against the database and demands equality.
+
+Request lifecycle::
+
+    submit_query/submit_range
+      ├─ validate (feature, k/radius, dimensionality) — errors raise
+      │  in the caller, never poison a batch
+      ├─ cache lookup — a hit resolves the future immediately
+      └─ enqueue (bounded; ServeError when full) ──► worker
+                                                      ├─ collect ≤ max_batch
+                                                      │  for ≤ max_wait_ms
+                                                      ├─ group by (kind,
+                                                      │  feature, parameter)
+                                                      ├─ one engine call per
+                                                      │  group; per-request
+                                                      │  stats attributed from
+                                                      │  index.last_batch_stats
+                                                      └─ resolve futures,
+                                                         fill cache
+
+The worker is a single thread, so the underlying ``ImageDatabase`` and
+its indexes are only ever touched serially — no locks reach the engine,
+and ``last_batch_stats`` attribution is race-free by construction.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import ImageDatabase
+from repro.db.query import RetrievalResult
+from repro.errors import QueryError, ServeError
+from repro.image.core import Image
+from repro.index.stats import SearchStats
+from repro.serve.cache import CacheKey, ResultCache
+from repro.serve.stats import ServiceStats, StatsCollector
+
+__all__ = ["ServedResult", "QueryScheduler"]
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """What a request's future resolves to.
+
+    Attributes
+    ----------
+    results:
+        The ranked answers — identical to the matching direct
+        ``ImageDatabase.query`` / ``range_query`` call.
+    stats:
+        This request's exact engine cost counters, attributed from the
+        executing group's ``last_batch_stats`` (``None`` on a cache hit:
+        no engine work happened).
+    batch_size:
+        Size of the engine group that answered the request — how much
+        company the query had in its kernel call (1 on a cache hit).
+    cache_hit:
+        True when the result came from the LRU cache.
+    latency_s:
+        Submit-to-resolution wall time.
+    """
+
+    results: list[RetrievalResult]
+    stats: SearchStats | None
+    batch_size: int
+    cache_hit: bool
+    latency_s: float
+
+
+class _Request:
+    """One admitted query riding the queue to the worker."""
+
+    __slots__ = ("kind", "feature", "parameter", "vector", "key", "future", "submitted")
+
+    def __init__(
+        self,
+        kind: str,
+        feature: str,
+        parameter: int | float,
+        vector: np.ndarray,
+        key: CacheKey | None,
+    ) -> None:
+        self.kind = kind
+        self.feature = feature
+        self.parameter = parameter
+        self.vector = vector
+        self.key = key
+        self.future: Future[ServedResult] = Future()
+        self.submitted = time.monotonic()
+
+
+#: Queue sentinel: drain what is already admitted, then stop.
+_SHUTDOWN = None
+
+
+class QueryScheduler:
+    """Coalesces concurrent k-NN/range requests into engine batches.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.  The scheduler assumes a static snapshot
+        (serving is read-only); mutate it only with the scheduler closed.
+    max_batch:
+        Largest formed batch (default 32).  ``1`` degenerates to
+        one-request-at-a-time handling — the benchmark baseline.
+    max_wait_ms:
+        Longest a request waits for company before its batch executes
+        anyway (default 2.0).  The knob trades a little latency for
+        larger batches under light load; under heavy load batches fill
+        to ``max_batch`` without waiting.
+    max_queue:
+        Admission-queue bound (default 1024).  Submissions beyond it
+        fail fast with :class:`~repro.errors.ServeError` — backpressure
+        instead of unbounded memory.
+    cache_size / quantize_decimals:
+        :class:`~repro.serve.cache.ResultCache` configuration
+        (``cache_size=0`` disables caching).
+    autostart:
+        Start the worker thread immediately (default).  Pass ``False``
+        to stage requests first and call :meth:`start` explicitly —
+        load tests use this to exercise the admission bound
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        db: ImageDatabase,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+        cache_size: int = 1024,
+        quantize_decimals: int | None = 12,
+        autostart: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1; got {max_batch}")
+        if max_wait_ms < 0.0:
+            raise ServeError(f"max_wait_ms must be >= 0; got {max_wait_ms}")
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1; got {max_queue}")
+        self._db = db
+        self._max_batch = int(max_batch)
+        self._max_wait_s = float(max_wait_ms) / 1e3
+        self._queue: queue.Queue[_Request | None] = queue.Queue(maxsize=max_queue)
+        self._cache = ResultCache(cache_size, quantize_decimals=quantize_decimals)
+        self._stats = StatsCollector()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-worker", daemon=True
+        )
+        self._started = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryScheduler":
+        """Launch the batch-forming worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            if not self._started:
+                self._worker.start()
+                self._started = True
+        return self
+
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting requests, drain the queue, join the worker.
+
+        Requests admitted before ``close`` are still served; submissions
+        after it raise :class:`~repro.errors.ServeError`.  On a
+        scheduler that never started, staged requests fail with
+        ``ServeError`` instead of stranding their futures (a blocking
+        sentinel put could also deadlock on a full queue with no
+        consumer).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if started:
+            self._queue.put(_SHUTDOWN)
+            self._worker.join(timeout)
+            return
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN and item.future.set_running_or_notify_cancel():
+                item.future.set_exception(
+                    ServeError("scheduler closed before starting")
+                )
+
+    def __enter__(self) -> "QueryScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> ResultCache:
+        """The service's result cache (counters, clear())."""
+        return self._cache
+
+    @property
+    def is_closed(self) -> bool:
+        """True after :meth:`close` began."""
+        return self._closed
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time :class:`~repro.serve.stats.ServiceStats`."""
+        return self._stats.snapshot(
+            queue_depth=self._queue.qsize(),
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_query(
+        self,
+        query: Image | np.ndarray,
+        k: int = 10,
+        *,
+        feature: str | None = None,
+    ) -> Future[ServedResult]:
+        """Admit a k-NN request; returns a future of :class:`ServedResult`."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1; got {k}")
+        return self._submit("knn", query, int(k), feature)
+
+    def submit_range(
+        self,
+        query: Image | np.ndarray,
+        radius: float,
+        *,
+        feature: str | None = None,
+    ) -> Future[ServedResult]:
+        """Admit a range request; returns a future of :class:`ServedResult`."""
+        if radius < 0.0:
+            raise QueryError(f"radius must be non-negative; got {radius}")
+        return self._submit("range", query, float(radius), feature)
+
+    def _submit(
+        self,
+        kind: str,
+        query: Image | np.ndarray,
+        parameter: int | float,
+        feature: str | None,
+    ) -> Future[ServedResult]:
+        if self._closed:
+            raise ServeError("scheduler is closed")
+        if len(self._db) == 0:
+            raise QueryError("database is empty")
+        feature = feature or self._db.default_feature
+        # Extraction/validation happens on the caller's thread: a bad
+        # request fails here, loudly, instead of poisoning a batch.
+        vector = self._db.extract_query_vector(query, feature)
+        started = time.monotonic()
+        self._stats.record_submitted()
+
+        key = None
+        if self._cache.enabled:
+            key = self._cache.key(kind, feature, parameter, vector)
+            cached = self._cache.get(key)
+            if cached is not None:
+                future: Future[ServedResult] = Future()
+                latency = time.monotonic() - started
+                future.set_result(
+                    ServedResult(cached, None, 1, True, latency)
+                )
+                self._stats.record_completed(latency)
+                return future
+
+        request = _Request(kind, feature, parameter, vector, key)
+        request.submitted = started
+        # The closed-check and the enqueue share the lock close() takes
+        # before posting the shutdown sentinel, so a request can never
+        # land *behind* the sentinel and strand its future.
+        with self._lock:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self._stats.record_rejected()
+                raise ServeError(
+                    f"admission queue full ({self._queue.maxsize} requests); "
+                    f"retry later or raise max_queue"
+                ) from None
+        return request.future
+
+    # ------------------------------------------------------------------
+    # Worker: batch forming + execution
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        stop = False
+        while not stop:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            deadline = time.monotonic() + self._max_wait_s
+            while len(batch) < self._max_batch:
+                timeout = deadline - time.monotonic()
+                try:
+                    # Past the deadline, still drain whatever already
+                    # queued up — waiting is over, coalescing is free.
+                    more = (
+                        self._queue.get_nowait()
+                        if timeout <= 0.0
+                        else self._queue.get(timeout=timeout)
+                    )
+                except queue.Empty:
+                    break
+                if more is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(more)
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Request]) -> None:
+        groups: dict[tuple[str, str, int | float], list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(
+                (request.kind, request.feature, request.parameter), []
+            ).append(request)
+        for (kind, feature, parameter), members in groups.items():
+            live = [
+                request
+                for request in members
+                if request.future.set_running_or_notify_cancel()
+            ]
+            if not live:
+                continue
+            vectors = np.stack([request.vector for request in live])
+            try:
+                if kind == "knn":
+                    result_lists = self._db.query_batch(
+                        vectors, int(parameter), feature=feature, precomputed=True
+                    )
+                else:
+                    result_lists = self._db.range_query_batch(
+                        vectors, float(parameter), feature=feature, precomputed=True
+                    )
+            except Exception as error:  # pragma: no cover - defensive
+                for request in live:
+                    request.future.set_exception(error)
+                continue
+            per_request_stats = self._db.index_for(feature).last_batch_stats
+            for request, results, stats in zip(
+                live, result_lists, per_request_stats
+            ):
+                if request.key is not None:
+                    self._cache.put(request.key, results)
+                latency = time.monotonic() - request.submitted
+                request.future.set_result(
+                    ServedResult(results, stats, len(live), False, latency)
+                )
+                self._stats.record_completed(latency)
+        self._stats.record_batch(
+            len(batch), [len(members) for members in groups.values()]
+        )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("running" if self._started else "staged")
+        return (
+            f"QueryScheduler({state}, max_batch={self._max_batch}, "
+            f"max_wait_ms={self._max_wait_s * 1e3:g}, db={self._db!r})"
+        )

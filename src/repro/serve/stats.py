@@ -1,0 +1,155 @@
+"""Service-level metrics: throughput, latency percentiles, batch shapes.
+
+The index layer already accounts for the paper's cost unit (distance
+computations, per query, exactly); the serving layer adds the *online*
+axes a production operator watches: request throughput, end-to-end
+latency percentiles, how large the coalesced batches actually form, and
+how often the result cache short-circuits the engine.
+
+:class:`StatsCollector` is the thread-safe accumulator the scheduler
+feeds; :class:`ServiceStats` is the immutable snapshot handed to
+callers (and serialized by the HTTP front end's ``GET /stats``).
+Latency percentiles are nearest-rank over a bounded window of the most
+recent completions, so a long-running service reports current — not
+lifetime-averaged — behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+
+__all__ = ["ServiceStats", "StatsCollector"]
+
+
+def _nearest_rank(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an ascending sample (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values), max(1, math.ceil(quantile * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One immutable snapshot of the service's behaviour.
+
+    Attributes
+    ----------
+    uptime_s:
+        Seconds since the scheduler started.
+    submitted, completed, rejected:
+        Requests admitted, finished (cache hits included), and refused
+        at admission (queue full).
+    queue_depth:
+        Requests waiting in the admission queue at snapshot time.
+    batches_formed:
+        Coalesced batches the worker has executed.
+    mean_batch_size:
+        Mean size of formed batches (requests per worker wake-up) — the
+        coalescing figure of merit.
+    mean_group_size:
+        Mean size of the per-(kind, feature, parameter) engine groups a
+        formed batch splits into; each group is one ``query_batch`` /
+        ``range_query_batch`` call.
+    cache_hits, cache_misses, cache_hit_rate:
+        Result-cache counters (misses equal engine executions).
+    throughput_qps:
+        Completed requests per second of uptime.
+    latency_mean_ms, latency_p50_ms, latency_p95_ms:
+        Submit-to-result latency over the recent completion window.
+    """
+
+    uptime_s: float
+    submitted: int
+    completed: int
+    rejected: int
+    queue_depth: int
+    batches_formed: int
+    mean_batch_size: float
+    mean_group_size: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable) for the HTTP front end."""
+        return asdict(self)
+
+
+class StatsCollector:
+    """Thread-safe accumulator behind :class:`ServiceStats` snapshots."""
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"latency window must be >= 1; got {window}")
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batch_size_total = 0
+        self._groups = 0
+        self._group_size_total = 0
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency_s)
+
+    def record_batch(self, formed_size: int, group_sizes: list[int]) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_size_total += formed_size
+            self._groups += len(group_sizes)
+            self._group_size_total += sum(group_sizes)
+
+    def snapshot(
+        self, *, queue_depth: int, cache_hits: int, cache_misses: int
+    ) -> ServiceStats:
+        """Assemble a :class:`ServiceStats` from the current counters."""
+        with self._lock:
+            uptime = time.monotonic() - self._started
+            window = sorted(self._latencies)
+            mean_ms = (
+                1e3 * sum(window) / len(window) if window else 0.0
+            )
+            lookups = cache_hits + cache_misses
+            return ServiceStats(
+                uptime_s=uptime,
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                queue_depth=queue_depth,
+                batches_formed=self._batches,
+                mean_batch_size=(
+                    self._batch_size_total / self._batches if self._batches else 0.0
+                ),
+                mean_group_size=(
+                    self._group_size_total / self._groups if self._groups else 0.0
+                ),
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+                throughput_qps=self._completed / uptime if uptime > 0.0 else 0.0,
+                latency_mean_ms=mean_ms,
+                latency_p50_ms=1e3 * _nearest_rank(window, 0.50),
+                latency_p95_ms=1e3 * _nearest_rank(window, 0.95),
+            )

@@ -75,7 +75,10 @@ def _all_metrics():
         CanberraDistance(),
         JensenShannonDistance(),
         MatchDistance(),  # loop fallback
-        CircularShiftDistance(max_shift=2),  # loop fallback
+        CircularShiftDistance(),  # stacked-shift kernel, all shifts
+        CircularShiftDistance(max_shift=2),  # stacked-shift kernel, capped
+        CircularShiftDistance(ManhattanDistance(), max_shift=3),
+        CircularShiftDistance(MatchDistance()),  # loop-fallback base
     ]
 
 
@@ -118,6 +121,29 @@ class TestMetricBatchParity:
         assert not MatchDistance().supports_batch
         assert CountingMetric(EuclideanDistance()).supports_batch
         assert not CountingMetric(MatchDistance()).supports_batch
+        # The stacked-shift kernel is vectorized iff its base metric is.
+        assert CircularShiftDistance().supports_batch
+        assert CircularShiftDistance(ManhattanDistance()).supports_batch
+        assert not CircularShiftDistance(MatchDistance()).supports_batch
+
+    def test_shift_kernel_counts_rows_not_shifts(self, rng):
+        # A batch over n rows is n distance computations regardless of
+        # how many shifts the kernel evaluates internally.
+        counter = CountingMetric(CircularShiftDistance())
+        counter.distance_batch(rng.random(_DIM), rng.random((13, _DIM)))
+        assert counter.count == 13
+
+    def test_shift_kernel_exact_zero_rows(self, rng):
+        # The scalar loop early-exits at an exact zero; the kernel's
+        # np.minimum must land on the same value.
+        metric = CircularShiftDistance()
+        vectors = rng.random((6, _DIM))
+        query = vectors[2].copy()
+        vectors[4] = np.roll(query, 3)  # zero at a non-trivial shift
+        batch = metric.distance_batch(query, vectors)
+        scalar = np.array([metric.distance(query, row) for row in vectors])
+        assert np.array_equal(batch, scalar)
+        assert batch[2] == 0.0 and batch[4] == 0.0
 
     def test_validate_batch_operands_rejects_bad_shapes(self, rng):
         with pytest.raises(MetricError, match="2-D"):
@@ -176,6 +202,11 @@ INDEX_METRICS = {
 }
 # MatchDistance is a metric but the trees that require the triangle
 # inequality get it too — it satisfies the axioms on normalized inputs.
+# The circular-shift measure is non-metric, so only the linear scan may
+# carry it; its stacked-shift kernel gets index-level parity there.
+INDEX_METRICS["linear"] = INDEX_METRICS["linear"] + [
+    CircularShiftDistance(max_shift=2)
+]
 
 _INDEX_CASES = [
     (name, metric)

@@ -61,6 +61,12 @@ def test_gemini_search(capsys):
     assert "FastMap" in out
 
 
+def test_serve_demo(capsys):
+    out = _run("serve_demo.py", capsys)
+    assert "service telemetry" in out
+    assert "bit-identical" in out
+
+
 def test_browse_neighbors(capsys):
     out = _run("browse_neighbors.py", capsys)
     assert "browsing served" in out

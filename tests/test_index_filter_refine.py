@@ -171,3 +171,35 @@ class TestConfiguration:
     def test_build_stats_record_reduced_dim(self, rng):
         _, index, _ = _build_pair(rng, reduced_dim=6)
         assert index.build_stats.extra["reduced_dim"] == 6
+
+
+class TestBatchedFilterStage:
+    def test_range_batch_runs_one_inner_batched_call(self, rng):
+        _, index, vectors = _build_pair(rng)
+        queries = rng.random((6, vectors.shape[1]))
+        index.range_search_batch(queries, 0.5)
+        # The inner index answered the whole batch in one batched call:
+        # its own batch views hold exactly one entry per outer query.
+        assert len(index.inner.last_batch_stats) == 6
+        assert len(index.last_batch_filter_stats) == 6
+        assert len(index.last_batch_candidate_counts) == 6
+
+    def test_range_batch_matches_scalar_views(self, rng):
+        _, index, vectors = _build_pair(rng)
+        queries = rng.random((5, vectors.shape[1]))
+        scalar_results, scalar_filter, scalar_counts = [], [], []
+        for query in queries:
+            scalar_results.append(index.range_search(query, 0.55))
+            scalar_filter.append(index.last_filter_stats)
+            scalar_counts.append(index.last_candidate_count)
+        batch_results = index.range_search_batch(queries, 0.55)
+        assert batch_results == scalar_results
+        assert index.last_batch_filter_stats == scalar_filter
+        assert index.last_batch_candidate_counts == scalar_counts
+        assert index.last_candidate_count == sum(scalar_counts)
+
+    def test_range_batch_empty_queries(self, rng):
+        _, index, vectors = _build_pair(rng)
+        assert index.range_search_batch(np.empty((0, vectors.shape[1])), 0.5) == []
+        assert index.last_batch_stats == []
+        assert index.last_candidate_count == 0

@@ -297,3 +297,46 @@ class TestConfiguration:
         assert "unbuilt" in repr(tree)
         tree.build([0, 1], rng.random((2, 2)))
         assert "size=2" in repr(tree)
+
+
+class TestPageVectorCache:
+    def test_matrix_cached_until_mutation(self, rng):
+        tree = MTree(EuclideanDistance(), capacity=4).build(
+            list(range(30)), rng.random((30, 3))
+        )
+        node = tree._root
+        first = node.matrix()
+        assert node.matrix() is first  # cached, not re-stacked
+        assert np.array_equal(
+            first, np.array([entry.vector for entry in node.entries])
+        )
+
+    def test_adopt_invalidates_cache(self, rng):
+        tree = MTree(EuclideanDistance(), capacity=8).build(
+            list(range(5)), rng.random((5, 3))
+        )
+        node = tree._root
+        before = node.matrix()
+        tree.insert(99, rng.random(3))
+        after = node.matrix()
+        assert after.shape[0] == len(node.entries)
+        assert after.shape[0] == before.shape[0] + 1
+
+    def test_queries_identical_after_incremental_inserts(self, rng):
+        # Splits discard/adopt entries across pages; the caches must
+        # never serve a stale block.
+        vectors = rng.random((80, 4))
+        tree = MTree(EuclideanDistance(), capacity=4).build(
+            list(range(40)), vectors[:40]
+        )
+        oracle = LinearScanIndex(EuclideanDistance()).build(
+            list(range(40)), vectors[:40]
+        )
+        for i in range(40, 80):
+            tree.insert(i, vectors[i])
+        oracle = LinearScanIndex(EuclideanDistance()).build(
+            list(range(80)), vectors
+        )
+        for query in rng.random((6, 4)):
+            assert tree.knn_search(query, 5) == oracle.knn_search(query, 5)
+            assert tree.range_search(query, 0.6) == oracle.range_search(query, 0.6)
