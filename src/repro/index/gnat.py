@@ -34,6 +34,7 @@ import numpy as np
 from repro.errors import IndexingError
 from repro.index.base import MetricIndex, Neighbor
 from repro.index.pivot import anchor_distances
+from repro.index.stats import SearchStats
 from repro.metrics.base import Metric
 
 __all__ = ["GNAT", "greedy_maxmin_rows"]
@@ -249,6 +250,81 @@ class GNAT(MetricIndex):
         for j in range(m):
             if alive[j]:
                 self._range_visit(node.children[j], query, radius, result)
+
+    # ------------------------------------------------------------------
+    # Shared batched range traversal
+    # ------------------------------------------------------------------
+    # One walk of the tree serves the whole query batch.  Range search is
+    # order-independent *across* queries but not across split points: the
+    # scalar loop examines split points in index order precisely so an
+    # early distance can kill later split points before they are
+    # evaluated.  The shared traversal keeps that order and shares the
+    # kernel call the other way around: split point ``i`` is evaluated
+    # against every query that still has ``i`` alive in one
+    # ``distance_batch`` call (operand order flipped — the bitwise
+    # symmetry the parity suite pins), then each query applies its own
+    # range-table kills.  Per query, the evaluated split points, the
+    # prune decisions, and the child visit order are exactly the scalar
+    # path's, so results and per-query counters are bit-identical.
+    def _range_search_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[Neighbor]]:
+        n_queries = queries.shape[0]
+        results: list[list[Neighbor]] = [[] for _ in range(n_queries)]
+        stats = [SearchStats() for _ in range(n_queries)]
+
+        def visit(node: "_InnerNode | _LeafNode | None", rows: list[int]) -> None:
+            if node is None or not rows:
+                return
+            if isinstance(node, _LeafNode):
+                for qi in rows:
+                    st = stats[qi]
+                    st.leaves_visited += 1
+                    st.distance_computations += node.vectors.shape[0]
+                    distances = self._metric.distance_batch(
+                        queries[qi], node.vectors
+                    )
+                    for row in np.flatnonzero(distances <= radius):
+                        results[qi].append(
+                            Neighbor(node.ids[row], float(distances[row]))
+                        )
+                return
+
+            m = len(node.split_ids)
+            has_child = np.array(
+                [child is not None for child in node.children], dtype=bool
+            )
+            alive = {qi: np.ones(m, dtype=bool) for qi in rows}
+            for qi in rows:
+                stats[qi].nodes_visited += 1
+            for i in range(m):
+                active = [qi for qi in rows if alive[qi][i]]
+                if not active:
+                    continue
+                split_distances = self._metric.distance_batch(
+                    node.split_vectors[i], queries[active]
+                ).tolist()
+                for qi, d in zip(active, split_distances):
+                    st = stats[qi]
+                    st.distance_computations += 1
+                    if d <= radius:
+                        results[qi].append(Neighbor(node.split_ids[i], d))
+                    row_alive = alive[qi]
+                    killed = (d - radius > node.high[i]) | (
+                        d + radius < node.low[i]
+                    )
+                    killed[i] = False
+                    killed &= row_alive
+                    if killed.any():
+                        row_alive[killed] = False
+                        st.nodes_pruned += int(has_child[killed].sum())
+            for j in range(m):
+                visit(
+                    node.children[j], [qi for qi in rows if alive[qi][j]]
+                )
+
+        visit(self._root, list(range(n_queries)))
+        return self._finish_batch(results, stats)
 
     # ------------------------------------------------------------------
     # k-NN search

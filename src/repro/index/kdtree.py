@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import IndexingError
 from repro.index.base import MetricIndex, Neighbor
+from repro.index.stats import SearchStats
 from repro.metrics.base import Metric
 from repro.metrics.minkowski import (
     ChebyshevDistance,
@@ -89,6 +90,11 @@ class KDTree(MetricIndex):
     # ------------------------------------------------------------------
     # Box lower bound under the configured metric
     # ------------------------------------------------------------------
+    # The scalar and batched bounds must agree to the last ulp — a prune
+    # decision may not depend on which entry point evaluated it — so both
+    # stick to elementwise arithmetic plus last-axis reductions (the same
+    # rules the metric kernels follow; BLAS-backed ``linalg.norm``
+    # accumulates differently for one vector than for a matrix of them).
     def _box_lower_bound(
         self, query: np.ndarray, low: np.ndarray, high: np.ndarray
     ) -> float:
@@ -97,13 +103,30 @@ class KDTree(MetricIndex):
         if isinstance(metric, ManhattanDistance):
             return float(excess.sum())
         if isinstance(metric, EuclideanDistance):
-            return float(np.linalg.norm(excess))
+            return float(np.sqrt((excess * excess).sum()))
         if isinstance(metric, ChebyshevDistance):
             return float(excess.max())
         if isinstance(metric, WeightedEuclideanDistance):
             return float(np.sqrt(np.sum(metric.weights * excess * excess)))
         assert isinstance(metric, MinkowskiDistance)
         return float(np.sum(excess**metric.p) ** (1.0 / metric.p))
+
+    def _box_lower_bound_batch(
+        self, queries: np.ndarray, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`_box_lower_bound` for a query matrix, row-identical."""
+        excess = np.maximum(np.maximum(low[None, :] - queries, queries - high[None, :]), 0.0)
+        metric = self._metric
+        if isinstance(metric, ManhattanDistance):
+            return excess.sum(axis=1)
+        if isinstance(metric, EuclideanDistance):
+            return np.sqrt((excess * excess).sum(axis=1))
+        if isinstance(metric, ChebyshevDistance):
+            return excess.max(axis=1)
+        if isinstance(metric, WeightedEuclideanDistance):
+            return np.sqrt(np.sum(metric.weights * excess * excess, axis=1))
+        assert isinstance(metric, MinkowskiDistance)
+        return np.sum(excess**metric.p, axis=1) ** (1.0 / metric.p)
 
     # ------------------------------------------------------------------
     # Construction
@@ -193,6 +216,68 @@ class KDTree(MetricIndex):
         return self._box_lower_bound(
             query, child.vectors.min(axis=0), child.vectors.max(axis=0)
         )
+
+    def _child_bound_batch(
+        self, child: "_KDNode | _KDLeaf", queries: np.ndarray
+    ) -> np.ndarray:
+        if isinstance(child, _KDNode):
+            return self._box_lower_bound_batch(queries, child.box_low, child.box_high)
+        if child.vectors.shape[0] == 0:
+            return np.full(queries.shape[0], np.inf)
+        return self._box_lower_bound_batch(
+            queries, child.vectors.min(axis=0), child.vectors.max(axis=0)
+        )
+
+    # ------------------------------------------------------------------
+    # Shared batched range traversal
+    # ------------------------------------------------------------------
+    # Range mode is order-independent, so one walk serves the whole query
+    # batch: each child's box lower bound is evaluated for every active
+    # query in one vectorized computation (box bounds are coordinate
+    # arithmetic, not counted distance computations), and each leaf block
+    # is one kernel pass per surviving query.  Per query the visited
+    # nodes, prune decisions, and counters are exactly the scalar path's.
+    # k-NN keeps the per-query loop: its best-first pop order and prune
+    # tests depend on the query's own shrinking tau.
+    def _range_search_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[Neighbor]]:
+        n_queries = queries.shape[0]
+        results: list[list[Neighbor]] = [[] for _ in range(n_queries)]
+        stats = [SearchStats() for _ in range(n_queries)]
+
+        def visit(node: "_KDNode | _KDLeaf", rows: list[int]) -> None:
+            if not rows:
+                return
+            if isinstance(node, _KDLeaf):
+                for qi in rows:
+                    st = stats[qi]
+                    st.leaves_visited += 1
+                    st.distance_computations += node.vectors.shape[0]
+                    distances = self._metric.distance_batch(
+                        queries[qi], node.vectors
+                    )
+                    for row in np.flatnonzero(distances <= radius):
+                        results[qi].append(
+                            Neighbor(node.ids[row], float(distances[row]))
+                        )
+                return
+            for qi in rows:
+                stats[qi].nodes_visited += 1
+            active = queries[rows]
+            for child in (node.left, node.right):
+                bounds = self._child_bound_batch(child, active).tolist()
+                survivors: list[int] = []
+                for qi, bound in zip(rows, bounds):
+                    if bound <= radius:
+                        survivors.append(qi)
+                    else:
+                        stats[qi].nodes_pruned += 1
+                visit(child, survivors)
+
+        if self._root is not None:
+            visit(self._root, list(range(n_queries)))
+        return self._finish_batch(results, stats)
 
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         best: list[tuple[float, int]] = []

@@ -19,9 +19,9 @@ HistogramIntersection          yes*      yes     L1-normalized histograms
 ChiSquareDistance              no        yes     histograms
 BhattacharyyaDistance          yes**     yes     L1-normalized histograms
 QuadraticFormDistance          yes       yes     histograms + bin similarity
-MatchDistance (1-D EMD)        yes       no      ordered histograms (CDF L1)
+MatchDistance (1-D EMD)        yes       yes     ordered histograms (CDF L1)
 CircularShiftDistance          no        yes***  orientation histograms
-HausdorffDistance              yes       no      point sets
+HausdorffDistance              yes       yes     point sets
 CosineDistance                 no        yes     any vector (direction only)
 CanberraDistance               yes       yes     any vector (relative per-bin)
 JensenShannonDistance          yes       yes     histograms (sqrt JS div.)
@@ -31,7 +31,8 @@ JensenShannonDistance          yes       yes     histograms (sqrt JS div.)
 ``**`` the Bhattacharyya *angle* form used here is a metric on the simplex.
 ``***`` the stacked-shift kernel rolls the whole vector block per shift
 and reduces with ``np.minimum``; it is vectorized whenever the base
-distance has a kernel (the default Euclidean does).
+distance has a kernel — since the EMD kernel landed, every shipped base
+qualifies.
 """
 
 from repro.metrics.base import (
@@ -53,7 +54,13 @@ from repro.metrics.histogram import (
     HistogramIntersection,
 )
 from repro.metrics.quadratic import QuadraticFormDistance, color_similarity_matrix
-from repro.metrics.emd import MatchDistance, circular_match_distance
+from repro.metrics.emd import (
+    MatchDistance,
+    circular_match_distance,
+    circular_match_distance_batch,
+    match_distance,
+    match_distance_batch,
+)
 from repro.metrics.shifted import CircularShiftDistance
 from repro.metrics.hausdorff import HausdorffDistance, directed_hausdorff
 from repro.metrics.divergence import (
@@ -78,7 +85,10 @@ __all__ = [
     "QuadraticFormDistance",
     "color_similarity_matrix",
     "MatchDistance",
+    "match_distance",
+    "match_distance_batch",
     "circular_match_distance",
+    "circular_match_distance_batch",
     "CircularShiftDistance",
     "HausdorffDistance",
     "directed_hausdorff",

@@ -19,9 +19,10 @@ the per-row minimum accumulates through ``np.minimum``.  Row ``i`` of
 kernel is bit-identical to its scalar path by the batch contract, so
 the minimum over the same shift set reproduces the scalar result bit
 for bit — the scalar loop's early exit at an exact zero changes which
-shifts are *evaluated*, never the minimum.  With a loop-fallback base
-(EMD, Hausdorff) the kernel degrades gracefully to the same per-row
-cost as the scalar path.
+shifts are *evaluated*, never the minimum.  Every shipped base metric
+now carries a kernel (EMD was the last holdout); a user-supplied base
+without one degrades gracefully to the same per-row cost as the scalar
+path.
 """
 
 from __future__ import annotations

@@ -31,6 +31,10 @@ Request lifecycle::
                                                       │  for ≤ max_wait_ms
                                                       ├─ group by (kind,
                                                       │  feature, parameter)
+                                                      ├─ dedup byte-identical
+                                                      │  vectors inside each
+                                                      │  group (evaluated once,
+                                                      │  fanned to every future)
                                                       ├─ one engine call per
                                                       │  group; per-request
                                                       │  stats attributed from
@@ -78,8 +82,9 @@ class ServedResult:
         executing group's ``last_batch_stats`` (``None`` on a cache hit:
         no engine work happened).
     batch_size:
-        Size of the engine group that answered the request — how much
-        company the query had in its kernel call (1 on a cache hit).
+        Size of the engine group that answered the request, after
+        in-flight dedup — how much company the query had in its kernel
+        call (1 on a cache hit).
     cache_hit:
         True when the result came from the LRU cache.
     latency_s:
@@ -369,7 +374,26 @@ class QueryScheduler:
             ]
             if not live:
                 continue
-            vectors = np.stack([request.vector for request in live])
+            # In-flight dedup: identical queries inside one formed group
+            # (same kind/feature/parameter by grouping, byte-identical
+            # vector here) are evaluated once; every duplicate's future
+            # is fanned the same results.  Byte equality implies the same
+            # floats, so the engine answer — and the per-request stats
+            # attribution — is bit-identical to evaluating each copy.
+            slots: dict[bytes, int] = {}
+            unique: list[_Request] = []
+            assignment: list[int] = []
+            for request in live:
+                digest = request.vector.tobytes()
+                slot = slots.get(digest)
+                if slot is None:
+                    slot = len(unique)
+                    slots[digest] = slot
+                    unique.append(request)
+                assignment.append(slot)
+            if len(unique) < len(live):
+                self._stats.record_dedup(len(live) - len(unique))
+            vectors = np.stack([request.vector for request in unique])
             try:
                 if kind == "knn":
                     result_lists = self._db.query_batch(
@@ -383,15 +407,20 @@ class QueryScheduler:
                 for request in live:
                     request.future.set_exception(error)
                 continue
-            per_request_stats = self._db.index_for(feature).last_batch_stats
-            for request, results, stats in zip(
-                live, result_lists, per_request_stats
-            ):
+            per_slot_stats = self._db.index_for(feature).last_batch_stats
+            for request, slot in zip(live, assignment):
+                results = result_lists[slot]
                 if request.key is not None:
                     self._cache.put(request.key, results)
                 latency = time.monotonic() - request.submitted
                 request.future.set_result(
-                    ServedResult(results, stats, len(live), False, latency)
+                    ServedResult(
+                        list(results),
+                        per_slot_stats[slot],
+                        len(unique),
+                        False,
+                        latency,
+                    )
                 )
                 self._stats.record_completed(latency)
         self._stats.record_batch(

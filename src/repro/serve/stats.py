@@ -52,9 +52,18 @@ class ServiceStats:
         Mean size of formed batches (requests per worker wake-up) — the
         coalescing figure of merit.
     mean_group_size:
-        Mean size of the per-(kind, feature, parameter) engine groups a
-        formed batch splits into; each group is one ``query_batch`` /
-        ``range_query_batch`` call.
+        Mean *request* count of the per-(kind, feature, parameter)
+        groups a formed batch splits into.  Each group is one
+        ``query_batch`` / ``range_query_batch`` call, but the call
+        carries one row per *distinct* vector — group size minus that
+        group's dedup hits (see :attr:`dedup_hits` and
+        ``ServedResult.batch_size``, which reports the deduped
+        engine-call size).
+    dedup_hits:
+        Requests answered by another identical request *in the same
+        formed batch*: the group's engine call evaluated their shared
+        vector once and fanned the (bit-identical) results out to every
+        duplicate's future.
     cache_hits, cache_misses, cache_hit_rate:
         Result-cache counters (misses equal engine executions).
     throughput_qps:
@@ -71,6 +80,7 @@ class ServiceStats:
     batches_formed: int
     mean_batch_size: float
     mean_group_size: float
+    dedup_hits: int
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
@@ -99,6 +109,7 @@ class StatsCollector:
         self._batch_size_total = 0
         self._groups = 0
         self._group_size_total = 0
+        self._dedup_hits = 0
         self._latencies: deque[float] = deque(maxlen=window)
 
     def record_submitted(self) -> None:
@@ -120,6 +131,11 @@ class StatsCollector:
             self._batch_size_total += formed_size
             self._groups += len(group_sizes)
             self._group_size_total += sum(group_sizes)
+
+    def record_dedup(self, count: int) -> None:
+        """``count`` requests in a formed batch rode another's engine row."""
+        with self._lock:
+            self._dedup_hits += count
 
     def snapshot(
         self, *, queue_depth: int, cache_hits: int, cache_misses: int
@@ -145,6 +161,7 @@ class StatsCollector:
                 mean_group_size=(
                     self._group_size_total / self._groups if self._groups else 0.0
                 ),
+                dedup_hits=self._dedup_hits,
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,
                 cache_hit_rate=cache_hits / lookups if lookups else 0.0,

@@ -34,6 +34,7 @@ from repro.metrics.divergence import (
     JensenShannonDistance,
 )
 from repro.metrics.emd import MatchDistance
+from repro.metrics.hausdorff import HausdorffDistance
 from repro.metrics.histogram import (
     BhattacharyyaDistance,
     ChiSquareDistance,
@@ -74,11 +75,11 @@ def _all_metrics():
         CosineDistance(),
         CanberraDistance(),
         JensenShannonDistance(),
-        MatchDistance(),  # loop fallback
+        MatchDistance(),  # stacked-cumsum kernel
         CircularShiftDistance(),  # stacked-shift kernel, all shifts
         CircularShiftDistance(max_shift=2),  # stacked-shift kernel, capped
         CircularShiftDistance(ManhattanDistance(), max_shift=3),
-        CircularShiftDistance(MatchDistance()),  # loop-fallback base
+        CircularShiftDistance(MatchDistance()),  # vectorized base since the EMD kernel
     ]
 
 
@@ -118,13 +119,15 @@ class TestMetricBatchParity:
     def test_supports_batch_flags(self):
         assert EuclideanDistance().supports_batch
         assert QuadraticFormDistance(_psd_matrix()).supports_batch
-        assert not MatchDistance().supports_batch
+        assert MatchDistance().supports_batch
+        assert HausdorffDistance(point_dim=2).supports_batch
         assert CountingMetric(EuclideanDistance()).supports_batch
-        assert not CountingMetric(MatchDistance()).supports_batch
-        # The stacked-shift kernel is vectorized iff its base metric is.
+        assert CountingMetric(MatchDistance()).supports_batch
+        # The stacked-shift kernel is vectorized iff its base metric is;
+        # since the EMD kernel landed, every shipped base qualifies.
         assert CircularShiftDistance().supports_batch
         assert CircularShiftDistance(ManhattanDistance()).supports_batch
-        assert not CircularShiftDistance(MatchDistance()).supports_batch
+        assert CircularShiftDistance(MatchDistance()).supports_batch
 
     def test_shift_kernel_counts_rows_not_shifts(self, rng):
         # A batch over n rows is n distance computations regardless of

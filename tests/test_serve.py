@@ -220,6 +220,99 @@ class TestSchedulerParityUnderLoad:
             assert not outcome.cache_hit
 
 
+class TestSchedulerDedup:
+    def test_in_flight_duplicates_evaluated_once_and_fanned_out(
+        self, vector_db, rng
+    ):
+        # Stage a formed batch by hand (worker parked, cache off so every
+        # duplicate actually reaches the engine group): 6 requests over 2
+        # distinct vectors must execute as one engine call of 2 rows.
+        scheduler = QueryScheduler(
+            vector_db, max_batch=8, cache_size=0, autostart=False
+        )
+        pool = rng.random((2, _DIM))
+        picks = [0, 1, 0, 0, 1, 0]
+        futures = [scheduler.submit_query(pool[pick], 5) for pick in picks]
+        scheduler.start()
+        served = [future.result(timeout=10) for future in futures]
+        scheduler.close()
+
+        # One engine row per distinct vector: batch_size reflects the
+        # deduped kernel call, and the counter records the riders.
+        assert [outcome.batch_size for outcome in served] == [2] * 6
+        assert scheduler.stats().dedup_hits == 4
+        assert all(not outcome.cache_hit for outcome in served)
+
+        # Bit-identical fan-out: every duplicate equals the direct call.
+        for pick, outcome in zip(picks, served):
+            direct = vector_db.query(pool[pick], 5)
+            assert _results_equal(outcome.results, direct)
+            vector_db.query(pool[pick], 5)
+            assert outcome.stats == vector_db.index_for("sig").last_stats
+
+    def test_dedup_respects_parameter_boundaries(self, vector_db, rng):
+        # The same vector under different k (or kind) is a different
+        # request: groups never merge across parameters.
+        scheduler = QueryScheduler(
+            vector_db, max_batch=8, cache_size=0, autostart=False
+        )
+        vector = rng.random(_DIM)
+        k5 = scheduler.submit_query(vector, 5)
+        k6 = scheduler.submit_query(vector, 6)
+        ranged = scheduler.submit_range(vector, 0.8)
+        scheduler.start()
+        outcomes = [f.result(timeout=10) for f in (k5, k6, ranged)]
+        scheduler.close()
+        assert scheduler.stats().dedup_hits == 0
+        assert [outcome.batch_size for outcome in outcomes] == [1, 1, 1]
+        assert len(outcomes[0].results) == 5
+        assert len(outcomes[1].results) == 6
+
+    def test_dedup_under_concurrent_duplicate_storm(self, vector_db, rng):
+        # Many threads hammer a tiny query pool with the cache disabled;
+        # whatever batches form, every response must be bit-identical to
+        # the direct call and the dedup counter must account exactly for
+        # the requests that shared an engine row.
+        pool = rng.random((3, _DIM))
+        n_threads, per_thread = 8, 12
+        outcomes: dict[tuple[int, int], ServedResult] = {}
+        lock = threading.Lock()
+        scheduler = QueryScheduler(
+            vector_db, max_batch=16, max_wait_ms=2.0, cache_size=0
+        )
+        plan_rng = np.random.default_rng(7)
+        plans = [
+            [int(plan_rng.integers(0, 3)) for _ in range(per_thread)]
+            for _ in range(n_threads)
+        ]
+
+        def worker(thread_id: int) -> None:
+            for step, pick in enumerate(plans[thread_id]):
+                served = scheduler.submit_query(pool[pick], 4).result(timeout=30)
+                with lock:
+                    outcomes[(thread_id, step)] = served
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        scheduler.close()
+
+        assert len(outcomes) == n_threads * per_thread
+        direct = {pick: vector_db.query(pool[pick], 4) for pick in range(3)}
+        for (thread_id, step), served in outcomes.items():
+            assert _results_equal(served.results, direct[plans[thread_id][step]])
+        stats = scheduler.stats()
+        assert stats.completed == len(outcomes)
+        # 96 requests over 3 distinct vectors: unless every batch formed
+        # with a single request, duplicates must have shared rows.
+        if stats.mean_batch_size > 1.0:
+            assert stats.dedup_hits > 0
+
+
 class TestSchedulerCache:
     def test_hit_short_circuits_and_is_counted(self, vector_db, rng):
         scheduler = QueryScheduler(vector_db, max_batch=4)

@@ -16,9 +16,16 @@ evaluations, and changes nothing observable —
   ``distance_batch`` degrades to the per-row loop) must not change one
   bit of any build or query, including the approximate modes.
 * **batch entry-point parity** — ``knn_search_batch`` /
-  ``range_search_batch`` (now a shared traversal on the VP-tree, not the
-  per-query fallback) equal the scalar entry points result-for-result
-  and counter-for-counter.
+  ``range_search_batch`` (shared traversals on the VP-tree, and — since
+  the EMD/Hausdorff kernel PR — on the GNAT and kd-tree in range mode)
+  equal the scalar entry points result-for-result and
+  counter-for-counter.  The goldens also pin the batched entry points
+  whole, including over the formerly loop-fallback metrics (EMD,
+  circular EMD, Hausdorff), so a shared traversal can never drift from
+  the per-query era it replaced.
+* **kernel-only queries** — batched queries must reach the metric
+  exclusively through ``distance_batch``: with the scalar ``distance``
+  rigged to raise, every batch entry point still answers.
 * **operand symmetry** — sharing pivot distances across a query batch
   evaluates ``d(pivot, q)`` where the scalar path evaluated
   ``d(q, pivot)``; every shipped metric must be bitwise symmetric.
@@ -64,7 +71,16 @@ _N = 160
 _DIM = 12
 _N_QUERIES = 6
 _K = 5
-_RADIUS = {"L2": 1.2, "L1": 3.5}
+_RADIUS = {"L2": 1.2, "L1": 3.5, "EMD": 0.45, "CEMD": 0.40, "HAUS": 0.32}
+
+#: The kd-tree only accepts Minkowski metrics; the loop-fallback-era
+#: metrics (EMD, circular EMD, Hausdorff) are pinned on the two trees
+#: that grew shared batched traversals alongside their kernels.
+_METRIC_COMPAT = {
+    "EMD": {"vptree", "gnat"},
+    "CEMD": {"vptree", "gnat"},
+    "HAUS": {"vptree", "gnat"},
+}
 
 
 def _dataset():
@@ -75,7 +91,16 @@ def _dataset():
 
 
 def _metrics():
-    return {"L2": EuclideanDistance(), "L1": ManhattanDistance()}
+    # The random vectors are non-negative, so they are valid (unequal-mass)
+    # histograms for the normalizing match distance, and valid 6-point 2-D
+    # buffers for the Hausdorff adapter.
+    return {
+        "L2": EuclideanDistance(),
+        "L1": ManhattanDistance(),
+        "EMD": MatchDistance(),
+        "CEMD": MatchDistance(circular=True),
+        "HAUS": HausdorffDistance(point_dim=2),
+    }
 
 
 def _factories():
@@ -99,6 +124,9 @@ def _factories():
 def _profile_keys():
     for index_name in _factories():
         for metric_name in _metrics():
+            compat = _METRIC_COMPAT.get(metric_name)
+            if compat is not None and index_name not in compat:
+                continue
             yield f"{index_name}/{metric_name}"
 
 
@@ -249,6 +277,15 @@ def _capture(index_name: str, metric_name: str, metric: Metric | None = None) ->
             record["range_ids"] = index.range_search_ids(query, radius)
             record["range_ids_stats"] = _stats(index.last_stats)
         profile["queries"].append(record)
+    # The batched entry points, captured whole: indexes that grow a shared
+    # traversal must keep reproducing the per-query-era results, visit
+    # order (observable through the counters), and per-query stats.
+    profile["knn_batch"] = [_neighbors(r) for r in index.knn_search_batch(queries, _K)]
+    profile["knn_batch_stats"] = [_stats(s) for s in index.last_batch_stats]
+    profile["range_batch"] = [
+        _neighbors(r) for r in index.range_search_batch(queries, radius)
+    ]
+    profile["range_batch_stats"] = [_stats(s) for s in index.last_batch_stats]
     return profile
 
 
@@ -293,12 +330,66 @@ def test_scalar_kernel_parity(key):
 
 
 # ----------------------------------------------------------------------
+# No scalar calls leak through the batched entry points
+# ----------------------------------------------------------------------
+def _forbid_scalar_distance(metric: Metric) -> Metric:
+    """A clone of ``metric`` whose scalar ``distance`` raises.
+
+    Batched tree queries are required to reach the metric exclusively
+    through ``distance_batch``; building an index with the real metric
+    and then querying through this clone proves no per-row scalar call
+    survives on the batched paths.
+    """
+    import copy
+
+    cls = type(metric)
+
+    def _refuse(self, a, b):
+        raise AssertionError(
+            f"scalar {cls.__name__}.distance() called on a batched query path"
+        )
+
+    hidden = type(f"KernelOnly{cls.__name__}", (cls,), {"distance": _refuse})
+    clone = copy.copy(metric)
+    clone.__class__ = hidden
+    return clone
+
+
+_KERNEL_ONLY_CASES = [
+    ("vptree", "EMD"),
+    ("vptree", "CEMD"),
+    ("vptree", "HAUS"),
+    ("gnat", "EMD"),
+    ("gnat", "CEMD"),
+    ("gnat", "HAUS"),
+    ("kdtree", "L2"),
+    ("kdtree", "L1"),
+]
+
+
+@pytest.mark.parametrize(
+    "index_name,metric_name", _KERNEL_ONLY_CASES, ids=lambda v: str(v)
+)
+def test_batched_queries_never_call_scalar_distance(index_name, metric_name):
+    ids, vectors, queries = _dataset()
+    metric = _metrics()[metric_name]
+    index = _factories()[index_name](metric).build(ids, vectors)
+    # Build used the real metric; from here on every scalar call raises.
+    index._metric = _forbid_scalar_distance(metric)
+    knn = index.knn_search_batch(queries, _K)
+    rng_results = index.range_search_batch(queries, _RADIUS[metric_name])
+    assert len(knn) == len(rng_results) == _N_QUERIES
+    assert all(len(result) == _K for result in knn)
+
+
+# ----------------------------------------------------------------------
 # Batched entry points vs scalar entry points
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("index_name", list(_factories()))
-def test_batch_entry_points_match_scalar(index_name):
+@pytest.mark.parametrize("key", list(_profile_keys()))
+def test_batch_entry_points_match_scalar(key):
+    index_name, metric_name = key.split("/")
     ids, vectors, queries = _dataset()
-    index = _factories()[index_name](EuclideanDistance()).build(ids, vectors)
+    index = _factories()[index_name](_metrics()[metric_name]).build(ids, vectors)
 
     scalar_knn, scalar_knn_stats = [], []
     for query in queries:
@@ -308,7 +399,7 @@ def test_batch_entry_points_match_scalar(index_name):
     assert batch_knn == scalar_knn
     assert index.last_batch_stats == scalar_knn_stats
 
-    radius = _RADIUS["L2"]
+    radius = _RADIUS[metric_name]
     scalar_range, scalar_range_stats = [], []
     for query in queries:
         scalar_range.append(index.range_search(query, radius))
