@@ -1,0 +1,266 @@
+"""F14 — Mutable-database serving: incremental ingest + queries under writes.
+
+The seed-era database invalidated every index on any mutation, so a
+live workload paid a **from-scratch rebuild per insert** at the next
+query.  The mutation protocol (``docs/mutability.md``) replaces that
+with incremental ``insert_batch`` / ``delete`` paths — dynamic
+structures grow in place, static trees overlay a pending buffer — and
+the serving layer stamps cached results with per-feature generations so
+mutations invalidate lazily instead of flushing.
+
+Two measurements:
+
+``ingest``
+    Interleaved insert-then-query over a VP-tree database of ``_N``
+    signatures: the incremental path vs forcing a full index rebuild
+    after every insert (what stale-marking amounted to under this
+    workload).  Both strategies must produce identical query results;
+    the reproduction check demands **>=5x** ingest speedup at full
+    size.
+``serving under writes``
+    The full coalescing+caching service under 8 closed-loop query
+    clients while a writer thread keeps inserting (and pruning) rows —
+    versus the same traffic on a frozen database.  Reported: throughput,
+    applied mutations, lazy cache invalidations, and the final-state
+    parity check against a freshly built database.
+
+Results go to ``benchmarks/BENCH_f14_mutable_serving.json`` for the
+perf trajectory.  ``REPRO_BENCH_N`` shrinks the dataset for CI smoke
+runs (parity checks still bite; wall-clock assertions only apply at
+full size).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_experiment
+from repro.db.database import ImageDatabase
+from repro.eval.harness import ascii_table
+from repro.features.base import PresetSignature
+from repro.features.pipeline import FeatureSchema
+from repro.index import VPTree
+from repro.serve.scheduler import QueryScheduler
+
+_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+_FULL_SIZE = _N >= 2000
+_DIM = 64
+_K = 10
+_N_INSERTS = 64 if _FULL_SIZE else 6
+_CONCURRENCY = 8
+_REQUESTS_PER_CLIENT = 30 if _FULL_SIZE else 4
+_POOL_SIZE = 24
+_WRITER_BLOCK = 4
+
+_JSON_PATH = Path(__file__).parent / "BENCH_f14_mutable_serving.json"
+
+
+def _vectors(n: int, seed: int) -> np.ndarray:
+    from repro.eval.datasets import gaussian_clusters
+
+    vectors, _ = gaussian_clusters(
+        max(n, 32), _DIM, n_clusters=16, cluster_std=0.05, seed=seed
+    )
+    return vectors[:n]
+
+
+def _database(vectors: np.ndarray) -> ImageDatabase:
+    db = ImageDatabase(
+        FeatureSchema([PresetSignature(_DIM, "signature")]),
+        index_factory=lambda metric: VPTree(metric),
+    )
+    db.add_vectors(vectors)
+    db.build_indexes()
+    return db
+
+
+def _ingest(db: ImageDatabase, rows: np.ndarray, probes: np.ndarray, *, rebuild: bool):
+    """Insert rows one at a time, querying after each (closed loop)."""
+    answers = []
+    started = time.perf_counter()
+    for row, probe in zip(rows, probes):
+        db.add_vectors(row[None, :])
+        if rebuild:
+            db.build_indexes()  # the seed-era cost: from scratch, every insert
+        answers.append(db.query(probe, _K, precomputed=True))
+    return time.perf_counter() - started, answers
+
+
+def test_f14_incremental_ingest(benchmark):
+    base = _vectors(_N, seed=42)
+    rows = _vectors(_N_INSERTS, seed=43)
+    probes = _vectors(_N_INSERTS, seed=44)
+
+    incremental_db = _database(base)
+    incremental_s, incremental_answers = _ingest(
+        incremental_db, rows, probes, rebuild=False
+    )
+    rebuild_db = _database(base)
+    rebuild_s, rebuild_answers = _ingest(rebuild_db, rows, probes, rebuild=True)
+
+    # Identical answers, insert for insert: ids allocate in the same
+    # order, so the result streams must match bit for bit.
+    for step, (got, want) in enumerate(zip(incremental_answers, rebuild_answers)):
+        assert [(r.image_id, r.distance) for r in got] == [
+            (r.image_id, r.distance) for r in want
+        ], f"ingest step {step} diverged between strategies"
+
+    ingest_speedup = rebuild_s / incremental_s if incremental_s > 0 else float("inf")
+    per_insert_ms = incremental_s / _N_INSERTS * 1e3
+    rebuild_ms = rebuild_s / _N_INSERTS * 1e3
+
+    # --------------------------------------------------------------
+    # Serving under concurrent writes.
+    # --------------------------------------------------------------
+    def _drive(writes: bool):
+        db = _database(_vectors(_N, seed=42))
+        pool = _vectors(_POOL_SIZE, seed=45)
+        picks = np.random.default_rng(7).integers(
+            0, _POOL_SIZE, size=(_CONCURRENCY, _REQUESTS_PER_CLIENT)
+        )
+        scheduler = QueryScheduler(
+            db, max_batch=16, max_wait_ms=2.0, max_queue=4096, cache_size=4096
+        )
+        responses: dict[tuple[int, int], list] = {}
+        lock = threading.Lock()
+        stop_writer = threading.Event()
+        writer_blocks = _vectors(512 if _FULL_SIZE else 32, seed=46)
+        cursor = 0
+
+        def writer() -> None:
+            nonlocal cursor
+            while not stop_writer.is_set() and cursor + _WRITER_BLOCK <= len(
+                writer_blocks
+            ):
+                block = writer_blocks[cursor : cursor + _WRITER_BLOCK]
+                cursor += _WRITER_BLOCK
+                added = scheduler.submit_add(block).result()
+                # Prune half of what we added: deletes ride along too.
+                scheduler.submit_remove(added.ids[: _WRITER_BLOCK // 2]).result()
+                time.sleep(0.001)
+
+        def client(client_id: int) -> None:
+            for step, pick in enumerate(picks[client_id]):
+                served = scheduler.submit_query(pool[pick], _K).result()
+                with lock:
+                    responses[(client_id, step)] = served.results
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(_CONCURRENCY)
+        ]
+        writer_thread = threading.Thread(target=writer) if writes else None
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if writer_thread is not None:
+            writer_thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stop_writer.set()
+        if writer_thread is not None:
+            writer_thread.join()
+
+        # Settle, then check final-state parity: served answers for the
+        # whole pool must equal a fresh build over the final item set.
+        final = {
+            pick: scheduler.submit_query(pool[pick], _K).result().results
+            for pick in range(_POOL_SIZE)
+        }
+        stats = scheduler.stats()
+        scheduler.close()
+        ids, matrix = db.feature_matrix("signature")
+        from repro.metrics.minkowski import EuclideanDistance
+
+        oracle = VPTree(EuclideanDistance()).build(ids, matrix)
+        for pick in range(_POOL_SIZE):
+            assert [(r.image_id, r.distance) for r in final[pick]] == [
+                (nb.id, nb.distance) for nb in oracle.knn_search(pool[pick], _K)
+            ], f"served result diverged from fresh build for pool query {pick}"
+        total = _CONCURRENCY * _REQUESTS_PER_CLIENT
+        assert len(responses) == total
+        return {
+            "qps": stats.completed / elapsed,
+            "elapsed_seconds": elapsed,
+            "requests": total,
+            "mutations": stats.mutations,
+            "cache_invalidations": stats.cache_invalidations,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "latency_p50_ms": stats.latency_p50_ms,
+            "latency_p95_ms": stats.latency_p95_ms,
+        }
+
+    static = _drive(writes=False)
+    mutating = _drive(writes=True)
+    assert mutating["mutations"] > 0
+    assert mutating["cache_invalidations"] > 0
+
+    rows_out = [
+        ["incremental ingest", f"{per_insert_ms:.2f} ms/insert", f"{incremental_s:.2f}s total"],
+        ["rebuild-per-insert", f"{rebuild_ms:.2f} ms/insert", f"{rebuild_s:.2f}s total"],
+        ["ingest speedup", f"x{ingest_speedup:.1f}", ""],
+        ["serve (frozen db)", f"{static['qps']:.0f} q/s", f"p95 {static['latency_p95_ms']:.1f} ms"],
+        [
+            "serve (under writes)",
+            f"{mutating['qps']:.0f} q/s",
+            f"{mutating['mutations']} mutations, "
+            f"{mutating['cache_invalidations']} invalidations",
+        ],
+    ]
+    print_experiment(
+        ascii_table(
+            ["measurement", "headline", "detail"],
+            rows_out,
+            title=(
+                f"F14: mutable-database serving - N={_N}, d={_DIM}, k={_K}, "
+                f"{_N_INSERTS} inserts, {_CONCURRENCY} clients "
+                f"(identical results everywhere)"
+            ),
+        )
+    )
+
+    if _FULL_SIZE:
+        _JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "f14_mutable_serving",
+                    "n": _N,
+                    "dim": _DIM,
+                    "k": _K,
+                    "n_inserts": _N_INSERTS,
+                    "metric": "L2",
+                    "index": "vptree",
+                    "ingest": {
+                        "incremental_seconds": incremental_s,
+                        "rebuild_per_insert_seconds": rebuild_s,
+                        "incremental_ms_per_insert": per_insert_ms,
+                        "rebuild_ms_per_insert": rebuild_ms,
+                        "speedup": ingest_speedup,
+                    },
+                    "serving": {"static": static, "under_writes": mutating},
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        # Headline acceptance: incremental ingest clears 5x the
+        # rebuild-per-insert baseline.
+        assert ingest_speedup >= 5.0
+
+    # Representative op for pytest-benchmark: one incremental
+    # add+remove round trip against the live index (self-reversing, so
+    # it can repeat).
+    cycle_row = _vectors(1, seed=47)
+
+    def add_remove_cycle():
+        ids = incremental_db.add_vectors(cycle_row)
+        incremental_db.remove(ids)
+
+    benchmark(add_remove_cycle)

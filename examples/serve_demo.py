@@ -1,4 +1,4 @@
-"""Serve demo: concurrent clients, micro-batch coalescing, result cache.
+"""Serve demo: concurrent clients, coalescing, caching, live mutations.
 
 Drives the whole :mod:`repro.serve` stack in one process:
 
@@ -12,15 +12,23 @@ Drives the whole :mod:`repro.serve` stack in one process:
    popular queries,
 4. show the service's own telemetry — formed batch sizes, cache hit
    rate, latency percentiles — and verify every served answer is
-   bit-identical to querying the database directly.
+   bit-identical to querying the database directly,
+5. mutate the database *live* over HTTP (``POST /add`` /
+   ``POST /remove``): the new item is immediately retrievable, and the
+   generation-stamped cache invalidates exactly the entries the
+   mutation made stale (``docs/mutability.md``).
 
 Run with::
 
     python examples/serve_demo.py
+
+Set ``REPRO_DEMO_N`` to shrink the database (CI smoke runs use a tiny
+one).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -31,7 +39,7 @@ from repro.features.base import PresetSignature
 from repro.features.pipeline import FeatureSchema
 from repro.serve import QueryServer, ServiceClient
 
-N_VECTORS = 2000
+N_VECTORS = int(os.environ.get("REPRO_DEMO_N", "2000"))
 DIM = 32
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 12
@@ -83,7 +91,6 @@ def main() -> None:
     # 4. Telemetry + the parity check that makes coalescing safe.
     # ------------------------------------------------------------------
     stats = ServiceClient(host, port).stats()
-    server.stop()
 
     rows = [
         ["requests served", stats["completed"]],
@@ -107,6 +114,29 @@ def main() -> None:
     )
     if mismatches:
         raise SystemExit("served results diverged from direct queries")
+
+    # ------------------------------------------------------------------
+    # 5. Live mutation: insert over HTTP, retrieve it, remove it.
+    # ------------------------------------------------------------------
+    client = ServiceClient(host, port)
+    probe = pool[0]
+    client.query(probe, K)  # warm the cache entry the add will stale
+    added = client.add(probe[None, :], names=["the-probe-itself"])
+    # Same query again: the cached pre-add entry is stale, so it is
+    # lazily evicted (counted) and recomputed — never served.
+    hit = client.query(probe, K)["results"][0]
+    assert hit["image_id"] == added["ids"][0] and hit["distance"] == 0.0
+    removed = client.remove(added["ids"])
+    after = client.stats()
+    server.stop()
+    print(
+        f"live mutation: added id {added['ids'][0]} (generation "
+        f"{added['generations']['signature']}), served it at distance 0.0, "
+        f"removed {removed['removed']} — "
+        f"{after['mutations']} mutations applied, "
+        f"{after['cache_invalidations']} cache entries lazily invalidated, "
+        f"no stale answer served"
+    )
 
 
 if __name__ == "__main__":

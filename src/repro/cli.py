@@ -333,7 +333,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="serve a database over HTTP with micro-batch coalescing "
-        "(POST /query, POST /range, GET /stats, GET /healthz)",
+        "(POST /query, POST /range, POST /add, POST /remove, "
+        "GET /stats, GET /healthz)",
+        epilog="The service mutates in place: POST /add and POST /remove "
+        "serialize with query batches and cached results are "
+        "generation-stamped, so a stale answer is never served. "
+        "On SIGTERM or Ctrl-C the server drains in-flight requests, "
+        "prints a traffic summary, and exits with code 0. "
+        "Full protocol and knob semantics: docs/serving.md "
+        "(mutation design: docs/mutability.md).",
     )
     serve.add_argument("--db", required=True, help="saved database directory")
     serve.add_argument("--host", default="127.0.0.1")

@@ -11,8 +11,11 @@ into an image *database*:
     hit/miss accounting (experiment F6 sweeps its capacity).
 :class:`~repro.db.database.ImageDatabase`
     The facade: insert images (features are extracted according to a
-    :class:`~repro.features.FeatureSchema`), build per-feature indexes,
-    run query-by-example / range / weighted multi-feature queries, and
+    :class:`~repro.features.FeatureSchema`), build per-feature indexes
+    that then absorb further ``add_image`` / ``add_vectors`` /
+    ``remove`` mutations incrementally (with monotonic per-feature
+    ``generation`` stamps — see ``docs/mutability.md``), run
+    query-by-example / range / weighted multi-feature queries, and
     persist everything to a directory.
 :mod:`~repro.db.query`
     Weighted multi-feature distance combination and rank fusion.

@@ -7,7 +7,17 @@ Ties every subsystem together into the system the paper describes:
   the catalog records its metadata.  The image itself plays no further
   part; only signatures are kept.
 * **index** — per feature, a metric index (VP-tree by default) is built
-  over the signatures.  Indexes are rebuilt lazily after mutations.
+  lazily over the signatures.  Once built, indexes stay live across
+  mutations: inserts ride :meth:`~repro.index.base.MetricIndex.insert_batch`
+  and :meth:`remove` rides ``MetricIndex.delete`` (dynamic structures
+  grow/shrink in place, static trees overlay a pending buffer and
+  tombstones — see ``docs/mutability.md``), so ingest never pays a
+  from-scratch rebuild per mutation.
+* **generations** — every mutation bumps a monotonic per-feature
+  :meth:`generation` counter.  The serving layer stamps cached results
+  with the generation they were computed under and lazily invalidates
+  on mismatch, which is what lets a *mutating* database serve without
+  global cache flushes.
 * **query** — query-by-example: extract the query image's signature and
   run a k-NN or range search; multi-feature queries combine evidence
   across features by weighted scores or rank fusion.  Batches of
@@ -114,6 +124,9 @@ class ImageDatabase:
         }
         self._indexes: dict[str, MetricIndex] = {}
         self._stale: set[str] = set()
+        self._generations: dict[str, int] = {
+            name: 0 for name in self._schema.names
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -140,6 +153,24 @@ class ImageDatabase:
         """The metric configured for ``feature``."""
         self._check_feature(feature)
         return self._metrics[feature]
+
+    def generation(self, feature: str | None = None) -> int:
+        """The monotonic data-version stamp of one feature.
+
+        Every mutation (:meth:`add_image`, :meth:`add_vectors`,
+        :meth:`remove`, :meth:`delete_image`) increments each touched
+        feature's generation by one.  Two calls returning the same
+        number therefore saw the identical item set for that feature —
+        the invariant the serving layer's result cache keys its lazy
+        invalidation on (see ``repro.serve.cache``).
+        """
+        feature = feature or self.default_feature
+        self._check_feature(feature)
+        return self._generations[feature]
+
+    def generations(self) -> dict[str, int]:
+        """All per-feature generation stamps, as a fresh dict."""
+        return dict(self._generations)
 
     def index_for(self, feature: str) -> MetricIndex:
         """The (built) index for ``feature``, building it if needed."""
@@ -192,6 +223,12 @@ class ImageDatabase:
     ) -> int:
         """Insert an image: extract all features, record metadata.
 
+        On a database whose indexes are already built, the new
+        signatures are inserted *incrementally* (each index's
+        ``insert_batch`` path) instead of invalidating the indexes —
+        the next query pays at most a bounded overlay scan, never a
+        from-scratch rebuild.  Bumps every feature's :meth:`generation`.
+
         Returns the allocated image id.
         """
         image_id = self._catalog.allocate_id()
@@ -208,7 +245,10 @@ class ImageDatabase:
         self._catalog.insert(record)
         for feature, vector in signatures.items():
             self._vectors[feature][image_id] = vector
-        self._stale.update(self._schema.names)
+        self._register_insert(
+            [image_id],
+            {feature: vector[None, :] for feature, vector in signatures.items()},
+        )
         return image_id
 
     def add_images(
@@ -303,16 +343,49 @@ class ImageDatabase:
             for feature, matrix in matrices.items():
                 self._vectors[feature][image_id] = matrix[row].copy()
             ids.append(image_id)
-        self._stale.update(self._schema.names)
+        self._register_insert(ids, matrices)
         return ids
 
-    def delete_image(self, image_id: int) -> ImageRecord:
-        """Remove an image and its signatures; indexes become stale."""
-        record = self._catalog.delete(image_id)
+    def remove(self, image_ids: Sequence[int]) -> list[ImageRecord]:
+        """Remove images by id; returns their records, in call order.
+
+        Validates every id before touching anything (an unknown id
+        raises and the database is unchanged).  Built indexes shed the
+        items incrementally through ``MetricIndex.delete`` — dynamic
+        structures drop the rows, static trees tombstone until their
+        threshold rebuild — and every feature's :meth:`generation` is
+        bumped.
+
+        Raises
+        ------
+        CatalogError
+            If an id is unknown.
+        QueryError
+            If an id is repeated in ``image_ids``.
+        """
+        image_ids = [int(image_id) for image_id in image_ids]
+        if not image_ids:
+            return []
+        for image_id in image_ids:
+            self._catalog.get(image_id)  # raises CatalogError when unknown
+        if len(set(image_ids)) != len(image_ids):
+            raise QueryError(f"duplicate ids in remove input: {image_ids}")
+        records = [self._catalog.delete(image_id) for image_id in image_ids]
         for table in self._vectors.values():
-            table.pop(image_id, None)
-        self._stale.update(self._schema.names)
-        return record
+            for image_id in image_ids:
+                table.pop(image_id, None)
+        for feature in self._schema.names:
+            self._generations[feature] += 1
+            index = self._live_index(feature)
+            if index is not None:
+                index.delete(image_ids)
+            else:
+                self._stale.add(feature)
+        return records
+
+    def delete_image(self, image_id: int) -> ImageRecord:
+        """Remove one image and its signatures (see :meth:`remove`)."""
+        return self.remove([image_id])[0]
 
     def build_indexes(self, features: Sequence[str] | None = None) -> None:
         """(Re)build indexes now instead of lazily at first query."""
@@ -625,6 +698,31 @@ class ImageDatabase:
             index.build(ids, matrix)
             self._indexes[feature] = index
             self._stale.discard(feature)
+
+    def _live_index(self, feature: str) -> MetricIndex | None:
+        """The feature's index when it can absorb mutations in place."""
+        index = self._indexes.get(feature)
+        if index is not None and feature not in self._stale and index.is_built:
+            return index
+        return None
+
+    def _register_insert(
+        self, ids: list[int], matrices: Mapping[str, np.ndarray]
+    ) -> None:
+        """Route freshly stored signatures into the live indexes.
+
+        Features whose index is built take the incremental
+        ``insert_batch`` path; the rest just go stale (the lazy build at
+        the next query covers them).  Either way the feature's
+        generation advances.
+        """
+        for feature in self._schema.names:
+            self._generations[feature] += 1
+            index = self._live_index(feature)
+            if index is not None:
+                index.insert_batch(ids, matrices[feature])
+            else:
+                self._stale.add(feature)
 
     def _query_vector(self, query: Image | np.ndarray, feature: str) -> np.ndarray:
         extractor: FeatureExtractor = self._schema.get(feature)

@@ -51,7 +51,12 @@ scalar ``range_search`` / ``knn_search`` plus their batched ``_batch``
 variants, which answer an ``(m, d)`` query matrix through the metrics'
 vectorized kernels with bit-identical results — and report per-query
 :class:`~repro.index.stats.SearchStats` whose distance counts the test
-suite verifies against wrapped-metric ground truth.
+suite verifies against wrapped-metric ground truth.  All of them also
+accept post-build mutations through ``insert_batch`` / ``delete``:
+dynamic structures (M-tree, linear scan, LAESA) grow and shrink in
+place, the static trees overlay a pending buffer and tombstones with a
+threshold-triggered rebuild, and either way query results stay exact
+over the live item set with fully counted costs (``docs/mutability.md``).
 """
 
 from repro.index.base import MetricIndex, Neighbor

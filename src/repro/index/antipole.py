@@ -355,6 +355,9 @@ class AntipoleTree(MetricIndex):
         self._batch_stats = []
         result: list[Neighbor] = []
         self._range_visit(self._root, query, float(radius), result, ids_only=True)
+        # Mutation overlay: tombstoned ids drop out; pending items have
+        # no cached centroid distance, so they are evaluated (counted).
+        result = self._overlay_range(query, float(radius), result)
         return [neighbor.id for neighbor in result]
 
     def _range_visit(

@@ -1,7 +1,7 @@
 """The common interface of all similarity indexes.
 
-An index is constructed over a fixed set of ``(id, vector)`` pairs with a
-chosen metric and then answers two query types:
+An index is constructed over an initial set of ``(id, vector)`` pairs
+with a chosen metric and then answers two query types:
 
 * ``range_search(query, radius)`` — every item within ``radius`` of the
   query (closed ball), sorted by distance;
@@ -20,6 +20,24 @@ counters, bit for bit) to running query ``i`` alone; batching saves
 interpreter overhead via the metrics' vectorized kernels, never metric
 evaluations.  After a batch, :attr:`MetricIndex.last_batch_stats` holds
 the per-query counters and :attr:`MetricIndex.last_stats` their sum.
+
+Mutation protocol (see ``docs/mutability.md``)
+----------------------------------------------
+A built index accepts :meth:`MetricIndex.insert_batch` and
+:meth:`MetricIndex.delete`.  Structures with a genuinely dynamic shape
+override the ``_insert_batch`` / ``_delete`` hooks (the M-tree grows by
+paper-style page splits, the linear scan and LAESA's pivot table extend
+their arrays row-wise); the static trees fall back to the base class's
+**pending buffer** (inserted items held outside the structure and
+scanned per query) plus **tombstones** (deleted ids filtered out of
+structural results), with a threshold-triggered rebuild
+(:attr:`rebuild_threshold` / :attr:`rebuild_min`) that folds the
+overlay back into a fresh structure once it grows past a fraction of
+the core.  Every query entry point — scalar, batched, and the
+approximate variants — merges the overlay with the structural answer,
+so results over the *live* item set are exact and the per-query
+distance accounting stays measured (pending items cost one counted
+batched evaluation per query, tombstone filtering is free).
 """
 
 from __future__ import annotations
@@ -55,6 +73,13 @@ class MetricIndex(ABC):
     #: Set False in subclasses that tolerate non-metric distances.
     requires_metric: bool = True
 
+    #: Overlay (pending inserts + tombstones) fraction of the core that
+    #: triggers a structural rebuild; see :meth:`_maybe_rebuild`.
+    rebuild_threshold: float = 0.25
+    #: Overlay size below which a rebuild never triggers (lets small
+    #: indexes absorb a few mutations without thrashing).
+    rebuild_min: int = 32
+
     def __init__(self, metric: Metric) -> None:
         if not isinstance(metric, Metric):
             raise IndexingError(f"expected a Metric; got {type(metric).__name__}")
@@ -70,6 +95,13 @@ class MetricIndex(ABC):
         self._build_stats = BuildStats()
         self._search_stats = SearchStats()
         self._batch_stats: list[SearchStats] = []
+        # Mutation overlay: items inserted after build that the concrete
+        # structure does not hold (scanned per query), and ids deleted
+        # from the structure but still physically inside it.
+        self._pending_ids: list[int] = []
+        self._pending_vectors: list[np.ndarray] = []
+        self._pending_block: np.ndarray | None = None
+        self._tombstones: set[int] = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,8 +113,19 @@ class MetricIndex(ABC):
 
     @property
     def size(self) -> int:
-        """Number of indexed items."""
-        return len(self._ids)
+        """Number of *live* indexed items (pending inserts included,
+        tombstoned deletions excluded)."""
+        return len(self._ids) + len(self._pending_ids) - len(self._tombstones)
+
+    @property
+    def n_pending(self) -> int:
+        """Inserted items the structure holds in its pending buffer."""
+        return len(self._pending_ids)
+
+    @property
+    def n_tombstones(self) -> int:
+        """Deleted ids still physically inside the structure."""
+        return len(self._tombstones)
 
     @property
     def dim(self) -> int:
@@ -150,35 +193,211 @@ class MetricIndex(ABC):
         self._ids = ids
         self._vectors = vectors.copy()
         self._vectors.setflags(write=False)
+        self._pending_ids = []
+        self._pending_vectors = []
+        self._pending_block = None
+        self._tombstones = set()
         self._build_stats = BuildStats()
         self._build(ids, self._vectors)
         self._built = True
         return self
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_batch(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        """Insert new ``(ids[i], vectors[i])`` items into a built index.
+
+        Dynamic structures (:class:`~repro.index.mtree.MTree`,
+        :class:`~repro.index.linear.LinearScanIndex`,
+        :class:`~repro.index.laesa.LAESAIndex`) grow in place; the
+        static trees buffer the items in a pending overlay scanned per
+        query until a threshold rebuild folds them in (see
+        ``docs/mutability.md``).  Either way the next query sees the
+        new items with exact results and exact distance accounting.
+
+        Raises
+        ------
+        IndexingError
+            If the index is unbuilt, an id is already present (live or
+            tombstoned), ids repeat, or vectors have the wrong shape or
+            non-finite values.
+        """
+        if not self._built or self._vectors is None:
+            raise IndexingError("insert_batch() requires a built index; call build() first")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._vectors.shape[1]:
+            raise IndexingError(
+                f"vectors must be a 2-D array of dim {self._vectors.shape[1]}; "
+                f"got shape {vectors.shape}"
+            )
+        ids = [int(i) for i in ids]
+        if len(ids) != vectors.shape[0]:
+            raise IndexingError(f"{len(ids)} ids but {vectors.shape[0]} vectors")
+        if not ids:
+            return
+        if not np.all(np.isfinite(vectors)):
+            raise IndexingError("vectors contain non-finite values")
+        if len(set(ids)) != len(ids):
+            raise IndexingError("duplicate ids in insert input")
+        present = set(self._ids)
+        present.update(self._pending_ids)
+        clashes = present.intersection(ids)
+        if clashes:
+            raise IndexingError(
+                f"id {sorted(clashes)[0]} is already indexed "
+                f"(tombstoned ids cannot be re-inserted before a rebuild)"
+            )
+        self._insert_batch(ids, vectors.copy())
+        self._maybe_rebuild()
+
+    def delete(self, ids: Sequence[int]) -> None:
+        """Delete items by id from a built index.
+
+        The linear scan and LAESA drop the rows outright; tree
+        structures tombstone the ids (filtered from every result at no
+        distance cost) until a threshold rebuild reclaims the space.
+
+        Raises
+        ------
+        IndexingError
+            If the index is unbuilt, an id is unknown or already
+            deleted, or ids repeat.
+        """
+        if not self._built or self._vectors is None:
+            raise IndexingError("delete() requires a built index; call build() first")
+        ids = [int(i) for i in ids]
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise IndexingError("duplicate ids in delete input")
+        live = (set(self._ids) - self._tombstones).union(self._pending_ids)
+        missing = set(ids) - live
+        if missing:
+            raise IndexingError(f"id {sorted(missing)[0]} is not indexed")
+        self._delete(ids)
+        self._maybe_rebuild()
+
+    def rebuild(self) -> "MetricIndex":
+        """Fold the mutation overlay into a fresh structure now.
+
+        Rebuilds over the live item set in ascending-id order (the
+        order a fresh build over the same data would use), clearing the
+        pending buffer and tombstones.  A no-op when the overlay is
+        empty; resets :attr:`build_stats` like any :meth:`build`.
+        """
+        if not self._built or self._vectors is None:
+            raise IndexingError("rebuild() requires a built index; call build() first")
+        if not self._pending_ids and not self._tombstones:
+            return self
+        live = [
+            (item_id, self._vectors[row])
+            for row, item_id in enumerate(self._ids)
+            if item_id not in self._tombstones
+        ]
+        live.extend(zip(self._pending_ids, self._pending_vectors))
+        if not live:
+            # Nothing left to build over; keep the overlay (queries
+            # filter everything out) rather than produce an empty tree.
+            return self
+        live.sort(key=lambda pair: pair[0])
+        ids = [item_id for item_id, _ in live]
+        matrix = np.stack([vector for _, vector in live])
+        return self.build(ids, matrix)
+
+    def _insert_batch(self, ids: list[int], vectors: np.ndarray) -> None:
+        """Structure hook for insertion; the default buffers the items.
+
+        Overrides that grow the structure in place must also extend the
+        core arrays via :meth:`_append_core`.
+        """
+        self._pending_ids.extend(ids)
+        self._pending_vectors.extend(vectors)
+        self._pending_block = None
+
+    def _delete(self, ids: list[int]) -> None:
+        """Structure hook for deletion; the default tombstones core ids
+        (pending ones are simply dropped from the buffer)."""
+        doomed = set(ids)
+        in_pending = doomed.intersection(self._pending_ids)
+        if in_pending:
+            kept = [
+                (item_id, vector)
+                for item_id, vector in zip(self._pending_ids, self._pending_vectors)
+                if item_id not in in_pending
+            ]
+            self._pending_ids = [item_id for item_id, _ in kept]
+            self._pending_vectors = [vector for _, vector in kept]
+            self._pending_block = None
+            doomed -= in_pending
+        self._tombstones.update(doomed)
+
+    def _maybe_rebuild(self) -> None:
+        """Rebuild once the overlay outgrows its threshold.
+
+        The trigger is ``pending + tombstones >= max(rebuild_min,
+        rebuild_threshold * core_size)`` — rebuild cost is amortized
+        over at least that many mutations, and per-query overlay cost
+        (one batched scan of the pending buffer) stays bounded.
+        """
+        overlay = len(self._pending_ids) + len(self._tombstones)
+        if overlay and overlay >= max(
+            self.rebuild_min, self.rebuild_threshold * len(self._ids)
+        ):
+            self.rebuild()
+
+    def _append_core(self, ids: list[int], vectors: np.ndarray) -> None:
+        """Extend the validated core arrays (for in-place growers)."""
+        assert self._vectors is not None
+        extended = np.vstack([self._vectors, vectors])
+        extended.setflags(write=False)
+        self._vectors = extended
+        self._ids.extend(ids)
+
+    def _remove_core(self, ids: list[int]) -> np.ndarray:
+        """Drop rows by id from the core arrays.
+
+        Returns the kept row indices (relative to the old layout) so
+        subclasses can slice their own parallel arrays the same way.
+        """
+        assert self._vectors is not None
+        doomed = set(ids)
+        keep = np.array(
+            [row for row, item_id in enumerate(self._ids) if item_id not in doomed],
+            dtype=np.intp,
+        )
+        kept_vectors = self._vectors[keep].copy()
+        kept_vectors.setflags(write=False)
+        self._vectors = kept_vectors
+        self._ids = [self._ids[row] for row in keep]
+        return keep
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
-        """All items with ``distance(item, query) <= radius``, nearest first."""
+        """All live items with ``distance(item, query) <= radius``, nearest first."""
         query = self._check_query(query)
         if radius < 0.0:
             raise IndexingError(f"radius must be non-negative; got {radius}")
         self._search_stats = SearchStats()
         self._batch_stats = []
         result = self._range_search(query, float(radius))
+        result = self._overlay_range(query, float(radius), result)
         result.sort(key=lambda nb: (nb.distance, nb.id))
         return result
 
     def knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
-        """The ``k`` nearest items (or all of them when ``k >= size``)."""
+        """The ``k`` nearest live items (or all of them when ``k >= size``)."""
         query = self._check_query(query)
         if k < 1:
             raise IndexingError(f"k must be >= 1; got {k}")
         self._search_stats = SearchStats()
         self._batch_stats = []
-        result = self._knn_search(query, int(k))
+        result = self._knn_search(query, self._structural_k(int(k)))
+        result = self._overlay_knn(query, result)
         result.sort(key=lambda nb: (nb.distance, nb.id))
-        return result
+        return result[: int(k)]
 
     def range_search_batch(
         self, queries: np.ndarray, radius: float
@@ -192,7 +411,12 @@ class MetricIndex(ABC):
         queries = self._check_query_batch(queries)
         if radius < 0.0:
             raise IndexingError(f"radius must be non-negative; got {radius}")
-        return self._range_search_batch(queries, float(radius))
+        results = self._range_search_batch(queries, float(radius))
+        return self._overlay_batch(
+            queries,
+            results,
+            lambda query, result: self._overlay_range(query, float(radius), result),
+        )
 
     def knn_search_batch(self, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
         """``knn_search`` for every row of ``queries``; one list per row.
@@ -204,7 +428,91 @@ class MetricIndex(ABC):
         queries = self._check_query_batch(queries)
         if k < 1:
             raise IndexingError(f"k must be >= 1; got {k}")
-        return self._knn_search_batch(queries, int(k))
+        results = self._knn_search_batch(queries, self._structural_k(int(k)))
+        return self._overlay_batch(
+            queries, results, self._overlay_knn, truncate=int(k)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation overlay applied to query results
+    # ------------------------------------------------------------------
+    def _structural_k(self, k: int) -> int:
+        """k to request from the structure so ``k`` *live* answers survive.
+
+        Tombstoned items still occupy the structure; asking for
+        ``k + n_tombstones`` guarantees the structural result retains
+        the true top-``k`` live items after filtering (at most
+        ``n_tombstones`` of the returned entries can be dead).
+        """
+        return k + len(self._tombstones)
+
+    def _overlay_range(
+        self, query: np.ndarray, radius: float, result: list[Neighbor]
+    ) -> list[Neighbor]:
+        """Drop tombstoned hits; scan the pending buffer into ``result``.
+
+        The pending scan goes through :meth:`_dist_batch`, so its
+        ``len(pending)`` evaluations are counted in the current query's
+        stats — the overlay is measured cost, not hidden cost.
+        """
+        if self._tombstones:
+            result = [nb for nb in result if nb.id not in self._tombstones]
+        if self._pending_ids:
+            distances = self._dist_batch(query, self._pending_matrix())
+            result.extend(
+                Neighbor(item_id, float(d))
+                for item_id, d in zip(self._pending_ids, distances.tolist())
+                if d <= radius
+            )
+        return result
+
+    def _overlay_knn(
+        self, query: np.ndarray, result: list[Neighbor]
+    ) -> list[Neighbor]:
+        """Drop tombstoned hits; merge the whole pending buffer.
+
+        Callers sort the merged candidates by ``(distance, id)`` and
+        truncate to the requested ``k`` — the same tie-break a fresh
+        build over the live set produces.
+        """
+        if self._tombstones:
+            result = [nb for nb in result if nb.id not in self._tombstones]
+        if self._pending_ids:
+            distances = self._dist_batch(query, self._pending_matrix())
+            result.extend(
+                Neighbor(item_id, float(d))
+                for item_id, d in zip(self._pending_ids, distances.tolist())
+            )
+        return result
+
+    def _overlay_batch(self, queries, results, merge_one, truncate: int | None = None):
+        """Apply the mutation overlay per query of a finished batch.
+
+        The subclass hooks have already filled ``_batch_stats``; each
+        query's pending-buffer scan is counted into *its* stats entry,
+        and the aggregate is recomputed afterwards.
+        """
+        if not (self._tombstones or self._pending_ids):
+            return results
+        per_query = self._batch_stats
+        for i in range(queries.shape[0]):
+            self._search_stats = per_query[i]
+            merged = merge_one(queries[i], results[i])
+            merged.sort(key=lambda nb: (nb.distance, nb.id))
+            results[i] = merged if truncate is None else merged[:truncate]
+        total = SearchStats()
+        for stats in per_query:
+            total.merge(stats)
+        self._search_stats = total
+        return results
+
+    def _pending_matrix(self) -> np.ndarray:
+        """The pending buffer as one cached contiguous ``(p, d)`` block."""
+        if self._pending_block is None:
+            self._pending_block = np.ascontiguousarray(
+                np.stack(self._pending_vectors)
+            )
+        return self._pending_block
 
     def _range_search_batch(
         self, queries: np.ndarray, radius: float

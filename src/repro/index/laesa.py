@@ -67,19 +67,23 @@ class LAESAIndex(MetricIndex):
             raise IndexingError(f"n_pivots must be >= 1; got {n_pivots}")
         self._n_pivots = n_pivots
         self._seed = seed
+        #: Table row of each pivot object, -1 once the object was deleted
+        #: (its column survives — a pivot is just a reference anchor).
         self._pivot_rows: list[int] = []
+        self._pivot_ids: list[int] = []
         self._pivot_table: np.ndarray | None = None  # (n, m) distances
         self._pivot_vectors: np.ndarray | None = None  # (m, d) pivot rows
 
     @property
     def n_pivots(self) -> int:
-        """Number of pivots actually used (capped at the data size)."""
+        """Number of pivots actually used (capped at the build size)."""
         return len(self._pivot_rows)
 
     @property
     def pivot_ids(self) -> list[int]:
-        """Ids of the chosen pivot objects."""
-        return [self._ids[row] for row in self._pivot_rows]
+        """Ids of the chosen pivot objects (kept even after deletion —
+        the pivot columns remain valid lower-bound anchors)."""
+        return list(self._pivot_ids)
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,10 +115,43 @@ class LAESAIndex(MetricIndex):
             table[:, column] = self._build_dist_batch(vectors[row], vectors)
 
         self._pivot_rows = pivot_rows
+        self._pivot_ids = [ids[row] for row in pivot_rows]
         self._pivot_table = table
         self._pivot_vectors = vectors[pivot_rows].copy()
         self._build_stats.n_leaves = 1
         self._build_stats.extra["n_pivots"] = len(pivot_rows)
+
+    def _insert_batch(self, ids: list[int], vectors: np.ndarray) -> None:
+        """True dynamic insertion: one new table row per object.
+
+        Each inserted object costs exactly ``m`` metric evaluations (its
+        distance to every pivot), counted in :attr:`build_stats` — the
+        same per-object table cost the initial build pays.
+        """
+        assert self._pivot_table is not None and self._pivot_vectors is not None
+        block = np.ascontiguousarray(vectors)
+        new_rows = np.empty((block.shape[0], len(self._pivot_rows)))
+        for column in range(len(self._pivot_rows)):
+            new_rows[:, column] = self._build_dist_batch(
+                self._pivot_vectors[column], block
+            )
+        self._pivot_table = np.vstack([self._pivot_table, new_rows])
+        self._append_core(ids, vectors)
+
+    def _delete(self, ids: list[int]) -> None:
+        """True deletion: the rows leave the table and the scan.
+
+        A deleted pivot *object* stays a reference anchor (its column and
+        stored vector survive); only its free exact distance at query
+        time is lost, marked by a -1 row index.
+        """
+        assert self._pivot_table is not None
+        keep = self._remove_core(ids)
+        self._pivot_table = self._pivot_table[keep]
+        row_of = {item_id: row for row, item_id in enumerate(self._ids)}
+        self._pivot_rows = [
+            row_of.get(pivot_id, -1) for pivot_id in self._pivot_ids
+        ]
 
     # ------------------------------------------------------------------
     # Shared query machinery
@@ -132,7 +169,9 @@ class LAESAIndex(MetricIndex):
         pivot_distances = self._dist_batch(query, self._pivot_vectors)
         bounds = np.abs(self._pivot_table - pivot_distances[None, :]).max(axis=1)
         known = {
-            row: float(d) for row, d in zip(self._pivot_rows, pivot_distances)
+            row: float(d)
+            for row, d in zip(self._pivot_rows, pivot_distances)
+            if row >= 0  # a deleted pivot object has no table row
         }
         return bounds, known
 

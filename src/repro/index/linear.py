@@ -35,6 +35,15 @@ class LinearScanIndex(MetricIndex):
         self._build_stats.n_leaves = 1
         self._build_stats.depth = 0
 
+    def _insert_batch(self, ids: list[int], vectors: np.ndarray) -> None:
+        # The arrays *are* the structure, so insertion is a row append —
+        # no pending buffer, no extra query cost.
+        self._append_core(ids, vectors)
+
+    def _delete(self, ids: list[int]) -> None:
+        # True deletion: the rows leave the scan entirely.
+        self._remove_core(ids)
+
     def _scan(self, query: np.ndarray) -> np.ndarray:
         """All N distances in one counted batch evaluation."""
         assert self._vectors is not None

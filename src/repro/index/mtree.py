@@ -155,9 +155,11 @@ class MTree(MetricIndex):
     -----
     ``build(ids, vectors)`` performs sequential insertions, so build cost
     is directly comparable with the static trees' bulk construction, and
-    :meth:`insert` keeps working after the initial build — the property
-    the static indexes lack.  Deletion is not supported (the era's
-    implementations handled it by tombstoning in the catalog layer).
+    :meth:`insert` / :meth:`MetricIndex.insert_batch` keep working after
+    the initial build — the property the static indexes lack.  Deletion
+    tombstones through the base class's overlay (exactly how the era's
+    implementations handled it, at the catalog layer) until the
+    threshold rebuild reclaims the pages; see ``docs/mutability.md``.
     """
 
     def __init__(
@@ -242,6 +244,9 @@ class MTree(MetricIndex):
     def insert(self, item_id: int, vector: np.ndarray) -> None:
         """Insert one object into an already-built tree.
 
+        Scalar convenience over :meth:`MetricIndex.insert_batch` (the
+        tree grows through the same descend-and-split path either way).
+
         Raises
         ------
         IndexingError
@@ -250,21 +255,20 @@ class MTree(MetricIndex):
         """
         if not self.is_built or self._vectors is None:
             raise IndexingError("insert() requires a built index; call build() first")
-        item_id = int(item_id)
-        if item_id in set(self._ids):
-            raise IndexingError(f"id {item_id} is already indexed")
         vector = np.asarray(vector, dtype=np.float64).ravel()
-        if vector.shape != (self._vectors.shape[1],):
-            raise IndexingError(
-                f"vector has dim {vector.size}, index expects {self._vectors.shape[1]}"
-            )
-        if not np.all(np.isfinite(vector)):
-            raise IndexingError("vector contains non-finite values")
-        self._insert(item_id, vector)
-        self._ids.append(item_id)
-        extended = np.vstack([self._vectors, vector[None, :]])
-        extended.setflags(write=False)
-        self._vectors = extended
+        self.insert_batch([item_id], vector[None, :])
+
+    def _insert_batch(self, ids: list[int], vectors: np.ndarray) -> None:
+        """True dynamic insertion: descend to the best leaf, split upward.
+
+        Each object pays the paper's insertion cost (one batched routing
+        evaluation per level plus any split matrices), counted in
+        :attr:`build_stats` — the structure absorbs the items
+        immediately, no pending buffer.
+        """
+        for item_id, vector in zip(ids, vectors):
+            self._insert(item_id, vector)
+        self._append_core(ids, vectors)
 
     def _insert(self, item_id: int, vector: np.ndarray) -> None:
         if self._root is None:

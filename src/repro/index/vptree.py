@@ -249,8 +249,14 @@ class VPTree(MetricIndex):
             Relative slack: children are pruned unless they could contain
             an item closer than ``tau / (1 + epsilon)``.  ``0`` is exact.
         max_distance_computations:
-            Hard cap on metric evaluations for this query; when reached,
-            unexpanded subtrees are abandoned.  ``None`` means unlimited.
+            Hard cap on *tree-traversal* metric evaluations for this
+            query; when reached, unexpanded subtrees are abandoned.
+            ``None`` means unlimited.  On a mutated index the pending
+            buffer is always scanned in full regardless — those
+            evaluations are counted in ``last_stats`` but not charged
+            against the budget, so the total count can exceed the cap
+            by up to ``n_pending`` (correctness over the live item set
+            is never traded away; see ``docs/mutability.md``).
         """
         query = self._check_query(query)
         if k < 1:
@@ -261,9 +267,16 @@ class VPTree(MetricIndex):
             raise IndexingError("max_distance_computations must be >= 1")
         self._search_stats = SearchStats()
         self._batch_stats = []
-        result = self._knn_impl(query, k, epsilon, max_distance_computations)
+        result = self._knn_impl(
+            query, self._structural_k(int(k)), epsilon, max_distance_computations
+        )
+        # The mutation overlay stays exact even in approximate mode:
+        # tombstoned hits drop out and the pending buffer is always
+        # scanned in full (its evaluations are counted but not charged
+        # against the traversal budget, which bounds tree work only).
+        result = self._overlay_knn(query, result)
         result.sort(key=lambda nb: (nb.distance, nb.id))
-        return result
+        return result[: int(k)]
 
     def _knn_impl(
         self, query: np.ndarray, k: int, epsilon: float, budget: int | None

@@ -6,6 +6,13 @@ shines when a single caller hands it a pre-assembled query matrix.
 This package is the bridge: a serving layer that turns concurrent
 independent requests into the large batches the kernels are fast at.
 
+The database may mutate while it serves: ``submit_add`` /
+``submit_remove`` (HTTP: ``POST /add`` / ``POST /remove``) ride the
+same admission queue as queries and apply on the worker thread as
+barriers between query segments, and cached results are stamped with
+per-feature generations so a mutation invalidates exactly the entries
+it staled — lazily, never a global flush (``docs/mutability.md``).
+
 ================================  =======================================
 Component                          Role
 ================================  =======================================
@@ -14,31 +21,41 @@ Component                          Role
                                    feature, parameter) and answers each
                                    group with one batched engine call;
                                    results are bit-identical to direct
-                                   ``ImageDatabase`` queries
+                                   ``ImageDatabase`` queries; mutations
+                                   serialize with query batches
+:class:`MutationResult`            what an add/remove future resolves to
+                                   (ids, post-mutation generations)
 :class:`ResultCache`               LRU over finished result lists, keyed
-                                   by a quantized signature digest
+                                   by a quantized signature digest and
+                                   stamped with the generation each entry
+                                   was computed under
 :class:`ServiceStats`              snapshot: throughput, p50/p95 latency,
-                                   formed-batch sizes, cache hit rate
+                                   formed-batch sizes, cache hit rate,
+                                   mutations, lazy cache invalidations
 :class:`QueryServer`               stdlib ``http.server`` JSON front end
                                    (``POST /query``, ``POST /range``,
+                                   ``POST /add``, ``POST /remove``,
                                    ``GET /stats``, ``GET /healthz``)
 :class:`ServiceClient`             urllib JSON client for the above
 ================================  =======================================
 
 ``python -m repro serve --db my.db`` starts the HTTP service over a
-saved database; ``examples/serve_demo.py`` drives the whole stack
-in-process.  Design notes and knob semantics: ``docs/serving.md``.
+saved database; ``examples/serve_demo.py`` drives the whole stack —
+including a live add/remove round trip — in-process.  Design notes and
+knob semantics: ``docs/serving.md``; mutation protocol:
+``docs/mutability.md``.
 """
 
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServiceClient
 from repro.serve.http import QueryServer
-from repro.serve.scheduler import QueryScheduler, ServedResult
+from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
 from repro.serve.stats import ServiceStats, StatsCollector
 
 __all__ = [
     "QueryScheduler",
     "ServedResult",
+    "MutationResult",
     "ResultCache",
     "ServiceStats",
     "StatsCollector",

@@ -1,4 +1,4 @@
-"""LRU result cache for the query service.
+"""LRU result cache with generation-stamped lazy invalidation.
 
 Interactive image search traffic is heavily repetitive — popular query
 images, retried requests, paging over the same example — so the serving
@@ -15,12 +15,27 @@ in any real corpus); pass ``quantize_decimals=None`` for exact-bytes
 keys when even that is too permissive.  Entries hold fully materialized
 :class:`~repro.db.query.RetrievalResult` lists, which are frozen
 dataclasses over an immutable catalog record — safe to hand to many
-readers.  The cache assumes a **static database** (the service serves a
-loaded snapshot); a mutating caller must :meth:`ResultCache.clear` after
-changing the database.
+readers.
 
-Hit/miss counters are monotonic and thread-safe; the scheduler folds
-them into its :class:`~repro.serve.stats.ServiceStats` snapshot.
+Mutable databases: generation stamps
+------------------------------------
+The database is allowed to mutate while the service runs (see
+``docs/mutability.md``).  Instead of flushing the cache on every
+mutation, each entry is stamped with the **generation** the database's
+feature was at when the result was computed
+(:meth:`~repro.db.database.ImageDatabase.generation`).  A lookup passes
+the *current* generation; a stamped entry from an older generation is
+treated as a miss, evicted on the spot, and counted in
+:attr:`ResultCache.invalidations` — invalidation is lazy and per-entry,
+never a global flush, so untouched hot entries keep serving the moment
+their feature stops changing.  Entries stored without a stamp
+(``generation=None``) never invalidate — the static-snapshot behaviour,
+still available to callers that close the scheduler around mutations
+and :meth:`ResultCache.clear` by hand.
+
+Hit/miss/invalidation counters are monotonic and thread-safe; the
+scheduler folds them into its
+:class:`~repro.serve.stats.ServiceStats` snapshot.
 """
 
 from __future__ import annotations
@@ -65,10 +80,13 @@ class ResultCache:
             )
         self._capacity = int(capacity)
         self._decimals = quantize_decimals
-        self._entries: OrderedDict[CacheKey, list[RetrievalResult]] = OrderedDict()
+        self._entries: OrderedDict[
+            CacheKey, tuple[int | None, list[RetrievalResult]]
+        ] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,8 +108,18 @@ class ResultCache:
 
     @property
     def misses(self) -> int:
-        """Lookups that fell through to the engine since construction."""
+        """Lookups that fell through to the engine since construction
+        (stale-generation evictions included — they miss too)."""
         return self._misses
+
+    @property
+    def invalidations(self) -> int:
+        """Entries evicted because their generation stamp was stale.
+
+        Every invalidation is also counted as a miss; this counter is
+        how the parity suite proves no stale result was ever served.
+        """
+        return self._invalidations
 
     @property
     def hit_rate(self) -> float:
@@ -113,6 +141,9 @@ class ResultCache:
         The vector digest is position-dependent (BLAKE2b over the
         rounded float64 bytes); ``+ 0.0`` folds ``-0.0`` into ``0.0`` so
         the two signs of zero — equal to every metric — share a key.
+        ``kind`` and ``parameter`` are part of the key tuple itself, so
+        the same vector under k-NN and range (even with ``k == radius``)
+        can never collide.
         """
         vector = np.ascontiguousarray(vector, dtype=np.float64)
         if self._decimals is not None:
@@ -123,23 +154,52 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
-    def get(self, key: CacheKey) -> list[RetrievalResult] | None:
-        """The cached results for ``key`` (a fresh list), or ``None``."""
+    def get(
+        self, key: CacheKey, generation: int | None = None
+    ) -> list[RetrievalResult] | None:
+        """The cached results for ``key`` (a fresh list), or ``None``.
+
+        ``generation`` is the caller's *current* data version for the
+        key's feature.  A stamped entry computed under a different
+        generation is stale: it is evicted, counted in
+        :attr:`invalidations`, and the lookup misses.  Passing ``None``
+        skips the check (static-snapshot callers).
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return None
+            stored_generation, results = entry
+            if (
+                generation is not None
+                and stored_generation is not None
+                and stored_generation != generation
+            ):
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return list(entry)
+            return list(results)
 
-    def put(self, key: CacheKey, results: Sequence[RetrievalResult]) -> None:
-        """Store ``results`` under ``key``, evicting the LRU tail."""
+    def put(
+        self,
+        key: CacheKey,
+        results: Sequence[RetrievalResult],
+        generation: int | None = None,
+    ) -> None:
+        """Store ``results`` under ``key``, evicting the LRU tail.
+
+        ``generation`` stamps the entry with the data version it was
+        computed under; ``None`` stores an unstamped (never-invalidated)
+        entry.
+        """
         if not self.enabled:
             return
         with self._lock:
-            self._entries[key] = list(results)
+            self._entries[key] = (generation, list(results))
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
@@ -152,5 +212,6 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache(size={len(self._entries)}/{self._capacity}, "
-            f"hits={self._hits}, misses={self._misses})"
+            f"hits={self._hits}, misses={self._misses}, "
+            f"invalidations={self._invalidations})"
         )

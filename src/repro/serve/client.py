@@ -110,6 +110,48 @@ class ServiceClient:
             payload["feature"] = feature
         return self._request("/range", payload)
 
+    def add(
+        self,
+        vectors: Sequence[Sequence[float]] | np.ndarray | None = None,
+        *,
+        signatures: dict[str, Sequence[Sequence[float]] | np.ndarray] | None = None,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> dict:
+        """``POST /add``: insert precomputed signatures into the database.
+
+        Pass ``vectors`` (an ``(n, d)`` matrix) for a single-feature
+        schema, or ``signatures`` (``{feature: matrix}`` covering every
+        schema feature).  Returns ``ids`` (allocated, in row order),
+        ``generations``, and ``latency_ms``.  The mutation serializes
+        with in-flight query batches on the server's worker.
+        """
+        payload: dict = {}
+        if vectors is not None:
+            payload["vectors"] = [
+                self._vector_payload(row) for row in np.asarray(vectors)
+            ]
+        if signatures is not None:
+            payload["signatures"] = {
+                name: [self._vector_payload(row) for row in np.asarray(rows)]
+                for name, rows in signatures.items()
+            }
+        if labels is not None:
+            payload["labels"] = list(labels)
+        if names is not None:
+            payload["names"] = list(names)
+        return self._request("/add", payload)
+
+    def remove(self, image_ids: Sequence[int]) -> dict:
+        """``POST /remove``: delete images by id.
+
+        Returns ``removed`` (the ids, in call order), ``generations``,
+        and ``latency_ms``.
+        """
+        return self._request(
+            "/remove", {"ids": [int(image_id) for image_id in image_ids]}
+        )
+
     def stats(self) -> dict:
         """``GET /stats``: the service's current counters."""
         return self._request("/stats")

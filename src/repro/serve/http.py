@@ -14,10 +14,17 @@ Endpoints
 ``POST /range``
     ``{"vector": [...], "radius": 0.5, "feature": "name"}`` → range
     results.
+``POST /add``
+    ``{"vectors": [[...], ...], "labels": [...], "names": [...]}``
+    (single-feature schema) or ``{"signatures": {feature: [[...]]}}``
+    (every schema feature) → allocated ids + new generation stamps.
+    The insert serializes with query batches on the scheduler's worker.
+``POST /remove``
+    ``{"ids": [...]}`` → removed ids + new generation stamps.
 ``GET /stats``
     The :class:`~repro.serve.stats.ServiceStats` snapshot as JSON.
 ``GET /healthz``
-    Liveness: database size, feature list, uptime.
+    Liveness: database size, feature list, generations, uptime.
 
 Query responses carry the ranked results plus the request's serving
 metadata (cache hit, group batch size, exact distance-computation
@@ -40,7 +47,7 @@ import numpy as np
 
 from repro.db.database import ImageDatabase
 from repro.errors import ReproError, ServeError
-from repro.serve.scheduler import QueryScheduler, ServedResult
+from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
 
 __all__ = ["QueryServer"]
 
@@ -67,6 +74,16 @@ def _result_payload(served: ServedResult) -> dict:
         ),
         "latency_ms": served.latency_s * 1e3,
     }
+
+
+def _mutation_payload(applied: MutationResult) -> dict:
+    """JSON form of one applied mutation."""
+    payload = {
+        "generations": applied.generations,
+        "latency_ms": applied.latency_s * 1e3,
+    }
+    payload["ids" if applied.kind == "add" else "removed"] = applied.ids
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -120,6 +137,43 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError):
             raise ServeError('"vector" must contain only numbers') from None
 
+    @staticmethod
+    def _matrix_of(value: object, field: str) -> np.ndarray:
+        if not isinstance(value, list) or not value:
+            raise ServeError(f'"{field}" must be a non-empty JSON array of rows')
+        try:
+            matrix = np.asarray(value, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ServeError(
+                f'"{field}" must be rectangular rows of numbers'
+            ) from None
+        if matrix.ndim != 2:
+            raise ServeError(f'"{field}" must be a 2-D array of rows')
+        return matrix
+
+    @classmethod
+    def _add_arguments(cls, payload: dict) -> tuple[object, list | None, list | None]:
+        """Parse a ``POST /add`` body into ``add_vectors`` arguments."""
+        vectors = payload.get("vectors")
+        signatures = payload.get("signatures")
+        if (vectors is None) == (signatures is None):
+            raise ServeError('pass exactly one of "vectors" or "signatures"')
+        if signatures is not None:
+            if not isinstance(signatures, dict) or not signatures:
+                raise ServeError('"signatures" must be a {feature: rows} object')
+            arg: object = {
+                name: cls._matrix_of(rows, f"signatures[{name}]")
+                for name, rows in signatures.items()
+            }
+        else:
+            arg = cls._matrix_of(vectors, "vectors")
+        labels = payload.get("labels")
+        names = payload.get("names")
+        for field, value in (("labels", labels), ("names", names)):
+            if value is not None and not isinstance(value, list):
+                raise ServeError(f'"{field}" must be a JSON array')
+        return arg, labels, names
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
@@ -133,6 +187,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "images": len(db),
                     "features": list(db.schema.names),
+                    "generations": db.generations(),
                     "uptime_s": scheduler.stats().uptime_s,
                 },
             )
@@ -142,28 +197,47 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path not in ("/query", "/range"):
+        if self.path not in ("/query", "/range", "/add", "/remove"):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         scheduler = self.server.scheduler
         try:
             payload = self._read_json()
-            vector = self._vector_of(payload)
-            feature = payload.get("feature")
-            if feature is not None and not isinstance(feature, str):
-                raise ServeError('"feature" must be a string')
-            if self.path == "/query":
-                k = payload.get("k", 10)
-                if not isinstance(k, int) or isinstance(k, bool):
-                    raise ServeError('"k" must be an integer')
-                future = scheduler.submit_query(vector, k, feature=feature)
-            else:
-                radius = payload.get("radius")
-                if not isinstance(radius, (int, float)) or isinstance(radius, bool):
-                    raise ServeError('"radius" must be a number')
-                future = scheduler.submit_range(
-                    vector, float(radius), feature=feature
+            if self.path == "/add":
+                signatures, labels, names = self._add_arguments(payload)
+                future = scheduler.submit_add(
+                    signatures, labels=labels, names=names  # type: ignore[arg-type]
                 )
+            elif self.path == "/remove":
+                ids = payload.get("ids")
+                if (
+                    not isinstance(ids, list)
+                    or not ids
+                    or not all(
+                        isinstance(i, int) and not isinstance(i, bool) for i in ids
+                    )
+                ):
+                    raise ServeError('"ids" must be a non-empty array of integers')
+                future = scheduler.submit_remove(ids)
+            else:
+                vector = self._vector_of(payload)
+                feature = payload.get("feature")
+                if feature is not None and not isinstance(feature, str):
+                    raise ServeError('"feature" must be a string')
+                if self.path == "/query":
+                    k = payload.get("k", 10)
+                    if not isinstance(k, int) or isinstance(k, bool):
+                        raise ServeError('"k" must be an integer')
+                    future = scheduler.submit_query(vector, k, feature=feature)
+                else:
+                    radius = payload.get("radius")
+                    if not isinstance(radius, (int, float)) or isinstance(
+                        radius, bool
+                    ):
+                        raise ServeError('"radius" must be a number')
+                    future = scheduler.submit_range(
+                        vector, float(radius), feature=feature
+                    )
         except ServeError as error:
             status = 503 if "queue full" in str(error) else 400
             self._send_json(status, {"error": str(error)})
@@ -176,7 +250,10 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as error:
             self._send_json(400, {"error": str(error)})
             return
-        self._send_json(200, _result_payload(served))
+        if isinstance(served, MutationResult):
+            self._send_json(200, _mutation_payload(served))
+        else:
+            self._send_json(200, _result_payload(served))
 
 
 class _Server(ThreadingHTTPServer):
@@ -196,7 +273,10 @@ class QueryServer:
     Parameters
     ----------
     db:
-        The (static) database to serve.
+        The database to serve.  ``POST /add`` / ``POST /remove`` mutate
+        it while serving (serialized with query batches on the
+        scheduler's worker); cached results are generation-stamped so a
+        stale entry is never returned.
     host, port:
         Bind address; ``port=0`` picks a free ephemeral port —
         :attr:`address` reports the real one.

@@ -25,22 +25,39 @@ Request lifecycle::
     submit_query/submit_range
       ├─ validate (feature, k/radius, dimensionality) — errors raise
       │  in the caller, never poison a batch
-      ├─ cache lookup — a hit resolves the future immediately
+      ├─ cache lookup at the current generation — a fresh hit resolves
+      │  the future immediately; a stale-generation entry is evicted
+      │  (counted) and the request proceeds
       └─ enqueue (bounded; ServeError when full) ──► worker
-                                                      ├─ collect ≤ max_batch
-                                                      │  for ≤ max_wait_ms
-                                                      ├─ group by (kind,
-                                                      │  feature, parameter)
-                                                      ├─ dedup byte-identical
-                                                      │  vectors inside each
-                                                      │  group (evaluated once,
-                                                      │  fanned to every future)
+    submit_add/submit_remove                          ├─ collect ≤ max_batch
+      └─ enqueue (same queue, same                    │  for ≤ max_wait_ms
+         bound) ─────────────────────────────────────►├─ replay arrival order:
+                                                      │  queries coalesce into
+                                                      │  segments, a mutation
+                                                      │  is a barrier between
+                                                      │  them
+                                                      ├─ per segment: group by
+                                                      │  (kind, feature,
+                                                      │  parameter), dedup
+                                                      │  byte-identical vectors
                                                       ├─ one engine call per
                                                       │  group; per-request
                                                       │  stats attributed from
                                                       │  index.last_batch_stats
-                                                      └─ resolve futures,
-                                                         fill cache
+                                                      └─ resolve futures; fill
+                                                         cache stamped with the
+                                                         feature's generation
+
+**Mutations serialize with query batches.**  ``submit_add`` /
+``submit_remove`` ride the same admission queue as queries and are
+applied by the same single worker thread, in arrival order: every query
+admitted before a mutation is answered against the pre-mutation
+database, every query admitted after it against the post-mutation one —
+the service is linearizable without a single lock reaching the engine.
+Results are cached stamped with the feature's
+:meth:`~repro.db.database.ImageDatabase.generation` at execution time;
+a later lookup under a newer generation lazily evicts the entry
+(``ServiceStats.cache_invalidations``) instead of flushing the cache.
 
 The worker is a single thread, so the underlying ``ImageDatabase`` and
 its indexes are only ever touched serially — no locks reach the engine,
@@ -54,6 +71,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -65,7 +83,7 @@ from repro.index.stats import SearchStats
 from repro.serve.cache import CacheKey, ResultCache
 from repro.serve.stats import ServiceStats, StatsCollector
 
-__all__ = ["ServedResult", "QueryScheduler"]
+__all__ = ["ServedResult", "MutationResult", "QueryScheduler"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +116,29 @@ class ServedResult:
     latency_s: float
 
 
+@dataclass(frozen=True)
+class MutationResult:
+    """What an add/remove request's future resolves to.
+
+    Attributes
+    ----------
+    kind:
+        ``'add'`` or ``'remove'``.
+    ids:
+        The image ids allocated (add) or removed (remove), in order.
+    generations:
+        Every feature's generation stamp *after* the mutation applied —
+        what subsequent cached results will be validated against.
+    latency_s:
+        Submit-to-application wall time.
+    """
+
+    kind: str
+    ids: list[int]
+    generations: dict[str, int]
+    latency_s: float
+
+
 class _Request:
     """One admitted query riding the queue to the worker."""
 
@@ -120,6 +161,30 @@ class _Request:
         self.submitted = time.monotonic()
 
 
+class _Mutation:
+    """One admitted add/remove riding the same queue as the queries.
+
+    Its position in the queue *is* its serialization point: the worker
+    applies it between the query segments that arrived around it.
+    """
+
+    __slots__ = ("kind", "payload", "labels", "names", "future", "submitted")
+
+    def __init__(
+        self,
+        kind: str,
+        payload: object,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.labels = labels
+        self.names = names
+        self.future: Future[MutationResult] = Future()
+        self.submitted = time.monotonic()
+
+
 #: Queue sentinel: drain what is already admitted, then stop.
 _SHUTDOWN = None
 
@@ -130,8 +195,11 @@ class QueryScheduler:
     Parameters
     ----------
     db:
-        The database to serve.  The scheduler assumes a static snapshot
-        (serving is read-only); mutate it only with the scheduler closed.
+        The database to serve.  It may mutate while serving — but only
+        through :meth:`submit_add` / :meth:`submit_remove`, which
+        serialize with query batches on the worker thread.  Mutating
+        the database directly while the scheduler is running would race
+        the worker; do that only with the scheduler closed.
     max_batch:
         Largest formed batch (default 32).  ``1`` degenerates to
         one-request-at-a-time handling — the benchmark baseline.
@@ -174,7 +242,9 @@ class QueryScheduler:
         self._db = db
         self._max_batch = int(max_batch)
         self._max_wait_s = float(max_wait_ms) / 1e3
-        self._queue: queue.Queue[_Request | None] = queue.Queue(maxsize=max_queue)
+        self._queue: queue.Queue[_Request | _Mutation | None] = queue.Queue(
+            maxsize=max_queue
+        )
         self._cache = ResultCache(cache_size, quantize_decimals=quantize_decimals)
         self._stats = StatsCollector()
         self._closed = False
@@ -253,6 +323,7 @@ class QueryScheduler:
             queue_depth=self._queue.qsize(),
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
+            cache_invalidations=self._cache.invalidations,
         )
 
     # ------------------------------------------------------------------
@@ -303,7 +374,10 @@ class QueryScheduler:
         key = None
         if self._cache.enabled:
             key = self._cache.key(kind, feature, parameter, vector)
-            cached = self._cache.get(key)
+            # The generation check makes the hit safe under mutation: a
+            # result computed under an older item set is evicted here
+            # (counted as an invalidation) instead of being served.
+            cached = self._cache.get(key, self._db.generation(feature))
             if cached is not None:
                 future: Future[ServedResult] = Future()
                 latency = time.monotonic() - started
@@ -315,6 +389,45 @@ class QueryScheduler:
 
         request = _Request(kind, feature, parameter, vector, key)
         request.submitted = started
+        self._enqueue(request)
+        return request.future
+
+    def submit_add(
+        self,
+        signatures: Mapping[str, np.ndarray] | np.ndarray,
+        *,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> Future[MutationResult]:
+        """Admit an insert of precomputed signatures; future of ids.
+
+        ``signatures`` follows :meth:`ImageDatabase.add_vectors`: a
+        ``{feature: (n, d) matrix}`` mapping covering every schema
+        feature, or a bare matrix for a single-feature schema.  The
+        mutation applies on the worker thread, strictly ordered with
+        query batches; validation errors resolve the returned future
+        exceptionally and never poison queued queries.
+        """
+        return self._submit_mutation(_Mutation("add", signatures, labels, names))
+
+    def submit_remove(self, image_ids: Sequence[int]) -> Future[MutationResult]:
+        """Admit a removal by image id; future of the removed ids.
+
+        Serialized with query batches like :meth:`submit_add`; an
+        unknown id fails only this future (the database validates every
+        id before touching anything).
+        """
+        return self._submit_mutation(
+            _Mutation("remove", [int(image_id) for image_id in image_ids])
+        )
+
+    def _submit_mutation(self, mutation: _Mutation) -> Future[MutationResult]:
+        if self._closed:
+            raise ServeError("scheduler is closed")
+        self._enqueue(mutation)
+        return mutation.future
+
+    def _enqueue(self, item: "_Request | _Mutation") -> None:
         # The closed-check and the enqueue share the lock close() takes
         # before posting the shutdown sentinel, so a request can never
         # land *behind* the sentinel and strand its future.
@@ -322,14 +435,13 @@ class QueryScheduler:
             if self._closed:
                 raise ServeError("scheduler is closed")
             try:
-                self._queue.put_nowait(request)
+                self._queue.put_nowait(item)
             except queue.Full:
                 self._stats.record_rejected()
                 raise ServeError(
                     f"admission queue full ({self._queue.maxsize} requests); "
                     f"retry later or raise max_queue"
                 ) from None
-        return request.future
 
     # ------------------------------------------------------------------
     # Worker: batch forming + execution
@@ -360,9 +472,64 @@ class QueryScheduler:
                 batch.append(more)
             self._execute(batch)
 
-    def _execute(self, batch: list[_Request]) -> None:
+    def _execute(self, batch: list["_Request | _Mutation"]) -> None:
+        """Replay one formed batch in arrival order.
+
+        Queries coalesce into segments; each mutation is a barrier
+        between them — queries admitted before it are answered against
+        the pre-mutation database, queries after it against the
+        post-mutation one.  One formed batch still records one
+        ``record_batch`` (queries only), so the coalescing figures keep
+        their meaning under mixed traffic.
+        """
+        n_queries = 0
+        group_sizes: list[int] = []
+        segment: list[_Request] = []
+        for item in batch:
+            if isinstance(item, _Mutation):
+                if segment:
+                    group_sizes.extend(self._execute_queries(segment))
+                    n_queries += len(segment)
+                    segment = []
+                self._apply_mutation(item)
+            else:
+                segment.append(item)
+        if segment:
+            group_sizes.extend(self._execute_queries(segment))
+            n_queries += len(segment)
+        if n_queries:
+            self._stats.record_batch(n_queries, group_sizes)
+
+    def _apply_mutation(self, mutation: _Mutation) -> None:
+        if not mutation.future.set_running_or_notify_cancel():
+            return
+        try:
+            if mutation.kind == "add":
+                ids = self._db.add_vectors(
+                    mutation.payload,  # type: ignore[arg-type]
+                    labels=mutation.labels,
+                    names=mutation.names,
+                )
+            else:
+                records = self._db.remove(mutation.payload)  # type: ignore[arg-type]
+                ids = [record.image_id for record in records]
+        except Exception as error:
+            mutation.future.set_exception(error)
+            return
+        self._stats.record_mutation()
+        mutation.future.set_result(
+            MutationResult(
+                kind=mutation.kind,
+                ids=ids,
+                generations=self._db.generations(),
+                latency_s=time.monotonic() - mutation.submitted,
+            )
+        )
+
+    def _execute_queries(self, segment: list[_Request]) -> list[int]:
+        """Run one mutation-free query segment; returns its group sizes."""
         groups: dict[tuple[str, str, int | float], list[_Request]] = {}
-        for request in batch:
+        for request in segment:
             groups.setdefault(
                 (request.kind, request.feature, request.parameter), []
             ).append(request)
@@ -408,10 +575,14 @@ class QueryScheduler:
                     request.future.set_exception(error)
                 continue
             per_slot_stats = self._db.index_for(feature).last_batch_stats
+            # Stamp cached entries with the generation the engine call
+            # ran under — the worker serializes mutations, so this read
+            # cannot race a concurrent add/remove.
+            generation = self._db.generation(feature)
             for request, slot in zip(live, assignment):
                 results = result_lists[slot]
                 if request.key is not None:
-                    self._cache.put(request.key, results)
+                    self._cache.put(request.key, results, generation)
                 latency = time.monotonic() - request.submitted
                 request.future.set_result(
                     ServedResult(
@@ -423,9 +594,7 @@ class QueryScheduler:
                     )
                 )
                 self._stats.record_completed(latency)
-        self._stats.record_batch(
-            len(batch), [len(members) for members in groups.values()]
-        )
+        return [len(members) for members in groups.values()]
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("running" if self._started else "staged")

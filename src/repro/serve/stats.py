@@ -64,8 +64,17 @@ class ServiceStats:
         formed batch*: the group's engine call evaluated their shared
         vector once and fanned the (bit-identical) results out to every
         duplicate's future.
+    mutations:
+        Add/remove requests the worker has applied (failed mutations —
+        e.g. removing an unknown id — are not counted; their futures
+        carry the error instead).
     cache_hits, cache_misses, cache_hit_rate:
         Result-cache counters (misses equal engine executions).
+    cache_invalidations:
+        Cached entries evicted because their generation stamp no longer
+        matched the database — the count of *prevented* stale answers.
+        Every invalidation is also a miss, so hits + misses still
+        partition the lookups.
     throughput_qps:
         Completed requests per second of uptime.
     latency_mean_ms, latency_p50_ms, latency_p95_ms:
@@ -81,9 +90,11 @@ class ServiceStats:
     mean_batch_size: float
     mean_group_size: float
     dedup_hits: int
+    mutations: int
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    cache_invalidations: int
     throughput_qps: float
     latency_mean_ms: float
     latency_p50_ms: float
@@ -110,6 +121,7 @@ class StatsCollector:
         self._groups = 0
         self._group_size_total = 0
         self._dedup_hits = 0
+        self._mutations = 0
         self._latencies: deque[float] = deque(maxlen=window)
 
     def record_submitted(self) -> None:
@@ -137,8 +149,18 @@ class StatsCollector:
         with self._lock:
             self._dedup_hits += count
 
+    def record_mutation(self) -> None:
+        """The worker applied one add/remove request."""
+        with self._lock:
+            self._mutations += 1
+
     def snapshot(
-        self, *, queue_depth: int, cache_hits: int, cache_misses: int
+        self,
+        *,
+        queue_depth: int,
+        cache_hits: int,
+        cache_misses: int,
+        cache_invalidations: int = 0,
     ) -> ServiceStats:
         """Assemble a :class:`ServiceStats` from the current counters."""
         with self._lock:
@@ -162,9 +184,11 @@ class StatsCollector:
                     self._group_size_total / self._groups if self._groups else 0.0
                 ),
                 dedup_hits=self._dedup_hits,
+                mutations=self._mutations,
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,
                 cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+                cache_invalidations=cache_invalidations,
                 throughput_qps=self._completed / uptime if uptime > 0.0 else 0.0,
                 latency_mean_ms=mean_ms,
                 latency_p50_ms=1e3 * _nearest_rank(window, 0.50),

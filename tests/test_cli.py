@@ -160,3 +160,22 @@ class TestQueryCommand:
 
     def test_module_entry_point_exists(self):
         import repro.__main__  # noqa: F401  (import must succeed)
+
+
+class TestServeHelp:
+    def test_serve_help_epilog_points_at_docs(self, capsys):
+        # The epilog is the discoverability hook for the serving docs
+        # and the documented SIGTERM exit-code contract.
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "docs/serving.md" in out
+        assert "docs/mutability.md" in out
+        assert "SIGTERM" in out and "code 0" in out
+
+    def test_serve_help_lists_mutation_endpoints(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "/add" in out and "/remove" in out

@@ -1,0 +1,360 @@
+"""The index mutation protocol: insert_batch / delete / rebuild.
+
+The pinned contract (``docs/mutability.md``):
+
+* **live-set exactness** — after any interleaving of ``insert_batch``
+  and ``delete`` calls, every query entry point (scalar, batched, the
+  VP-tree's approximate mode, the Antipole's ids-only range) returns
+  results bit-identical (ids *and* distance floats, same tie-breaks)
+  to a fresh index built over the same final item set;
+* **measured cost** — the pending-buffer overlay is counted: an
+  externally wrapped :class:`~repro.metrics.base.CountingMetric` and
+  the index's own ``SearchStats`` agree exactly, mutations or not, and
+  batched per-query counters equal their scalar counterparts;
+* **threshold rebuild** — the overlay folds back into the structure
+  once ``pending + tombstones`` passes the configured threshold;
+* **validation** — duplicate/unknown ids, wrong dimensionality, and
+  non-finite vectors are rejected loudly, before any state changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexingError
+from repro.index import (
+    GNAT,
+    AntipoleTree,
+    FilterRefineIndex,
+    KDTree,
+    LAESAIndex,
+    LinearScanIndex,
+    MTree,
+    VPTree,
+)
+from repro.metrics.base import CountingMetric
+from repro.metrics.minkowski import EuclideanDistance, ManhattanDistance
+from repro.reduce import KLTransform
+
+DIM = 6
+
+INDEX_FACTORIES = {
+    "linear": lambda metric: LinearScanIndex(metric),
+    "vptree": lambda metric: VPTree(metric, leaf_size=4),
+    "antipole": lambda metric: AntipoleTree(metric),
+    "kdtree": lambda metric: KDTree(metric),
+    "laesa": lambda metric: LAESAIndex(metric, n_pivots=4),
+    "mtree": lambda metric: MTree(metric, capacity=4),
+    "gnat": lambda metric: GNAT(metric),
+    "filter_refine": lambda metric: FilterRefineIndex(metric, KLTransform(3)),
+}
+
+#: Structures that absorb inserts in place (no pending buffer).
+DYNAMIC_INSERT = {"linear", "laesa", "mtree"}
+#: Structures that delete rows outright (no tombstones).
+DYNAMIC_DELETE = {"linear", "laesa"}
+
+
+def _pairs(neighbors):
+    return [(nb.id, nb.distance) for nb in neighbors]
+
+
+def _mutate(index, rng, table, next_id, rounds=3):
+    """Random interleaving of inserts and deletes; updates ``table``."""
+    for _ in range(rounds):
+        if table and rng.random() < 0.5:
+            doomed = [
+                int(i)
+                for i in rng.choice(
+                    sorted(table), size=min(len(table) - 1, 4), replace=False
+                )
+            ]
+            index.delete(doomed)
+            for item_id in doomed:
+                del table[item_id]
+        count = int(rng.integers(1, 6))
+        fresh_ids = list(range(next_id, next_id + count))
+        next_id += count
+        block = rng.random((count, DIM))
+        index.insert_batch(fresh_ids, block)
+        for item_id, vector in zip(fresh_ids, block):
+            table[item_id] = vector
+    return next_id
+
+
+def _fresh(name, table, metric=None):
+    ids = sorted(table)
+    matrix = np.stack([table[item_id] for item_id in ids])
+    return INDEX_FACTORIES[name](metric or EuclideanDistance()).build(ids, matrix)
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+class TestMutationParity:
+    """Every index kind, every entry point: mutated == freshly built."""
+
+    def test_interleaved_mutations_match_fresh_build(self, name, rng):
+        n = 60
+        vectors = rng.random((n, DIM))
+        table = {i: vectors[i] for i in range(n)}
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(n)), vectors
+        )
+        _mutate(index, rng, table, next_id=1000)
+        fresh = _fresh(name, table)
+        assert index.size == fresh.size == len(table)
+
+        queries = rng.random((4, DIM))
+        for query in queries:
+            assert _pairs(index.knn_search(query, 7)) == _pairs(
+                fresh.knn_search(query, 7)
+            )
+            assert _pairs(index.range_search(query, 0.6)) == _pairs(
+                fresh.range_search(query, 0.6)
+            )
+        for got, want in zip(
+            index.knn_search_batch(queries, 7), fresh.knn_search_batch(queries, 7)
+        ):
+            assert _pairs(got) == _pairs(want)
+        for got, want in zip(
+            index.range_search_batch(queries, 0.6),
+            fresh.range_search_batch(queries, 0.6),
+        ):
+            assert _pairs(got) == _pairs(want)
+
+    def test_batch_counters_equal_scalar_after_mutations(self, name, rng):
+        n = 40
+        vectors = rng.random((n, DIM))
+        table = {i: vectors[i] for i in range(n)}
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(n)), vectors
+        )
+        # Stay below the rebuild threshold so the overlay is exercised.
+        index.delete([3, 9])
+        extra = rng.random((5, DIM))
+        index.insert_batch([900, 901, 902, 903, 904], extra)
+
+        queries = rng.random((3, DIM))
+        index.knn_search_batch(queries, 5)
+        per_query = index.last_batch_stats
+        for query, batched in zip(queries, per_query):
+            index.knn_search(query, 5)
+            assert index.last_stats == batched
+
+    def test_counting_metric_agrees_with_stats(self, name, rng):
+        if name == "kdtree":
+            pytest.skip("KDTree requires a bare Minkowski metric by design")
+        counting = CountingMetric(EuclideanDistance())
+        n = 40
+        vectors = rng.random((n, DIM))
+        index = INDEX_FACTORIES[name](counting).build(list(range(n)), vectors)
+        index.delete([1, 2])
+        index.insert_batch([800, 801, 802], rng.random((3, DIM)))
+
+        query = rng.random(DIM)
+        before = counting.count
+        index.knn_search(query, 6)
+        assert counting.count - before == index.last_stats.distance_computations
+        before = counting.count
+        index.range_search(query, 0.7)
+        assert counting.count - before == index.last_stats.distance_computations
+
+    def test_insert_validation(self, name, rng):
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(10)), rng.random((10, DIM))
+        )
+        with pytest.raises(IndexingError, match="already indexed"):
+            index.insert_batch([3], rng.random((1, DIM)))
+        with pytest.raises(IndexingError, match="dim"):
+            index.insert_batch([100], rng.random((1, DIM + 2)))
+        with pytest.raises(IndexingError, match="non-finite"):
+            index.insert_batch([100], np.full((1, DIM), np.nan))
+        with pytest.raises(IndexingError, match="duplicate"):
+            index.insert_batch([100, 100], rng.random((2, DIM)))
+        with pytest.raises(IndexingError, match="ids but"):
+            index.insert_batch([100], rng.random((2, DIM)))
+        unbuilt = INDEX_FACTORIES[name](EuclideanDistance())
+        with pytest.raises(IndexingError, match="build"):
+            unbuilt.insert_batch([0], rng.random((1, DIM)))
+
+    def test_delete_validation(self, name, rng):
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(10)), rng.random((10, DIM))
+        )
+        with pytest.raises(IndexingError, match="not indexed"):
+            index.delete([99])
+        index.delete([4])
+        with pytest.raises(IndexingError, match="not indexed"):
+            index.delete([4])  # double delete
+        with pytest.raises(IndexingError, match="duplicate"):
+            index.delete([5, 5])
+        unbuilt = INDEX_FACTORIES[name](EuclideanDistance())
+        with pytest.raises(IndexingError, match="build"):
+            unbuilt.delete([0])
+
+    def test_empty_insert_and_delete_are_noops(self, name, rng):
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(8)), rng.random((8, DIM))
+        )
+        index.insert_batch([], np.empty((0, DIM)))
+        index.delete([])
+        assert index.size == 8
+
+    def test_size_tracks_live_items(self, name, rng):
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(20)), rng.random((20, DIM))
+        )
+        index.insert_batch([500, 501], rng.random((2, DIM)))
+        assert index.size == 22
+        index.delete([0, 500])
+        assert index.size == 20
+
+
+class TestOverlayMechanics:
+    """The pending buffer / tombstone fallback, on a static tree."""
+
+    def test_static_tree_buffers_then_rebuilds_at_threshold(self, rng):
+        # Trigger: pending + tombstones >= max(rebuild_min,
+        # rebuild_threshold * core).  With 20 core items and
+        # rebuild_min=8, the threshold sits at 8 overlay entries.
+        index = VPTree(EuclideanDistance()).build(
+            list(range(20)), rng.random((20, DIM))
+        )
+        index.rebuild_min = 8  # shrink the floor for the test
+        index.insert_batch(list(range(100, 105)), rng.random((5, DIM)))
+        assert index.n_pending == 5 and index.n_tombstones == 0
+        index.delete([0, 1])
+        assert index.n_tombstones == 2
+        # 5 pending + 2 tombstones = 7 < 8: still buffered.  One more
+        # insert crosses the threshold and folds the overlay in.
+        index.insert_batch([105], rng.random((1, DIM)))
+        assert index.n_pending == 0 and index.n_tombstones == 0
+        assert index.size == 24
+
+    def test_dynamic_structures_never_buffer(self, rng):
+        for name in sorted(DYNAMIC_INSERT):
+            index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+                list(range(20)), rng.random((20, DIM))
+            )
+            index.insert_batch([300, 301], rng.random((2, DIM)))
+            assert index.n_pending == 0, name
+        for name in sorted(DYNAMIC_DELETE):
+            index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+                list(range(20)), rng.random((20, DIM))
+            )
+            index.delete([0, 19])
+            assert index.n_tombstones == 0, name
+
+    def test_explicit_rebuild_folds_overlay(self, rng):
+        index = VPTree(EuclideanDistance()).build(
+            list(range(30)), rng.random((30, DIM))
+        )
+        index.delete([2])
+        index.insert_batch([700], rng.random((1, DIM)))
+        table = {
+            nb.id: None for nb in index.range_search(np.zeros(DIM), np.inf)
+        }
+        index.rebuild()
+        assert index.n_pending == 0 and index.n_tombstones == 0
+        assert set(
+            nb.id for nb in index.range_search(np.zeros(DIM), np.inf)
+        ) == set(table)
+
+    def test_deleting_everything_yields_empty_results(self, rng):
+        index = VPTree(EuclideanDistance()).build(
+            list(range(5)), rng.random((5, DIM))
+        )
+        index.delete(list(range(5)))
+        assert index.size == 0
+        query = rng.random(DIM)
+        assert index.knn_search(query, 3) == []
+        assert index.range_search(query, 10.0) == []
+
+    def test_tombstoned_id_cannot_be_reinserted_before_rebuild(self, rng):
+        index = VPTree(EuclideanDistance()).build(
+            list(range(10)), rng.random((10, DIM))
+        )
+        index.delete([4])
+        with pytest.raises(IndexingError, match="already indexed"):
+            index.insert_batch([4], rng.random((1, DIM)))
+
+    def test_knn_at_tombstone_boundary_matches_fresh(self, rng):
+        # Regression shape: ties at the k-th distance straddling
+        # tombstones must resolve exactly like a fresh build.
+        vectors = np.zeros((6, DIM))
+        vectors[:, 0] = [0.0, 1.0, 1.0, 1.0, 1.0, 2.0]
+        index = LinearScanIndex(ManhattanDistance()).build(
+            list(range(6)), vectors
+        )
+        tree = VPTree(ManhattanDistance()).build(list(range(6)), vectors)
+        for structure in (index, tree):
+            structure.delete([1, 3])
+        table = {i: vectors[i] for i in (0, 2, 4, 5)}
+        fresh = _fresh("vptree", table, ManhattanDistance())
+        query = np.zeros(DIM)
+        for structure in (index, tree):
+            assert _pairs(structure.knn_search(query, 3)) == _pairs(
+                fresh.knn_search(query, 3)
+            )
+
+
+class TestApproximateAndVariantEntryPoints:
+    def test_vptree_approximate_covers_live_set(self, rng):
+        n = 50
+        vectors = rng.random((n, DIM))
+        index = VPTree(EuclideanDistance()).build(list(range(n)), vectors)
+        index.delete([0, 1])
+        index.insert_batch([400, 401], rng.random((2, DIM)))
+        query = rng.random(DIM)
+        exact = index.knn_search(query, 6)
+        approx = index.knn_search_approximate(query, 6, epsilon=0.0)
+        assert _pairs(approx) == _pairs(exact)
+        budgeted = index.knn_search_approximate(
+            query, 6, max_distance_computations=10
+        )
+        assert all(nb.id not in (0, 1) for nb in budgeted)
+
+    def test_antipole_ids_only_range_respects_overlay(self, rng):
+        n = 40
+        vectors = rng.random((n, DIM))
+        index = AntipoleTree(EuclideanDistance()).build(list(range(n)), vectors)
+        index.delete([5, 6])
+        index.insert_batch([600], rng.random((1, DIM)))
+        query = rng.random(DIM)
+        ids = index.range_search_ids(query, 0.8)
+        exact = [nb.id for nb in index.range_search(query, 0.8)]
+        assert sorted(ids) == sorted(exact)
+        assert 5 not in ids and 6 not in ids
+
+    def test_mtree_scalar_insert_still_works(self, rng):
+        index = MTree(EuclideanDistance()).build(
+            list(range(12)), rng.random((12, DIM))
+        )
+        vector = rng.random(DIM)
+        index.insert(99, vector)
+        assert index.size == 13
+        hit = index.knn_search(vector, 1)[0]
+        assert hit.id == 99 and hit.distance == 0.0
+
+
+class TestLAESAPivotDeletion:
+    def test_deleting_a_pivot_object_keeps_results_exact(self, rng):
+        n = 30
+        vectors = rng.random((n, DIM))
+        index = LAESAIndex(EuclideanDistance(), n_pivots=4).build(
+            list(range(n)), vectors
+        )
+        pivots = index.pivot_ids
+        index.delete(pivots[:2])  # the pivot *objects* leave the data
+        assert index.n_pivots == 4  # the anchors survive
+        assert index.pivot_ids == pivots
+        table = {i: vectors[i] for i in range(n) if i not in pivots[:2]}
+        fresh = _fresh("laesa", table)
+        query = rng.random(DIM)
+        assert _pairs(index.knn_search(query, 5)) == _pairs(
+            fresh.knn_search(query, 5)
+        )
+        assert _pairs(index.range_search(query, 0.7)) == _pairs(
+            fresh.range_search(query, 0.7)
+        )
+        assert all(nb.id not in pivots[:2] for nb in index.knn_search(query, n))

@@ -126,6 +126,79 @@ class TestResultCache:
         first.append("garbage")
         assert cache.get(key) == []
 
+    def test_capacity_one_evicts_on_every_new_key(self, rng):
+        # The degenerate LRU: each put of a new key displaces the sole
+        # occupant, and refreshing via get keeps the occupant in place.
+        cache = ResultCache(1)
+        first = cache.key("knn", "sig", 5, rng.random(_DIM))
+        second = cache.key("knn", "sig", 6, rng.random(_DIM))
+        cache.put(first, [])
+        assert cache.get(first) == []
+        cache.put(second, [])
+        assert len(cache) == 1
+        assert cache.get(first) is None  # displaced
+        assert cache.get(second) == []
+        # Re-putting the same key is an update, not an eviction.
+        cache.put(second, [])
+        assert len(cache) == 1 and cache.get(second) == []
+
+    def test_same_digest_different_kind_never_collides(self):
+        # k=5 and radius=5.0 over the same vector produce the same
+        # digest, but kind and parameter live in the key tuple itself:
+        # the two entries must coexist.
+        cache = ResultCache(4)
+        vector = np.ones(_DIM)
+        knn_key = cache.key("knn", "sig", 5, vector)
+        range_key = cache.key("range", "sig", 5.0, vector)
+        assert knn_key[3] == range_key[3]  # identical vector digest
+        assert knn_key != range_key
+        cache.put(knn_key, [])
+        assert cache.get(range_key) is None
+        cache.put(range_key, [])
+        assert len(cache) == 2
+        assert cache.get(knn_key) == [] and cache.get(range_key) == []
+
+    def test_counters_survive_clear(self, rng):
+        cache = ResultCache(4)
+        key = cache.key("knn", "sig", 5, rng.random(_DIM))
+        cache.put(key, [], generation=1)
+        assert cache.get(key, generation=1) == []
+        cache.get(key, generation=2)  # stale -> invalidation + miss
+        cache.clear()
+        assert len(cache) == 0
+        # Counters are monotonic service telemetry: clear() drops
+        # entries, never history.
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.invalidations == 1
+        assert cache.hit_rate == 0.5
+        # And the cleared cache keeps counting from where it left off.
+        assert cache.get(key) is None
+        assert cache.misses == 2
+
+    def test_generation_mismatch_evicts_and_counts(self, rng):
+        cache = ResultCache(4)
+        key = cache.key("knn", "sig", 5, rng.random(_DIM))
+        cache.put(key, [], generation=3)
+        assert cache.get(key, generation=3) == []
+        assert cache.get(key, generation=4) is None  # stale: evicted
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+        # Recomputed under the new generation, it serves again.
+        cache.put(key, [], generation=4)
+        assert cache.get(key, generation=4) == []
+
+    def test_unstamped_entries_ignore_generations(self, rng):
+        # Static-snapshot compatibility: entries stored without a stamp
+        # (and lookups without one) behave exactly as before.
+        cache = ResultCache(4)
+        key = cache.key("knn", "sig", 5, rng.random(_DIM))
+        cache.put(key, [])
+        assert cache.get(key, generation=7) == []
+        cache.put(key, [], generation=7)
+        assert cache.get(key) == []  # lookup without a stamp: no check
+        assert cache.invalidations == 0
+
 
 # ---------------------------------------------------------------------------
 # Scheduler: the concurrency parity suite
