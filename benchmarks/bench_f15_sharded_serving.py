@@ -1,0 +1,351 @@
+"""F15 — Sharded scatter-gather serving: QPS vs shard count, saturation.
+
+The scheduler's worker serializes every engine call, so a single-shard
+service tops out at one core.  Sharding splits the item set into N
+independent views queried in parallel by per-shard threads and merged
+exactly (``repro.serve.shard``) — same answers, more of the machine.
+This experiment measures what that buys on the f12 workload shape
+(closed-loop concurrent clients, popular-query pool):
+
+``shards=1 / 2 / 4``
+    Identical workload, identical scheduler knobs, cache off; only the
+    shard count changes.  Every served answer is checked bit-identical
+    against direct unsharded ``ImageDatabase.query`` calls — sharding's
+    exactness contract, enforced while the clock runs.
+
+``saturation``
+    Open-loop offered-load sweep against the best shard count: a
+    dispatcher submits at a fixed rate regardless of completions, and
+    the curve reports achieved throughput and p50/p95 latency as
+    offered load crosses capacity — the knee a capacity planner looks
+    for.
+
+``rate limiting``
+    The same scheduler with a token bucket: a burst beyond the budget
+    fails fast with :class:`~repro.errors.RateLimitError` (HTTP 429)
+    instead of queueing — the throttled count is reported.
+
+The index is a **linear scan**: its kernel is one vectorized NumPy pass
+that releases the GIL, so shard threads genuinely overlap.  (VP-tree
+traversal is Python-recursion-bound and would serialize on the GIL —
+sharding still *works* there, it just can't add CPUs.)
+
+Reproduction checks (full size, and only when the machine actually has
+>= 4 cores): 4 shards clear **3x** the single-shard throughput.  On
+smaller machines the curve is still measured and written, with
+``cpu_count`` recorded so the trajectory reader can tell "sharding
+broke" from "the container had one core" (a 1-core box caps the
+achievable speedup near 1x no matter how exact the merge is).
+
+Results go to ``benchmarks/BENCH_f15_sharded_serving.json``;
+``REPRO_BENCH_N`` shrinks everything for CI smoke (parity still bites,
+wall-clock assertions don't).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_experiment
+from repro.db.database import ImageDatabase
+from repro.errors import RateLimitError, ServeError
+from repro.eval.harness import ascii_table
+from repro.features.base import PresetSignature
+from repro.features.pipeline import FeatureSchema
+from repro.index.linear import LinearScanIndex
+from repro.serve.scheduler import QueryScheduler
+
+_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+_FULL_SIZE = _N >= 2000
+_DIM = 64
+_K = 10
+_CONCURRENCY = 16
+_REQUESTS_PER_CLIENT = 30 if _FULL_SIZE else 3
+_POOL_SIZE = max(8, (_CONCURRENCY * _REQUESTS_PER_CLIENT) // 8)
+_SHARD_COUNTS = (1, 2, 4)
+_CPUS = os.cpu_count() or 1
+
+_JSON_PATH = Path(__file__).parent / "BENCH_f15_sharded_serving.json"
+
+
+def _database() -> tuple[ImageDatabase, np.ndarray, np.ndarray]:
+    from repro.eval.datasets import gaussian_clusters
+
+    vectors, _ = gaussian_clusters(_N, _DIM, n_clusters=16, cluster_std=0.05, seed=42)
+    pool, _ = gaussian_clusters(
+        _POOL_SIZE, _DIM, n_clusters=16, cluster_std=0.05, seed=43
+    )
+    picks = np.random.default_rng(7).integers(
+        0, _POOL_SIZE, size=(_CONCURRENCY, _REQUESTS_PER_CLIENT)
+    )
+    return _build_db(vectors), pool, picks
+
+
+def _build_db(vectors: np.ndarray) -> ImageDatabase:
+    db = ImageDatabase(
+        FeatureSchema([PresetSignature(_DIM, "signature")]),
+        index_factory=lambda metric: LinearScanIndex(metric),
+    )
+    db.add_vectors(vectors)
+    db.build_indexes()
+    return db
+
+
+def _closed_loop(db: ImageDatabase, pool: np.ndarray, picks: np.ndarray, shards: int):
+    """The f12 closed-loop workload against one shard count."""
+    scheduler = QueryScheduler(
+        db,
+        max_queue=4096,
+        max_batch=_CONCURRENCY,
+        max_wait_ms=4.0,
+        cache_size=0,
+        shards=shards,
+    )
+    responses: dict[tuple[int, int], list] = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(_CONCURRENCY + 1)
+
+    def client(client_id: int) -> None:
+        barrier.wait()
+        for step, pick in enumerate(picks[client_id]):
+            served = scheduler.submit_query(pool[pick], _K).result()
+            with lock:
+                responses[(client_id, step)] = served.results
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(_CONCURRENCY)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stats = scheduler.stats()
+    scheduler.close()
+
+    assert len(responses) == _CONCURRENCY * _REQUESTS_PER_CLIENT
+    return responses, elapsed, stats
+
+
+def _open_loop(db: ImageDatabase, pool: np.ndarray, shards: int, offered_qps: float, n_requests: int):
+    """Submit at a fixed rate regardless of completions; report the knee."""
+    scheduler = QueryScheduler(
+        db,
+        max_queue=max(64, n_requests),
+        max_batch=_CONCURRENCY,
+        max_wait_ms=4.0,
+        cache_size=0,
+        shards=shards,
+    )
+    futures = []
+    interval = 1.0 / offered_qps
+    rng = np.random.default_rng(11)
+    started = time.perf_counter()
+    for i in range(n_requests):
+        target = started + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            futures.append(
+                scheduler.submit_query(pool[int(rng.integers(0, len(pool)))], _K)
+            )
+        except ServeError:
+            pass  # queue full at extreme overload — counted below
+    latencies = sorted(f.result().latency_s for f in futures)
+    elapsed = time.perf_counter() - started
+    scheduler.close()
+
+    achieved = len(latencies) / elapsed if elapsed > 0 else 0.0
+    def pct(q: float) -> float:
+        return 1e3 * latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+    return {
+        "offered_qps": offered_qps,
+        "achieved_qps": achieved,
+        "completed": len(latencies),
+        "dropped": n_requests - len(latencies),
+        "latency_p50_ms": pct(0.50) if latencies else 0.0,
+        "latency_p95_ms": pct(0.95) if latencies else 0.0,
+    }
+
+
+def _rate_limit_demo(db: ImageDatabase, pool: np.ndarray, shards: int) -> dict:
+    """Hammer a throttled scheduler; count fast 429-class refusals."""
+    scheduler = QueryScheduler(
+        db, cache_size=0, shards=shards, rate_limit_qps=50.0, rate_limit_burst=8.0
+    )
+    admitted = 0
+    throttled = 0
+    slowest_refusal = 0.0
+    futures = []
+    for i in range(64):
+        started = time.perf_counter()
+        try:
+            futures.append(scheduler.submit_query(pool[i % len(pool)], _K))
+            admitted += 1
+        except RateLimitError:
+            throttled += 1
+            slowest_refusal = max(slowest_refusal, time.perf_counter() - started)
+    for future in futures:
+        future.result()
+    scheduler.close()
+    assert throttled > 0  # a 64-deep burst must overflow an 8-token bucket
+    assert slowest_refusal < 0.1  # refusals never queue behind the bucket
+    return {
+        "burst": 64,
+        "admitted": admitted,
+        "throttled": throttled,
+        "slowest_refusal_ms": slowest_refusal * 1e3,
+    }
+
+
+def test_f15_sharded_serving(benchmark):
+    db, pool, picks = _database()
+
+    # The parity oracle: every distinct pool query answered directly by
+    # the unsharded database.  Every shard count must reproduce these
+    # bit for bit — ids, distance floats, order.
+    direct = {pick: db.query(pool[pick], _K) for pick in range(_POOL_SIZE)}
+
+    rows = []
+    by_shards: dict[str, dict] = {}
+    for shards in _SHARD_COUNTS:
+        responses, elapsed, stats = _closed_loop(db, pool, picks, shards)
+        for (client_id, step), results in responses.items():
+            assert results == direct[picks[client_id, step]], (
+                f"shards={shards}: served result diverged for client "
+                f"{client_id} step {step}"
+            )
+        qps = stats.completed / elapsed
+        balance = (
+            max(stats.shard_requests) - min(stats.shard_requests)
+            if stats.shard_requests
+            else 0
+        )
+        rows.append(
+            [
+                shards,
+                stats.completed,
+                elapsed,
+                qps,
+                stats.mean_batch_size,
+                balance,
+                stats.latency_p50_ms,
+                stats.latency_p95_ms,
+            ]
+        )
+        by_shards[str(shards)] = {
+            "qps": qps,
+            "elapsed_seconds": elapsed,
+            "requests": stats.completed,
+            "mean_batch_size": stats.mean_batch_size,
+            "shard_sizes": list(stats.shard_sizes),
+            "shard_requests": list(stats.shard_requests),
+            "latency_p50_ms": stats.latency_p50_ms,
+            "latency_p95_ms": stats.latency_p95_ms,
+        }
+
+    speedup_2 = by_shards["2"]["qps"] / by_shards["1"]["qps"]
+    speedup_4 = by_shards["4"]["qps"] / by_shards["1"]["qps"]
+    print_experiment(
+        ascii_table(
+            [
+                "shards",
+                "requests",
+                "seconds",
+                "q/s",
+                "mean batch",
+                "req imbalance",
+                "p50 ms",
+                "p95 ms",
+            ],
+            rows,
+            title=(
+                f"F15: sharded serving, {_CONCURRENCY} clients - N={_N}, "
+                f"d={_DIM}, k={_K}, linear scan, {_CPUS} cpu(s) "
+                f"(2 shards x{speedup_2:.2f}, 4 shards x{speedup_4:.2f}; "
+                f"identical results)"
+            ),
+        )
+    )
+
+    # Saturation: offered load at 0.5x / 1x / 2x the measured capacity
+    # of the best shard count.
+    best = max(_SHARD_COUNTS, key=lambda s: by_shards[str(s)]["qps"])
+    capacity = by_shards[str(best)]["qps"]
+    n_requests = _CONCURRENCY * _REQUESTS_PER_CLIENT
+    saturation = [
+        _open_loop(db, pool, best, max(4.0, capacity * factor), n_requests)
+        for factor in (0.5, 1.0, 2.0)
+    ]
+    print_experiment(
+        ascii_table(
+            ["offered q/s", "achieved q/s", "completed", "dropped", "p50 ms", "p95 ms"],
+            [
+                [
+                    point["offered_qps"],
+                    point["achieved_qps"],
+                    point["completed"],
+                    point["dropped"],
+                    point["latency_p50_ms"],
+                    point["latency_p95_ms"],
+                ]
+                for point in saturation
+            ],
+            title=f"F15: saturation curve, shards={best} (open loop)",
+        )
+    )
+
+    throttling = _rate_limit_demo(db, pool, best)
+
+    if _FULL_SIZE:
+        # Tiny smoke runs (REPRO_BENCH_N) don't pollute the trajectory.
+        _JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "f15_sharded_serving",
+                    "n": _N,
+                    "dim": _DIM,
+                    "k": _K,
+                    "concurrency": _CONCURRENCY,
+                    "requests": n_requests,
+                    "pool_size": _POOL_SIZE,
+                    "metric": "L2",
+                    "index": "linear",
+                    "cpu_count": _CPUS,
+                    "shards": by_shards,
+                    "speedup_2_shards": speedup_2,
+                    "speedup_4_shards": speedup_4,
+                    "saturation": {"best_shards": best, "curve": saturation},
+                    "rate_limiting": throttling,
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        if _CPUS >= 4:
+            # Headline acceptance — near-linear scaling to 4 shards.
+            # Gated on the hardware actually having the cores: on a
+            # 1-core container the exact same code measures ~1x and
+            # the assert would only be testing the machine.
+            assert speedup_4 >= 3.0
+            assert speedup_2 >= 1.5
+
+    # Representative op for pytest-benchmark: one scattered engine pass
+    # over a full formed batch at the best shard count.
+    from repro.serve.shard import ShardedEngine
+
+    engine = ShardedEngine(_build_db(db.feature_matrix("signature")[1]), best)
+    matrix = pool[: min(_CONCURRENCY, _POOL_SIZE)]
+    try:
+        benchmark(lambda: engine.query_batch(matrix, _K, "signature"))
+    finally:
+        engine.close()

@@ -216,7 +216,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import QueryServer
 
     db = _load(args)
-    db.build_indexes()  # pay the lazy builds before the first request
+    if args.shards == 1:
+        db.build_indexes()  # pay the lazy builds before the first request
     server = QueryServer(
         db,
         host=args.host,
@@ -224,13 +225,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
+        shards=args.shards,
+        rate_limit_qps=args.rate_limit,
     )
     host, port = server.address
     print(
         f"serving {len(db)} images on http://{host}:{port} "
-        f"(features: {', '.join(db.schema.names)}; "
+        f"(features: {', '.join(db.schema.names)}; shards={args.shards}, "
         f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms:g}, "
-        f"cache_size={args.cache_size})",
+        f"cache_size={args.cache_size}"
+        + (f", rate_limit={args.rate_limit:g}/s" if args.rate_limit else "")
+        + ")",
         flush=True,
     )
 
@@ -334,10 +339,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a database over HTTP with micro-batch coalescing "
         "(POST /query, POST /range, POST /add, POST /remove, "
-        "GET /stats, GET /healthz)",
+        "GET /stats, GET /metrics, GET /healthz)",
         epilog="The service mutates in place: POST /add and POST /remove "
         "serialize with query batches and cached results are "
         "generation-stamped, so a stale answer is never served. "
+        "With --shards N the item set is partitioned by id hash into N "
+        "independent shard views queried in parallel and merged exactly "
+        "— results stay bit-identical to --shards 1. "
         "On SIGTERM or Ctrl-C the server drains in-flight requests, "
         "prints a traffic summary, and exits with code 0. "
         "Full protocol and knob semantics: docs/serving.md "
@@ -368,6 +376,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU result-cache entries; 0 disables (default 1024)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the item set into N scatter-gather shards "
+        "queried in parallel; results stay bit-identical (default 1)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="token-bucket admission limit in requests/s; throttled "
+        "submissions get HTTP 429 (default: unlimited)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

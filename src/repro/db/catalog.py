@@ -99,6 +99,16 @@ class Catalog:
         """All image ids in insertion order."""
         return list(self._records)
 
+    @property
+    def next_id(self) -> int:
+        """The id :meth:`allocate_id` would hand out next (no allocation).
+
+        Lets an external allocator — the sharded serving layer assigns
+        globally sequential ids before routing rows to per-shard
+        catalogs — start exactly where this catalog would have.
+        """
+        return self._next_id
+
     def allocate_id(self) -> int:
         """Reserve and return the next unused id."""
         image_id = self._next_id

@@ -263,6 +263,7 @@ class ImageDatabase:
         *,
         labels: Sequence[str | None] | None = None,
         names: Sequence[str] | None = None,
+        ids: Sequence[int] | None = None,
     ) -> list[int]:
         """Bulk insert of precomputed signatures — no images, no extraction.
 
@@ -279,11 +280,61 @@ class ImageDatabase:
             has exactly one feature.
         labels, names:
             Optional per-row metadata, each of length ``n``.
+        ids:
+            Explicit image ids, one per row, each currently unused.  By
+            default ids are allocated sequentially; the sharded serving
+            layer allocates globally and passes the assignment down so a
+            row keeps the same id it would have had unsharded.
 
         Returns
         -------
         list[int]
-            The allocated image ids, in row order.
+            The image ids, in row order.
+        """
+        matrices, n_rows = self.validate_signatures(
+            signatures, labels=labels, names=names
+        )
+        if ids is not None:
+            ids = [int(image_id) for image_id in ids]
+            if len(ids) != n_rows:
+                raise QueryError(f"{len(ids)} ids for {n_rows} vectors")
+            if len(set(ids)) != len(ids):
+                raise QueryError(f"duplicate ids in add input: {ids}")
+            taken = [image_id for image_id in ids if image_id in self._catalog]
+            if taken:
+                raise QueryError(f"image id {taken[0]} is already in use")
+
+        out_ids: list[int] = []
+        for row in range(n_rows):
+            image_id = ids[row] if ids is not None else self._catalog.allocate_id()
+            record = ImageRecord(
+                image_id=image_id,
+                name=names[row] if names is not None else f"vector_{image_id}",
+                width=0,
+                height=0,
+                mode="vector",
+                label=labels[row] if labels is not None else None,
+            )
+            self._catalog.insert(record)
+            for feature, matrix in matrices.items():
+                self._vectors[feature][image_id] = matrix[row].copy()
+            out_ids.append(image_id)
+        self._register_insert(out_ids, matrices)
+        return out_ids
+
+    def validate_signatures(
+        self,
+        signatures: Mapping[str, np.ndarray] | np.ndarray,
+        *,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Validate an :meth:`add_vectors` payload without inserting it.
+
+        Returns the normalized ``{feature: (n, d) float64 matrix}``
+        mapping and the row count.  The sharded serving layer calls this
+        before splitting rows across shard views, so a malformed payload
+        fails atomically instead of partially mutating some shards.
         """
         if not isinstance(signatures, Mapping):
             if len(self._schema) != 1:
@@ -327,24 +378,7 @@ class ImageDatabase:
                 raise QueryError(
                     f"{field_name} has {len(values)} entries for {n_rows} vectors"
                 )
-
-        ids: list[int] = []
-        for row in range(n_rows):
-            image_id = self._catalog.allocate_id()
-            record = ImageRecord(
-                image_id=image_id,
-                name=names[row] if names is not None else f"vector_{image_id}",
-                width=0,
-                height=0,
-                mode="vector",
-                label=labels[row] if labels is not None else None,
-            )
-            self._catalog.insert(record)
-            for feature, matrix in matrices.items():
-                self._vectors[feature][image_id] = matrix[row].copy()
-            ids.append(image_id)
-        self._register_insert(ids, matrices)
-        return ids
+        return matrices, n_rows
 
     def remove(self, image_ids: Sequence[int]) -> list[ImageRecord]:
         """Remove images by id; returns their records, in call order.
@@ -393,6 +427,54 @@ class ImageDatabase:
             self._check_feature(feature)
             self._stale.add(feature)
             self._ensure_index(feature)
+
+    def next_image_id(self) -> int:
+        """The id the next insert would allocate (no allocation happens).
+
+        The sharded serving layer seeds its global id allocator from
+        this, so ids assigned through shards match the sequence an
+        unsharded database would have produced.
+        """
+        return self._catalog.next_id
+
+    def shard_view(self, image_ids: Sequence[int]) -> "ImageDatabase":
+        """A new database over a subset of this one's items, ids preserved.
+
+        The view shares this database's schema, metrics, and index
+        factory (all stateless configuration) but owns its own catalog,
+        vector tables, indexes, and generation stamps — it is a fully
+        independent database whose item set happens to be a subset of
+        this one's.  Records are reused as-is (they are frozen), vector
+        rows are referenced, not copied (both sides treat stored vectors
+        as immutable).  Indexes build lazily at the view's first query.
+
+        This is the constructor behind sharded scatter-gather serving
+        (``repro.serve.shard``): the item set is partitioned by id hash
+        into N views, each serving its slice with its own index set.
+
+        Raises
+        ------
+        CatalogError
+            If an id is unknown.
+        QueryError
+            If an id is repeated in ``image_ids``.
+        """
+        image_ids = [int(image_id) for image_id in image_ids]
+        if len(set(image_ids)) != len(image_ids):
+            raise QueryError(f"duplicate ids in shard_view input: {image_ids}")
+        view = ImageDatabase(
+            self._schema,
+            metrics=self._metrics,
+            index_factory=self._index_factory,
+        )
+        for image_id in image_ids:
+            record = self._catalog.get(image_id)  # raises when unknown
+            view._catalog.insert(record)
+            for feature in self._schema.names:
+                view._vectors[feature][image_id] = self._vectors[feature][image_id]
+        if image_ids:
+            view._stale.update(self._schema.names)
+        return view
 
     # ------------------------------------------------------------------
     # Queries

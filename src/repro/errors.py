@@ -18,6 +18,7 @@ __all__ = [
     "CatalogError",
     "QueryError",
     "ServeError",
+    "RateLimitError",
 ]
 
 
@@ -59,3 +60,12 @@ class QueryError(ReproError):
 
 class ServeError(ReproError):
     """The query service refused a request (queue full, closed, bad HTTP)."""
+
+
+class RateLimitError(ServeError):
+    """The service's token bucket is empty; retry after a backoff.
+
+    Distinct from the plain queue-full :class:`ServeError` so clients can
+    tell *throttled* (slow down) from *overloaded* (shed load); the HTTP
+    front end maps it to status 429 instead of 503.
+    """

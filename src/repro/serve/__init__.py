@@ -1,4 +1,4 @@
-"""Concurrent query serving with micro-batch coalescing.
+"""Concurrent query serving with micro-batch coalescing and sharding.
 
 The paper's system is an *online* image database — many users querying
 at interactive rates — while the library's batched engine (PR 1/2) only
@@ -13,6 +13,16 @@ barriers between query segments, and cached results are stamped with
 per-feature generations so a mutation invalidates exactly the entries
 it staled — lazily, never a global flush (``docs/mutability.md``).
 
+With ``shards > 1`` the scheduler fronts a scatter-gather
+:class:`ShardedEngine`: the item set is partitioned by id hash into N
+independent shard views (each with its own full index set), every
+formed batch fans out to per-shard worker threads, and per-shard
+answers are gathered with an exact k-way merge on ``(distance, id)`` —
+**bit-identical** to the unsharded engine, ids and floats and
+tie-breaks.  Mutations route rows to their home shards and remain
+barriers; cache stamps become per-shard generation tuples so one
+shard's mutation can never hide behind another's older stamp.
+
 ================================  =======================================
 Component                          Role
 ================================  =======================================
@@ -22,7 +32,15 @@ Component                          Role
                                    group with one batched engine call;
                                    results are bit-identical to direct
                                    ``ImageDatabase`` queries; mutations
-                                   serialize with query batches
+                                   serialize with query batches; optional
+                                   token-bucket rate limiting at admission
+:class:`ShardedEngine`             scatter-gather over N shard views with
+                                   exact (distance, id) k-way merge and
+                                   per-shard generation stamps
+:class:`TokenBucket`               non-blocking rate limiter behind
+                                   ``rate_limit_qps`` (empty bucket →
+                                   :class:`~repro.errors.RateLimitError`,
+                                   HTTP 429)
 :class:`MutationResult`            what an add/remove future resolves to
                                    (ids, post-mutation generations)
 :class:`ResultCache`               LRU over finished result lists, keyed
@@ -31,34 +49,68 @@ Component                          Role
                                    was computed under
 :class:`ServiceStats`              snapshot: throughput, p50/p95 latency,
                                    formed-batch sizes, cache hit rate,
-                                   mutations, lazy cache invalidations
+                                   mutations, lazy cache invalidations,
+                                   shard sizes and request balance
+:class:`MetricsRegistry`           Prometheus metric families: per-route
+                                   latency histograms (log-spaced
+                                   buckets), admission counters, queue
+                                   depth and shard balance gauges
 :class:`QueryServer`               stdlib ``http.server`` JSON front end
                                    (``POST /query``, ``POST /range``,
                                    ``POST /add``, ``POST /remove``,
-                                   ``GET /stats``, ``GET /healthz``)
+                                   ``GET /stats``, ``GET /metrics``,
+                                   ``GET /healthz``)
 :class:`ServiceClient`             urllib JSON client for the above
 ================================  =======================================
 
-``python -m repro serve --db my.db`` starts the HTTP service over a
-saved database; ``examples/serve_demo.py`` drives the whole stack —
-including a live add/remove round trip — in-process.  Design notes and
-knob semantics: ``docs/serving.md``; mutation protocol:
+``python -m repro serve --db my.db --shards 4`` starts the HTTP service
+over a saved database; ``examples/serve_demo.py`` drives the whole
+stack — including a live add/remove round trip — in-process.  Design
+notes and knob semantics: ``docs/serving.md``; mutation protocol:
 ``docs/mutability.md``.
 """
 
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServiceClient
 from repro.serve.http import QueryServer
-from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
+from repro.serve.metrics import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.serve.scheduler import (
+    MutationResult,
+    QueryScheduler,
+    ServedResult,
+    TokenBucket,
+)
+from repro.serve.shard import (
+    ShardedEngine,
+    merge_knn_results,
+    merge_range_results,
+    shard_of,
+)
 from repro.serve.stats import ServiceStats, StatsCollector
 
 __all__ = [
     "QueryScheduler",
     "ServedResult",
     "MutationResult",
+    "TokenBucket",
+    "ShardedEngine",
+    "shard_of",
+    "merge_knn_results",
+    "merge_range_results",
     "ResultCache",
     "ServiceStats",
     "StatsCollector",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
     "QueryServer",
     "ServiceClient",
 ]

@@ -33,6 +33,15 @@ their feature stops changing.  Entries stored without a stamp
 still available to callers that close the scheduler around mutations
 and :meth:`ResultCache.clear` by hand.
 
+Stamps are opaque hashables compared with ``!=``, not ordered ints.
+The unsharded scheduler stamps with the database's scalar generation;
+the sharded engine stamps with the **tuple of per-shard generations**,
+because a merged result depends on every shard it gathered from.
+Collapsing the tuple to a scalar (say, the max) would let a mutation on
+one shard hide behind another shard's older stamp and revalidate a
+stale entry — the regression pinned in ``tests/test_serve.py`` and
+``tests/test_sharded_serving.py``.
+
 Hit/miss/invalidation counters are monotonic and thread-safe; the
 scheduler folds them into its
 :class:`~repro.serve.stats.ServiceStats` snapshot.
@@ -81,7 +90,7 @@ class ResultCache:
         self._capacity = int(capacity)
         self._decimals = quantize_decimals
         self._entries: OrderedDict[
-            CacheKey, tuple[int | None, list[RetrievalResult]]
+            CacheKey, tuple[Hashable | None, list[RetrievalResult]]
         ] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -155,15 +164,17 @@ class ResultCache:
     # Lookup / store
     # ------------------------------------------------------------------
     def get(
-        self, key: CacheKey, generation: int | None = None
+        self, key: CacheKey, generation: Hashable | None = None
     ) -> list[RetrievalResult] | None:
         """The cached results for ``key`` (a fresh list), or ``None``.
 
         ``generation`` is the caller's *current* data version for the
-        key's feature.  A stamped entry computed under a different
-        generation is stale: it is evicted, counted in
-        :attr:`invalidations`, and the lookup misses.  Passing ``None``
-        skips the check (static-snapshot callers).
+        key's feature — a scalar from an unsharded database, a tuple of
+        per-shard generations from the sharded engine.  A stamped entry
+        computed under a different (``!=``) generation is stale: it is
+        evicted, counted in :attr:`invalidations`, and the lookup
+        misses.  Passing ``None`` skips the check (static-snapshot
+        callers).
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -188,13 +199,13 @@ class ResultCache:
         self,
         key: CacheKey,
         results: Sequence[RetrievalResult],
-        generation: int | None = None,
+        generation: Hashable | None = None,
     ) -> None:
         """Store ``results`` under ``key``, evicting the LRU tail.
 
         ``generation`` stamps the entry with the data version it was
-        computed under; ``None`` stores an unstamped (never-invalidated)
-        entry.
+        computed under (scalar or per-shard tuple); ``None`` stores an
+        unstamped (never-invalidated) entry.
         """
         if not self.enabled:
             return

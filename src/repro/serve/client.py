@@ -156,6 +156,19 @@ class ServiceClient:
         """``GET /stats``: the service's current counters."""
         return self._request("/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics``: raw Prometheus text exposition."""
+        request = urllib.request.Request(
+            self._base + "/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServeError(f"/metrics: {error}") from None
+        except urllib.error.URLError as error:
+            raise ServeError(f"cannot reach {self._base}: {error.reason}") from None
+
     def healthz(self) -> dict:
         """``GET /healthz``: liveness + database summary."""
         return self._request("/healthz")

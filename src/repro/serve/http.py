@@ -22,15 +22,22 @@ Endpoints
 ``POST /remove``
     ``{"ids": [...]}`` → removed ids + new generation stamps.
 ``GET /stats``
-    The :class:`~repro.serve.stats.ServiceStats` snapshot as JSON.
+    The :class:`~repro.serve.stats.ServiceStats` snapshot as JSON
+    (shard count, per-shard sizes and request balance included).
+``GET /metrics``
+    Prometheus text exposition: per-route latency histograms,
+    admission counters, batch-size histograms, queue depth, per-shard
+    balance gauges (see ``repro.serve.metrics``).
 ``GET /healthz``
-    Liveness: database size, feature list, generations, uptime.
+    Liveness: item count, feature list, generations, shard count,
+    uptime.
 
 Query responses carry the ranked results plus the request's serving
 metadata (cache hit, group batch size, exact distance-computation
 count).  Errors map to JSON bodies with appropriate status codes: 400
 for malformed requests, 404 for unknown paths, 503 when the admission
-queue is full.
+queue is full, 429 when the token-bucket rate limiter refuses the
+request (throttled, not overloaded — back off and retry).
 
 Queries take *signature vectors*, not image files — feature extraction
 is client-side (or via the library), keeping the wire format tiny and
@@ -46,7 +53,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.db.database import ImageDatabase
-from repro.errors import ReproError, ServeError
+from repro.errors import RateLimitError, ReproError, ServeError
+from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
 
 __all__ = ["QueryServer"]
@@ -180,19 +188,35 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         scheduler = self.server.scheduler
         if self.path == "/healthz":
-            db = self.server.db
+            # Liveness reads go through the scheduler, not the source
+            # database object: with shards > 1 the engine owns the live
+            # item set and the construction-time database goes stale.
+            generations = {
+                feature: (
+                    list(stamp) if isinstance(stamp, tuple) else stamp
+                )
+                for feature, stamp in scheduler.generations().items()
+            }
             self._send_json(
                 200,
                 {
                     "status": "ok",
-                    "images": len(db),
-                    "features": list(db.schema.names),
-                    "generations": db.generations(),
+                    "images": scheduler.n_items,
+                    "features": list(self.server.db.schema.names),
+                    "generations": generations,
+                    "shards": scheduler.n_shards,
                     "uptime_s": scheduler.stats().uptime_s,
                 },
             )
         elif self.path == "/stats":
             self._send_json(200, scheduler.stats().to_dict())
+        elif self.path == "/metrics":
+            body = scheduler.render_metrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", MetricsRegistry.CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -238,6 +262,9 @@ class _Handler(BaseHTTPRequestHandler):
                     future = scheduler.submit_range(
                         vector, float(radius), feature=feature
                     )
+        except RateLimitError as error:
+            self._send_json(429, {"error": str(error)})
+            return
         except ServeError as error:
             status = 503 if "queue full" in str(error) else 400
             self._send_json(status, {"error": str(error)})
@@ -283,7 +310,8 @@ class QueryServer:
     scheduler:
         A preconfigured :class:`QueryScheduler`; when omitted one is
         built from the remaining keyword arguments (``max_batch``,
-        ``max_wait_ms``, ``max_queue``, ``cache_size``, ...).
+        ``max_wait_ms``, ``max_queue``, ``cache_size``, ``shards``,
+        ``rate_limit_qps``, ...).
 
     Examples
     --------

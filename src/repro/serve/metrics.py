@@ -1,0 +1,341 @@
+"""Operational metrics: log-spaced histograms, counters, gauges, Prometheus text.
+
+The :class:`~repro.serve.stats.ServiceStats` snapshot answers "how is
+the service doing right now" for a human; this module is the machine
+counterpart — the fixed-cost, scrape-oriented surface a fleet monitor
+watches.  Everything is plain stdlib + O(1) per observation:
+
+* :class:`LatencyHistogram` — fixed **log-spaced** buckets (each bound
+  double the last), so one array of integers covers 100 µs to ~3 s with
+  constant relative error and no per-request allocation.  Cumulative
+  bucket counts follow Prometheus histogram semantics (``le`` upper
+  bounds, ``+Inf`` implicit in ``count``).
+* :class:`CounterFamily`, :class:`GaugeFamily`,
+  :class:`HistogramFamily` — labelled metric families with one fixed
+  label schema each (``route=...``, ``shard=...``).
+* :class:`MetricsRegistry` — owns the families and renders the standard
+  `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_, the
+  body of the HTTP front end's ``GET /metrics``.
+
+The scheduler owns one registry and feeds it on the hot path (one lock
+plus one integer increment per observation); scrape-time values that
+already live elsewhere (queue depth, shard sizes, cache counters) are
+set as gauges immediately before rendering rather than double-counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ServeError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "LatencyHistogram",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+]
+
+#: Log-spaced latency bounds in seconds: 100 µs doubling to ~3.3 s.
+#: 16 buckets cover a cache hit (~0.1 ms) to a badly saturated queue
+#: with ~2x relative resolution everywhere in between.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    1e-4 * (2.0**i) for i in range(16)
+)
+
+#: Log-spaced size bounds (requests per formed batch / group).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _format_value(value: float | int) -> str:
+    """Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram: O(1) observe, cumulative-count snapshot.
+
+    Parameters
+    ----------
+    buckets:
+        Ascending upper bounds (``le`` values).  The overflow bucket
+        (``+Inf``) is implicit; :attr:`count` includes it.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = [float(bound) for bound in buckets]
+        if not bounds:
+            raise ServeError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ServeError(f"bucket bounds must be strictly ascending: {bounds}")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> list[float]:
+        """The bucket upper bounds (ascending, ``+Inf`` implicit)."""
+        return list(self._bounds)
+
+    @property
+    def count(self) -> int:
+        """Total observations (all buckets, overflow included)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one value into its bucket."""
+        value = float(value)
+        slot = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bound (Prometheus ``le`` semantics),
+        *excluding* the implicit ``+Inf`` bucket (that one is
+        :attr:`count`)."""
+        with self._lock:
+            out = []
+            running = 0
+            for count in self._counts[:-1]:
+                running += count
+                out.append(running)
+            return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket containing the ``q``-th observation; 0.0 when empty)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, int(q * self._count + 0.999999))
+            running = 0
+            for slot, count in enumerate(self._counts):
+                running += count
+                if running >= rank:
+                    return (
+                        self._bounds[slot]
+                        if slot < len(self._bounds)
+                        else float("inf")
+                    )
+            return float("inf")  # pragma: no cover - unreachable
+
+
+class _Family:
+    """Shared shape of one named metric family with fixed label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ServeError(
+                f"metric {self.name} takes labels {list(self.label_names)}; "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class CounterFamily(_Family):
+    """Monotonic counters, one per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: dict[tuple[str, ...], int] = {}
+
+    def inc(self, amount: int = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> int:
+        """Current count for one label combination (0 if never touched)."""
+        return self._values.get(self._key(labels), 0)
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            if not self._values and not self.label_names:
+                lines.append(f"{self.name} 0")
+            for key in sorted(self._values):
+                lines.append(
+                    f"{self.name}{_format_labels(self.label_names, key)} "
+                    f"{_format_value(self._values[key])}"
+                )
+        return lines
+
+
+class GaugeFamily(_Family):
+    """Point-in-time values, one per label combination."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(
+                    f"{self.name}{_format_labels(self.label_names, key)} "
+                    f"{_format_value(self._values[key])}"
+                )
+        return lines
+
+
+class HistogramFamily(_Family):
+    """One :class:`LatencyHistogram` per label combination."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        self._buckets = tuple(float(bound) for bound in buckets)
+        self._histograms: dict[tuple[str, ...], LatencyHistogram] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram(self._buckets)
+        histogram.observe(value)
+
+    def histogram(self, **labels: str) -> LatencyHistogram | None:
+        """The per-label histogram, or ``None`` if never observed."""
+        return self._histograms.get(self._key(labels))
+
+    def render(self) -> list[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._histograms.items())
+        for key, histogram in items:
+            cumulative = histogram.cumulative()
+            for bound, running in zip(histogram.bounds, cumulative):
+                labels = _format_labels(
+                    self.label_names + ("le",), key + (_format_value(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            inf_labels = _format_labels(self.label_names + ("le",), key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{inf_labels} {histogram.count}")
+            plain = _format_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(histogram.sum)}")
+            lines.append(f"{self.name}_count{plain} {histogram.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns metric families in registration order; renders exposition text.
+
+    The scheduler registers its families once at construction and holds
+    direct references for the hot path; :meth:`render` walks the
+    registry for ``GET /metrics``.
+    """
+
+    #: Content type of the rendered exposition body.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help_text: str, label_names: Sequence[str] = ()
+    ) -> CounterFamily:
+        return self._register(CounterFamily(name, help_text, label_names))
+
+    def gauge(
+        self, name: str, help_text: str, label_names: Sequence[str] = ()
+    ) -> GaugeFamily:
+        return self._register(GaugeFamily(name, help_text, label_names))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> HistogramFamily:
+        return self._register(
+            HistogramFamily(name, help_text, label_names, buckets)
+        )
+
+    def _register(self, family: _Family) -> "_Family":
+        with self._lock:
+            if family.name in self._families:
+                raise ServeError(f"metric {family.name!r} is already registered")
+            self._families[family.name] = family
+        return family
+
+    def render(self) -> str:
+        """The Prometheus text exposition body (trailing newline included)."""
+        with self._lock:
+            families = list(self._families.values())
+        lines: list[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"

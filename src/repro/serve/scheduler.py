@@ -62,6 +62,36 @@ a later lookup under a newer generation lazily evicts the entry
 The worker is a single thread, so the underlying ``ImageDatabase`` and
 its indexes are only ever touched serially — no locks reach the engine,
 and ``last_batch_stats`` attribution is race-free by construction.
+
+**Sharding.**  With ``shards > 1`` the scheduler fronts a
+:class:`~repro.serve.shard.ShardedEngine` instead of the database
+directly: the item set is partitioned by id hash into N independent
+shard views, every formed query group scatters to all shards in
+parallel (one dedicated thread each) and the per-shard answers are
+gathered with an exact k-way merge on ``(distance, id)`` —
+bit-identical to the unsharded answer, ids and floats and tie-breaks
+(see ``repro.serve.shard``).  Mutations route rows to their home
+shards and still act as barriers: the worker waits for every shard
+before the next query segment runs.  Cached results are stamped with
+the **tuple** of per-shard generations, so a mutation on any one shard
+invalidates exactly the entries that depended on it.
+
+**Admission control.**  Beyond the bounded queue (503-style
+``ServeError`` when full), an optional token bucket
+(``rate_limit_qps`` / ``rate_limit_burst``) throttles sustained
+request rates: an empty bucket fails the submission fast with
+:class:`~repro.errors.RateLimitError` (HTTP 429) — *throttled* and
+*overloaded* are distinct signals to a client deciding between backoff
+and failover.
+
+**Observability.**  The scheduler feeds a
+:class:`~repro.serve.metrics.MetricsRegistry` on the hot path:
+per-route latency histograms (fixed log-spaced buckets), admission
+counters by outcome, formed-batch-size histograms, and scrape-time
+gauges for queue depth, per-shard item counts and request balance, and
+cache counters — rendered in Prometheus text format by
+:meth:`QueryScheduler.render_metrics` (the HTTP ``GET /metrics``
+body).
 """
 
 from __future__ import annotations
@@ -71,19 +101,67 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.db.database import ImageDatabase
 from repro.db.query import RetrievalResult
-from repro.errors import QueryError, ServeError
+from repro.errors import QueryError, RateLimitError, ServeError
 from repro.image.core import Image
 from repro.index.stats import SearchStats
 from repro.serve.cache import CacheKey, ResultCache
+from repro.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from repro.serve.shard import ShardedEngine
 from repro.serve.stats import ServiceStats, StatsCollector
 
-__all__ = ["ServedResult", "MutationResult", "QueryScheduler"]
+__all__ = ["ServedResult", "MutationResult", "TokenBucket", "QueryScheduler"]
+
+
+class TokenBucket:
+    """Non-blocking token-bucket rate limiter.
+
+    ``rate`` tokens accrue per second up to ``burst``;
+    :meth:`try_acquire` takes one token or reports failure immediately
+    (the scheduler turns failure into
+    :class:`~repro.errors.RateLimitError` at admission — callers back
+    off, they never queue behind the limiter).
+    """
+
+    def __init__(self, rate: float, burst: float | None = None) -> None:
+        if rate <= 0.0:
+            raise ServeError(f"rate must be > 0 tokens/s; got {rate}")
+        burst = float(burst) if burst is not None else max(1.0, float(rate))
+        if burst < 1.0:
+            raise ServeError(f"burst must be >= 1 token; got {burst}")
+        self._rate = float(rate)
+        self._burst = burst
+        self._tokens = burst
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    @property
+    def rate(self) -> float:
+        """Sustained tokens per second."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity (largest tolerated burst)."""
+        return self._burst
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; never blocks."""
+        now = time.monotonic()
+        with self._lock:
+            self._tokens = min(
+                self._burst, self._tokens + (now - self._updated) * self._rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
 
 
 @dataclass(frozen=True)
@@ -129,13 +207,15 @@ class MutationResult:
     generations:
         Every feature's generation stamp *after* the mutation applied —
         what subsequent cached results will be validated against.
+        Scalars on an unsharded scheduler, per-shard tuples on a
+        sharded one.
     latency_s:
         Submit-to-application wall time.
     """
 
     kind: str
     ids: list[int]
-    generations: dict[str, int]
+    generations: dict[str, Hashable]
     latency_s: float
 
 
@@ -215,6 +295,20 @@ class QueryScheduler:
     cache_size / quantize_decimals:
         :class:`~repro.serve.cache.ResultCache` configuration
         (``cache_size=0`` disables caching).
+    shards:
+        Partition the item set into this many shard views served by a
+        scatter-gather :class:`~repro.serve.shard.ShardedEngine`
+        (default 1 = unsharded pass-through).  Results stay
+        bit-identical; only where the work runs changes.  With
+        ``shards > 1`` the engine owns the live item set from
+        construction on — don't query or mutate ``db`` directly
+        afterwards.
+    rate_limit_qps / rate_limit_burst:
+        Optional token-bucket admission throttle: sustained requests
+        per second and bucket capacity (default burst = max(1, qps)).
+        An empty bucket fails submissions fast with
+        :class:`~repro.errors.RateLimitError` (HTTP 429); ``None``
+        disables throttling.
     autostart:
         Start the worker thread immediately (default).  Pass ``False``
         to stage requests first and call :meth:`start` explicitly —
@@ -231,6 +325,9 @@ class QueryScheduler:
         max_queue: int = 1024,
         cache_size: int = 1024,
         quantize_decimals: int | None = 12,
+        shards: int = 1,
+        rate_limit_qps: float | None = None,
+        rate_limit_burst: float | None = None,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -240,6 +337,12 @@ class QueryScheduler:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1; got {max_queue}")
         self._db = db
+        self._engine = ShardedEngine(db, shards)
+        self._limiter = (
+            TokenBucket(rate_limit_qps, rate_limit_burst)
+            if rate_limit_qps is not None
+            else None
+        )
         self._max_batch = int(max_batch)
         self._max_wait_s = float(max_wait_ms) / 1e3
         self._queue: queue.Queue[_Request | _Mutation | None] = queue.Queue(
@@ -247,6 +350,50 @@ class QueryScheduler:
         )
         self._cache = ResultCache(cache_size, quantize_decimals=quantize_decimals)
         self._stats = StatsCollector()
+        self._metrics = MetricsRegistry()
+        self._m_requests = self._metrics.counter(
+            "repro_requests_total",
+            "Requests admitted, by route (knn/range/add/remove).",
+            ("route",),
+        )
+        self._m_refused = self._metrics.counter(
+            "repro_refused_total",
+            "Submissions refused at admission, by reason "
+            "(queue_full/rate_limited).",
+            ("reason",),
+        )
+        self._m_latency = self._metrics.histogram(
+            "repro_request_latency_seconds",
+            "Submit-to-result latency, by route.",
+            ("route",),
+        )
+        self._m_batch_size = self._metrics.histogram(
+            "repro_batch_size",
+            "Requests per formed micro-batch (queries only).",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._g_queue_depth = self._metrics.gauge(
+            "repro_queue_depth", "Requests waiting in the admission queue."
+        )
+        self._g_items = self._metrics.gauge(
+            "repro_items", "Live items served (all shards)."
+        )
+        self._g_shards = self._metrics.gauge(
+            "repro_shards", "Number of shards behind the scheduler."
+        )
+        self._g_shard_items = self._metrics.gauge(
+            "repro_shard_items", "Live items per shard.", ("shard",)
+        )
+        self._g_shard_requests = self._metrics.gauge(
+            "repro_shard_requests",
+            "Engine calls served per shard since startup (monotonic).",
+            ("shard",),
+        )
+        self._g_cache = self._metrics.gauge(
+            "repro_cache_lookups",
+            "Result-cache counters by outcome (hit/miss/invalidated).",
+            ("outcome",),
+        )
         self._closed = False
         self._lock = threading.Lock()
         self._worker = threading.Thread(
@@ -287,6 +434,7 @@ class QueryScheduler:
         if started:
             self._queue.put(_SHUTDOWN)
             self._worker.join(timeout)
+            self._engine.close()
             return
         while True:
             try:
@@ -297,6 +445,7 @@ class QueryScheduler:
                 item.future.set_exception(
                     ServeError("scheduler closed before starting")
                 )
+        self._engine.close()
 
     def __enter__(self) -> "QueryScheduler":
         return self.start()
@@ -313,6 +462,30 @@ class QueryScheduler:
         return self._cache
 
     @property
+    def engine(self) -> ShardedEngine:
+        """The scatter-gather engine (shard views, balance counters)."""
+        return self._engine
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The Prometheus metric families (see :meth:`render_metrics`)."""
+        return self._metrics
+
+    @property
+    def n_shards(self) -> int:
+        """Shards behind this scheduler (1 = unsharded)."""
+        return self._engine.n_shards
+
+    @property
+    def n_items(self) -> int:
+        """Live items served, summed across shards."""
+        return self._engine.size
+
+    def generations(self) -> dict[str, Hashable]:
+        """Current per-feature data-version stamps (see the engine)."""
+        return self._engine.generations()
+
+    @property
     def is_closed(self) -> bool:
         """True after :meth:`close` began."""
         return self._closed
@@ -324,7 +497,30 @@ class QueryScheduler:
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
             cache_invalidations=self._cache.invalidations,
+            n_shards=self._engine.n_shards,
+            shard_sizes=tuple(self._engine.shard_sizes()),
+            shard_requests=tuple(self._engine.shard_requests()),
         )
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition body (``GET /metrics``).
+
+        Hot-path families (request counters, latency and batch-size
+        histograms) accumulate as requests flow; values that already
+        live elsewhere — queue depth, shard sizes and balance, cache
+        counters — are set as gauges here, at scrape time.
+        """
+        self._g_queue_depth.set(self._queue.qsize())
+        self._g_items.set(self._engine.size)
+        self._g_shards.set(self._engine.n_shards)
+        for shard, size in enumerate(self._engine.shard_sizes()):
+            self._g_shard_items.set(size, shard=str(shard))
+        for shard, count in enumerate(self._engine.shard_requests()):
+            self._g_shard_requests.set(count, shard=str(shard))
+        self._g_cache.set(self._cache.hits, outcome="hit")
+        self._g_cache.set(self._cache.misses, outcome="miss")
+        self._g_cache.set(self._cache.invalidations, outcome="invalidated")
+        return self._metrics.render()
 
     # ------------------------------------------------------------------
     # Submission
@@ -362,7 +558,8 @@ class QueryScheduler:
     ) -> Future[ServedResult]:
         if self._closed:
             raise ServeError("scheduler is closed")
-        if len(self._db) == 0:
+        self._check_rate_limit()
+        if self._engine.size == 0:
             raise QueryError("database is empty")
         feature = feature or self._db.default_feature
         # Extraction/validation happens on the caller's thread: a bad
@@ -370,6 +567,7 @@ class QueryScheduler:
         vector = self._db.extract_query_vector(query, feature)
         started = time.monotonic()
         self._stats.record_submitted()
+        self._m_requests.inc(route=kind)
 
         key = None
         if self._cache.enabled:
@@ -377,7 +575,9 @@ class QueryScheduler:
             # The generation check makes the hit safe under mutation: a
             # result computed under an older item set is evicted here
             # (counted as an invalidation) instead of being served.
-            cached = self._cache.get(key, self._db.generation(feature))
+            # Sharded stamps are per-shard tuples, so any one shard's
+            # movement invalidates every entry that gathered from it.
+            cached = self._cache.get(key, self._engine.generation(feature))
             if cached is not None:
                 future: Future[ServedResult] = Future()
                 latency = time.monotonic() - started
@@ -385,12 +585,22 @@ class QueryScheduler:
                     ServedResult(cached, None, 1, True, latency)
                 )
                 self._stats.record_completed(latency)
+                self._m_latency.observe(latency, route=kind)
                 return future
 
         request = _Request(kind, feature, parameter, vector, key)
         request.submitted = started
         self._enqueue(request)
         return request.future
+
+    def _check_rate_limit(self) -> None:
+        if self._limiter is not None and not self._limiter.try_acquire():
+            self._stats.record_rate_limited()
+            self._m_refused.inc(reason="rate_limited")
+            raise RateLimitError(
+                f"rate limit exceeded ({self._limiter.rate:g} requests/s, "
+                f"burst {self._limiter.burst:g}); back off and retry"
+            )
 
     def submit_add(
         self,
@@ -424,6 +634,9 @@ class QueryScheduler:
     def _submit_mutation(self, mutation: _Mutation) -> Future[MutationResult]:
         if self._closed:
             raise ServeError("scheduler is closed")
+        self._check_rate_limit()
+        self._stats.record_submitted()
+        self._m_requests.inc(route=mutation.kind)
         self._enqueue(mutation)
         return mutation.future
 
@@ -438,6 +651,7 @@ class QueryScheduler:
                 self._queue.put_nowait(item)
             except queue.Full:
                 self._stats.record_rejected()
+                self._m_refused.inc(reason="queue_full")
                 raise ServeError(
                     f"admission queue full ({self._queue.maxsize} requests); "
                     f"retry later or raise max_queue"
@@ -499,30 +713,32 @@ class QueryScheduler:
             n_queries += len(segment)
         if n_queries:
             self._stats.record_batch(n_queries, group_sizes)
+            self._m_batch_size.observe(n_queries)
 
     def _apply_mutation(self, mutation: _Mutation) -> None:
         if not mutation.future.set_running_or_notify_cancel():
             return
         try:
             if mutation.kind == "add":
-                ids = self._db.add_vectors(
+                ids = self._engine.add_vectors(
                     mutation.payload,  # type: ignore[arg-type]
                     labels=mutation.labels,
                     names=mutation.names,
                 )
             else:
-                records = self._db.remove(mutation.payload)  # type: ignore[arg-type]
-                ids = [record.image_id for record in records]
+                ids = self._engine.remove(mutation.payload)  # type: ignore[arg-type]
         except Exception as error:
             mutation.future.set_exception(error)
             return
         self._stats.record_mutation()
+        latency = time.monotonic() - mutation.submitted
+        self._m_latency.observe(latency, route=mutation.kind)
         mutation.future.set_result(
             MutationResult(
                 kind=mutation.kind,
                 ids=ids,
-                generations=self._db.generations(),
-                latency_s=time.monotonic() - mutation.submitted,
+                generations=self._engine.generations(),
+                latency_s=latency,
             )
         )
 
@@ -563,22 +779,22 @@ class QueryScheduler:
             vectors = np.stack([request.vector for request in unique])
             try:
                 if kind == "knn":
-                    result_lists = self._db.query_batch(
-                        vectors, int(parameter), feature=feature, precomputed=True
+                    result_lists, per_slot_stats = self._engine.query_batch(
+                        vectors, int(parameter), feature
                     )
                 else:
-                    result_lists = self._db.range_query_batch(
-                        vectors, float(parameter), feature=feature, precomputed=True
+                    result_lists, per_slot_stats = self._engine.range_query_batch(
+                        vectors, float(parameter), feature
                     )
             except Exception as error:  # pragma: no cover - defensive
                 for request in live:
                     request.future.set_exception(error)
                 continue
-            per_slot_stats = self._db.index_for(feature).last_batch_stats
             # Stamp cached entries with the generation the engine call
             # ran under — the worker serializes mutations, so this read
-            # cannot race a concurrent add/remove.
-            generation = self._db.generation(feature)
+            # cannot race a concurrent add/remove.  Sharded schedulers
+            # stamp the per-shard generation tuple.
+            generation = self._engine.generation(feature)
             for request, slot in zip(live, assignment):
                 results = result_lists[slot]
                 if request.key is not None:
@@ -594,11 +810,13 @@ class QueryScheduler:
                     )
                 )
                 self._stats.record_completed(latency)
+                self._m_latency.observe(latency, route=kind)
         return [len(members) for members in groups.values()]
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("running" if self._started else "staged")
         return (
             f"QueryScheduler({state}, max_batch={self._max_batch}, "
-            f"max_wait_ms={self._max_wait_s * 1e3:g}, db={self._db!r})"
+            f"max_wait_ms={self._max_wait_s * 1e3:g}, "
+            f"shards={self._engine.n_shards}, items={self._engine.size})"
         )

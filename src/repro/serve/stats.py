@@ -79,6 +79,19 @@ class ServiceStats:
         Completed requests per second of uptime.
     latency_mean_ms, latency_p50_ms, latency_p95_ms:
         Submit-to-result latency over the recent completion window.
+    rate_limited:
+        Requests refused at admission because the token bucket was
+        empty (a subset of neither :attr:`submitted` nor
+        :attr:`rejected` — throttling is its own refusal class, HTTP
+        429 instead of 503).
+    n_shards:
+        Shards behind the scheduler (1 = unsharded pass-through).
+    shard_sizes:
+        Live item count per shard at snapshot time — the balance
+        figure.
+    shard_requests:
+        Engine calls (scattered query groups + routed mutations) each
+        shard has served since startup.
     """
 
     uptime_s: float
@@ -99,10 +112,20 @@ class ServiceStats:
     latency_mean_ms: float
     latency_p50_ms: float
     latency_p95_ms: float
+    rate_limited: int = 0
+    n_shards: int = 1
+    shard_sizes: tuple[int, ...] = ()
+    shard_requests: tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-serializable) for the HTTP front end."""
-        return asdict(self)
+        """Plain-dict form (JSON round-trippable) for the HTTP front end.
+
+        Tuple fields become lists so ``json.loads(json.dumps(d)) == d``.
+        """
+        payload = asdict(self)
+        payload["shard_sizes"] = list(self.shard_sizes)
+        payload["shard_requests"] = list(self.shard_requests)
+        return payload
 
 
 class StatsCollector:
@@ -122,6 +145,7 @@ class StatsCollector:
         self._group_size_total = 0
         self._dedup_hits = 0
         self._mutations = 0
+        self._rate_limited = 0
         self._latencies: deque[float] = deque(maxlen=window)
 
     def record_submitted(self) -> None:
@@ -131,6 +155,11 @@ class StatsCollector:
     def record_rejected(self) -> None:
         with self._lock:
             self._rejected += 1
+
+    def record_rate_limited(self) -> None:
+        """Admission refused a request because the token bucket was empty."""
+        with self._lock:
+            self._rate_limited += 1
 
     def record_completed(self, latency_s: float) -> None:
         with self._lock:
@@ -161,6 +190,9 @@ class StatsCollector:
         cache_hits: int,
         cache_misses: int,
         cache_invalidations: int = 0,
+        n_shards: int = 1,
+        shard_sizes: tuple[int, ...] = (),
+        shard_requests: tuple[int, ...] = (),
     ) -> ServiceStats:
         """Assemble a :class:`ServiceStats` from the current counters."""
         with self._lock:
@@ -193,4 +225,8 @@ class StatsCollector:
                 latency_mean_ms=mean_ms,
                 latency_p50_ms=1e3 * _nearest_rank(window, 0.50),
                 latency_p95_ms=1e3 * _nearest_rank(window, 0.95),
+                rate_limited=self._rate_limited,
+                n_shards=n_shards,
+                shard_sizes=tuple(shard_sizes),
+                shard_requests=tuple(shard_requests),
             )

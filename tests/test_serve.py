@@ -142,6 +142,28 @@ class TestResultCache:
         cache.put(second, [])
         assert len(cache) == 1 and cache.get(second) == []
 
+    def test_tuple_stamp_single_shard_movement_invalidates(self, rng):
+        # Regression: sharded serving stamps entries with the *tuple* of
+        # per-shard generations.  A mutation that touches only one shard
+        # moves one tuple slot — (1, 0) -> (1, 1) — and must invalidate,
+        # even though a scalar collapse (max, say) would be unchanged at
+        # 1 and falsely revalidate the entry.
+        cache = ResultCache(4)
+        key = cache.key("knn", "sig", 5, rng.random(_DIM))
+        cache.put(key, [], generation=(1, 0))
+        assert cache.get(key, (1, 0)) == []
+        assert max((1, 0)) == max((1, 1))  # the trap a scalar stamp falls into
+        assert cache.get(key, (1, 1)) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0  # stale entry evicted, not retained
+
+    def test_tuple_stamp_equal_tuples_hit(self, rng):
+        cache = ResultCache(4)
+        key = cache.key("knn", "sig", 5, rng.random(_DIM))
+        cache.put(key, [], generation=(3, 7, 2))
+        assert cache.get(key, (3, 7, 2)) == []
+        assert cache.invalidations == 0
+
     def test_same_digest_different_kind_never_collides(self):
         # k=5 and radius=5.0 over the same vector produce the same
         # digest, but kind and parameter live in the key tuple itself:

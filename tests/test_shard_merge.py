@@ -1,0 +1,126 @@
+"""Property tests for the scatter-gather k-way merge (``repro.serve.shard``).
+
+The sharded engine's exactness reduces to one algebraic fact: merging
+per-shard result lists — each sorted by ``(distance, id)`` — with a
+k-way merge on the same key equals sorting the concatenation and
+truncating.  These tests pin that fact under hypothesis across the
+shapes production hits: duplicate distances with id tie-breaks, empty
+shards, ``k`` larger than the total hit count, and single-shard
+degenerate inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.query import RetrievalResult
+from repro.errors import ServeError
+from repro.serve.shard import merge_knn_results, merge_range_results, shard_of
+
+# A deliberately tiny distance alphabet: with up to ~60 results drawn
+# from 8 values, duplicate distances (the tie-break case) are the norm,
+# not the exception.
+_DISTANCES = st.sampled_from([0.0, 0.25, 0.5, 0.5, 1.0, 1.5, 2.0, 3.25])
+
+
+@st.composite
+def sharded_results(draw):
+    """Per-shard sorted result lists with globally unique ids.
+
+    Ids are assigned to shards by :func:`shard_of` — the router the
+    engine itself uses — so some shards end up empty whenever the drawn
+    id set skips their residue class.
+    """
+    n_shards = draw(st.integers(min_value=1, max_value=5))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=200),
+            unique=True,
+            max_size=60,
+        )
+    )
+    per_shard = [[] for _ in range(n_shards)]
+    for image_id in ids:
+        distance = draw(_DISTANCES)
+        per_shard[shard_of(image_id, n_shards)].append(
+            RetrievalResult(image_id=image_id, distance=distance)
+        )
+    for shard in per_shard:
+        shard.sort(key=lambda r: (r.distance, r.image_id))
+    return per_shard
+
+
+def _reference(per_shard, k=None):
+    """Sorted-truncated concatenation — the merge's defining equation."""
+    flat = sorted(
+        (r for shard in per_shard for r in shard),
+        key=lambda r: (r.distance, r.image_id),
+    )
+    return flat if k is None else flat[:k]
+
+
+class TestMergeKnn:
+    @settings(max_examples=200)
+    @given(per_shard=sharded_results(), k=st.integers(min_value=1, max_value=80))
+    def test_equals_sorted_truncated_concatenation(self, per_shard, k):
+        merged = merge_knn_results(per_shard, k)
+        assert merged == _reference(per_shard, k)
+
+    @settings(max_examples=100)
+    @given(per_shard=sharded_results())
+    def test_k_beyond_total_returns_everything(self, per_shard):
+        total = sum(len(shard) for shard in per_shard)
+        merged = merge_knn_results(per_shard, total + 17)
+        assert merged == _reference(per_shard)
+
+    @settings(max_examples=100)
+    @given(per_shard=sharded_results(), k=st.integers(min_value=1, max_value=80))
+    def test_duplicate_distances_tie_break_on_id(self, per_shard, k):
+        merged = merge_knn_results(per_shard, k)
+        for earlier, later in zip(merged, merged[1:]):
+            assert (earlier.distance, earlier.image_id) <= (
+                later.distance,
+                later.image_id,
+            )
+        # Unique global ids in, unique ids out.
+        assert len({r.image_id for r in merged}) == len(merged)
+
+    def test_all_empty_shards(self):
+        assert merge_knn_results([[], [], []], 5) == []
+
+    def test_no_shards(self):
+        assert merge_knn_results([], 5) == []
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ServeError):
+            merge_knn_results([[]], 0)
+
+
+class TestMergeRange:
+    @settings(max_examples=200)
+    @given(per_shard=sharded_results())
+    def test_equals_sorted_concatenation(self, per_shard):
+        assert merge_range_results(per_shard) == _reference(per_shard)
+
+    def test_all_empty_shards(self):
+        assert merge_range_results([[], []]) == []
+
+
+class TestShardOf:
+    @given(
+        image_id=st.integers(min_value=0, max_value=10_000),
+        n_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_in_range_and_deterministic(self, image_id, n_shards):
+        home = shard_of(image_id, n_shards)
+        assert 0 <= home < n_shards
+        assert home == shard_of(image_id, n_shards)
+
+    def test_single_shard_is_identity_zero(self):
+        assert all(shard_of(i, 1) == 0 for i in range(32))
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ServeError):
+            shard_of(3, 0)
