@@ -1,0 +1,252 @@
+"""F16 — Durability: journaled mutation throughput and recovery replay.
+
+PR 7 added crash-safe durability (``docs/durability.md``): every
+acknowledged mutation is written to a per-shard write-ahead journal and
+fsync'd *before* the future resolves, so a ``kill -9`` at any moment
+loses nothing a client was told succeeded.  Durability is not free —
+each mutation batch pays one group fsync — and this benchmark prices
+it.
+
+Two measurements:
+
+``journaled vs journal-off throughput``
+    The same closed-loop multi-writer mutation workload through
+    :class:`QueryScheduler` with and without a journal.  Group commit
+    (one fsync per formed batch, not per mutation) must keep the
+    journaled path within **3x** of the in-memory-only path at full
+    size.  The journaled run ends with a crash-recovery parity check:
+    the state replayed from disk must match the live database
+    bit for bit.
+``replay time vs journal length``
+    Recovery cost scales with the un-compacted journal suffix, not
+    database size.  Measured by appending N single-row adds and timing
+    :func:`recover`'s replay phase for increasing N.
+
+Results go to ``benchmarks/BENCH_f16_durability.json`` for the perf
+trajectory.  ``REPRO_BENCH_N`` shrinks the dataset for CI smoke runs
+(the parity checks still bite; wall-clock assertions only apply at
+full size).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import print_experiment
+from repro.db.database import ImageDatabase
+from repro.db.journal import JournalRecord, JournalSet
+from repro.db.recovery import open_serving_root, recover
+from repro.eval.harness import ascii_table
+from repro.features.base import PresetSignature
+from repro.features.pipeline import FeatureSchema
+from repro.serve.scheduler import QueryScheduler
+
+_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+_FULL_SIZE = _N >= 2000
+_DIM = 64
+_WRITERS = 4
+_ROUNDS = 24 if _FULL_SIZE else 3  # mutation round trips per writer
+_BLOCK = 4  # rows per add
+_REPLAY_LENGTHS = [64, 256, 1024] if _FULL_SIZE else [8, 16]
+
+_JSON_PATH = Path(__file__).parent / "BENCH_f16_durability.json"
+
+
+def _schema() -> FeatureSchema:
+    return FeatureSchema([PresetSignature(_DIM, "signature")])
+
+
+def _vectors(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random((max(n, 1), _DIM))
+
+
+def _seed_db() -> ImageDatabase:
+    db = ImageDatabase(_schema())
+    db.add_vectors(_vectors(_N, seed=42))
+    return db
+
+
+def _drive(db: ImageDatabase, journal_set: JournalSet | None) -> dict:
+    """Closed-loop writers hammering the mutation path; returns rates."""
+    scheduler = QueryScheduler(
+        db,
+        journal=journal_set,
+        max_batch=16,
+        max_wait_ms=2.0,
+        max_queue=4096,
+        cache_size=0,
+    )
+    blocks = [
+        _vectors(_ROUNDS * _BLOCK, seed=100 + writer).reshape(
+            _ROUNDS, _BLOCK, _DIM
+        )
+        for writer in range(_WRITERS)
+    ]
+
+    def writer(writer_id: int) -> None:
+        for block in blocks[writer_id]:
+            scheduler.submit_add(block).result()
+
+    threads = [
+        threading.Thread(target=writer, args=(i,)) for i in range(_WRITERS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stats = scheduler.stats()
+    scheduler.close()
+    total = _WRITERS * _ROUNDS
+    assert stats.mutations == total
+    return {
+        "mutations": total,
+        "rows_added": total * _BLOCK,
+        "elapsed_seconds": elapsed,
+        "mutations_per_second": total / elapsed,
+        "journal_records": stats.journal_records,
+        "journal_syncs": stats.journal_syncs,
+    }
+
+
+def test_f16_durability(benchmark, tmp_path):
+    # --------------------------------------------------------------
+    # Journaled vs journal-off mutation throughput.
+    # --------------------------------------------------------------
+    root = tmp_path / "root"
+    journaled_db, journal_set, _ = open_serving_root(root, _seed_db())
+    journaled = _drive(journaled_db, journal_set)
+    plain = _drive(_seed_db(), None)
+
+    # Group commit must coalesce: strictly fewer fsyncs than records
+    # whenever batches formed, and never more.
+    assert journaled["journal_records"] == journaled["mutations"]
+    assert 0 < journaled["journal_syncs"] <= journaled["journal_records"]
+    group_factor = journaled["journal_records"] / journaled["journal_syncs"]
+    slowdown = (
+        plain["mutations_per_second"] / journaled["mutations_per_second"]
+    )
+
+    # Crash-recovery parity: everything the scheduler acknowledged is
+    # on disk, bit for bit.
+    recovered, report = recover(root, _schema())
+    assert report.records_applied == journaled["journal_records"]
+    assert set(recovered.catalog.ids) == set(journaled_db.catalog.ids)
+    for image_id in journaled_db.catalog.ids:
+        assert (
+            recovered.vector_of("signature", image_id).tobytes()
+            == journaled_db.vector_of("signature", image_id).tobytes()
+        ), f"recovered vector diverged for id {image_id}"
+
+    # --------------------------------------------------------------
+    # Replay time vs journal length.
+    # --------------------------------------------------------------
+    replay_points = []
+    for length in _REPLAY_LENGTHS:
+        replay_root = tmp_path / f"replay-{length}"
+        db, journals, _ = open_serving_root(replay_root, _seed_db())
+        base = max(db.catalog.ids) + 1
+        for step in range(length):
+            row = _vectors(1, seed=7000 + step)
+            db.add_vectors(row, ids=[base + step])
+            seq = journals.next_seq()
+            journals.append_records(
+                {0: JournalRecord.add(seq, [base + step], {"signature": row}, None, None)}
+            )
+        journals.sync()
+        journals.close()
+        replayed, rep = recover(replay_root, _schema())
+        assert rep.adds_applied == length
+        assert len(replayed) == _N + length
+        replay_points.append(
+            {
+                "records": length,
+                "replay_seconds": rep.replay_s,
+                "records_per_second": length / rep.replay_s
+                if rep.replay_s > 0
+                else float("inf"),
+            }
+        )
+
+    rows_out = [
+        [
+            "journal off",
+            f"{plain['mutations_per_second']:.0f} mut/s",
+            "no fsync",
+        ],
+        [
+            "journaled",
+            f"{journaled['mutations_per_second']:.0f} mut/s",
+            f"{journaled['journal_syncs']} fsyncs for "
+            f"{journaled['journal_records']} records "
+            f"(group factor x{group_factor:.1f})",
+        ],
+        ["durability cost", f"x{slowdown:.2f} slower", "bound: 3x at full size"],
+    ] + [
+        [
+            f"replay {point['records']} records",
+            f"{point['replay_seconds'] * 1e3:.1f} ms",
+            f"{point['records_per_second']:.0f} rec/s",
+        ]
+        for point in replay_points
+    ]
+    print_experiment(
+        ascii_table(
+            ["measurement", "headline", "detail"],
+            rows_out,
+            title=(
+                f"F16: durability - N={_N}, d={_DIM}, {_WRITERS} writers x "
+                f"{_ROUNDS} mutations of {_BLOCK} rows "
+                f"(recovered state bit-identical)"
+            ),
+        )
+    )
+
+    if _FULL_SIZE:
+        _JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "f16_durability",
+                    "n": _N,
+                    "dim": _DIM,
+                    "writers": _WRITERS,
+                    "rounds_per_writer": _ROUNDS,
+                    "rows_per_mutation": _BLOCK,
+                    "journaled": journaled,
+                    "journal_off": plain,
+                    "slowdown": slowdown,
+                    "group_commit_factor": group_factor,
+                    "replay": replay_points,
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        # Headline acceptance: group commit keeps the durable path
+        # within 3x of in-memory-only mutation throughput.
+        assert slowdown <= 3.0, f"journaling cost x{slowdown:.2f} exceeds 3x"
+
+    # Representative op for pytest-benchmark: one durable group commit
+    # (append + fsync) against a standing journal.
+    bench_root = tmp_path / "bench-op"
+    _db, bench_journals, _ = open_serving_root(bench_root, _seed_db())
+    row = _vectors(1, seed=9999)
+    counter = iter(range(10_000_000))
+
+    def durable_append():
+        step = next(counter)
+        seq = bench_journals.next_seq()
+        bench_journals.append_records(
+            {0: JournalRecord.add(seq, [10_000_000 + step], {"signature": row}, None, None)},
+            sync=True,
+        )
+
+    benchmark(durable_append)
+    bench_journals.close()

@@ -216,6 +216,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import QueryServer
 
     db = _load(args)
+    journal_set = None
+    if args.journal:
+        from repro.db.recovery import open_serving_root
+
+        # Recover-or-seed the durable root: replay the write-ahead
+        # journal onto the last snapshot (or seed from --db on an empty
+        # root), then compact so the service starts with a fresh
+        # snapshot and empty logs.  See docs/durability.md.
+        db, journal_set, report = open_serving_root(
+            Path(args.journal), db, n_shards=args.shards
+        )
+        if report is not None:
+            print(report.summary(), flush=True)
     if args.shards == 1:
         db.build_indexes()  # pay the lazy builds before the first request
     server = QueryServer(
@@ -227,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         shards=args.shards,
         rate_limit_qps=args.rate_limit,
+        journal=journal_set,
     )
     host, port = server.address
     print(
@@ -235,15 +249,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms:g}, "
         f"cache_size={args.cache_size}"
         + (f", rate_limit={args.rate_limit:g}/s" if args.rate_limit else "")
+        + (f", journal={args.journal}" if args.journal else "")
         + ")",
         flush=True,
     )
 
     # SIGTERM (CI, process managers) and Ctrl-C both exit cleanly: break
-    # out of the serving loop, drain the scheduler, report what was
+    # out of the serving loop, settle the scheduler, report what was
     # served.  (Raising is the signal-safe way out — calling shutdown()
-    # from the serving thread itself would deadlock.)
+    # from the serving thread itself would deadlock.)  SIGTERM is the
+    # graceful-shutdown path: the in-flight batch completes and its
+    # mutations reach the journal, but the queued backlog fails fast
+    # with HTTP 503 ("shutting_down") instead of delaying termination.
+    drain = {"requests": True}
+
     def _terminate(*_: object) -> None:
+        drain["requests"] = False
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _terminate)
@@ -252,7 +273,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.stop()
+        server.stop(drain=drain["requests"])
         stats = server.scheduler.stats()
         print(
             f"\nserved {stats.completed} requests "
@@ -261,6 +282,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.cache_hit_rate:.0%}); shutdown clean",
             flush=True,
         )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.db.recovery import recover
+
+    schema = _make_schema(args.working_size)
+    db, report = recover(Path(args.journal), schema, repair=not args.no_repair)
+    print(report.summary())
+    if args.export:
+        db.save(args.export)
+        print(f"exported {len(db)} images to {args.export}")
+    if args.compact:
+        from repro.db.journal import JournalSet
+        from repro.db.recovery import compact, database_fingerprint
+
+        n_shards = max(1, len(JournalSet.existing_paths(Path(args.journal))))
+        journals = JournalSet(
+            Path(args.journal), database_fingerprint(db), n_shards=n_shards
+        )
+        try:
+            snapshot = compact(journals, db)
+        finally:
+            journals.close()
+        print(f"compacted into {snapshot} (journals reset)")
     return 0
 
 
@@ -339,15 +385,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a database over HTTP with micro-batch coalescing "
         "(POST /query, POST /range, POST /add, POST /remove, "
-        "GET /stats, GET /metrics, GET /healthz)",
+        "POST /save, GET /stats, GET /metrics, GET /healthz)",
         epilog="The service mutates in place: POST /add and POST /remove "
         "serialize with query batches and cached results are "
         "generation-stamped, so a stale answer is never served. "
         "With --shards N the item set is partitioned by id hash into N "
         "independent shard views queried in parallel and merged exactly "
         "— results stay bit-identical to --shards 1. "
-        "On SIGTERM or Ctrl-C the server drains in-flight requests, "
-        "prints a traffic summary, and exits with code 0. "
+        "With --journal DIR every acknowledged mutation is durable: "
+        "mutations are written to a checksummed write-ahead log before "
+        "their futures resolve, startup replays the log onto the last "
+        "atomic snapshot (kill -9 loses nothing acknowledged), and "
+        "POST /save compacts online (docs/durability.md). "
+        "On SIGTERM the in-flight batch completes and queued requests "
+        "fail fast with HTTP 503; Ctrl-C drains fully. Both print a "
+        "traffic summary and exit with code 0. "
         "Full protocol and knob semantics: docs/serving.md "
         "(mutation design: docs/mutability.md).",
     )
@@ -392,7 +444,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="token-bucket admission limit in requests/s; throttled "
         "submissions get HTTP 429 (default: unlimited)",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="durable serving root: write-ahead journal + atomic "
+        "snapshots; on restart the journal is replayed onto the last "
+        "snapshot, so acknowledged mutations survive kill -9 "
+        "(default: in-memory only)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    recover_cmd = commands.add_parser(
+        "recover",
+        help="replay a durable serving root's write-ahead journal and "
+        "report (optionally export or compact) the recovered state",
+        epilog="Recovery loads the snapshot the MANIFEST points at and "
+        "replays every intact journal record onto it; a torn tail "
+        "(interrupted write) is detected by checksum and truncated. "
+        "A root written by a different feature configuration is "
+        "refused rather than misread. See docs/durability.md.",
+    )
+    recover_cmd.add_argument(
+        "--journal", required=True, metavar="DIR", help="the durable serving root"
+    )
+    recover_cmd.add_argument(
+        "--export",
+        default=None,
+        metavar="DIR",
+        help="save the recovered database to this directory "
+        "(loadable with --db)",
+    )
+    recover_cmd.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the journal into a fresh snapshot and reset the logs",
+    )
+    recover_cmd.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="inspect only: leave a detected torn tail on disk",
+    )
+    recover_cmd.set_defaults(handler=_cmd_recover)
 
     return parser
 

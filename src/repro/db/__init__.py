@@ -22,14 +22,30 @@ into an image *database*:
 :mod:`~repro.db.feedback`
     Relevance feedback: Rocchio query-point movement and the
     interactive :class:`~repro.db.feedback.FeedbackSession` loop.
+:mod:`~repro.db.journal` / :mod:`~repro.db.recovery`
+    Crash-safe durability: a checksummed write-ahead journal
+    (:class:`~repro.db.journal.Journal` / :class:`JournalSet`) replayed
+    onto atomic snapshots at startup
+    (:func:`~repro.db.recovery.recover` /
+    :func:`~repro.db.recovery.open_serving_root`), with online
+    compaction (:func:`~repro.db.recovery.compact`) — see
+    ``docs/durability.md``.
 """
 
 from repro.db.bufferpool import BufferPool
 from repro.db.catalog import Catalog, ImageRecord
+from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes
+from repro.db.journal import Journal, JournalRecord, JournalSet, fingerprint_of
 from repro.db.store import FeatureStore
 from repro.db.database import ImageDatabase
 from repro.db.feedback import FeedbackSession, Rocchio
 from repro.db.query import RetrievalResult, borda_fuse, reciprocal_rank_fuse
+from repro.db.recovery import (
+    RecoveryReport,
+    compact,
+    open_serving_root,
+    recover,
+)
 
 __all__ = [
     "BufferPool",
@@ -42,4 +58,15 @@ __all__ = [
     "RetrievalResult",
     "borda_fuse",
     "reciprocal_rank_fuse",
+    "FileSystem",
+    "REAL_FS",
+    "atomic_write_bytes",
+    "Journal",
+    "JournalRecord",
+    "JournalSet",
+    "fingerprint_of",
+    "RecoveryReport",
+    "recover",
+    "compact",
+    "open_serving_root",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes
 from repro.errors import CatalogError
 
 __all__ = ["ImageRecord", "Catalog"]
@@ -150,13 +151,22 @@ class Catalog:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Write the catalog as a JSON file."""
+    def save(self, path: str | Path, *, fs: FileSystem = REAL_FS) -> None:
+        """Write the catalog as a JSON file, atomically.
+
+        Written to ``path + '.tmp'``, fsync'd, then renamed over — a
+        crash mid-save leaves the previous catalog intact instead of a
+        half-written JSON document.
+        """
         payload = {
             "next_id": self._next_id,
             "records": [record.to_dict() for record in self._records.values()],
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        atomic_write_bytes(
+            path,
+            json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
+            fs=fs,
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "Catalog":

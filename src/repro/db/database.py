@@ -44,6 +44,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.db.catalog import Catalog, ImageRecord
+from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes, fsync_file
 from repro.db.query import (
     RetrievalResult,
     borda_fuse,
@@ -52,7 +53,7 @@ from repro.db.query import (
     to_retrieval_results,
 )
 from repro.db.store import FeatureStore
-from repro.errors import QueryError
+from repro.errors import CatalogError, QueryError
 from repro.features.base import FeatureExtractor
 from repro.features.pipeline import FeatureSchema, default_schema
 from repro.image.core import Image
@@ -140,6 +141,21 @@ class ImageDatabase:
     def catalog(self) -> Catalog:
         """Image metadata records."""
         return self._catalog
+
+    @property
+    def metrics(self) -> dict[str, Metric]:
+        """Per-feature metric configuration (a fresh dict).
+
+        Recovery builds a replayed database with the same configuration
+        as the serving one; passing this (with :attr:`index_factory`)
+        reproduces the constructor arguments.
+        """
+        return dict(self._metrics)
+
+    @property
+    def index_factory(self) -> IndexFactory:
+        """The metric → index constructor this database builds with."""
+        return self._index_factory
 
     def __len__(self) -> int:
         return len(self._catalog)
@@ -476,6 +492,56 @@ class ImageDatabase:
             view._stale.update(self._schema.names)
         return view
 
+    @classmethod
+    def from_views(cls, views: Sequence["ImageDatabase"]) -> "ImageDatabase":
+        """Reassemble one database from disjoint shard views.
+
+        The inverse of carving a database into :meth:`shard_view`
+        slices: records and vector rows are taken as-is (both sides
+        treat them as immutable) and inserted in ascending id order, so
+        the merged catalog's iteration order — and therefore the row
+        order of a subsequent :meth:`save` — is deterministic regardless
+        of how mutations interleaved across shards.  Configuration
+        (schema, metrics, index factory) comes from the first view;
+        indexes build lazily.  Compaction under the sharded serving
+        layer merges the live shard views through this before writing a
+        snapshot.
+
+        Raises
+        ------
+        CatalogError
+            If two views share an image id.
+        QueryError
+            If ``views`` is empty.
+        """
+        if not views:
+            raise QueryError("from_views needs at least one view")
+        template = views[0]
+        merged = cls(
+            template._schema,
+            metrics=template._metrics,
+            index_factory=template._index_factory,
+        )
+        by_id: dict[int, "ImageDatabase"] = {}
+        for view in views:
+            for image_id in view.catalog.ids:
+                if image_id in by_id:
+                    raise CatalogError(
+                        f"image id {image_id} appears in two views"
+                    )
+                by_id[image_id] = view
+        for image_id in sorted(by_id):
+            view = by_id[image_id]
+            merged._catalog.insert(view._catalog.get(image_id))
+            for feature in merged._schema.names:
+                merged._vectors[feature][image_id] = view._vectors[feature][image_id]
+        merged._catalog._next_id = max(
+            [merged._catalog.next_id] + [view.catalog.next_id for view in views]
+        )
+        if by_id:
+            merged._stale.update(merged._schema.names)
+        return merged
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -693,11 +759,34 @@ class ImageDatabase:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: str | Path) -> None:
-        """Persist catalog + per-feature stores under ``directory``."""
+    def save(self, directory: str | Path, *, fs: FileSystem = REAL_FS) -> None:
+        """Persist catalog + per-feature stores under ``directory``.
+
+        Every file is written atomically (temp + fsync + rename): the
+        catalog and config replace their predecessors in one rename
+        each, and each feature store is built as ``*.feat.new`` and
+        renamed over only once its bytes are fsync'd.  A crash mid-save
+        therefore never leaves a *half-written* file — at worst a mix of
+        old and new files, which :meth:`load` detects through its
+        store-count-vs-catalog consistency check.  (The journaled
+        serving path avoids even that window by saving into a fresh
+        snapshot directory and flipping a manifest pointer — see
+        ``repro.db.recovery``.)
+        """
         directory = Path(directory)
         (directory / _FEATURE_DIR).mkdir(parents=True, exist_ok=True)
-        self._catalog.save(directory / _CATALOG_FILE)
+        ordered_ids = self._catalog.ids
+        for feature in self._schema.names:
+            path = directory / _FEATURE_DIR / f"{feature}.feat"
+            staging = path.with_name(path.name + ".new")
+            extractor = self._schema.get(feature)
+            with FeatureStore.create(staging, extractor.dim, overwrite=True) as store:
+                for image_id in ordered_ids:
+                    store.append(self._vectors[feature][image_id])
+            fsync_file(staging, fs=fs)
+            fs.replace(staging, path)
+        fs.fsync_dir(directory / _FEATURE_DIR)
+
         config = {
             "features": [
                 {"name": name, "dim": self._schema.get(name).dim}
@@ -705,15 +794,12 @@ class ImageDatabase:
             ],
             "metrics": {name: metric.name for name, metric in self._metrics.items()},
         }
-        (directory / _CONFIG_FILE).write_text(json.dumps(config, indent=2))
-
-        ordered_ids = self._catalog.ids
-        for feature in self._schema.names:
-            path = directory / _FEATURE_DIR / f"{feature}.feat"
-            extractor = self._schema.get(feature)
-            with FeatureStore.create(path, extractor.dim, overwrite=True) as store:
-                for image_id in ordered_ids:
-                    store.append(self._vectors[feature][image_id])
+        atomic_write_bytes(
+            directory / _CONFIG_FILE,
+            json.dumps(config, indent=2).encode("utf-8"),
+            fs=fs,
+        )
+        self._catalog.save(directory / _CATALOG_FILE, fs=fs)
 
     @classmethod
     def load(

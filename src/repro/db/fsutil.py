@@ -1,0 +1,96 @@
+"""Filesystem primitives behind injectable crash boundaries.
+
+Durability code is only as trustworthy as its behaviour *between* the
+syscalls — a crash can land after any write, before any fsync, between
+a rename and its directory flush.  Every durability-relevant syscall in
+the journal, snapshot, and atomic-save paths therefore goes through a
+:class:`FileSystem` object instead of calling ``os`` directly.  The
+default :data:`REAL_FS` is a thin passthrough; the fault-injection
+harness (``tests/faults.py``) substitutes a shim that counts these
+boundaries and kills the process (or raises) at a chosen one, which is
+how the crash-recovery suite proves "an acknowledged write survives a
+kill -9 at *any* boundary" instead of asserting it.
+
+The boundary vocabulary is deliberately small:
+
+``write``
+    Buffered bytes handed to the OS (may still be lost on crash).
+``fsync``
+    The durability point for file contents.
+``replace``
+    Atomic rename onto the destination (the commit point of every
+    atomic write — readers see the old bytes or the new, never a mix).
+``fsync_dir``
+    Durability point for the rename itself (directory entry).
+
+:func:`atomic_write_bytes` composes them into the canonical
+write-temp → fsync → rename → fsync-dir sequence used for catalogs,
+configs, manifests, and journal resets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO
+
+__all__ = [
+    "FileSystem",
+    "REAL_FS",
+    "atomic_write_bytes",
+    "fsync_file",
+]
+
+
+class FileSystem:
+    """Real filesystem operations, one method per crash boundary."""
+
+    def write(self, file: BinaryIO, data: bytes) -> None:
+        """Write bytes to an open file (buffered; not yet durable)."""
+        file.write(data)
+
+    def fsync(self, file: BinaryIO) -> None:
+        """Flush and fsync an open file — its contents' durability point."""
+        file.flush()
+        os.fsync(file.fileno())
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomically rename ``src`` onto ``dst`` (POSIX rename)."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Fsync a directory so renames/creates inside it are durable."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: The production filesystem: every call goes straight to the OS.
+REAL_FS = FileSystem()
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, *, fs: FileSystem = REAL_FS
+) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    Writes to ``path + '.tmp'``, fsyncs it, renames it onto ``path``,
+    then fsyncs the parent directory.  A crash anywhere leaves either
+    the old file or the new one — never a truncated or interleaved mix.
+    (A stale ``.tmp`` from an earlier crash is simply overwritten.)
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as file:
+        fs.write(file, data)
+        fs.fsync(file)
+    fs.replace(tmp, path)
+    fs.fsync_dir(path.parent)
+
+
+def fsync_file(path: str | Path, *, fs: FileSystem = REAL_FS) -> None:
+    """Fsync an already-written file by path (snapshot feature stores)."""
+    with open(path, "rb") as file:
+        fs.fsync(file)

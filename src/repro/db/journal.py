@@ -1,0 +1,693 @@
+"""Append-only write-ahead journal for database mutations.
+
+The serving layer acknowledges ``add``/``remove`` requests; this module
+is what makes those acknowledgements mean something across a crash.
+Every mutation is encoded as one self-describing record and appended to
+a journal file *before* its future resolves; recovery
+(``repro.db.recovery``) replays the journal onto the last snapshot at
+startup.  The contract, end to end:
+
+    acknowledged future  ⟹  fsync'd journal record (or compacted
+    snapshot)  ⟹  the mutation survives kill -9.
+
+File layout (little-endian)::
+
+    offset 0   magic    8 bytes   b"RWALV001"
+    offset 8   records, each:
+        u32  payload length
+        u32  CRC32 of the payload
+        payload:
+            u32  header length
+            header   UTF-8 JSON (op, seq, ids, labels, names, feature
+                     shapes)
+            data     raw float64 matrix bytes, one block per feature,
+                     in header order (add records only)
+
+The first record is always a ``fingerprint`` record carrying the format
+version and the feature configuration (names, dims, metric names); a
+replay against a snapshot or schema with a different fingerprint is
+refused (:class:`~repro.errors.RecoveryError`) instead of silently
+producing garbage.
+
+**Torn tails are normal.**  A crash mid-append leaves a record whose
+length prefix, payload, or CRC is incomplete.  :meth:`Journal.scan`
+stops at the first record that fails its checksum and reports the valid
+prefix; everything after it is truncated on reopen, never replayed.
+Because appends are strictly sequential and fsync happens before any
+acknowledgement, a torn record is by construction *unacknowledged* —
+truncating it loses nothing the client was promised.
+
+**Group commit.**  :meth:`Journal.append` only buffers; :meth:`sync` is
+the durability point.  The scheduler appends every mutation in a formed
+batch and pays one fsync for the group before resolving any of their
+futures — batching the dominant cost of journaling without weakening
+the per-acknowledgement guarantee.
+
+:class:`JournalSet` manages one journal file per shard under a serving
+root, assigning a single monotonically increasing sequence number per
+mutation (shared by all of a mutation's per-shard records, which is how
+recovery reassembles a scattered add in original row order).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes
+from repro.errors import JournalError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "JournalRecord",
+    "Journal",
+    "JournalSet",
+    "fingerprint_of",
+]
+
+_MAGIC = b"RWALV001"
+_PREFIX = struct.Struct("<II")  # payload length, CRC32(payload)
+_HEADER_LEN = struct.Struct("<I")
+
+#: Journal/snapshot format version, part of the fingerprint.
+FORMAT_VERSION = 1
+
+#: Largest accepted record payload (a defensive bound against reading a
+#: garbage length prefix as a multi-GiB allocation).
+_MAX_PAYLOAD = 1 << 30
+
+
+def fingerprint_of(
+    features: Mapping[str, int] | list[tuple[str, int]],
+    metrics: Mapping[str, str],
+) -> dict:
+    """The compatibility fingerprint of a database configuration.
+
+    Journals and snapshot manifests both carry it; recovery demands
+    equality before replaying.  Covers exactly what replay depends on:
+    the format version, the feature names and dimensionalities (record
+    decoding), and the metric names (index semantics).
+    """
+    items = features.items() if isinstance(features, Mapping) else features
+    return {
+        "version": FORMAT_VERSION,
+        "features": [
+            {"name": str(name), "dim": int(dim)} for name, dim in items
+        ],
+        "metrics": {str(name): str(metric) for name, metric in metrics.items()},
+    }
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record.
+
+    ``op`` is ``'add'``, ``'remove'``, ``'abort'``, or ``'fingerprint'``.
+    Add records carry parallel ``ids``/``labels``/``names`` lists and a
+    ``{feature: (n, d) float64 matrix}`` mapping; remove records carry
+    ``ids``; abort records mark a sequence number whose mutation failed
+    after journaling and must be skipped at replay; the fingerprint
+    record (always first in a file) carries the config fingerprint.
+
+    ``total`` is the id count of the *whole* mutation, across every
+    shard it was routed to.  A multi-shard mutation writes one record
+    per home shard (same ``seq``), and the per-file fsyncs are not
+    atomic as a group — a crash between them durably strands a strict
+    subset of the parts.  Replay sums the surviving parts' ids against
+    ``total`` and skips an incomplete sequence outright: such a
+    mutation cannot have been acknowledged (acknowledgement follows the
+    *last* fsync), and applying half of it would surface a state no
+    client ever observed.
+    """
+
+    op: str
+    seq: int = 0
+    ids: tuple[int, ...] = ()
+    labels: tuple[str | None, ...] | None = None
+    names: tuple[str, ...] | None = None
+    matrices: Mapping[str, np.ndarray] = field(default_factory=dict)
+    fingerprint: dict | None = None
+    total: int | None = None
+
+    @classmethod
+    def add(
+        cls,
+        seq: int,
+        ids: list[int],
+        matrices: Mapping[str, np.ndarray],
+        labels: list[str | None] | None,
+        names: list[str] | None,
+        *,
+        total: int | None = None,
+    ) -> "JournalRecord":
+        return cls(
+            op="add",
+            seq=seq,
+            ids=tuple(int(i) for i in ids),
+            labels=tuple(labels) if labels is not None else None,
+            names=tuple(names) if names is not None else None,
+            matrices={
+                name: np.ascontiguousarray(matrix, dtype=np.float64)
+                for name, matrix in matrices.items()
+            },
+            total=int(total) if total is not None else len(ids),
+        )
+
+    @classmethod
+    def remove(
+        cls, seq: int, ids: list[int], *, total: int | None = None
+    ) -> "JournalRecord":
+        return cls(
+            op="remove",
+            seq=seq,
+            ids=tuple(int(i) for i in ids),
+            total=int(total) if total is not None else len(ids),
+        )
+
+    @classmethod
+    def abort(cls, seq: int) -> "JournalRecord":
+        return cls(op="abort", seq=seq)
+
+
+def encode_record(record: JournalRecord) -> bytes:
+    """Serialize a record to its on-disk bytes (prefix + CRC + payload)."""
+    header: dict = {"op": record.op, "seq": record.seq}
+    blocks: list[bytes] = []
+    if record.op == "fingerprint":
+        header["fingerprint"] = record.fingerprint
+    elif record.op == "add":
+        header["ids"] = list(record.ids)
+        header["total"] = record.total
+        header["labels"] = list(record.labels) if record.labels is not None else None
+        header["names"] = list(record.names) if record.names is not None else None
+        header["features"] = []
+        for name, matrix in record.matrices.items():
+            rows, dim = matrix.shape
+            header["features"].append({"name": name, "rows": rows, "dim": dim})
+            blocks.append(np.ascontiguousarray(matrix, dtype="<f8").tobytes())
+    elif record.op == "remove":
+        header["ids"] = list(record.ids)
+        header["total"] = record.total
+    elif record.op != "abort":
+        raise JournalError(f"unknown journal op {record.op!r}")
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    payload = _HEADER_LEN.pack(len(header_bytes)) + header_bytes + b"".join(blocks)
+    return _PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> JournalRecord:
+    """Inverse of :func:`encode_record` for one CRC-verified payload."""
+    if len(payload) < _HEADER_LEN.size:
+        raise JournalError("record payload shorter than its header length")
+    (header_len,) = _HEADER_LEN.unpack_from(payload)
+    header_end = _HEADER_LEN.size + header_len
+    if header_end > len(payload):
+        raise JournalError("record header extends past the payload")
+    try:
+        header = json.loads(payload[_HEADER_LEN.size : header_end])
+    except json.JSONDecodeError as exc:
+        raise JournalError("record header is not valid JSON") from exc
+    op = header.get("op")
+    seq = int(header.get("seq", 0))
+    if op == "fingerprint":
+        return JournalRecord(op="fingerprint", fingerprint=header.get("fingerprint"))
+    total = header.get("total")
+    total = int(total) if total is not None else None
+    if op == "remove":
+        return JournalRecord.remove(
+            seq, [int(i) for i in header.get("ids", [])], total=total
+        )
+    if op == "abort":
+        return JournalRecord.abort(seq)
+    if op != "add":
+        raise JournalError(f"unknown journal op {op!r}")
+    matrices: dict[str, np.ndarray] = {}
+    offset = header_end
+    for entry in header.get("features", []):
+        rows, dim = int(entry["rows"]), int(entry["dim"])
+        n_bytes = rows * dim * 8
+        block = payload[offset : offset + n_bytes]
+        if len(block) != n_bytes:
+            raise JournalError(
+                f"feature block {entry['name']!r} truncated inside a "
+                f"checksummed record"
+            )
+        matrices[entry["name"]] = (
+            np.frombuffer(block, dtype="<f8").reshape(rows, dim).copy()
+        )
+        offset += n_bytes
+    labels = header.get("labels")
+    names = header.get("names")
+    return JournalRecord.add(
+        seq,
+        [int(i) for i in header.get("ids", [])],
+        matrices,
+        list(labels) if labels is not None else None,
+        list(names) if names is not None else None,
+        total=total,
+    )
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """What :meth:`Journal.scan` found in one journal file."""
+
+    fingerprint: dict
+    records: list[JournalRecord]
+    valid_bytes: int  #: offset of the last intact record's end
+    torn_bytes: int  #: trailing bytes that failed framing or checksum
+
+
+class Journal:
+    """One append-only journal file with checksummed records.
+
+    Use :meth:`create` for a fresh file (atomic: the magic and
+    fingerprint record land via write-temp → fsync → rename, so a crash
+    during creation leaves either no journal or a complete empty one)
+    and :meth:`open` to continue an existing file (the torn tail, if
+    any, is truncated first).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        file: BinaryIO,
+        fingerprint: dict,
+        *,
+        fs: FileSystem,
+        size_bytes: int,
+        n_records: int,
+    ) -> None:
+        self._path = path
+        self._file = file
+        self._fingerprint = fingerprint
+        self._fs = fs
+        self._size = size_bytes
+        self._n_records = n_records
+        self._dirty = False
+        self._closed = False
+        self._n_syncs = 0
+        self._fsync_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, path: str | Path, fingerprint: dict, *, fs: FileSystem = REAL_FS
+    ) -> "Journal":
+        """Atomically create a fresh journal holding only the fingerprint."""
+        path = Path(path)
+        seed = _MAGIC + encode_record(
+            JournalRecord(op="fingerprint", fingerprint=fingerprint)
+        )
+        atomic_write_bytes(path, seed, fs=fs)
+        file = open(path, "r+b")
+        file.seek(0, 2)
+        return cls(
+            path,
+            file,
+            fingerprint,
+            fs=fs,
+            size_bytes=len(seed),
+            n_records=0,
+        )
+
+    @classmethod
+    def open(cls, path: str | Path, *, fs: FileSystem = REAL_FS) -> "Journal":
+        """Open an existing journal for appending, truncating a torn tail."""
+        path = Path(path)
+        scan = cls.scan(path)
+        file = open(path, "r+b")
+        if scan.torn_bytes:
+            file.truncate(scan.valid_bytes)
+        file.seek(scan.valid_bytes)
+        return cls(
+            path,
+            file,
+            scan.fingerprint,
+            fs=fs,
+            size_bytes=scan.valid_bytes,
+            n_records=len(scan.records),
+        )
+
+    @staticmethod
+    def scan(path: str | Path) -> ScanResult:
+        """Read a journal file, stopping at the first damaged record.
+
+        Returns the fingerprint, every intact mutation record in file
+        order, the byte offset up to which the file is valid, and how
+        many trailing bytes are torn.  A missing/short magic or an
+        unreadable *fingerprint* record is a :class:`JournalError` —
+        creation is atomic, so that is corruption, not a crash residue.
+        """
+        path = Path(path)
+        raw = path.read_bytes()
+        if len(raw) < len(_MAGIC) or raw[: len(_MAGIC)] != _MAGIC:
+            raise JournalError(f"bad journal magic in {path}")
+        records: list[JournalRecord] = []
+        offset = len(_MAGIC)
+        valid = offset
+        fingerprint: dict | None = None
+        while offset < len(raw):
+            if offset + _PREFIX.size > len(raw):
+                break  # torn length prefix
+            length, crc = _PREFIX.unpack_from(raw, offset)
+            if length > _MAX_PAYLOAD:
+                break  # garbage prefix — treat as torn
+            payload = raw[offset + _PREFIX.size : offset + _PREFIX.size + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # torn or bit-flipped record
+            try:
+                record = decode_payload(payload)
+            except JournalError:
+                if fingerprint is None:
+                    raise  # corrupt fingerprint record: unusable file
+                break  # checksummed-but-undecodable: stop, don't guess
+            offset += _PREFIX.size + length
+            valid = offset
+            if record.op == "fingerprint":
+                if fingerprint is None:
+                    fingerprint = record.fingerprint or {}
+                continue
+            if fingerprint is None:
+                raise JournalError(
+                    f"journal {path} has records before its fingerprint"
+                )
+            records.append(record)
+        if fingerprint is None:
+            raise JournalError(f"journal {path} is missing its fingerprint record")
+        return ScanResult(
+            fingerprint=fingerprint,
+            records=records,
+            valid_bytes=valid,
+            torn_bytes=len(raw) - valid,
+        )
+
+    def close(self) -> None:
+        """Sync pending appends and close the file (idempotent)."""
+        if self._closed:
+            return
+        if self._dirty:
+            self.sync()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def fingerprint(self) -> dict:
+        return self._fingerprint
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes appended so far (magic + fingerprint included)."""
+        return self._size
+
+    @property
+    def n_records(self) -> int:
+        """Mutation records appended or recovered-into this handle."""
+        return self._n_records
+
+    @property
+    def n_syncs(self) -> int:
+        """Completed :meth:`sync` calls."""
+        return self._n_syncs
+
+    @property
+    def fsync_seconds(self) -> float:
+        """Cumulative wall time spent inside fsync."""
+        return self._fsync_seconds
+
+    @property
+    def dirty(self) -> bool:
+        """True when appends are buffered but not yet fsync'd."""
+        return self._dirty
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: JournalRecord, *, sync: bool = False) -> int:
+        """Append one record; returns its encoded size in bytes.
+
+        The record is *not* durable until :meth:`sync` — callers must
+        not acknowledge the mutation before then (the scheduler syncs
+        once per formed batch).
+        """
+        if self._closed:
+            raise JournalError(f"journal is closed: {self._path}")
+        encoded = encode_record(record)
+        self._fs.write(self._file, encoded)
+        self._size += len(encoded)
+        self._n_records += 1
+        self._dirty = True
+        if sync:
+            self.sync()
+        return len(encoded)
+
+    def sync(self) -> float:
+        """Fsync buffered appends; returns the fsync wall time in seconds."""
+        if self._closed:
+            raise JournalError(f"journal is closed: {self._path}")
+        started = time.perf_counter()
+        self._fs.fsync(self._file)
+        elapsed = time.perf_counter() - started
+        self._dirty = False
+        self._n_syncs += 1
+        self._fsync_seconds += elapsed
+        return elapsed
+
+    def reset(self, fingerprint: dict) -> None:
+        """Atomically replace the file with a fresh, empty journal.
+
+        Used after compaction: the records are in the snapshot now.  A
+        plain truncate is not crash-atomic (a crash mid-truncate could
+        leave a half-record at the new tail that still checksums), so
+        the fresh journal is built as a temp file and renamed over —
+        the same commit point every other atomic write uses.
+        """
+        if self._closed:
+            raise JournalError(f"journal is closed: {self._path}")
+        self._file.close()
+        seed = _MAGIC + encode_record(
+            JournalRecord(op="fingerprint", fingerprint=fingerprint)
+        )
+        atomic_write_bytes(self._path, seed, fs=self._fs)
+        self._file = open(self._path, "r+b")
+        self._file.seek(0, 2)
+        self._fingerprint = fingerprint
+        self._size = len(seed)
+        self._n_records = 0
+        self._dirty = False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"records={self._n_records}"
+        return f"Journal(path={str(self._path)!r}, {state})"
+
+
+class JournalSet:
+    """The per-shard journal files of one serving root.
+
+    One file per shard (``wal-000.log`` …), a single global sequence
+    counter, and group-commit bookkeeping: ``append_*`` methods buffer,
+    :meth:`sync` fsyncs every dirty file (the scheduler's once-per-batch
+    durability point), and ``on_fsync`` (when set) observes each fsync's
+    wall time — the scheduler wires it to the
+    ``repro_journal_fsync_seconds`` histogram.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        fingerprint: dict,
+        n_shards: int = 1,
+        *,
+        fs: FileSystem = REAL_FS,
+    ) -> None:
+        if n_shards < 1:
+            raise JournalError(f"n_shards must be >= 1; got {n_shards}")
+        self._root = Path(root)
+        self._fingerprint = fingerprint
+        self._n = int(n_shards)
+        self._fs = fs
+        self._journals: list[Journal] = []
+        self._seq = 0
+        self._last_touched: list[int] = []
+        self.on_fsync: Callable[[float], None] | None = None
+        self.replayed_records = 0
+
+    @staticmethod
+    def shard_path(root: str | Path, shard: int) -> Path:
+        return Path(root) / f"wal-{shard:03d}.log"
+
+    @staticmethod
+    def existing_paths(root: str | Path) -> list[Path]:
+        """The journal files currently present under ``root``, in order."""
+        return sorted(Path(root).glob("wal-[0-9][0-9][0-9].log"))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """(Re)create every shard journal fresh, removing stale extras.
+
+        Called at startup after compaction and by online compaction: the
+        live records just became part of the snapshot, so each file is
+        atomically replaced with an empty one.  Leftover higher-numbered
+        files from a previous run with more shards are deleted — their
+        records are in the snapshot too, and replaying them against a
+        smaller shard count would be refused anyway.
+        """
+        self._root.mkdir(parents=True, exist_ok=True)
+        if self._journals:
+            for journal in self._journals:
+                journal.reset(self._fingerprint)
+        else:
+            self._journals = [
+                Journal.create(
+                    self.shard_path(self._root, shard),
+                    self._fingerprint,
+                    fs=self._fs,
+                )
+                for shard in range(self._n)
+            ]
+        for stale in self.existing_paths(self._root)[self._n :]:
+            stale.unlink(missing_ok=True)
+        self._last_touched = []
+
+    def close(self) -> None:
+        """Sync and close every journal (idempotent)."""
+        for journal in self._journals:
+            journal.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def fs(self) -> FileSystem:
+        """The (injectable) filesystem this set writes through."""
+        return self._fs
+
+    @property
+    def n_shards(self) -> int:
+        return self._n
+
+    @property
+    def fingerprint(self) -> dict:
+        return self._fingerprint
+
+    @property
+    def journals(self) -> tuple[Journal, ...]:
+        return tuple(self._journals)
+
+    @property
+    def n_records(self) -> int:
+        """Mutation records across all shard files since the last reset."""
+        return sum(journal.n_records for journal in self._journals)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(journal.size_bytes for journal in self._journals)
+
+    @property
+    def n_syncs(self) -> int:
+        return sum(journal.n_syncs for journal in self._journals)
+
+    @property
+    def fsync_seconds(self) -> float:
+        return sum(journal.fsync_seconds for journal in self._journals)
+
+    # ------------------------------------------------------------------
+    # Appending (scheduler worker thread only)
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        """Allocate the next mutation sequence number."""
+        self._seq += 1
+        return self._seq
+
+    def append_records(
+        self, records_by_shard: Mapping[int, JournalRecord], *, sync: bool = False
+    ) -> None:
+        """Append one mutation's records to their home shard journals.
+
+        All records of one mutation share a sequence number; recovery
+        merges them back by it.  Buffered unless ``sync`` — the
+        scheduler defers to one group :meth:`sync` per formed batch.
+        """
+        if not self._journals:
+            raise JournalError("journal set has no files; call reset() first")
+        touched = []
+        for shard, record in records_by_shard.items():
+            if not 0 <= shard < self._n:
+                raise JournalError(
+                    f"record routed to shard {shard} of {self._n}"
+                )
+            self._journals[shard].append(record)
+            touched.append(shard)
+        self._last_touched = touched
+        if sync:
+            self.sync()
+
+    def append_abort(self, seq: int) -> None:
+        """Mark ``seq`` aborted on every journal its records touched.
+
+        Defensive: written when a mutation fails *after* journaling
+        (apply raised).  Replay collects abort marks first and skips the
+        matching records, so the failed mutation never resurfaces.
+        """
+        for shard in self._last_touched or range(len(self._journals)):
+            self._journals[shard].append(JournalRecord.abort(seq))
+
+    def sync(self) -> float:
+        """Fsync every dirty journal; returns total fsync seconds.
+
+        This is the group-commit durability point: after it returns,
+        every record appended since the previous sync may be
+        acknowledged.
+        """
+        total = 0.0
+        for journal in self._journals:
+            if journal.dirty:
+                total += journal.sync()
+        if self.on_fsync is not None and total > 0.0:
+            self.on_fsync(total)
+        return total
+
+    # ------------------------------------------------------------------
+    # Reading (recovery)
+    # ------------------------------------------------------------------
+    @classmethod
+    def scan_root(
+        cls, root: str | Path
+    ) -> Iterator[tuple[Path, ScanResult]]:
+        """Scan every journal file under ``root`` (shard order)."""
+        for path in cls.existing_paths(root):
+            yield path, Journal.scan(path)
+
+    def __repr__(self) -> str:
+        return (
+            f"JournalSet(root={str(self._root)!r}, shards={self._n}, "
+            f"records={self.n_records if self._journals else 0})"
+        )

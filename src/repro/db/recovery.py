@@ -1,0 +1,443 @@
+"""Startup recovery and snapshot compaction for a journaled serving root.
+
+A serving root directory is the unit of durability::
+
+    root/
+      MANIFEST.json        -> {"snapshot": "snap-000007", "fingerprint": ...}
+      snap-000007/         the last compacted snapshot (ImageDatabase.save)
+      wal-000.log ...      per-shard write-ahead journals since that snapshot
+
+The manifest is the single commit point: it is only ever replaced
+atomically (temp + fsync + rename), and it names the one snapshot
+directory that is current.  Compaction writes a *fresh* ``snap-NNNNNN``
+directory, fsyncs it, flips the manifest, and only then resets the
+journals — a crash at any point leaves either the old
+(manifest, snapshot, journal) triple or the new one, never a mix that
+replays into a different state.
+
+**Recovery algorithm** (:func:`recover`):
+
+1. Read the manifest; load the snapshot it names.  A root with journal
+   records but no manifest (or a manifest naming a missing snapshot) is
+   a hard :class:`~repro.errors.RecoveryError` — replaying onto the
+   wrong base would corrupt silently.
+2. Scan every journal file.  Torn tail records (failed CRC) are counted
+   and truncated, never applied; they are by construction
+   unacknowledged (the scheduler fsyncs before resolving futures).
+3. Demand fingerprint equality (format version + feature config)
+   between the manifest, every journal, and the serving schema.
+4. Merge records across shard files by sequence number, collect abort
+   marks, and replay in sequence order.  Replay is idempotent: an add
+   whose ids already exist is skipped whole, a remove is filtered to
+   ids actually present — so a crash *between* the manifest flip and
+   the journal reset (records already baked into the snapshot) replays
+   to the same state, and replaying a journal twice equals once.
+
+**Why sorting merged add-rows by id is correct:** a sharded mutation's
+records share one ``seq`` and split the original row list by home
+shard; ids were allocated sequentially over the original rows, so
+ascending id order *is* the original row order.
+
+:func:`open_serving_root` is the serve-boot flow: recover if the root
+has history, otherwise seed from the ``--db`` database; then compact
+immediately so serving always starts from a fresh snapshot and empty
+journals.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.db.database import ImageDatabase
+from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes
+from repro.db.journal import (
+    FORMAT_VERSION,
+    JournalRecord,
+    JournalSet,
+    fingerprint_of,
+)
+from repro.errors import JournalError, RecoveryError
+from repro.features.pipeline import FeatureSchema
+from repro.metrics.base import Metric
+
+__all__ = [
+    "MANIFEST_FILE",
+    "RecoveryReport",
+    "database_fingerprint",
+    "read_manifest",
+    "write_manifest",
+    "recover",
+    "compact",
+    "open_serving_root",
+]
+
+MANIFEST_FILE = "MANIFEST.json"
+_SNAP_PREFIX = "snap-"
+
+
+def database_fingerprint(db: ImageDatabase) -> dict:
+    """The compatibility fingerprint of a live database's configuration."""
+    return fingerprint_of(
+        [(name, db.schema.get(name).dim) for name in db.schema.names],
+        {name: metric.name for name, metric in db.metrics.items()},
+    )
+
+
+def read_manifest(root: str | Path) -> dict | None:
+    """The parsed manifest, or ``None`` when the root has none yet."""
+    path = Path(root) / MANIFEST_FILE
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"unreadable manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or "snapshot" not in manifest:
+        raise RecoveryError(f"malformed manifest {path}: {manifest!r}")
+    return manifest
+
+
+def write_manifest(
+    root: str | Path, manifest: dict, *, fs: FileSystem = REAL_FS
+) -> None:
+    """Atomically replace the root's manifest — the commit point."""
+    atomic_write_bytes(
+        Path(root) / MANIFEST_FILE,
+        json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        fs=fs,
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :func:`recover` call found and did."""
+
+    snapshot: str | None  #: snapshot directory name replay started from
+    journal_files: int
+    records_scanned: int  #: intact mutation records across all journals
+    adds_applied: int
+    removes_applied: int
+    records_skipped: int  #: already-in-snapshot or empty-after-filter
+    records_aborted: int  #: skipped via abort marks
+    torn_bytes_truncated: int
+    replay_s: float
+    items: int  #: live items after replay
+    generations: dict = field(default_factory=dict)
+
+    @property
+    def records_applied(self) -> int:
+        return self.adds_applied + self.removes_applied
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI prints this)."""
+        return (
+            f"recovered {self.items} items from "
+            f"{self.snapshot or 'empty root'} + {self.journal_files} "
+            f"journal(s): {self.adds_applied} adds, "
+            f"{self.removes_applied} removes replayed "
+            f"({self.records_skipped} skipped, {self.records_aborted} "
+            f"aborted, {self.torn_bytes_truncated} torn bytes truncated) "
+            f"in {self.replay_s * 1e3:.1f} ms"
+        )
+
+
+def _check_fingerprint(expected: dict, found: dict, source: str) -> None:
+    if found != expected:
+        raise RecoveryError(
+            f"fingerprint mismatch in {source}: journal/snapshot were "
+            f"written under {found!r} but the serving configuration is "
+            f"{expected!r}; refusing to replay (rebuild the root or fix "
+            f"the schema)"
+        )
+
+
+def recover(
+    root: str | Path,
+    schema: FeatureSchema,
+    *,
+    metrics: Mapping[str, Metric] | None = None,
+    index_factory: Callable | None = None,
+    fs: FileSystem = REAL_FS,
+    repair: bool = True,
+) -> tuple[ImageDatabase, RecoveryReport]:
+    """Rebuild the database state a crashed (or cleanly stopped) serving
+    root represents: last snapshot + intact journal records.
+
+    ``schema``/``metrics``/``index_factory`` configure the rebuilt
+    database exactly as :meth:`ImageDatabase.load` would; the stored
+    fingerprint must match that configuration.  With ``repair`` (the
+    default) torn journal tails are truncated on disk; pass ``False``
+    for a read-only inspection replay.
+
+    Raises
+    ------
+    RecoveryError
+        Manifest/snapshot/journal inconsistency or fingerprint mismatch.
+    """
+    root = Path(root)
+    started = time.perf_counter()
+    probe = ImageDatabase(schema, metrics=metrics, index_factory=index_factory)
+    expected = database_fingerprint(probe)
+
+    scans = []
+    try:
+        for path, scan in JournalSet.scan_root(root):
+            scans.append((path, scan))
+    except JournalError as exc:
+        raise RecoveryError(f"unreadable journal under {root}: {exc}") from exc
+    for path, scan in scans:
+        _check_fingerprint(expected, scan.fingerprint, str(path))
+
+    manifest = read_manifest(root)
+    if manifest is None:
+        if any(scan.records for _path, scan in scans):
+            raise RecoveryError(
+                f"{root} has journal records but no manifest; the snapshot "
+                f"they apply to is unknown — refusing to replay"
+            )
+        db = probe
+        snapshot_name = None
+    else:
+        _check_fingerprint(
+            expected, manifest.get("fingerprint", {}), str(root / MANIFEST_FILE)
+        )
+        snapshot_name = str(manifest["snapshot"])
+        snapshot_dir = root / snapshot_name
+        if not snapshot_dir.is_dir():
+            raise RecoveryError(
+                f"manifest names snapshot {snapshot_name!r} but "
+                f"{snapshot_dir} does not exist"
+            )
+        db = ImageDatabase.load(
+            snapshot_dir, schema, metrics=metrics, index_factory=index_factory
+        )
+
+    if repair:
+        for path, scan in scans:
+            if scan.torn_bytes:
+                with open(path, "r+b") as file:
+                    file.truncate(scan.valid_bytes)
+
+    # Merge records across shard files by sequence number; abort marks
+    # (written when apply failed after journaling) veto their sequence.
+    by_seq: dict[int, list[JournalRecord]] = {}
+    aborted: set[int] = set()
+    for _path, scan in scans:
+        for record in scan.records:
+            if record.op == "abort":
+                aborted.add(record.seq)
+            else:
+                by_seq.setdefault(record.seq, []).append(record)
+
+    adds = removes = skipped = n_aborted = 0
+    for seq in sorted(by_seq):
+        if seq in aborted:
+            n_aborted += len(by_seq[seq])
+            continue
+        parts = by_seq[seq]
+        op = parts[0].op
+        if op == "add":
+            applied = _replay_add(db, parts)
+        else:
+            applied = _replay_remove(db, parts)
+        if applied:
+            adds += applied if op == "add" else 0
+            removes += applied if op == "remove" else 0
+        else:
+            skipped += len(parts)
+
+    report = RecoveryReport(
+        snapshot=snapshot_name,
+        journal_files=len(scans),
+        records_scanned=sum(len(scan.records) for _path, scan in scans),
+        adds_applied=adds,
+        removes_applied=removes,
+        records_skipped=skipped,
+        records_aborted=n_aborted,
+        torn_bytes_truncated=sum(scan.torn_bytes for _path, scan in scans),
+        replay_s=time.perf_counter() - started,
+        items=len(db),
+        generations=db.generations(),
+    )
+    return db, report
+
+
+def _replay_add(db: ImageDatabase, parts: list[JournalRecord]) -> int:
+    """Apply one (possibly sharded) add; returns records applied (0 = skip).
+
+    Idempotence rule: if *any* of the mutation's ids is already present,
+    the whole mutation is in the snapshot (mutations apply atomically)
+    and the record is skipped.  Ascending id order across the merged
+    parts reconstructs the original row order (ids were allocated
+    sequentially over rows).
+
+    Completeness rule: a sharded mutation writes one record per home
+    shard, and per-file fsyncs are not atomic as a group — a crash
+    between them strands a strict subset on disk.  Each part carries
+    the whole mutation's row count (``total``); when the surviving
+    parts do not add up, the mutation was never acknowledged (the ack
+    follows the *last* fsync) and must be skipped, not half-applied.
+    """
+    rows: list[tuple[int, JournalRecord, int]] = []
+    for part in parts:
+        for row, image_id in enumerate(part.ids):
+            rows.append((image_id, part, row))
+    if not rows:
+        return 0
+    expected = parts[0].total
+    if expected is not None and len(rows) != expected:
+        return 0
+    if any(image_id in db.catalog for image_id, _part, _row in rows):
+        return 0
+    rows.sort(key=lambda item: item[0])
+    ids = [image_id for image_id, _part, _row in rows]
+    matrices = {
+        feature: np.stack(
+            [part.matrices[feature][row] for _id, part, row in rows]
+        )
+        for feature in parts[0].matrices
+    }
+    labels = (
+        [part.labels[row] for _id, part, row in rows]
+        if parts[0].labels is not None
+        else None
+    )
+    names = (
+        [part.names[row] for _id, part, row in rows]
+        if parts[0].names is not None
+        else None
+    )
+    db.add_vectors(matrices, labels=labels, names=names, ids=ids)
+    return len(parts)
+
+
+def _replay_remove(db: ImageDatabase, parts: list[JournalRecord]) -> int:
+    """Apply one (possibly sharded) remove, filtered to present ids.
+
+    The same completeness rule as :func:`_replay_add` applies: when the
+    surviving parts cover fewer ids than the mutation's ``total``, the
+    crash landed between per-shard fsyncs and the mutation was never
+    acknowledged — skip it whole rather than remove a subset.
+    """
+    expected = parts[0].total
+    if expected is not None and sum(len(part.ids) for part in parts) != expected:
+        return 0
+    present = [
+        image_id
+        for part in parts
+        for image_id in part.ids
+        if image_id in db.catalog
+    ]
+    if not present:
+        return 0
+    db.remove(present)
+    return len(parts)
+
+
+def _next_snapshot_name(root: Path) -> str:
+    highest = -1
+    for entry in root.glob(f"{_SNAP_PREFIX}*"):
+        try:
+            highest = max(highest, int(entry.name[len(_SNAP_PREFIX) :]))
+        except ValueError:
+            continue
+    return f"{_SNAP_PREFIX}{highest + 1:06d}"
+
+
+def compact(
+    journal_set: JournalSet,
+    db: ImageDatabase,
+    *,
+    keep_snapshots: int = 1,
+) -> str:
+    """Fold the journaled history into a fresh snapshot; reset journals.
+
+    The crash-safe sequence, in order:
+
+    1. save ``db`` into a new ``snap-NNNNNN`` directory (every file
+       fsync'd — the directory is unreferenced until step 2, so partial
+       writes there are garbage, not corruption);
+    2. atomically flip ``MANIFEST.json`` to name it — **the commit
+       point**;
+    3. atomically reset every journal file (their records are now part
+       of the snapshot; replay's already-present rule makes a crash
+       between 2 and 3 harmless);
+    4. best-effort delete superseded snapshot directories beyond
+       ``keep_snapshots``.
+
+    Returns the new snapshot's directory name.
+    """
+    fs = journal_set.fs
+    root = journal_set.root
+    root.mkdir(parents=True, exist_ok=True)
+    name = _next_snapshot_name(root)
+    snapshot_dir = root / name
+    db.save(snapshot_dir, fs=fs)
+    fs.fsync_dir(snapshot_dir)
+    fs.fsync_dir(root)
+    write_manifest(
+        root,
+        {
+            "snapshot": name,
+            "fingerprint": journal_set.fingerprint,
+            "items": len(db),
+        },
+        fs=fs,
+    )
+    journal_set.reset()
+    survivors = sorted(
+        (entry for entry in root.glob(f"{_SNAP_PREFIX}*") if entry.is_dir()),
+        key=lambda entry: entry.name,
+    )
+    for stale in survivors[: max(0, len(survivors) - max(1, keep_snapshots))]:
+        shutil.rmtree(stale, ignore_errors=True)
+    return name
+
+
+def open_serving_root(
+    root: str | Path,
+    seed_db: ImageDatabase,
+    *,
+    n_shards: int = 1,
+    fs: FileSystem = REAL_FS,
+) -> tuple[ImageDatabase, JournalSet, RecoveryReport | None]:
+    """Open (or initialize) a journaled serving root — the serve-boot flow.
+
+    A root with history (a manifest or journal files) is recovered:
+    the snapshot is loaded and journals replayed — ``seed_db`` then only
+    supplies the configuration (schema/metrics/index factory), its
+    items are ignored in favour of the recovered state.  A fresh root is
+    seeded from ``seed_db``'s items.  Either way the state is compacted
+    immediately, so the returned :class:`JournalSet` starts empty over a
+    current snapshot, and the returned database is the one to serve.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    has_history = (
+        (root / MANIFEST_FILE).exists() or bool(JournalSet.existing_paths(root))
+    )
+    report: RecoveryReport | None = None
+    if has_history:
+        db, report = recover(
+            root,
+            seed_db.schema,
+            metrics=seed_db.metrics,
+            index_factory=seed_db.index_factory,
+            fs=fs,
+        )
+    else:
+        db = seed_db
+    journal_set = JournalSet(
+        root, database_fingerprint(db), n_shards, fs=fs
+    )
+    compact(journal_set, db)
+    if report is not None:
+        journal_set.replayed_records = report.records_applied
+    return db, journal_set, report

@@ -15,10 +15,13 @@ __all__ = [
     "MetricError",
     "IndexingError",
     "StoreError",
+    "JournalError",
+    "RecoveryError",
     "CatalogError",
     "QueryError",
     "ServeError",
     "RateLimitError",
+    "ShuttingDownError",
 ]
 
 
@@ -50,6 +53,28 @@ class StoreError(ReproError):
     """The paged feature store or buffer pool detected corruption/misuse."""
 
 
+class JournalError(StoreError):
+    """The write-ahead journal was misused or its file is unreadable.
+
+    Torn *tail* records are not errors — they are the expected residue
+    of a crash and are silently truncated at replay.  This error marks
+    damage recovery must not paper over: a corrupt header, an unreadable
+    fingerprint record, an append to a closed journal.
+    """
+
+
+class RecoveryError(ReproError):
+    """Startup recovery refused to replay a journal.
+
+    Raised when the journal/snapshot directory is inconsistent in a way
+    replay cannot safely resolve: a fingerprint (format version +
+    feature configuration) mismatch between journal, snapshot, and the
+    serving schema, a journal that references a snapshot that is gone,
+    or corruption before the tail.  The alternative — replaying anyway —
+    would corrupt state silently, so this is always a hard stop.
+    """
+
+
 class CatalogError(ReproError):
     """Catalog lookups/insertions failed (unknown id, duplicate id, ...)."""
 
@@ -68,4 +93,16 @@ class RateLimitError(ServeError):
     Distinct from the plain queue-full :class:`ServeError` so clients can
     tell *throttled* (slow down) from *overloaded* (shed load); the HTTP
     front end maps it to status 429 instead of 503.
+    """
+
+
+class ShuttingDownError(ServeError):
+    """The scheduler is shutting down and refused the request.
+
+    Raised at submission once :meth:`QueryScheduler.close` has begun,
+    and set on already-queued futures when the close abandons the queue
+    (``drain=False`` — the SIGTERM path) instead of serving it out.
+    Distinct from queue-full so clients know a retry against *this*
+    process is pointless; the HTTP front end maps it to 503 with a
+    ``"shutting_down": true`` body.
     """

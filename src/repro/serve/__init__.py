@@ -58,10 +58,18 @@ Component                          Role
 :class:`QueryServer`               stdlib ``http.server`` JSON front end
                                    (``POST /query``, ``POST /range``,
                                    ``POST /add``, ``POST /remove``,
-                                   ``GET /stats``, ``GET /metrics``,
-                                   ``GET /healthz``)
+                                   ``POST /save``, ``GET /stats``,
+                                   ``GET /metrics``, ``GET /healthz``)
 :class:`ServiceClient`             urllib JSON client for the above
 ================================  =======================================
+
+**Durability.**  Constructed with a
+:class:`~repro.db.journal.JournalSet` (CLI: ``serve --journal DIR``),
+the scheduler writes every mutation to a checksummed write-ahead log
+before its future resolves — one group fsync per formed batch — so an
+acknowledged write survives kill -9; startup replays the log onto the
+last atomic snapshot and ``POST /save`` compacts online.  See
+``docs/durability.md``.
 
 ``python -m repro serve --db my.db --shards 4`` starts the HTTP service
 over a saved database; ``examples/serve_demo.py`` drives the whole

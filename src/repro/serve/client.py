@@ -152,6 +152,16 @@ class ServiceClient:
             "/remove", {"ids": [int(image_id) for image_id in image_ids]}
         )
 
+    def save(self) -> dict:
+        """``POST /save``: compact the journal into a fresh snapshot.
+
+        Returns ``saved``, ``generations``, and ``latency_ms``; fails
+        with :class:`~repro.errors.ServeError` when the server runs
+        without a journal.  The barrier serializes with in-flight query
+        batches — the snapshot is a point-in-time image.
+        """
+        return self._request("/save", {})
+
     def stats(self) -> dict:
         """``GET /stats``: the service's current counters."""
         return self._request("/stats")

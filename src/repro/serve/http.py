@@ -21,6 +21,10 @@ Endpoints
     The insert serializes with query batches on the scheduler's worker.
 ``POST /remove``
     ``{"ids": [...]}`` → removed ids + new generation stamps.
+``POST /save``
+    ``{}`` → snapshot-compaction barrier: the worker folds the journal
+    into a fresh atomic snapshot and resets the logs (400 with an
+    explanatory error when the service runs without a journal).
 ``GET /stats``
     The :class:`~repro.serve.stats.ServiceStats` snapshot as JSON
     (shard count, per-shard sizes and request balance included).
@@ -36,8 +40,10 @@ Query responses carry the ranked results plus the request's serving
 metadata (cache hit, group batch size, exact distance-computation
 count).  Errors map to JSON bodies with appropriate status codes: 400
 for malformed requests, 404 for unknown paths, 503 when the admission
-queue is full, 429 when the token-bucket rate limiter refuses the
-request (throttled, not overloaded — back off and retry).
+queue is full or the service is shutting down (the latter flagged with
+``"shutting_down": true`` so load balancers can distinguish drain from
+overload), 429 when the token-bucket rate limiter refuses the request
+(throttled, not overloaded — back off and retry).
 
 Queries take *signature vectors*, not image files — feature extraction
 is client-side (or via the library), keeping the wire format tiny and
@@ -53,7 +59,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.db.database import ImageDatabase
-from repro.errors import RateLimitError, ReproError, ServeError
+from repro.errors import (
+    RateLimitError,
+    ReproError,
+    ServeError,
+    ShuttingDownError,
+)
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
 
@@ -85,12 +96,17 @@ def _result_payload(served: ServedResult) -> dict:
 
 
 def _mutation_payload(applied: MutationResult) -> dict:
-    """JSON form of one applied mutation."""
+    """JSON form of one applied mutation (or save barrier)."""
     payload = {
         "generations": applied.generations,
         "latency_ms": applied.latency_s * 1e3,
     }
-    payload["ids" if applied.kind == "add" else "removed"] = applied.ids
+    if applied.kind == "add":
+        payload["ids"] = applied.ids
+    elif applied.kind == "remove":
+        payload["removed"] = applied.ids
+    else:
+        payload["saved"] = True
     return payload
 
 
@@ -197,6 +213,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 for feature, stamp in scheduler.generations().items()
             }
+            info = scheduler.journal_info()
             self._send_json(
                 200,
                 {
@@ -206,6 +223,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "generations": generations,
                     "shards": scheduler.n_shards,
                     "uptime_s": scheduler.stats().uptime_s,
+                    "durable": info is not None,
+                    "journal": info,
                 },
             )
         elif self.path == "/stats":
@@ -221,18 +240,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path not in ("/query", "/range", "/add", "/remove"):
+        if self.path not in ("/query", "/range", "/add", "/remove", "/save"):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         scheduler = self.server.scheduler
         try:
-            payload = self._read_json()
-            if self.path == "/add":
+            if self.path == "/save":
+                # The barrier takes no arguments; an (optional) body is
+                # still read so keep-alive connections stay in sync.
+                if int(self.headers.get("Content-Length", "0")) > 0:
+                    self._read_json()
+                future = scheduler.submit_save()
+            elif self.path == "/add":
+                payload = self._read_json()
                 signatures, labels, names = self._add_arguments(payload)
                 future = scheduler.submit_add(
                     signatures, labels=labels, names=names  # type: ignore[arg-type]
                 )
             elif self.path == "/remove":
+                payload = self._read_json()
                 ids = payload.get("ids")
                 if (
                     not isinstance(ids, list)
@@ -244,6 +270,7 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ServeError('"ids" must be a non-empty array of integers')
                 future = scheduler.submit_remove(ids)
             else:
+                payload = self._read_json()
                 vector = self._vector_of(payload)
                 feature = payload.get("feature")
                 if feature is not None and not isinstance(feature, str):
@@ -265,6 +292,9 @@ class _Handler(BaseHTTPRequestHandler):
         except RateLimitError as error:
             self._send_json(429, {"error": str(error)})
             return
+        except ShuttingDownError as error:
+            self._send_json(503, {"error": str(error), "shutting_down": True})
+            return
         except ServeError as error:
             status = 503 if "queue full" in str(error) else 400
             self._send_json(status, {"error": str(error)})
@@ -274,6 +304,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             served = future.result()
+        except ShuttingDownError as error:
+            # The request was admitted but the scheduler abandoned it
+            # mid-shutdown (drain=False close) — same 503 + flag as a
+            # refused submission, the client should fail over.
+            self._send_json(503, {"error": str(error), "shutting_down": True})
+            return
         except ReproError as error:
             self._send_json(400, {"error": str(error)})
             return
@@ -372,8 +408,17 @@ class QueryServer:
             self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop the HTTP loop, close the socket, drain the scheduler."""
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the HTTP loop, close the socket, settle the scheduler.
+
+        With ``drain`` (the default) every admitted request is still
+        served before the scheduler closes.  ``drain=False`` is the
+        SIGTERM path: the in-flight batch completes (and its mutations
+        reach the journal — an acknowledged write is never abandoned),
+        but queued requests fail fast with
+        :class:`~repro.errors.ShuttingDownError` → HTTP 503 instead of
+        holding the terminating process on a backlog.
+        """
         if self._stopped:
             return
         self._stopped = True
@@ -384,7 +429,7 @@ class QueryServer:
         self._http.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self._scheduler.close()
+        self._scheduler.close(drain=drain)
 
     def __enter__(self) -> "QueryServer":
         return self.start()

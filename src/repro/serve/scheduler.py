@@ -106,8 +106,15 @@ from typing import Hashable, Mapping, Sequence
 import numpy as np
 
 from repro.db.database import ImageDatabase
+from repro.db.journal import JournalSet
+from repro.db.recovery import compact
 from repro.db.query import RetrievalResult
-from repro.errors import QueryError, RateLimitError, ServeError
+from repro.errors import (
+    QueryError,
+    RateLimitError,
+    ServeError,
+    ShuttingDownError,
+)
 from repro.image.core import Image
 from repro.index.stats import SearchStats
 from repro.serve.cache import CacheKey, ResultCache
@@ -201,9 +208,10 @@ class MutationResult:
     Attributes
     ----------
     kind:
-        ``'add'`` or ``'remove'``.
+        ``'add'``, ``'remove'``, or ``'save'`` (compaction barrier).
     ids:
-        The image ids allocated (add) or removed (remove), in order.
+        The image ids allocated (add) or removed (remove), in order
+        (empty for ``'save'``).
     generations:
         Every feature's generation stamp *after* the mutation applied —
         what subsequent cached results will be validated against.
@@ -309,6 +317,15 @@ class QueryScheduler:
         An empty bucket fails submissions fast with
         :class:`~repro.errors.RateLimitError` (HTTP 429); ``None``
         disables throttling.
+    journal:
+        Optional :class:`~repro.db.journal.JournalSet` for crash-safe
+        durability (see ``docs/durability.md``).  Mutations are
+        journaled on the worker before they apply, and their futures
+        only resolve after one *group fsync* at the end of the formed
+        batch — an acknowledged mutation is always durable.
+        :meth:`submit_save` compacts the journal into a fresh snapshot
+        as a barrier between batches.  The scheduler owns the set and
+        closes it on :meth:`close`.
     autostart:
         Start the worker thread immediately (default).  Pass ``False``
         to stage requests first and call :meth:`start` explicitly —
@@ -328,6 +345,7 @@ class QueryScheduler:
         shards: int = 1,
         rate_limit_qps: float | None = None,
         rate_limit_burst: float | None = None,
+        journal: JournalSet | None = None,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -337,7 +355,8 @@ class QueryScheduler:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1; got {max_queue}")
         self._db = db
-        self._engine = ShardedEngine(db, shards)
+        self._journal = journal
+        self._engine = ShardedEngine(db, shards, journal=journal)
         self._limiter = (
             TokenBucket(rate_limit_qps, rate_limit_burst)
             if rate_limit_qps is not None
@@ -394,7 +413,21 @@ class QueryScheduler:
             "Result-cache counters by outcome (hit/miss/invalidated).",
             ("outcome",),
         )
+        self._g_journal = self._metrics.gauge(
+            "repro_journal",
+            "Write-ahead journal state (records/bytes/syncs since the "
+            "last compaction; replayed = records applied at startup "
+            "recovery).  Absent families read 0 when journaling is off.",
+            ("figure",),
+        )
+        self._m_journal_fsync = self._metrics.histogram(
+            "repro_journal_fsync_seconds",
+            "Wall time of journal group-commit fsyncs.",
+        )
+        if journal is not None:
+            journal.on_fsync = self._m_journal_fsync.observe
         self._closed = False
+        self._abandon = False
         self._lock = threading.Lock()
         self._worker = threading.Thread(
             target=self._run, name="repro-serve-worker", daemon=True
@@ -416,20 +449,28 @@ class QueryScheduler:
                 self._started = True
         return self
 
-    def close(self, timeout: float | None = None) -> None:
-        """Stop accepting requests, drain the queue, join the worker.
+    def close(self, timeout: float | None = None, *, drain: bool = True) -> None:
+        """Stop accepting requests, settle the queue, join the worker.
 
-        Requests admitted before ``close`` are still served; submissions
-        after it raise :class:`~repro.errors.ServeError`.  On a
-        scheduler that never started, staged requests fail with
-        ``ServeError`` instead of stranding their futures (a blocking
-        sentinel put could also deadlock on a full queue with no
-        consumer).
+        Submissions after ``close`` begins raise
+        :class:`~repro.errors.ShuttingDownError`.  With ``drain`` (the
+        default) every request admitted before the close is still
+        served.  With ``drain=False`` — the SIGTERM path — the batch the
+        worker is currently executing completes and its mutations reach
+        the journal (an acknowledged write is never abandoned), but
+        everything still *queued* fails fast with ``ShuttingDownError``
+        instead of hanging a terminating process on a backlog.  Either
+        way the engine (and its journal, when configured) is synced and
+        closed.  On a scheduler that never started, staged requests fail
+        with ``ShuttingDownError`` instead of stranding their futures (a
+        blocking sentinel put could also deadlock on a full queue with
+        no consumer).
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._abandon = not drain
             started = self._started
         if started:
             self._queue.put(_SHUTDOWN)
@@ -441,11 +482,16 @@ class QueryScheduler:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is not _SHUTDOWN and item.future.set_running_or_notify_cancel():
-                item.future.set_exception(
-                    ServeError("scheduler closed before starting")
-                )
+            if item is not _SHUTDOWN:
+                self._fail_shutting_down(item, "scheduler closed before starting")
         self._engine.close()
+
+    @staticmethod
+    def _fail_shutting_down(
+        item: "_Request | _Mutation", message: str
+    ) -> None:
+        if item.future.set_running_or_notify_cancel():
+            item.future.set_exception(ShuttingDownError(message))
 
     def __enter__(self) -> "QueryScheduler":
         return self.start()
@@ -490,8 +536,30 @@ class QueryScheduler:
         """True after :meth:`close` began."""
         return self._closed
 
+    @property
+    def journal(self) -> JournalSet | None:
+        """The write-ahead journal set (``None`` when journaling is off)."""
+        return self._journal
+
+    def journal_info(self) -> dict[str, int] | None:
+        """Journal state for ``GET /healthz`` (``None`` when off).
+
+        ``records``/``bytes`` count since the last compaction, ``syncs``
+        the group fsyncs performed, ``replayed`` the records applied by
+        startup recovery.
+        """
+        if self._journal is None:
+            return None
+        return {
+            "records": self._journal.n_records,
+            "bytes": self._journal.size_bytes,
+            "syncs": self._journal.n_syncs,
+            "replayed": self._journal.replayed_records,
+        }
+
     def stats(self) -> ServiceStats:
         """A point-in-time :class:`~repro.serve.stats.ServiceStats`."""
+        info = self.journal_info()
         return self._stats.snapshot(
             queue_depth=self._queue.qsize(),
             cache_hits=self._cache.hits,
@@ -500,6 +568,10 @@ class QueryScheduler:
             n_shards=self._engine.n_shards,
             shard_sizes=tuple(self._engine.shard_sizes()),
             shard_requests=tuple(self._engine.shard_requests()),
+            journaled=info is not None,
+            journal_records=info["records"] if info else 0,
+            journal_syncs=info["syncs"] if info else 0,
+            journal_replayed=info["replayed"] if info else 0,
         )
 
     def render_metrics(self) -> str:
@@ -520,6 +592,10 @@ class QueryScheduler:
         self._g_cache.set(self._cache.hits, outcome="hit")
         self._g_cache.set(self._cache.misses, outcome="miss")
         self._g_cache.set(self._cache.invalidations, outcome="invalidated")
+        info = self.journal_info()
+        if info is not None:
+            for figure, value in info.items():
+                self._g_journal.set(value, figure=figure)
         return self._metrics.render()
 
     # ------------------------------------------------------------------
@@ -557,7 +633,7 @@ class QueryScheduler:
         feature: str | None,
     ) -> Future[ServedResult]:
         if self._closed:
-            raise ServeError("scheduler is closed")
+            raise ShuttingDownError("scheduler is closed (shutting down)")
         self._check_rate_limit()
         if self._engine.size == 0:
             raise QueryError("database is empty")
@@ -631,9 +707,29 @@ class QueryScheduler:
             _Mutation("remove", [int(image_id) for image_id in image_ids])
         )
 
+    def submit_save(self) -> Future[MutationResult]:
+        """Admit a snapshot-compaction barrier; future of a save marker.
+
+        Requires a configured journal.  The save rides the queue like a
+        mutation: the worker folds everything applied so far into a
+        fresh snapshot, flips the manifest, and resets the journals
+        (``repro.db.recovery.compact``) — strictly ordered between query
+        segments, so the snapshot is a point-in-time image.  Resolves to
+        a :class:`MutationResult` with ``kind='save'``; without a
+        journal the future fails with :class:`~repro.errors.ServeError`.
+        Not rate-limited: compaction is an operator action, not traffic.
+        """
+        if self._closed:
+            raise ShuttingDownError("scheduler is closed (shutting down)")
+        mutation = _Mutation("save", None)
+        self._stats.record_submitted()
+        self._m_requests.inc(route="save")
+        self._enqueue(mutation)
+        return mutation.future
+
     def _submit_mutation(self, mutation: _Mutation) -> Future[MutationResult]:
         if self._closed:
-            raise ServeError("scheduler is closed")
+            raise ShuttingDownError("scheduler is closed (shutting down)")
         self._check_rate_limit()
         self._stats.record_submitted()
         self._m_requests.inc(route=mutation.kind)
@@ -646,7 +742,7 @@ class QueryScheduler:
         # land *behind* the sentinel and strand its future.
         with self._lock:
             if self._closed:
-                raise ServeError("scheduler is closed")
+                raise ShuttingDownError("scheduler is closed (shutting down)")
             try:
                 self._queue.put_nowait(item)
             except queue.Full:
@@ -666,6 +762,14 @@ class QueryScheduler:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 break
+            if self._abandon:
+                # Abandoning close (SIGTERM): fail queued work fast with
+                # the distinct shutdown signal instead of serving out a
+                # backlog on a terminating process.
+                self._fail_shutting_down(
+                    item, "scheduler is shutting down; request abandoned"
+                )
+                continue
             batch = [item]
             deadline = time.monotonic() + self._max_wait_s
             while len(batch) < self._max_batch:
@@ -699,23 +803,46 @@ class QueryScheduler:
         n_queries = 0
         group_sizes: list[int] = []
         segment: list[_Request] = []
+        # Mutations applied in-memory but not yet acknowledged: their
+        # futures resolve only after one *group fsync* at the end of the
+        # formed batch (log-before-ack — see docs/durability.md).  A
+        # save barrier flushes the pending list early, because the
+        # snapshot it writes already makes those mutations durable.
+        pending: list[tuple[_Mutation, list[int]]] = []
         for item in batch:
             if isinstance(item, _Mutation):
                 if segment:
                     group_sizes.extend(self._execute_queries(segment))
                     n_queries += len(segment)
                     segment = []
-                self._apply_mutation(item)
+                if item.kind == "save":
+                    self._apply_save(item, pending)
+                else:
+                    self._apply_mutation(item, pending)
             else:
                 segment.append(item)
         if segment:
             group_sizes.extend(self._execute_queries(segment))
             n_queries += len(segment)
+        self._ack_pending(pending)
         if n_queries:
             self._stats.record_batch(n_queries, group_sizes)
             self._m_batch_size.observe(n_queries)
 
-    def _apply_mutation(self, mutation: _Mutation) -> None:
+    def _apply_mutation(
+        self, mutation: _Mutation, pending: list[tuple[_Mutation, list[int]]]
+    ) -> None:
+        """Journal + apply one mutation; acknowledgement is deferred.
+
+        ``sync=False`` leaves the journal record buffered: one group
+        fsync at the end of the formed batch covers every mutation in
+        it (:meth:`_ack_pending`), amortising the durability cost the
+        same way coalescing amortises query cost.  Validation errors
+        resolve the future exceptionally right here — nothing was
+        journaled or applied for a rejected mutation (the engine writes
+        the record only after validation, and aborts it if the apply
+        itself fails).
+        """
         if not mutation.future.set_running_or_notify_cancel():
             return
         try:
@@ -724,19 +851,95 @@ class QueryScheduler:
                     mutation.payload,  # type: ignore[arg-type]
                     labels=mutation.labels,
                     names=mutation.names,
+                    sync=False,
                 )
             else:
-                ids = self._engine.remove(mutation.payload)  # type: ignore[arg-type]
+                ids = self._engine.remove(
+                    mutation.payload, sync=False  # type: ignore[arg-type]
+                )
         except Exception as error:
             mutation.future.set_exception(error)
             return
-        self._stats.record_mutation()
-        latency = time.monotonic() - mutation.submitted
-        self._m_latency.observe(latency, route=mutation.kind)
-        mutation.future.set_result(
+        pending.append((mutation, ids))
+
+    def _ack_pending(
+        self,
+        pending: list[tuple[_Mutation, list[int]]],
+        *,
+        sync: bool = True,
+    ) -> None:
+        """Resolve deferred mutation futures after a group fsync.
+
+        With ``sync=False`` (the post-compaction path) the fsync is
+        skipped: the snapshot just written already holds the pending
+        mutations, which is a *stronger* durability guarantee than a
+        journal record.  A failed fsync fails every pending future —
+        the in-memory state is ahead of disk at that point, and
+        acknowledging would break the acked-implies-durable contract
+        (the process keeps serving; the operator decides whether the
+        volume is trustworthy).
+        """
+        if not pending:
+            return
+        if sync:
+            try:
+                self._engine.sync_journal()
+            except Exception as error:
+                for mutation, _ids in pending:
+                    mutation.future.set_exception(error)
+                pending.clear()
+                return
+        generations = self._engine.generations()
+        for mutation, ids in pending:
+            self._stats.record_mutation()
+            latency = time.monotonic() - mutation.submitted
+            self._m_latency.observe(latency, route=mutation.kind)
+            mutation.future.set_result(
+                MutationResult(
+                    kind=mutation.kind,
+                    ids=ids,
+                    generations=generations,
+                    latency_s=latency,
+                )
+            )
+        pending.clear()
+
+    def _apply_save(
+        self, save: _Mutation, pending: list[tuple[_Mutation, list[int]]]
+    ) -> None:
+        """Run the snapshot-compaction barrier (``submit_save``).
+
+        On success the fresh snapshot *is* the durability of every
+        pending mutation, so they are acknowledged without an extra
+        fsync.  On failure the pending mutations still get their normal
+        group fsync (the journals are untouched until the manifest
+        flip) and only the save future carries the error.
+        """
+        if not save.future.set_running_or_notify_cancel():
+            return
+        if self._journal is None:
+            self._ack_pending(pending)
+            save.future.set_exception(
+                ServeError(
+                    "no journal configured; construct the scheduler with "
+                    "journal= (repro serve --journal DIR) to enable snapshots"
+                )
+            )
+            return
+        try:
+            compact(self._journal, self._engine.merged_database())
+        except Exception as error:
+            self._ack_pending(pending)
+            save.future.set_exception(error)
+            return
+        self._ack_pending(pending, sync=False)
+        self._stats.record_save()
+        latency = time.monotonic() - save.submitted
+        self._m_latency.observe(latency, route="save")
+        save.future.set_result(
             MutationResult(
-                kind=mutation.kind,
-                ids=ids,
+                kind="save",
+                ids=[],
                 generations=self._engine.generations(),
                 latency_s=latency,
             )

@@ -67,6 +67,7 @@ from typing import Hashable, Mapping, Sequence
 import numpy as np
 
 from repro.db.database import ImageDatabase
+from repro.db.journal import JournalRecord, JournalSet
 from repro.db.query import RetrievalResult
 from repro.errors import ServeError
 from repro.index.stats import SearchStats
@@ -140,6 +141,15 @@ class ShardedEngine:
         template — do not query or mutate it directly.
     n_shards:
         Number of shards (>= 1).
+    journal:
+        Optional :class:`~repro.db.journal.JournalSet` (one file per
+        shard).  When set, every mutation is appended to its home
+        shards' journals *before* it applies in memory; records stay
+        buffered until :meth:`sync_journal` (the scheduler's group
+        commit) unless the mutation is called with ``sync=True`` (the
+        default for direct callers).  An exception while applying an
+        already-journaled mutation writes an abort mark so replay skips
+        it.
 
     The engine is single-caller by design: the scheduler's worker thread
     is the only thread that may invoke query/mutation methods (scatter
@@ -147,10 +157,22 @@ class ShardedEngine:
     :meth:`shard_sizes` are safe from any thread.
     """
 
-    def __init__(self, db: ImageDatabase, n_shards: int = 1) -> None:
+    def __init__(
+        self,
+        db: ImageDatabase,
+        n_shards: int = 1,
+        *,
+        journal: JournalSet | None = None,
+    ) -> None:
         if n_shards < 1:
             raise ServeError(f"shards must be >= 1; got {n_shards}")
+        if journal is not None and journal.n_shards != n_shards:
+            raise ServeError(
+                f"journal set has {journal.n_shards} file(s) for "
+                f"{n_shards} shard(s)"
+            )
         self._template = db
+        self._journal = journal
         self._n = int(n_shards)
         self._next_id = db.next_image_id()
         self._shard_requests = [0] * self._n
@@ -298,6 +320,7 @@ class ShardedEngine:
         *,
         labels: Sequence[str | None] | None = None,
         names: Sequence[str] | None = None,
+        sync: bool = True,
     ) -> list[int]:
         """Insert precomputed signatures, routing each row to its shard.
 
@@ -305,58 +328,78 @@ class ShardedEngine:
         unsharded database would make) before any shard is touched;
         validation happens up front via
         :meth:`~repro.db.database.ImageDatabase.validate_signatures`, so
-        a malformed payload fails atomically.  Shard inserts run in
-        parallel on the shard threads; the call returns once every shard
-        has applied — the scheduler's barrier semantics are preserved.
+        a malformed payload fails atomically — and *before* anything is
+        journaled, so a rejected payload leaves no record.  With a
+        journal configured, each home shard's record is appended next,
+        then the insert applies (in parallel on the shard threads when
+        sharded); ``sync=False`` leaves the records buffered for the
+        scheduler's per-batch group fsync.  The call returns once every
+        shard has applied — the scheduler's barrier semantics are
+        preserved.
         """
-        if self._n == 1:
-            return self._shards[0].add_vectors(
-                signatures, labels=labels, names=names
-            )
         matrices, n_rows = self._template.validate_signatures(
             signatures, labels=labels, names=names
         )
-        ids = list(range(self._next_id, self._next_id + n_rows))
+        next_id = (
+            self._shards[0].next_image_id() if self._n == 1 else self._next_id
+        )
+        ids = list(range(next_id, next_id + n_rows))
 
         rows_by_shard: list[list[int]] = [[] for _ in range(self._n)]
         for row, image_id in enumerate(ids):
             rows_by_shard[shard_of(image_id, self._n)].append(row)
 
-        assert self._pools is not None
-        futures = []
-        for shard_index, rows in enumerate(rows_by_shard):
-            if not rows:
-                continue
-            self._shard_requests[shard_index] += 1
-            futures.append(
-                self._pools[shard_index].submit(
-                    self._shards[shard_index].add_vectors,
-                    {
-                        feature: matrix[rows]
-                        for feature, matrix in matrices.items()
-                    },
-                    labels=[labels[row] for row in rows] if labels is not None else None,
-                    names=[names[row] for row in rows] if names is not None else None,
-                    ids=[ids[row] for row in rows],
+        seq = self._journal_add(rows_by_shard, ids, matrices, labels, names)
+        try:
+            if self._n == 1:
+                self._shards[0].add_vectors(
+                    matrices, labels=labels, names=names, ids=ids
                 )
-            )
-        for future in futures:
-            future.result()
-        self._next_id += n_rows
+            else:
+                assert self._pools is not None
+                futures = []
+                for shard_index, rows in enumerate(rows_by_shard):
+                    if not rows:
+                        continue
+                    self._shard_requests[shard_index] += 1
+                    futures.append(
+                        self._pools[shard_index].submit(
+                            self._shards[shard_index].add_vectors,
+                            {
+                                feature: matrix[rows]
+                                for feature, matrix in matrices.items()
+                            },
+                            labels=[labels[row] for row in rows]
+                            if labels is not None
+                            else None,
+                            names=[names[row] for row in rows]
+                            if names is not None
+                            else None,
+                            ids=[ids[row] for row in rows],
+                        )
+                    )
+                for future in futures:
+                    future.result()
+        except Exception:
+            self._journal_abort(seq)
+            raise
+        if self._n > 1:
+            self._next_id += n_rows
+        if sync:
+            self.sync_journal()
         return ids
 
-    def remove(self, image_ids: Sequence[int]) -> list[int]:
+    def remove(
+        self, image_ids: Sequence[int], *, sync: bool = True
+    ) -> list[int]:
         """Remove images by id, routing each to its home shard.
 
         Validates every id against its shard's catalog *before* any
-        shard mutates (matching the unsharded validate-first contract:
-        an unknown id fails the whole call and nothing changes), then
-        applies per shard in parallel and returns the ids in call order.
+        shard mutates or any journal record is written (matching the
+        unsharded validate-first contract: an unknown id fails the whole
+        call and nothing changes), then journals, then applies per shard
+        in parallel and returns the ids in call order.
         """
-        if self._n == 1:
-            return [
-                record.image_id for record in self._shards[0].remove(image_ids)
-            ]
         image_ids = [int(image_id) for image_id in image_ids]
         if not image_ids:
             return []
@@ -370,32 +413,122 @@ class ShardedEngine:
             self._shards[home].catalog.get(image_id)  # raises when unknown
             ids_by_shard[home].append(image_id)
 
-        assert self._pools is not None
-        futures = []
-        for shard_index, ids in enumerate(ids_by_shard):
-            if not ids:
-                continue
-            self._shard_requests[shard_index] += 1
-            futures.append(
-                self._pools[shard_index].submit(
-                    self._shards[shard_index].remove, ids
-                )
-            )
-        for future in futures:
-            future.result()
+        seq = self._journal_remove(ids_by_shard)
+        try:
+            if self._n == 1:
+                self._shards[0].remove(image_ids)
+            else:
+                assert self._pools is not None
+                futures = []
+                for shard_index, ids in enumerate(ids_by_shard):
+                    if not ids:
+                        continue
+                    self._shard_requests[shard_index] += 1
+                    futures.append(
+                        self._pools[shard_index].submit(
+                            self._shards[shard_index].remove, ids
+                        )
+                    )
+                for future in futures:
+                    future.result()
+        except Exception:
+            self._journal_abort(seq)
+            raise
+        if sync:
+            self.sync_journal()
         return image_ids
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    @property
+    def journal(self) -> JournalSet | None:
+        """The write-ahead journal set, when durability is on."""
+        return self._journal
+
+    def sync_journal(self) -> float:
+        """Fsync buffered journal records (no-op without a journal).
+
+        The durability point: once this returns, every mutation
+        journaled since the previous sync may be acknowledged.  The
+        scheduler calls it once per formed batch (group commit).
+        """
+        if self._journal is None:
+            return 0.0
+        return self._journal.sync()
+
+    def _journal_add(
+        self,
+        rows_by_shard: list[list[int]],
+        ids: list[int],
+        matrices: Mapping[str, np.ndarray],
+        labels: Sequence[str | None] | None,
+        names: Sequence[str] | None,
+    ) -> int | None:
+        if self._journal is None or not ids:
+            return None
+        seq = self._journal.next_seq()
+        records = {}
+        for shard_index, rows in enumerate(rows_by_shard):
+            if not rows:
+                continue
+            records[shard_index] = JournalRecord.add(
+                seq,
+                [ids[row] for row in rows],
+                {feature: matrix[rows] for feature, matrix in matrices.items()},
+                [labels[row] for row in rows] if labels is not None else None,
+                [names[row] for row in rows] if names is not None else None,
+                total=len(ids),
+            )
+        self._journal.append_records(records)
+        return seq
+
+    def _journal_remove(self, ids_by_shard: list[list[int]]) -> int | None:
+        if self._journal is None:
+            return None
+        seq = self._journal.next_seq()
+        n_total = sum(len(ids) for ids in ids_by_shard)
+        records = {
+            shard_index: JournalRecord.remove(seq, ids, total=n_total)
+            for shard_index, ids in enumerate(ids_by_shard)
+            if ids
+        }
+        self._journal.append_records(records)
+        return seq
+
+    def _journal_abort(self, seq: int | None) -> None:
+        """Mark a journaled-but-unapplied mutation aborted (best effort)."""
+        if self._journal is None or seq is None:
+            return
+        try:
+            self._journal.append_abort(seq)
+        except Exception:  # pragma: no cover - the original error matters more
+            pass
+
+    def merged_database(self) -> ImageDatabase:
+        """One database over the engine's full live item set.
+
+        Unsharded this *is* the live database; sharded it is a fresh
+        merge of the shard views (ascending id order, no index build) —
+        what snapshot compaction saves.
+        """
+        if self._n == 1:
+            return self._shards[0]
+        return ImageDatabase.from_views(self._shards)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the per-shard executors down (idempotent)."""
+        """Shut the executors down; sync + close the journal (idempotent)."""
         if self._closed:
             return
         self._closed = True
         if self._pools is not None:
             for pool in self._pools:
                 pool.shutdown(wait=True)
+        if self._journal is not None:
+            self._journal.close()
 
     def __repr__(self) -> str:
         return (

@@ -68,6 +68,17 @@ class ServiceStats:
         Add/remove requests the worker has applied (failed mutations —
         e.g. removing an unknown id — are not counted; their futures
         carry the error instead).
+    saves:
+        Snapshot compactions the worker has completed (``POST /save``
+        barriers that succeeded).
+    journaled:
+        True when the scheduler runs with a write-ahead journal — every
+        acknowledged mutation is durable (see ``docs/durability.md``).
+    journal_records, journal_syncs:
+        Records appended since the last compaction and group fsyncs
+        performed (both 0 when journaling is off).
+    journal_replayed:
+        Records replayed from the journal at startup recovery.
     cache_hits, cache_misses, cache_hit_rate:
         Result-cache counters (misses equal engine executions).
     cache_invalidations:
@@ -116,6 +127,11 @@ class ServiceStats:
     n_shards: int = 1
     shard_sizes: tuple[int, ...] = ()
     shard_requests: tuple[int, ...] = ()
+    saves: int = 0
+    journaled: bool = False
+    journal_records: int = 0
+    journal_syncs: int = 0
+    journal_replayed: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON round-trippable) for the HTTP front end.
@@ -145,6 +161,7 @@ class StatsCollector:
         self._group_size_total = 0
         self._dedup_hits = 0
         self._mutations = 0
+        self._saves = 0
         self._rate_limited = 0
         self._latencies: deque[float] = deque(maxlen=window)
 
@@ -183,6 +200,11 @@ class StatsCollector:
         with self._lock:
             self._mutations += 1
 
+    def record_save(self) -> None:
+        """The worker completed one snapshot compaction."""
+        with self._lock:
+            self._saves += 1
+
     def snapshot(
         self,
         *,
@@ -193,6 +215,10 @@ class StatsCollector:
         n_shards: int = 1,
         shard_sizes: tuple[int, ...] = (),
         shard_requests: tuple[int, ...] = (),
+        journaled: bool = False,
+        journal_records: int = 0,
+        journal_syncs: int = 0,
+        journal_replayed: int = 0,
     ) -> ServiceStats:
         """Assemble a :class:`ServiceStats` from the current counters."""
         with self._lock:
@@ -229,4 +255,9 @@ class StatsCollector:
                 n_shards=n_shards,
                 shard_sizes=tuple(shard_sizes),
                 shard_requests=tuple(shard_requests),
+                saves=self._saves,
+                journaled=journaled,
+                journal_records=journal_records,
+                journal_syncs=journal_syncs,
+                journal_replayed=journal_replayed,
             )

@@ -179,3 +179,95 @@ class TestServeHelp:
             main(["--help"])
         out = capsys.readouterr().out
         assert "/add" in out and "/remove" in out
+
+
+class TestRecoverCommand:
+    @pytest.fixture()
+    def durable_root(self, built_db, tmp_path):
+        """A serving root with one journaled (un-compacted) remove."""
+        from repro.cli import _make_schema
+        from repro.db.database import ImageDatabase
+        from repro.db.journal import JournalRecord
+        from repro.db.recovery import open_serving_root
+
+        db = ImageDatabase.load(built_db, _make_schema(32))
+        root = tmp_path / "root"
+        db, journals, _ = open_serving_root(root, db)
+        victim = sorted(db.catalog.ids)[0]
+        db.remove([victim])
+        seq = journals.next_seq()
+        journals.append_records(
+            {0: JournalRecord.remove(seq, [victim])}, sync=True
+        )
+        journals.close()
+        return root, victim, len(db)
+
+    def test_recover_prints_replay_summary(self, durable_root, capsys):
+        root, _victim, n_items = durable_root
+        code = main(["--working-size", "32", "recover", "--journal", str(root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"recovered {n_items} items" in out
+        assert "1 removes replayed" in out
+
+    def test_recover_export_is_loadable(self, durable_root, tmp_path, capsys):
+        from repro.cli import _make_schema
+        from repro.db.database import ImageDatabase
+
+        root, victim, n_items = durable_root
+        export = tmp_path / "exported.db"
+        code = main(
+            [
+                "--working-size",
+                "32",
+                "recover",
+                "--journal",
+                str(root),
+                "--export",
+                str(export),
+            ]
+        )
+        assert code == 0
+        assert "exported" in capsys.readouterr().out
+        loaded = ImageDatabase.load(export, _make_schema(32))
+        assert len(loaded) == n_items
+        assert victim not in loaded.catalog.ids
+
+    def test_recover_compact_folds_and_resets(self, durable_root, capsys):
+        from repro.db.journal import Journal, JournalSet
+
+        root, _victim, _n_items = durable_root
+        code = main(
+            ["--working-size", "32", "recover", "--journal", str(root), "--compact"]
+        )
+        assert code == 0
+        assert "compacted into snap-" in capsys.readouterr().out
+        for path in JournalSet.existing_paths(root):
+            assert not Journal.scan(path).records
+        # A second recover replays nothing: the remove is in the snapshot.
+        code = main(["--working-size", "32", "recover", "--journal", str(root)])
+        assert code == 0
+        assert "0 removes replayed" in capsys.readouterr().out
+
+    def test_recover_wrong_schema_refused(self, tmp_path, rng, capsys):
+        # A root written under a schema the CLI does not serve must be
+        # refused rather than misread.
+        from repro.db.database import ImageDatabase
+        from repro.db.recovery import open_serving_root
+        from repro.features.base import PresetSignature
+        from repro.features.pipeline import FeatureSchema
+
+        db = ImageDatabase(FeatureSchema([PresetSignature(6)]))
+        db.add_vectors(rng.random((4, 6)))
+        root = tmp_path / "alien-root"
+        _db, journals, _ = open_serving_root(root, db)
+        journals.close()
+        code = main(["--working-size", "32", "recover", "--journal", str(root)])
+        assert code == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_recover_help_points_at_docs(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["recover", "--help"])
+        assert exit_info.value.code == 0
+        assert "docs/durability.md" in capsys.readouterr().out
