@@ -16,7 +16,11 @@ Drives the whole :mod:`repro.serve` stack in one process:
 5. mutate the database *live* over HTTP (``POST /add`` /
    ``POST /remove``): the new item is immediately retrievable, and the
    generation-stamped cache invalidates exactly the entries the
-   mutation made stale (``docs/mutability.md``).
+   mutation made stale (``docs/mutability.md``),
+6. pull one request's **trace** back out of the flight recorder
+   (``GET /debug/trace?id=``) and print its per-stage span waterfall —
+   queue wait, batch forming, engine time with the exact distance
+   computations — the forensic layer of ``docs/observability.md``.
 
 Run with::
 
@@ -128,7 +132,6 @@ def main() -> None:
     assert hit["image_id"] == added["ids"][0] and hit["distance"] == 0.0
     removed = client.remove(added["ids"])
     after = client.stats()
-    server.stop()
     print(
         f"live mutation: added id {added['ids'][0]} (generation "
         f"{added['generations']['signature']}), served it at distance 0.0, "
@@ -137,6 +140,18 @@ def main() -> None:
         f"{after['cache_invalidations']} cache entries lazily invalidated, "
         f"no stale answer served"
     )
+
+    # ------------------------------------------------------------------
+    # 6. One request's trace: where did the milliseconds go?
+    # ------------------------------------------------------------------
+    from repro.serve import format_trace
+
+    fresh = rng.random(DIM)  # a cache miss, so the full pipeline runs
+    response = client.query(fresh, K)
+    trace = client.debug_trace(response["trace_id"])
+    print(f"\ntrace for that query (id {response['trace_id']}):")
+    print(format_trace(trace))
+    server.stop()
 
 
 if __name__ == "__main__":

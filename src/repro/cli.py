@@ -231,16 +231,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(report.summary(), flush=True)
     if args.shards == 1:
         db.build_indexes()  # pay the lazy builds before the first request
+    access_log = None
+    if args.access_log:
+        from repro.serve.logsys import StructuredLog
+
+        access_log = StructuredLog(sample_every=args.access_log_sample)
     server = QueryServer(
         db,
         host=args.host,
         port=args.port,
+        access_log=access_log,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         shards=args.shards,
         rate_limit_qps=args.rate_limit,
         journal=journal_set,
+        trace_depth=args.trace_depth,
+        slow_query_ms=args.slow_ms,
     )
     host, port = server.address
     print(
@@ -250,6 +258,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache_size={args.cache_size}"
         + (f", rate_limit={args.rate_limit:g}/s" if args.rate_limit else "")
         + (f", journal={args.journal}" if args.journal else "")
+        + (
+            f", tracing={args.trace_depth} traces/slow>{args.slow_ms:g}ms"
+            if args.trace_depth
+            else ", tracing=off"
+        )
+        + (", access_log=on" if access_log else "")
         + ")",
         flush=True,
     )
@@ -282,6 +296,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.cache_hit_rate:.0%}); shutdown clean",
             flush=True,
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient
+    from repro.serve.trace import format_trace
+
+    client = ServiceClient(args.host, args.port)
+    if args.id:
+        print(format_trace(client.debug_trace(args.id)))
+        return 0
+    if args.slow:
+        payload = client.debug_slow()
+        threshold = payload.get("threshold_ms")
+        print(
+            f"slow-query log (threshold "
+            f"{threshold:g} ms, {payload.get('captured', 0)} captured)"
+            if threshold is not None
+            else "slow-query log (disabled)"
+        )
+        for trace in payload.get("traces", [])[: args.limit]:
+            print()
+            print(format_trace(trace))
+        return 0
+    payload = client.debug_traces()
+    if not payload.get("enabled", False):
+        print("tracing is off (server started with --trace-depth 0)")
+        return 0
+    summaries = payload.get("traces", [])[: args.limit]
+    rows = [
+        [
+            summary["trace_id"],
+            summary["route"],
+            summary["status"],
+            f"{summary['latency_ms']:.2f}",
+            summary["n_spans"],
+        ]
+        for summary in summaries
+    ]
+    print(
+        ascii_table(
+            ["trace id", "route", "status", "latency ms", "spans"],
+            rows,
+            title=f"flight recorder: newest {len(summaries)} of "
+            f"{payload.get('recorded', 0)} recorded",
+        )
+    )
+    print("\ninspect one: repro trace --id <trace_id>")
     return 0
 
 
@@ -385,7 +447,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a database over HTTP with micro-batch coalescing "
         "(POST /query, POST /range, POST /add, POST /remove, "
-        "POST /save, GET /stats, GET /metrics, GET /healthz)",
+        "POST /save, GET /stats, GET /metrics, GET /healthz, "
+        "GET /debug/traces|trace|slow)",
         epilog="The service mutates in place: POST /add and POST /remove "
         "serialize with query batches and cached results are "
         "generation-stamped, so a stale answer is never served. "
@@ -453,7 +516,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot, so acknowledged mutations survive kill -9 "
         "(default: in-memory only)",
     )
+    serve.add_argument(
+        "--trace-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="flight-recorder capacity: the newest N request traces are "
+        "kept for GET /debug/traces and repro trace; 0 disables "
+        "tracing entirely (default 256)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="requests at/above this end-to-end latency are also kept "
+        "in the slow-query log (GET /debug/slow; default 100.0)",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON line per handled request to "
+        "stderr (method, path, status, latency, trace id), sampled "
+        "with --access-log-sample and rate-limited",
+    )
+    serve.add_argument(
+        "--access-log-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --access-log, keep 1 request line in N (default 1)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="inspect a serving process's request traces "
+        "(GET /debug/traces, /debug/trace?id=, /debug/slow)",
+        epilog="With no flags, lists the flight recorder's newest traces. "
+        "--id renders one trace as a per-stage waterfall (offsets, "
+        "durations, per-shard distance computations). --slow renders "
+        "the slow-query log. The trace id is returned by every query "
+        "response (X-Repro-Trace-Id header and trace_id field). "
+        "See docs/observability.md.",
+    )
+    trace_cmd.add_argument("--host", default="127.0.0.1")
+    trace_cmd.add_argument("--port", type=int, default=8753)
+    trace_cmd.add_argument(
+        "--id", default=None, metavar="TRACE_ID", help="render one trace by id"
+    )
+    trace_cmd.add_argument(
+        "--slow",
+        action="store_true",
+        help="render the slow-query log instead of the recorder listing",
+    )
+    trace_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="most traces to list/render (default 20)",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     recover_cmd = commands.add_parser(
         "recover",

@@ -54,12 +54,29 @@ Component                          Role
 :class:`MetricsRegistry`           Prometheus metric families: per-route
                                    latency histograms (log-spaced
                                    buckets), admission counters, queue
-                                   depth and shard balance gauges
+                                   depth and shard balance gauges, plus
+                                   a text-exposition parser/validator
+:class:`Trace` / :class:`Span`     one request's journey: a trace id
+                                   (W3C ``traceparent`` in,
+                                   ``X-Repro-Trace-Id`` out) and one
+                                   span per pipeline stage, the engine
+                                   spans carrying exact per-shard
+                                   distance-computation counts
+:class:`FlightRecorder`            bounded ring of the newest completed
+                                   traces (``GET /debug/traces``,
+                                   ``GET /debug/trace?id=``)
+:class:`SlowQueryLog`              threshold-triggered keep of slow
+                                   traces (``GET /debug/slow``) that
+                                   fast traffic cannot flush
+:class:`StructuredLog`             sampled, rate-limited JSON-lines
+                                   event sink behind
+                                   ``serve --access-log``
 :class:`QueryServer`               stdlib ``http.server`` JSON front end
                                    (``POST /query``, ``POST /range``,
                                    ``POST /add``, ``POST /remove``,
                                    ``POST /save``, ``GET /stats``,
-                                   ``GET /metrics``, ``GET /healthz``)
+                                   ``GET /metrics``, ``GET /healthz``,
+                                   ``GET /debug/*``)
 :class:`ServiceClient`             urllib JSON client for the above
 ================================  =======================================
 
@@ -71,6 +88,13 @@ acknowledged write survives kill -9; startup replays the log onto the
 last atomic snapshot and ``POST /save`` compacts online.  See
 ``docs/durability.md``.
 
+**Observability.**  Three surfaces, three audiences: ``GET /stats`` is
+the human snapshot, ``GET /metrics`` the Prometheus scrape (now with
+per-stage ``repro_stage_seconds`` histograms and process gauges), and
+``GET /debug/traces`` / ``/debug/trace?id=`` / ``/debug/slow`` the
+forensic layer — per-request traces with one span per pipeline stage,
+pretty-printed by ``repro trace``.  See ``docs/observability.md``.
+
 ``python -m repro serve --db my.db --shards 4`` starts the HTTP service
 over a saved database; ``examples/serve_demo.py`` drives the whole
 stack — including a live add/remove round trip — in-process.  Design
@@ -81,12 +105,16 @@ notes and knob semantics: ``docs/serving.md``; mutation protocol:
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServiceClient
 from repro.serve.http import QueryServer
+from repro.serve.logsys import StructuredLog
 from repro.serve.metrics import (
     CounterFamily,
     GaugeFamily,
     HistogramFamily,
     LatencyHistogram,
     MetricsRegistry,
+    parse_exposition,
+    read_process_stats,
+    validate_exposition,
 )
 from repro.serve.scheduler import (
     MutationResult,
@@ -95,12 +123,22 @@ from repro.serve.scheduler import (
     TokenBucket,
 )
 from repro.serve.shard import (
+    ScatterReport,
+    ShardCall,
     ShardedEngine,
     merge_knn_results,
     merge_range_results,
     shard_of,
 )
 from repro.serve.stats import ServiceStats, StatsCollector
+from repro.serve.trace import (
+    FlightRecorder,
+    SlowQueryLog,
+    Span,
+    Trace,
+    format_trace,
+    parse_traceparent,
+)
 
 __all__ = [
     "QueryScheduler",
@@ -108,6 +146,8 @@ __all__ = [
     "MutationResult",
     "TokenBucket",
     "ShardedEngine",
+    "ShardCall",
+    "ScatterReport",
     "shard_of",
     "merge_knn_results",
     "merge_range_results",
@@ -119,6 +159,16 @@ __all__ = [
     "CounterFamily",
     "GaugeFamily",
     "HistogramFamily",
+    "parse_exposition",
+    "validate_exposition",
+    "read_process_stats",
+    "Trace",
+    "Span",
+    "FlightRecorder",
+    "SlowQueryLog",
+    "parse_traceparent",
+    "format_trace",
+    "StructuredLog",
     "QueryServer",
     "ServiceClient",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Sequence
 
@@ -48,12 +49,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        path: str,
+        payload: dict | None = None,
+        extra_headers: dict[str, str] | None = None,
+    ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(
             self._base + path, data=data, headers=headers
         )
@@ -82,17 +90,26 @@ class ServiceClient:
         k: int = 10,
         *,
         feature: str | None = None,
+        traceparent: str | None = None,
     ) -> dict:
         """``POST /query``: k-NN by signature vector.
 
         Returns the response dict: ``results`` (each with ``image_id``,
         ``distance``, ``name``, ``label``), ``cache_hit``,
-        ``batch_size``, ``distance_computations``, ``latency_ms``.
+        ``batch_size``, ``distance_computations``, ``latency_ms``, and
+        ``trace_id`` when the server traces (the key into
+        :meth:`debug_trace`).  ``traceparent`` forwards a W3C
+        trace-context header so the request joins an existing
+        distributed trace.
         """
         payload: dict = {"vector": self._vector_payload(vector), "k": int(k)}
         if feature is not None:
             payload["feature"] = feature
-        return self._request("/query", payload)
+        return self._request(
+            "/query",
+            payload,
+            {"traceparent": traceparent} if traceparent else None,
+        )
 
     def range_query(
         self,
@@ -100,6 +117,7 @@ class ServiceClient:
         radius: float,
         *,
         feature: str | None = None,
+        traceparent: str | None = None,
     ) -> dict:
         """``POST /range``: all items within ``radius``."""
         payload: dict = {
@@ -108,7 +126,11 @@ class ServiceClient:
         }
         if feature is not None:
             payload["feature"] = feature
-        return self._request("/range", payload)
+        return self._request(
+            "/range",
+            payload,
+            {"traceparent": traceparent} if traceparent else None,
+        )
 
     def add(
         self,
@@ -182,6 +204,24 @@ class ServiceClient:
     def healthz(self) -> dict:
         """``GET /healthz``: liveness + database summary."""
         return self._request("/healthz")
+
+    def debug_traces(self) -> dict:
+        """``GET /debug/traces``: flight-recorder summaries, newest first."""
+        return self._request("/debug/traces")
+
+    def debug_trace(self, trace_id: str) -> dict:
+        """``GET /debug/trace?id=``: one full trace (per-stage spans).
+
+        Fails with :class:`~repro.errors.ServeError` when the id is no
+        longer retained (the ring evicted it) — fetch promptly.
+        """
+        return self._request(
+            "/debug/trace?id=" + urllib.parse.quote(str(trace_id))
+        )
+
+    def debug_slow(self) -> dict:
+        """``GET /debug/slow``: full traces past the slow threshold."""
+        return self._request("/debug/slow")
 
     def wait_until_ready(self, timeout: float = 5.0) -> dict:
         """Poll ``/healthz`` until the server answers (startup races)."""

@@ -35,6 +35,32 @@ Endpoints
 ``GET /healthz``
     Liveness: item count, feature list, generations, shard count,
     uptime.
+``GET /debug/traces``
+    Compact summaries of the flight recorder's retained traces (newest
+    first) — the forensic ring buffer behind ``repro trace``.
+``GET /debug/trace?id=<trace_id>``
+    One full trace: per-stage spans with offsets, durations, and the
+    engine spans' exact per-shard distance-computation counts.
+``GET /debug/slow``
+    Full traces whose end-to-end latency crossed the scheduler's
+    ``slow_query_ms`` threshold.
+
+**Tracing.**  Every ``POST`` request opens a
+:class:`~repro.serve.trace.Trace` (when the scheduler runs with
+``trace_depth > 0``): an inbound W3C ``traceparent`` header donates the
+trace id, otherwise one is generated; the id is echoed back as
+``X-Repro-Trace-Id`` and in the JSON body's ``trace_id``, and is the
+key into ``GET /debug/trace?id=``.  The handler owns trace completion:
+it appends the ``respond`` span (response serialization) and seals the
+trace *before* writing the response bytes, so a client that sees the
+response can immediately fetch its trace.
+
+**Access log.**  ``QueryServer(access_log=...)`` (CLI:
+``repro serve --access-log``) attaches a
+:class:`~repro.serve.logsys.StructuredLog`: one ``http_request`` JSON
+line per handled request (method, path, status, latency, trace id),
+sampled and rate-limited so logging survives hot loops — replacing the
+blanket ``log_message`` silencer this front end used to ship.
 
 Query responses carry the ranked results plus the request's serving
 metadata (cache hit, group batch size, exact distance-computation
@@ -54,7 +80,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -65,8 +93,10 @@ from repro.errors import (
     ServeError,
     ShuttingDownError,
 )
+from repro.serve.logsys import StructuredLog
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import MutationResult, QueryScheduler, ServedResult
+from repro.serve.trace import Trace
 
 __all__ = ["QueryServer"]
 
@@ -117,18 +147,69 @@ class _Handler(BaseHTTPRequestHandler):
     #: Idle keep-alive connections expire instead of pinning a thread.
     timeout = 30
     server: "_Server"
+    #: Stamped at the top of each do_* call; feeds the access log.
+    _t0: float = 0.0
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def log_message(self, format: str, *args: object) -> None:
-        """Silence per-request logging (stats live at /stats)."""
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        """No apache-style lines; the structured access log is richer."""
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def log_error(self, format: str, *args: object) -> None:
+        """Handler-level notices become structured events (when logging)."""
+        log = self.server.access_log
+        if log is not None:
+            log.event("http_error", message=format % args)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Base-class catch-all, routed with the errors."""
+        self.log_error(format, *args)
+
+    def _log_access(self, status: int, trace_id: str | None = None) -> None:
+        log = self.server.access_log
+        if log is not None:
+            log.event(
+                "http_request",
+                method=self.command,
+                path=self.path,
+                status=status,
+                latency_ms=round((time.monotonic() - self._t0) * 1e3, 3),
+                trace_id=trace_id,
+            )
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        trace: Trace | None = None,
+        trace_status: str | None = None,
+    ) -> None:
+        """Serialize + send; seals ``trace`` first when one is attached.
+
+        The trace's ``respond`` span covers serialization, and the
+        trace is finished (published to the flight recorder) *before*
+        the response bytes go out — a client that has the response can
+        immediately ``GET /debug/trace?id=`` without racing the
+        recorder.
+        """
+        if trace is not None:
+            payload = {**payload, "trace_id": trace.trace_id}
+            respond_start = time.monotonic()
         body = json.dumps(payload).encode("utf-8")
+        if trace is not None:
+            trace.add_span(
+                "respond", respond_start, time.monotonic() - respond_start
+            )
+            self.server.scheduler.finish_trace(
+                trace, trace_status or ("ok" if status < 400 else "error")
+            )
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace is not None:
+            self.send_header("X-Repro-Trace-Id", trace.trace_id)
         if status >= 400:
             # Error paths may not have read the request body; leftover
             # bytes would desync a keep-alive connection, so drop it.
@@ -136,6 +217,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+        self._log_access(status, trace.trace_id if trace is not None else None)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", "0"))
@@ -202,8 +284,11 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._t0 = time.monotonic()
         scheduler = self.server.scheduler
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        path = parsed.path
+        if path == "/healthz":
             # Liveness reads go through the scheduler, not the source
             # database object: with shards > 1 the engine owns the live
             # item set and the construction-time database goes stale.
@@ -227,35 +312,97 @@ class _Handler(BaseHTTPRequestHandler):
                     "journal": info,
                 },
             )
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(200, scheduler.stats().to_dict())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             body = scheduler.render_metrics().encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", MetricsRegistry.CONTENT_TYPE)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+            self._log_access(200)
+        elif path == "/debug/traces":
+            recorder = scheduler.flight_recorder
+            self._send_json(
+                200,
+                {
+                    "enabled": recorder.enabled,
+                    "depth": recorder.depth,
+                    "recorded": recorder.recorded,
+                    "traces": [trace.summary() for trace in recorder.traces()],
+                },
+            )
+        elif path == "/debug/trace":
+            values = parse_qs(parsed.query).get("id")
+            trace_id = values[0] if values else None
+            if not trace_id:
+                self._send_json(
+                    400, {"error": "pass the trace id as ?id=<trace_id>"}
+                )
+                return
+            found = scheduler.flight_recorder.find(trace_id)
+            if found is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no retained trace with id {trace_id!r} "
+                        "(it may have fallen off the ring; see /debug/traces)"
+                    },
+                )
+                return
+            self._send_json(200, found.to_dict())
+        elif path == "/debug/slow":
+            slow = scheduler.slow_log
+            threshold = slow.threshold_s
+            self._send_json(
+                200,
+                {
+                    "threshold_ms": (
+                        threshold * 1e3 if threshold is not None else None
+                    ),
+                    "captured": slow.captured,
+                    "traces": [trace.to_dict() for trace in slow.traces()],
+                },
+            )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    #: POST path → trace route (the scheduler's request kinds).
+    _ROUTES = {
+        "/query": "knn",
+        "/range": "range",
+        "/add": "add",
+        "/remove": "remove",
+        "/save": "save",
+    }
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path not in ("/query", "/range", "/add", "/remove", "/save"):
+        self._t0 = time.monotonic()
+        route = self._ROUTES.get(self.path)
+        if route is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         scheduler = self.server.scheduler
+        # The trace opens before any parsing so even a malformed request
+        # leaves a finished trace in the recorder; an inbound W3C
+        # traceparent donates the id (None when tracing is off).
+        trace = scheduler.new_trace(route, self.headers.get("traceparent"))
         try:
             if self.path == "/save":
                 # The barrier takes no arguments; an (optional) body is
                 # still read so keep-alive connections stay in sync.
                 if int(self.headers.get("Content-Length", "0")) > 0:
                     self._read_json()
-                future = scheduler.submit_save()
+                future = scheduler.submit_save(trace=trace)
             elif self.path == "/add":
                 payload = self._read_json()
                 signatures, labels, names = self._add_arguments(payload)
                 future = scheduler.submit_add(
-                    signatures, labels=labels, names=names  # type: ignore[arg-type]
+                    signatures,  # type: ignore[arg-type]
+                    labels=labels,
+                    names=names,
+                    trace=trace,
                 )
             elif self.path == "/remove":
                 payload = self._read_json()
@@ -268,7 +415,7 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 ):
                     raise ServeError('"ids" must be a non-empty array of integers')
-                future = scheduler.submit_remove(ids)
+                future = scheduler.submit_remove(ids, trace=trace)
             else:
                 payload = self._read_json()
                 vector = self._vector_of(payload)
@@ -279,7 +426,9 @@ class _Handler(BaseHTTPRequestHandler):
                     k = payload.get("k", 10)
                     if not isinstance(k, int) or isinstance(k, bool):
                         raise ServeError('"k" must be an integer')
-                    future = scheduler.submit_query(vector, k, feature=feature)
+                    future = scheduler.submit_query(
+                        vector, k, feature=feature, trace=trace
+                    )
                 else:
                     radius = payload.get("radius")
                     if not isinstance(radius, (int, float)) or isinstance(
@@ -287,20 +436,32 @@ class _Handler(BaseHTTPRequestHandler):
                     ):
                         raise ServeError('"radius" must be a number')
                     future = scheduler.submit_range(
-                        vector, float(radius), feature=feature
+                        vector, float(radius), feature=feature, trace=trace
                     )
         except RateLimitError as error:
-            self._send_json(429, {"error": str(error)})
+            self._send_json(
+                429, {"error": str(error)}, trace=trace, trace_status="rate_limited"
+            )
             return
         except ShuttingDownError as error:
-            self._send_json(503, {"error": str(error), "shutting_down": True})
+            self._send_json(
+                503,
+                {"error": str(error), "shutting_down": True},
+                trace=trace,
+                trace_status="shutting_down",
+            )
             return
         except ServeError as error:
-            status = 503 if "queue full" in str(error) else 400
-            self._send_json(status, {"error": str(error)})
+            rejected = "queue full" in str(error)
+            self._send_json(
+                503 if rejected else 400,
+                {"error": str(error)},
+                trace=trace,
+                trace_status="rejected" if rejected else "error",
+            )
             return
         except ReproError as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_json(400, {"error": str(error)}, trace=trace)
             return
         try:
             served = future.result()
@@ -308,15 +469,20 @@ class _Handler(BaseHTTPRequestHandler):
             # The request was admitted but the scheduler abandoned it
             # mid-shutdown (drain=False close) — same 503 + flag as a
             # refused submission, the client should fail over.
-            self._send_json(503, {"error": str(error), "shutting_down": True})
+            self._send_json(
+                503,
+                {"error": str(error), "shutting_down": True},
+                trace=trace,
+                trace_status="shutting_down",
+            )
             return
         except ReproError as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_json(400, {"error": str(error)}, trace=trace)
             return
         if isinstance(served, MutationResult):
-            self._send_json(200, _mutation_payload(served))
+            self._send_json(200, _mutation_payload(served), trace=trace)
         else:
-            self._send_json(200, _result_payload(served))
+            self._send_json(200, _result_payload(served), trace=trace)
 
 
 class _Server(ThreadingHTTPServer):
@@ -328,6 +494,7 @@ class _Server(ThreadingHTTPServer):
     block_on_close = False
     scheduler: QueryScheduler
     db: ImageDatabase
+    access_log: StructuredLog | None = None
 
 
 class QueryServer:
@@ -347,7 +514,12 @@ class QueryServer:
         A preconfigured :class:`QueryScheduler`; when omitted one is
         built from the remaining keyword arguments (``max_batch``,
         ``max_wait_ms``, ``max_queue``, ``cache_size``, ``shards``,
-        ``rate_limit_qps``, ...).
+        ``rate_limit_qps``, ``trace_depth``, ``slow_query_ms``, ...).
+    access_log:
+        Optional :class:`~repro.serve.logsys.StructuredLog`: one
+        ``http_request`` JSON line per handled request (method, path,
+        status, latency, trace id), sampled + rate-limited.  ``None``
+        (the default) keeps request logging off.
 
     Examples
     --------
@@ -368,6 +540,7 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 8753,
         scheduler: QueryScheduler | None = None,
+        access_log: StructuredLog | None = None,
         **scheduler_options: object,
     ) -> None:
         if scheduler is not None and scheduler_options:
@@ -378,6 +551,7 @@ class QueryServer:
         self._http = _Server((host, port), _Handler)
         self._http.scheduler = self._scheduler
         self._http.db = db
+        self._http.access_log = access_log
         self._thread: threading.Thread | None = None
         self._serving = False
         self._stopped = False

@@ -26,6 +26,9 @@ set as gauges immediately before rendering rather than double-counted.
 
 from __future__ import annotations
 
+import gc
+import os
+import sys
 import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping, Sequence
@@ -40,6 +43,9 @@ __all__ = [
     "GaugeFamily",
     "HistogramFamily",
     "MetricsRegistry",
+    "read_process_stats",
+    "parse_exposition",
+    "validate_exposition",
 ]
 
 #: Log-spaced latency bounds in seconds: 100 µs doubling to ~3.3 s.
@@ -339,3 +345,266 @@ class MetricsRegistry:
         for family in families:
             lines.extend(family.render())
         return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Process-level resource figures (GET /metrics gauges)
+# ---------------------------------------------------------------------------
+def read_process_stats() -> dict:
+    """Point-in-time resource figures for this process.
+
+    Returns ``rss_bytes`` (resident set size), ``open_fds`` (open file
+    descriptors), ``threads`` (live Python threads), and
+    ``gc_collections`` (completed collections per GC generation).  Reads
+    ``/proc/self`` where available (Linux); elsewhere RSS falls back to
+    ``resource.getrusage`` peak-RSS (the closest portable figure) and
+    ``open_fds`` to 0.  Never raises: a figure that cannot be read
+    reports 0 rather than failing a metrics scrape.
+    """
+    rss_bytes = 0
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    rss_bytes = int(line.split()[1]) * 1024  # kB field
+                    break
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is bytes on macOS, kilobytes on Linux.
+            rss_bytes = int(peak) if sys.platform == "darwin" else int(peak) * 1024
+        except Exception:
+            rss_bytes = 0
+    try:
+        open_fds = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        open_fds = 0
+    return {
+        "rss_bytes": rss_bytes,
+        "open_fds": open_fds,
+        "threads": threading.active_count(),
+        "gc_collections": [
+            int(generation.get("collections", 0)) for generation in gc.get_stats()
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Exposition-format parsing + validation (tests, CI live-scrape check)
+# ---------------------------------------------------------------------------
+def _parse_label_block(block: str, line: str) -> dict[str, str]:
+    """Parse ``name="value",...`` with the \\\\, \\", \\n escapes."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.find("=", i)
+        if eq < 0:
+            raise ServeError(f"malformed label block in line: {line!r}")
+        name = block[i:eq].strip()
+        if not name or block[eq + 1 : eq + 2] != '"':
+            raise ServeError(f"malformed label block in line: {line!r}")
+        value_chars: list[str] = []
+        j = eq + 2
+        while j < len(block):
+            char = block[j]
+            if char == "\\":
+                if j + 1 >= len(block):
+                    raise ServeError(f"dangling escape in line: {line!r}")
+                escaped = block[j + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, "\\" + escaped)
+                )
+                j += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            j += 1
+        else:
+            raise ServeError(f"unterminated label value in line: {line!r}")
+        if name in labels:
+            raise ServeError(f"duplicate label {name!r} in line: {line!r}")
+        labels[name] = "".join(value_chars)
+        i = j + 1
+        if i < len(block):
+            if block[i] != ",":
+                raise ServeError(f"malformed label separator in line: {line!r}")
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse Prometheus text format 0.0.4 into families.
+
+    Returns ``{family_name: {"help": str, "type": str, "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Raises
+    :class:`~repro.errors.ServeError` on grammatical violations: a
+    sample before its ``# TYPE``, a malformed label block, a
+    non-numeric value.  Semantic histogram checks live in
+    :func:`validate_exposition`.
+    """
+    families: dict[str, dict] = {}
+
+    def family_of(sample_name: str) -> str | None:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                return base
+        return sample_name if sample_name in families else None
+
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ServeError(f"malformed HELP line: {line!r}")
+            name, help_text = parts[2], parts[3]
+            entry = families.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            if entry["help"] is not None:
+                raise ServeError(f"duplicate HELP for {name!r}")
+            entry["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ServeError(f"malformed TYPE line: {line!r}")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ServeError(f"unknown metric type {kind!r} in line: {line!r}")
+            entry = families.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            if entry["type"] is not None:
+                raise ServeError(f"duplicate TYPE for {name!r}")
+            if entry["samples"]:
+                raise ServeError(f"TYPE for {name!r} appears after its samples")
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ServeError(f"unbalanced braces in line: {line!r}")
+            sample_name = line[:brace]
+            labels = _parse_label_block(line[brace + 1 : close], line)
+            value_text = line[close + 1 :].strip()
+        else:
+            pieces = line.split()
+            if len(pieces) not in (2, 3):  # optional trailing timestamp
+                raise ServeError(f"malformed sample line: {line!r}")
+            sample_name, value_text = pieces[0], pieces[1]
+            labels = {}
+        try:
+            value = float(value_text.split()[0])
+        except (ValueError, IndexError):
+            raise ServeError(f"non-numeric sample value in line: {line!r}") from None
+        base = family_of(sample_name)
+        if base is None or families[base]["type"] is None:
+            raise ServeError(
+                f"sample {sample_name!r} has no preceding # TYPE declaration"
+            )
+        families[base]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def validate_exposition(text: str) -> dict[str, dict]:
+    """Parse *and* semantically validate an exposition body.
+
+    On top of :func:`parse_exposition`'s grammar checks, enforces per
+    family: HELP and TYPE both present; counter/gauge samples use the
+    bare family name with no duplicate label sets; histograms have
+    strictly ascending finite ``le`` bounds, non-decreasing cumulative
+    bucket counts, a ``+Inf`` bucket exactly equal to ``_count``, and a
+    ``_sum`` per label set.  Returns the parsed families (so tests can
+    roundtrip values); raises :class:`~repro.errors.ServeError` on the
+    first violation.  The CI serve smoke runs this against a live
+    ``GET /metrics`` scrape.
+    """
+    families = parse_exposition(text)
+    for name, entry in families.items():
+        if entry["help"] is None:
+            raise ServeError(f"family {name!r} has no # HELP line")
+        if entry["type"] is None:
+            raise ServeError(f"family {name!r} has no # TYPE line")
+        if entry["type"] in ("counter", "gauge"):
+            seen: set[tuple] = set()
+            for sample_name, labels, _value in entry["samples"]:
+                if sample_name != name:
+                    raise ServeError(
+                        f"{entry['type']} family {name!r} has stray sample "
+                        f"{sample_name!r}"
+                    )
+                key = tuple(sorted(labels.items()))
+                if key in seen:
+                    raise ServeError(
+                        f"duplicate sample {sample_name!r} labels {labels!r}"
+                    )
+                seen.add(key)
+        elif entry["type"] == "histogram":
+            series: dict[tuple, dict] = {}
+            for sample_name, labels, value in entry["samples"]:
+                plain = {k: v for k, v in labels.items() if k != "le"}
+                key = tuple(sorted(plain.items()))
+                slot = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+                if sample_name == f"{name}_bucket":
+                    if "le" not in labels:
+                        raise ServeError(f"bucket sample without le: {labels!r}")
+                    slot["buckets"].append((labels["le"], value))
+                elif sample_name == f"{name}_sum":
+                    slot["sum"] = value
+                elif sample_name == f"{name}_count":
+                    slot["count"] = value
+                else:
+                    raise ServeError(
+                        f"histogram family {name!r} has stray sample {sample_name!r}"
+                    )
+            for key, slot in series.items():
+                if slot["count"] is None or slot["sum"] is None:
+                    raise ServeError(
+                        f"histogram {name!r} series {dict(key)!r} missing _sum/_count"
+                    )
+                bounds: list[float] = []
+                counts: list[float] = []
+                inf_count = None
+                for le_text, value in slot["buckets"]:
+                    if le_text == "+Inf":
+                        inf_count = value
+                        continue
+                    try:
+                        bounds.append(float(le_text))
+                    except ValueError:
+                        raise ServeError(
+                            f"histogram {name!r} has non-numeric le {le_text!r}"
+                        ) from None
+                    counts.append(value)
+                if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                    raise ServeError(
+                        f"histogram {name!r} le bounds not ascending: {bounds}"
+                    )
+                if any(c2 < c1 for c1, c2 in zip(counts, counts[1:])):
+                    raise ServeError(
+                        f"histogram {name!r} bucket counts not cumulative: {counts}"
+                    )
+                if inf_count is None:
+                    raise ServeError(
+                        f"histogram {name!r} series {dict(key)!r} has no +Inf bucket"
+                    )
+                if counts and counts[-1] > inf_count:
+                    raise ServeError(
+                        f"histogram {name!r} finite buckets exceed +Inf: "
+                        f"{counts[-1]} > {inf_count}"
+                    )
+                if inf_count != slot["count"]:
+                    raise ServeError(
+                        f"histogram {name!r} +Inf bucket {inf_count} != _count "
+                        f"{slot['count']}"
+                    )
+    return families

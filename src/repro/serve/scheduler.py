@@ -92,6 +92,19 @@ gauges for queue depth, per-shard item counts and request balance, and
 cache counters — rendered in Prometheus text format by
 :meth:`QueryScheduler.render_metrics` (the HTTP ``GET /metrics``
 body).
+
+**Tracing.**  With ``trace_depth > 0`` (the default) every request also
+carries a :class:`~repro.serve.trace.Trace`: one span per pipeline
+stage (``admit``, ``cache-lookup``, ``queue-wait``, ``batch-form``, one
+``engine`` span per shard call with that shard's exact
+``distance_computations`` for the request, ``merge``,
+``journal-append`` / ``journal-fsync`` on the write path, ``respond``).
+Completed traces land in a bounded flight recorder and — past
+``slow_query_ms`` — a slow-query log, both served by the HTTP
+``/debug/*`` endpoints; span durations additionally feed the
+``repro_stage_seconds`` histogram.  ``trace_depth=0`` turns the whole
+machinery off (no per-request allocation).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -118,9 +131,14 @@ from repro.errors import (
 from repro.image.core import Image
 from repro.index.stats import SearchStats
 from repro.serve.cache import CacheKey, ResultCache
-from repro.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from repro.serve.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    read_process_stats,
+)
 from repro.serve.shard import ShardedEngine
 from repro.serve.stats import ServiceStats, StatsCollector
+from repro.serve.trace import FlightRecorder, SlowQueryLog, Trace
 
 __all__ = ["ServedResult", "MutationResult", "TokenBucket", "QueryScheduler"]
 
@@ -192,6 +210,10 @@ class ServedResult:
         True when the result came from the LRU cache.
     latency_s:
         Submit-to-resolution wall time.
+    trace_id:
+        Id of the trace that followed this request through the pipeline
+        (the key into ``GET /debug/trace?id=`` and ``repro trace
+        --id``); ``None`` when tracing is off (``trace_depth=0``).
     """
 
     results: list[RetrievalResult]
@@ -199,6 +221,7 @@ class ServedResult:
     batch_size: int
     cache_hit: bool
     latency_s: float
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -219,18 +242,38 @@ class MutationResult:
         sharded one.
     latency_s:
         Submit-to-application wall time.
+    trace_id:
+        Id of the mutation's trace (``None`` when tracing is off).
     """
 
     kind: str
     ids: list[int]
     generations: dict[str, Hashable]
     latency_s: float
+    trace_id: str | None = None
 
 
 class _Request:
-    """One admitted query riding the queue to the worker."""
+    """One admitted query riding the queue to the worker.
 
-    __slots__ = ("kind", "feature", "parameter", "vector", "key", "future", "submitted")
+    ``trace`` (when tracing is on) travels with the request; the queue
+    hand-off is the happens-before edge that lets the worker append
+    spans to it without a lock.  ``enqueued``/``dequeued`` bound the
+    ``queue-wait`` span.
+    """
+
+    __slots__ = (
+        "kind",
+        "feature",
+        "parameter",
+        "vector",
+        "key",
+        "future",
+        "submitted",
+        "trace",
+        "enqueued",
+        "dequeued",
+    )
 
     def __init__(
         self,
@@ -239,14 +282,18 @@ class _Request:
         parameter: int | float,
         vector: np.ndarray,
         key: CacheKey | None,
+        trace: Trace | None = None,
     ) -> None:
         self.kind = kind
         self.feature = feature
         self.parameter = parameter
         self.vector = vector
         self.key = key
+        self.trace = trace
         self.future: Future[ServedResult] = Future()
         self.submitted = time.monotonic()
+        self.enqueued: float | None = None
+        self.dequeued: float | None = None
 
 
 class _Mutation:
@@ -256,7 +303,17 @@ class _Mutation:
     applies it between the query segments that arrived around it.
     """
 
-    __slots__ = ("kind", "payload", "labels", "names", "future", "submitted")
+    __slots__ = (
+        "kind",
+        "payload",
+        "labels",
+        "names",
+        "future",
+        "submitted",
+        "trace",
+        "enqueued",
+        "dequeued",
+    )
 
     def __init__(
         self,
@@ -264,13 +321,17 @@ class _Mutation:
         payload: object,
         labels: Sequence[str | None] | None = None,
         names: Sequence[str] | None = None,
+        trace: Trace | None = None,
     ) -> None:
         self.kind = kind
         self.payload = payload
         self.labels = labels
         self.names = names
+        self.trace = trace
         self.future: Future[MutationResult] = Future()
         self.submitted = time.monotonic()
+        self.enqueued: float | None = None
+        self.dequeued: float | None = None
 
 
 #: Queue sentinel: drain what is already admitted, then stop.
@@ -326,6 +387,17 @@ class QueryScheduler:
         :meth:`submit_save` compacts the journal into a fresh snapshot
         as a barrier between batches.  The scheduler owns the set and
         closes it on :meth:`close`.
+    trace_depth:
+        Flight-recorder capacity: the newest ``trace_depth`` completed
+        request traces are retained for ``GET /debug/traces`` /
+        ``GET /debug/trace?id=`` (default 256).  ``0`` disables tracing
+        entirely — no per-request trace allocation, no span recording —
+        the configuration the overhead benchmark compares against.
+    slow_query_ms:
+        Requests whose end-to-end latency reaches this threshold are
+        *also* kept in the slow-query log (``GET /debug/slow``), which
+        fast traffic cannot flush (default 100.0).  ``None`` disables
+        the slow log while leaving the flight recorder on.
     autostart:
         Start the worker thread immediately (default).  Pass ``False``
         to stage requests first and call :meth:`start` explicitly —
@@ -346,6 +418,8 @@ class QueryScheduler:
         rate_limit_qps: float | None = None,
         rate_limit_burst: float | None = None,
         journal: JournalSet | None = None,
+        trace_depth: int = 256,
+        slow_query_ms: float | None = 100.0,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -354,6 +428,12 @@ class QueryScheduler:
             raise ServeError(f"max_wait_ms must be >= 0; got {max_wait_ms}")
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1; got {max_queue}")
+        if trace_depth < 0:
+            raise ServeError(f"trace_depth must be >= 0; got {trace_depth}")
+        if slow_query_ms is not None and slow_query_ms < 0.0:
+            raise ServeError(
+                f"slow_query_ms must be >= 0 or None; got {slow_query_ms}"
+            )
         self._db = db
         self._journal = journal
         self._engine = ShardedEngine(db, shards, journal=journal)
@@ -369,6 +449,10 @@ class QueryScheduler:
         )
         self._cache = ResultCache(cache_size, quantize_decimals=quantize_decimals)
         self._stats = StatsCollector()
+        self._recorder = FlightRecorder(trace_depth)
+        self._slow_log = SlowQueryLog(
+            threshold_s=None if slow_query_ms is None else slow_query_ms / 1e3
+        )
         self._metrics = MetricsRegistry()
         self._m_requests = self._metrics.counter(
             "repro_requests_total",
@@ -423,6 +507,25 @@ class QueryScheduler:
         self._m_journal_fsync = self._metrics.histogram(
             "repro_journal_fsync_seconds",
             "Wall time of journal group-commit fsyncs.",
+        )
+        self._m_stage = self._metrics.histogram(
+            "repro_stage_seconds",
+            "Wall time per traced pipeline stage (admit, cache-lookup, "
+            "queue-wait, batch-form, engine, merge, journal-append, "
+            "journal-fsync, apply, respond, compact).  Populated only "
+            "while tracing is on (trace_depth > 0).",
+            ("stage",),
+        )
+        self._g_process = self._metrics.gauge(
+            "repro_process",
+            "Process-level health at scrape time "
+            "(rss_bytes / open_fds / threads).",
+            ("figure",),
+        )
+        self._g_gc = self._metrics.gauge(
+            "repro_process_gc_collections",
+            "Cumulative CPython garbage collections, per GC generation.",
+            ("generation",),
         )
         if journal is not None:
             journal.on_fsync = self._m_journal_fsync.observe
@@ -518,6 +621,65 @@ class QueryScheduler:
         return self._metrics
 
     @property
+    def flight_recorder(self) -> FlightRecorder:
+        """Ring buffer of the newest completed traces (``/debug/traces``)."""
+        return self._recorder
+
+    @property
+    def slow_log(self) -> SlowQueryLog:
+        """Threshold-triggered slow-trace keep (``/debug/slow``)."""
+        return self._slow_log
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """True unless constructed with ``trace_depth=0``."""
+        return self._recorder.enabled
+
+    def new_trace(
+        self,
+        route: str,
+        traceparent: str | None = None,
+        *,
+        owned: bool = False,
+    ) -> Trace | None:
+        """Open a trace for one request, or ``None`` when tracing is off.
+
+        The HTTP front end calls this with ``owned=False`` (it appends
+        its own ``respond`` span and calls :meth:`finish_trace` before
+        serializing the response); ``owned=True`` asks the scheduler to
+        finish the trace itself when the request's future resolves —
+        what :meth:`submit_query` does automatically when no trace is
+        handed in.  A parseable W3C ``traceparent`` donates the trace
+        id; anything else gets a fresh one.
+        """
+        if not self._recorder.enabled:
+            return None
+        return Trace(route, traceparent=traceparent, owned=owned)
+
+    def finish_trace(self, trace: Trace, status: str = "ok") -> None:
+        """Seal a trace and publish it to the recorder + slow log.
+
+        Idempotent (the underlying :meth:`Trace.finish` is): only the
+        first call records; span durations feed the
+        ``repro_stage_seconds`` histogram then.
+        """
+        if trace.finish(status):
+            for span in trace.spans:
+                self._m_stage.observe(span.duration_s, stage=span.stage)
+            self._recorder.record(trace)
+            self._slow_log.offer(trace)
+
+    def _resolve_trace(self, trace: Trace | None, status: str = "ok") -> None:
+        """Finish an *owned* trace (no-op for handler-owned ones).
+
+        The scheduler must never finish a trace the HTTP handler owns:
+        the handler still appends its ``respond`` span after the future
+        resolves, and a published trace is visible to ``/debug`` readers.
+        """
+        if trace is not None and trace.owned:
+            self.finish_trace(trace, status)
+
+    @property
     def n_shards(self) -> int:
         """Shards behind this scheduler (1 = unsharded)."""
         return self._engine.n_shards
@@ -596,6 +758,12 @@ class QueryScheduler:
         if info is not None:
             for figure, value in info.items():
                 self._g_journal.set(value, figure=figure)
+        process = read_process_stats()
+        self._g_process.set(process["rss_bytes"], figure="rss_bytes")
+        self._g_process.set(process["open_fds"], figure="open_fds")
+        self._g_process.set(process["threads"], figure="threads")
+        for generation, count in enumerate(process["gc_collections"]):
+            self._g_gc.set(count, generation=str(generation))
         return self._metrics.render()
 
     # ------------------------------------------------------------------
@@ -607,11 +775,17 @@ class QueryScheduler:
         k: int = 10,
         *,
         feature: str | None = None,
+        trace: Trace | None = None,
     ) -> Future[ServedResult]:
-        """Admit a k-NN request; returns a future of :class:`ServedResult`."""
+        """Admit a k-NN request; returns a future of :class:`ServedResult`.
+
+        ``trace`` hands in an externally-owned trace (the HTTP front
+        end's); left ``None``, the scheduler opens — and finishes — its
+        own when tracing is on.
+        """
         if k < 1:
             raise QueryError(f"k must be >= 1; got {k}")
-        return self._submit("knn", query, int(k), feature)
+        return self._submit("knn", query, int(k), feature, trace)
 
     def submit_range(
         self,
@@ -619,11 +793,12 @@ class QueryScheduler:
         radius: float,
         *,
         feature: str | None = None,
+        trace: Trace | None = None,
     ) -> Future[ServedResult]:
         """Admit a range request; returns a future of :class:`ServedResult`."""
         if radius < 0.0:
             raise QueryError(f"radius must be non-negative; got {radius}")
-        return self._submit("range", query, float(radius), feature)
+        return self._submit("range", query, float(radius), feature, trace)
 
     def _submit(
         self,
@@ -631,6 +806,7 @@ class QueryScheduler:
         query: Image | np.ndarray,
         parameter: int | float,
         feature: str | None,
+        trace: Trace | None = None,
     ) -> Future[ServedResult]:
         if self._closed:
             raise ShuttingDownError("scheduler is closed (shutting down)")
@@ -638,10 +814,18 @@ class QueryScheduler:
         if self._engine.size == 0:
             raise QueryError("database is empty")
         feature = feature or self._db.default_feature
+        if trace is None and self._recorder.enabled:
+            # A validation failure below just discards the trace — an
+            # admitted request is the unit the recorder tracks.
+            trace = Trace(kind, owned=True)
+        admit_start = time.monotonic()
         # Extraction/validation happens on the caller's thread: a bad
         # request fails here, loudly, instead of poisoning a batch.
         vector = self._db.extract_query_vector(query, feature)
         started = time.monotonic()
+        if trace is not None:
+            trace.annotate(feature=feature, parameter=parameter)
+            trace.add_span("admit", admit_start, started - admit_start)
         self._stats.record_submitted()
         self._m_requests.inc(route=kind)
 
@@ -653,19 +837,38 @@ class QueryScheduler:
             # (counted as an invalidation) instead of being served.
             # Sharded stamps are per-shard tuples, so any one shard's
             # movement invalidates every entry that gathered from it.
+            lookup_start = time.monotonic()
             cached = self._cache.get(key, self._engine.generation(feature))
+            if trace is not None:
+                trace.add_span(
+                    "cache-lookup",
+                    lookup_start,
+                    time.monotonic() - lookup_start,
+                    hit=cached is not None,
+                )
             if cached is not None:
                 future: Future[ServedResult] = Future()
                 latency = time.monotonic() - started
+                if trace is not None:
+                    trace.annotate(cache_hit=True)
+                    self._resolve_trace(trace)
                 future.set_result(
-                    ServedResult(cached, None, 1, True, latency)
+                    ServedResult(
+                        cached,
+                        None,
+                        1,
+                        True,
+                        latency,
+                        trace.trace_id if trace is not None else None,
+                    )
                 )
                 self._stats.record_completed(latency)
                 self._m_latency.observe(latency, route=kind)
                 return future
 
-        request = _Request(kind, feature, parameter, vector, key)
+        request = _Request(kind, feature, parameter, vector, key, trace)
         request.submitted = started
+        request.enqueued = time.monotonic()
         self._enqueue(request)
         return request.future
 
@@ -684,6 +887,7 @@ class QueryScheduler:
         *,
         labels: Sequence[str | None] | None = None,
         names: Sequence[str] | None = None,
+        trace: Trace | None = None,
     ) -> Future[MutationResult]:
         """Admit an insert of precomputed signatures; future of ids.
 
@@ -694,9 +898,16 @@ class QueryScheduler:
         query batches; validation errors resolve the returned future
         exceptionally and never poison queued queries.
         """
-        return self._submit_mutation(_Mutation("add", signatures, labels, names))
+        return self._submit_mutation(
+            _Mutation("add", signatures, labels, names, trace)
+        )
 
-    def submit_remove(self, image_ids: Sequence[int]) -> Future[MutationResult]:
+    def submit_remove(
+        self,
+        image_ids: Sequence[int],
+        *,
+        trace: Trace | None = None,
+    ) -> Future[MutationResult]:
         """Admit a removal by image id; future of the removed ids.
 
         Serialized with query batches like :meth:`submit_add`; an
@@ -704,10 +915,14 @@ class QueryScheduler:
         id before touching anything).
         """
         return self._submit_mutation(
-            _Mutation("remove", [int(image_id) for image_id in image_ids])
+            _Mutation(
+                "remove", [int(image_id) for image_id in image_ids], trace=trace
+            )
         )
 
-    def submit_save(self) -> Future[MutationResult]:
+    def submit_save(
+        self, *, trace: Trace | None = None
+    ) -> Future[MutationResult]:
         """Admit a snapshot-compaction barrier; future of a save marker.
 
         Requires a configured journal.  The save rides the queue like a
@@ -721,9 +936,10 @@ class QueryScheduler:
         """
         if self._closed:
             raise ShuttingDownError("scheduler is closed (shutting down)")
-        mutation = _Mutation("save", None)
+        mutation = _Mutation("save", None, trace=trace)
         self._stats.record_submitted()
         self._m_requests.inc(route="save")
+        self._trace_mutation(mutation)
         self._enqueue(mutation)
         return mutation.future
 
@@ -733,8 +949,15 @@ class QueryScheduler:
         self._check_rate_limit()
         self._stats.record_submitted()
         self._m_requests.inc(route=mutation.kind)
+        self._trace_mutation(mutation)
         self._enqueue(mutation)
         return mutation.future
+
+    def _trace_mutation(self, mutation: _Mutation) -> None:
+        """Open a scheduler-owned trace for an untraced mutation."""
+        if mutation.trace is None and self._recorder.enabled:
+            mutation.trace = Trace(mutation.kind, owned=True)
+        mutation.enqueued = time.monotonic()
 
     def _enqueue(self, item: "_Request | _Mutation") -> None:
         # The closed-check and the enqueue share the lock close() takes
@@ -770,6 +993,7 @@ class QueryScheduler:
                     item, "scheduler is shutting down; request abandoned"
                 )
                 continue
+            item.dequeued = time.monotonic()
             batch = [item]
             deadline = time.monotonic() + self._max_wait_s
             while len(batch) < self._max_batch:
@@ -787,6 +1011,7 @@ class QueryScheduler:
                 if more is _SHUTDOWN:
                     stop = True
                     break
+                more.dequeued = time.monotonic()
                 batch.append(more)
             self._execute(batch)
 
@@ -845,6 +1070,18 @@ class QueryScheduler:
         """
         if not mutation.future.set_running_or_notify_cancel():
             return
+        trace = mutation.trace
+        apply_start = time.monotonic()
+        if trace is not None and mutation.dequeued is not None:
+            if mutation.enqueued is not None:
+                trace.add_span(
+                    "queue-wait",
+                    mutation.enqueued,
+                    mutation.dequeued - mutation.enqueued,
+                )
+            trace.add_span(
+                "batch-form", mutation.dequeued, apply_start - mutation.dequeued
+            )
         try:
             if mutation.kind == "add":
                 ids = self._engine.add_vectors(
@@ -858,8 +1095,22 @@ class QueryScheduler:
                     mutation.payload, sync=False  # type: ignore[arg-type]
                 )
         except Exception as error:
+            if trace is not None:
+                trace.annotate(error=str(error))
+                self._resolve_trace(trace, "error")
             mutation.future.set_exception(error)
             return
+        if trace is not None:
+            # The append happened inside the engine call; splitting it
+            # out keeps the spans non-overlapping (apply = what remains
+            # of the engine call after the journal write).
+            append = self._engine.last_journal_append
+            apply_end = time.monotonic()
+            if append is not None:
+                append_start, append_duration = append
+                trace.add_span("journal-append", append_start, append_duration)
+                apply_start = append_start + append_duration
+            trace.add_span("apply", apply_start, apply_end - apply_start)
         pending.append((mutation, ids))
 
     def _ack_pending(
@@ -881,27 +1132,43 @@ class QueryScheduler:
         """
         if not pending:
             return
+        fsync_start = fsync_duration = 0.0
         if sync:
+            fsync_start = time.monotonic()
             try:
                 self._engine.sync_journal()
             except Exception as error:
                 for mutation, _ids in pending:
+                    self._resolve_trace(mutation.trace, "error")
                     mutation.future.set_exception(error)
                 pending.clear()
                 return
+            fsync_duration = time.monotonic() - fsync_start
         generations = self._engine.generations()
         for mutation, ids in pending:
             self._stats.record_mutation()
+            trace = mutation.trace
+            if trace is not None and sync and self._journal is not None:
+                # One group fsync covered every pending mutation; each
+                # trace carries the same span — that sharing *is* the
+                # group-commit story, visible in the waterfall.
+                trace.add_span("journal-fsync", fsync_start, fsync_duration)
+            respond_start = time.monotonic()
             latency = time.monotonic() - mutation.submitted
             self._m_latency.observe(latency, route=mutation.kind)
-            mutation.future.set_result(
-                MutationResult(
-                    kind=mutation.kind,
-                    ids=ids,
-                    generations=generations,
-                    latency_s=latency,
-                )
+            result = MutationResult(
+                kind=mutation.kind,
+                ids=ids,
+                generations=generations,
+                latency_s=latency,
+                trace_id=trace.trace_id if trace is not None else None,
             )
+            if trace is not None and trace.owned:
+                trace.add_span(
+                    "respond", respond_start, time.monotonic() - respond_start
+                )
+                self.finish_trace(trace)
+            mutation.future.set_result(result)
         pending.clear()
 
     def _apply_save(
@@ -917,8 +1184,15 @@ class QueryScheduler:
         """
         if not save.future.set_running_or_notify_cancel():
             return
+        trace = save.trace
+        if trace is not None and save.dequeued is not None:
+            if save.enqueued is not None:
+                trace.add_span(
+                    "queue-wait", save.enqueued, save.dequeued - save.enqueued
+                )
         if self._journal is None:
             self._ack_pending(pending)
+            self._resolve_trace(trace, "error")
             save.future.set_exception(
                 ServeError(
                     "no journal configured; construct the scheduler with "
@@ -926,24 +1200,38 @@ class QueryScheduler:
                 )
             )
             return
+        compact_start = time.monotonic()
         try:
             compact(self._journal, self._engine.merged_database())
         except Exception as error:
             self._ack_pending(pending)
+            if trace is not None:
+                trace.annotate(error=str(error))
+                self._resolve_trace(trace, "error")
             save.future.set_exception(error)
             return
+        if trace is not None:
+            trace.add_span(
+                "compact", compact_start, time.monotonic() - compact_start
+            )
         self._ack_pending(pending, sync=False)
         self._stats.record_save()
+        respond_start = time.monotonic()
         latency = time.monotonic() - save.submitted
         self._m_latency.observe(latency, route="save")
-        save.future.set_result(
-            MutationResult(
-                kind="save",
-                ids=[],
-                generations=self._engine.generations(),
-                latency_s=latency,
-            )
+        result = MutationResult(
+            kind="save",
+            ids=[],
+            generations=self._engine.generations(),
+            latency_s=latency,
+            trace_id=trace.trace_id if trace is not None else None,
         )
+        if trace is not None and trace.owned:
+            trace.add_span(
+                "respond", respond_start, time.monotonic() - respond_start
+            )
+            self.finish_trace(trace)
+        save.future.set_result(result)
 
     def _execute_queries(self, segment: list[_Request]) -> list[int]:
         """Run one mutation-free query segment; returns its group sizes."""
@@ -980,6 +1268,21 @@ class QueryScheduler:
             if len(unique) < len(live):
                 self._stats.record_dedup(len(live) - len(unique))
             vectors = np.stack([request.vector for request in unique])
+            group_start = time.monotonic()
+            for request in live:
+                if request.trace is not None and request.dequeued is not None:
+                    if request.enqueued is not None:
+                        request.trace.add_span(
+                            "queue-wait",
+                            request.enqueued,
+                            request.dequeued - request.enqueued,
+                        )
+                    request.trace.add_span(
+                        "batch-form",
+                        request.dequeued,
+                        group_start - request.dequeued,
+                        group_size=len(unique),
+                    )
             try:
                 if kind == "knn":
                     result_lists, per_slot_stats = self._engine.query_batch(
@@ -991,27 +1294,53 @@ class QueryScheduler:
                     )
             except Exception as error:  # pragma: no cover - defensive
                 for request in live:
+                    self._resolve_trace(request.trace, "error")
                     request.future.set_exception(error)
                 continue
+            # Per-shard call timing + per-row cost from the engine's
+            # scatter report (single-caller: the worker thread is the
+            # only reader, and the report is from *this* call).
+            scatter = self._engine.last_scatter
             # Stamp cached entries with the generation the engine call
             # ran under — the worker serializes mutations, so this read
             # cannot race a concurrent add/remove.  Sharded schedulers
             # stamp the per-shard generation tuple.
             generation = self._engine.generation(feature)
             for request, slot in zip(live, assignment):
+                trace = request.trace
+                if trace is not None and scatter is not None:
+                    for call in scatter.shard_calls:
+                        trace.add_span(
+                            "engine",
+                            call.start,
+                            call.duration_s,
+                            shard=call.shard,
+                            distance_computations=call.stats[
+                                slot
+                            ].distance_computations,
+                        )
+                    trace.add_span(
+                        "merge", scatter.merge_start, scatter.merge_duration_s
+                    )
+                respond_start = time.monotonic()
                 results = result_lists[slot]
                 if request.key is not None:
                     self._cache.put(request.key, results, generation)
                 latency = time.monotonic() - request.submitted
-                request.future.set_result(
-                    ServedResult(
-                        list(results),
-                        per_slot_stats[slot],
-                        len(unique),
-                        False,
-                        latency,
-                    )
+                served = ServedResult(
+                    list(results),
+                    per_slot_stats[slot],
+                    len(unique),
+                    False,
+                    latency,
+                    trace.trace_id if trace is not None else None,
                 )
+                if trace is not None and trace.owned:
+                    trace.add_span(
+                        "respond", respond_start, time.monotonic() - respond_start
+                    )
+                    self.finish_trace(trace)
+                request.future.set_result(served)
                 self._stats.record_completed(latency)
                 self._m_latency.observe(latency, route=kind)
         return [len(members) for members in groups.values()]

@@ -60,7 +60,9 @@ the bulk of the work).
 from __future__ import annotations
 
 import heapq
+import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from itertools import islice
 from typing import Hashable, Mapping, Sequence
 
@@ -76,6 +78,8 @@ __all__ = [
     "shard_of",
     "merge_knn_results",
     "merge_range_results",
+    "ShardCall",
+    "ScatterReport",
     "ShardedEngine",
 ]
 
@@ -111,6 +115,41 @@ def merge_knn_results(
     if k < 1:
         raise ServeError(f"k must be >= 1; got {k}")
     return list(islice(heapq.merge(*per_shard, key=_result_key), k))
+
+
+@dataclass(frozen=True)
+class ShardCall:
+    """Timing + cost of one shard's engine call inside a scatter.
+
+    ``start`` is absolute ``time.monotonic()`` (the tracing clock);
+    ``stats`` holds that shard's per-query :class:`SearchStats`, row
+    ``qi`` matching query row ``qi`` of the scattered matrix — the
+    per-shard distance-computation attribution the engine spans carry.
+    """
+
+    shard: int
+    start: float
+    duration_s: float
+    stats: list[SearchStats]
+
+
+@dataclass(frozen=True)
+class ScatterReport:
+    """What the last scatter-gather cost, shard by shard.
+
+    Written by :meth:`ShardedEngine.query_batch` /
+    :meth:`~ShardedEngine.range_query_batch` (the engine is
+    single-caller — only the scheduler worker invokes it — so a plain
+    attribute is race-free) and read back immediately by the scheduler
+    to stamp per-request trace spans.  ``merge_start`` /
+    ``merge_duration_s`` time the k-way gather; with one shard the
+    merge is the identity and the span is zero-length, kept anyway so
+    every trace exposes the same stage set.
+    """
+
+    shard_calls: list[ShardCall] = field(default_factory=list)
+    merge_start: float = 0.0
+    merge_duration_s: float = 0.0
 
 
 def merge_range_results(
@@ -191,6 +230,12 @@ class ShardedEngine:
                 for i in range(self._n)
             ]
         self._closed = False
+        #: Timing/cost of the most recent scatter (scheduler reads it
+        #: right after the call it instruments; single-caller, no lock).
+        self.last_scatter: ScatterReport | None = None
+        #: ``(start, duration_s)`` of the most recent mutation's journal
+        #: append, or ``None`` when journaling is off / nothing appended.
+        self.last_journal_append: tuple[float, float] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -262,7 +307,17 @@ class ShardedEngine:
         self, kind: str, vectors: np.ndarray, parameter: int | float, feature: str
     ) -> tuple[list[list[RetrievalResult]], list[SearchStats]]:
         if self._n == 1:
-            return self._run_shard(self._shards[0], 0, kind, vectors, parameter, feature)
+            results, stats, call = self._run_shard(
+                self._shards[0], 0, kind, vectors, parameter, feature
+            )
+            # One shard: the gather is the identity.  The zero-length
+            # merge span keeps the stage set uniform across shard counts.
+            self.last_scatter = ScatterReport(
+                shard_calls=[call],
+                merge_start=call.start + call.duration_s,
+                merge_duration_s=0.0,
+            )
+            return results, stats
 
         live = [i for i, shard in enumerate(self._shards) if len(shard) > 0]
         assert self._pools is not None
@@ -274,11 +329,12 @@ class ShardedEngine:
         ]
         gathered = [future.result() for future in futures]
 
+        merge_start = time.monotonic()
         m = vectors.shape[0]
         merged_results: list[list[RetrievalResult]] = []
         merged_stats: list[SearchStats] = []
         for qi in range(m):
-            per_shard_lists = [results[qi] for results, _stats in gathered]
+            per_shard_lists = [results[qi] for results, _stats, _call in gathered]
             if kind == "knn":
                 merged_results.append(
                     merge_knn_results(per_shard_lists, int(parameter))
@@ -286,9 +342,14 @@ class ShardedEngine:
             else:
                 merged_results.append(merge_range_results(per_shard_lists))
             total = SearchStats()
-            for _results, stats in gathered:
+            for _results, stats, _call in gathered:
                 total.merge(stats[qi])
             merged_stats.append(total)
+        self.last_scatter = ScatterReport(
+            shard_calls=[call for _results, _stats, call in gathered],
+            merge_start=merge_start,
+            merge_duration_s=time.monotonic() - merge_start,
+        )
         return merged_results, merged_stats
 
     def _run_shard(
@@ -299,8 +360,9 @@ class ShardedEngine:
         vectors: np.ndarray,
         parameter: int | float,
         feature: str,
-    ) -> tuple[list[list[RetrievalResult]], list[SearchStats]]:
+    ) -> tuple[list[list[RetrievalResult]], list[SearchStats], ShardCall]:
         self._shard_requests[index] += 1
+        started = time.monotonic()
         if kind == "knn":
             results = shard.query_batch(
                 vectors, int(parameter), feature=feature, precomputed=True
@@ -309,7 +371,9 @@ class ShardedEngine:
             results = shard.range_query_batch(
                 vectors, float(parameter), feature=feature, precomputed=True
             )
-        return results, shard.index_for(feature).last_batch_stats
+        stats = shard.index_for(feature).last_batch_stats
+        call = ShardCall(index, started, time.monotonic() - started, stats)
+        return results, stats, call
 
     # ------------------------------------------------------------------
     # Mutations (scheduler worker thread only)
@@ -337,6 +401,7 @@ class ShardedEngine:
         shard has applied — the scheduler's barrier semantics are
         preserved.
         """
+        self.last_journal_append = None
         matrices, n_rows = self._template.validate_signatures(
             signatures, labels=labels, names=names
         )
@@ -400,6 +465,7 @@ class ShardedEngine:
         call and nothing changes), then journals, then applies per shard
         in parallel and returns the ids in call order.
         """
+        self.last_journal_append = None
         image_ids = [int(image_id) for image_id in image_ids]
         if not image_ids:
             return []
@@ -480,7 +546,9 @@ class ShardedEngine:
                 [names[row] for row in rows] if names is not None else None,
                 total=len(ids),
             )
+        started = time.monotonic()
         self._journal.append_records(records)
+        self.last_journal_append = (started, time.monotonic() - started)
         return seq
 
     def _journal_remove(self, ids_by_shard: list[list[int]]) -> int | None:
@@ -493,7 +561,9 @@ class ShardedEngine:
             for shard_index, ids in enumerate(ids_by_shard)
             if ids
         }
+        started = time.monotonic()
         self._journal.append_records(records)
+        self.last_journal_append = (started, time.monotonic() - started)
         return seq
 
     def _journal_abort(self, seq: int | None) -> None:

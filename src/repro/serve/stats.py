@@ -87,9 +87,21 @@ class ServiceStats:
         Every invalidation is also a miss, so hits + misses still
         partition the lookups.
     throughput_qps:
-        Completed requests per second of uptime.
+        Completed requests per second of **uptime** — a *lifetime*
+        average.  It converges to the long-run rate and barely moves
+        with current load; use :attr:`recent_qps` to see what the
+        service is doing *now*.
+    recent_qps:
+        Completed requests per second over the **recent completion
+        window** (the same bounded window the latency percentiles use,
+        newest ~2048 completions), measured from the window's oldest
+        completion to snapshot time.  This is the windowed counterpart
+        to the windowed latencies: after a traffic burst ends it decays
+        toward zero while :attr:`throughput_qps` keeps averaging the
+        burst over the whole uptime.  0.0 before any completion.
     latency_mean_ms, latency_p50_ms, latency_p95_ms:
-        Submit-to-result latency over the recent completion window.
+        Submit-to-result latency over the recent completion window
+        (windowed, like :attr:`recent_qps`; *not* lifetime).
     rate_limited:
         Requests refused at admission because the token bucket was
         empty (a subset of neither :attr:`submitted` nor
@@ -120,6 +132,7 @@ class ServiceStats:
     cache_hit_rate: float
     cache_invalidations: int
     throughput_qps: float
+    recent_qps: float
     latency_mean_ms: float
     latency_p50_ms: float
     latency_p95_ms: float
@@ -164,6 +177,7 @@ class StatsCollector:
         self._saves = 0
         self._rate_limited = 0
         self._latencies: deque[float] = deque(maxlen=window)
+        self._completion_times: deque[float] = deque(maxlen=window)
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -182,6 +196,7 @@ class StatsCollector:
         with self._lock:
             self._completed += 1
             self._latencies.append(latency_s)
+            self._completion_times.append(time.monotonic())
 
     def record_batch(self, formed_size: int, group_sizes: list[int]) -> None:
         with self._lock:
@@ -222,11 +237,23 @@ class StatsCollector:
     ) -> ServiceStats:
         """Assemble a :class:`ServiceStats` from the current counters."""
         with self._lock:
-            uptime = time.monotonic() - self._started
+            now = time.monotonic()
+            uptime = now - self._started
             window = sorted(self._latencies)
             mean_ms = (
                 1e3 * sum(window) / len(window) if window else 0.0
             )
+            # Windowed throughput: completions in the bounded window
+            # divided by the span from its oldest completion to *now* —
+            # idle time since the last completion decays the figure, the
+            # way an operator expects a "current QPS" to behave.
+            if self._completion_times:
+                span = now - self._completion_times[0]
+                recent_qps = (
+                    len(self._completion_times) / span if span > 0.0 else 0.0
+                )
+            else:
+                recent_qps = 0.0
             lookups = cache_hits + cache_misses
             return ServiceStats(
                 uptime_s=uptime,
@@ -248,6 +275,7 @@ class StatsCollector:
                 cache_hit_rate=cache_hits / lookups if lookups else 0.0,
                 cache_invalidations=cache_invalidations,
                 throughput_qps=self._completed / uptime if uptime > 0.0 else 0.0,
+                recent_qps=recent_qps,
                 latency_mean_ms=mean_ms,
                 latency_p50_ms=1e3 * _nearest_rank(window, 0.50),
                 latency_p95_ms=1e3 * _nearest_rank(window, 0.95),

@@ -1,0 +1,122 @@
+"""StructuredLog: JSON-lines shape, sampling determinism, rate limiting.
+
+The two pressure valves are tested with an injectable clock so nothing
+here sleeps: sampling is a deterministic 1-in-N round-robin (a test can
+predict which events survive), and rate limiting is a fixed one-second
+window whose drops are counted and surfaced as ``"dropped": n`` on the
+next emitted line — a visible gap, never a silent one.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.logsys import StructuredLog
+
+
+class _FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestShape:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream, rate_limit_per_s=None)
+        assert log.event("alpha", path="/query", status=200)
+        assert log.event("beta", latency_ms=1.5)
+        lines = _lines(stream)
+        assert [l["event"] for l in lines] == ["alpha", "beta"]
+        assert lines[0]["path"] == "/query" and lines[0]["status"] == 200
+        assert all("ts" in l for l in lines)
+
+    def test_non_json_values_stringified(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream, rate_limit_per_s=None)
+        log.event("odd", payload={1, 2}.__class__)  # a type object
+        assert "odd" in stream.getvalue()  # did not raise, line written
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream, rate_limit_per_s=None)
+        stream.close()
+        assert log.event("into-the-void")  # swallowed, not raised
+
+
+class TestSampling:
+    def test_one_in_n_is_deterministic(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream, sample_every=3, rate_limit_per_s=None)
+        outcomes = [log.event("e", index=i) for i in range(9)]
+        # Every 3rd seen event survives: indices 2, 5, 8.
+        assert outcomes == [False, False, True] * 3
+        assert [l["index"] for l in _lines(stream)] == [2, 5, 8]
+        assert log.emitted == 3
+        assert log.sampled_out == 6
+
+    def test_force_bypasses_sampling(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream, sample_every=100, rate_limit_per_s=None)
+        assert log.event("must-emit", force=True)
+        assert log.emitted == 1
+
+
+class TestRateLimiting:
+    def test_window_budget_and_dropped_report(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        log = StructuredLog(stream, rate_limit_per_s=2.0, clock=clock)
+        assert log.event("a")
+        assert log.event("b")
+        assert not log.event("c")  # budget spent
+        assert not log.event("d")
+        assert log.rate_dropped == 2
+        clock.now += 1.5  # new window
+        assert log.event("e")
+        lines = _lines(stream)
+        # The first line of the new window carries the gap.
+        assert lines[-1]["event"] == "e"
+        assert lines[-1]["dropped"] == 2
+        assert "dropped" not in lines[0]
+
+    def test_force_bypasses_rate_limit(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        log = StructuredLog(stream, rate_limit_per_s=1.0, clock=clock)
+        assert log.event("a")
+        assert not log.event("b")
+        assert log.event("shutdown", force=True)
+        assert log.emitted == 2
+
+    def test_none_disables_limiting(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        log = StructuredLog(stream, rate_limit_per_s=None, clock=clock)
+        assert all(log.event("e") for _ in range(500))
+        assert log.rate_dropped == 0
+
+
+class TestValidation:
+    def test_bad_sample_every(self):
+        with pytest.raises(ServeError, match="sample_every"):
+            StructuredLog(io.StringIO(), sample_every=0)
+
+    def test_bad_rate_limit(self):
+        with pytest.raises(ServeError, match="rate_limit_per_s"):
+            StructuredLog(io.StringIO(), rate_limit_per_s=0.0)
+
+    def test_repr_counters(self):
+        log = StructuredLog(io.StringIO(), sample_every=2, rate_limit_per_s=None)
+        log.event("a")
+        log.event("b")
+        assert "emitted=1" in repr(log)
+        assert "sampled_out=1" in repr(log)
