@@ -51,7 +51,7 @@ from repro.errors import IndexingError
 from repro.index.stats import BuildStats, SearchStats
 from repro.metrics.base import Metric
 
-__all__ = ["Neighbor", "MetricIndex"]
+__all__ = ["Neighbor", "MetricIndex", "GrowableRows"]
 
 
 class Neighbor(NamedTuple):
@@ -59,6 +59,105 @@ class Neighbor(NamedTuple):
 
     id: int
     distance: float
+
+
+#: Smallest capacity :class:`GrowableRows` ever allocates (keeps tiny
+#: indexes from reallocating on every one of their first few appends).
+_MIN_CAPACITY = 8
+
+
+class GrowableRows:
+    """A ``(n, d)`` float64 row store with amortized-O(1) appends.
+
+    The classic capacity-doubling vector: rows live at the front of a
+    larger backing allocation, appends write into the spare tail, and
+    the backing array is only reallocated (and copied once) when the
+    spare runs out — so a stream of ``m`` single-row appends costs
+    O(n + m) row copies total instead of the O(m·n) that re-stacking
+    the whole matrix per append costs.  Removals compact the kept rows
+    to the front in one pass and shrink the allocation when occupancy
+    falls below a quarter, so capacity stays O(live rows).
+
+    :meth:`view` returns the live rows as a **read-only view** of the
+    backing array — zero-copy, safe to hand to query code.  Appends
+    only ever write *past* the live region and removals are the only
+    writes inside it, so a view taken before an append remains valid;
+    callers that compact (``take``) must refresh any view they hold,
+    which :class:`MetricIndex` does by reassigning ``_vectors`` on
+    every mutation.
+    """
+
+    __slots__ = ("_rows", "_n")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise IndexingError(
+                f"GrowableRows needs an (n, d) array; got shape {rows.shape}"
+            )
+        self._n = int(rows.shape[0])
+        capacity = max(self._n, _MIN_CAPACITY)
+        self._rows = np.empty((capacity, rows.shape[1]), dtype=np.float64)
+        self._rows[: self._n] = rows
+
+    @property
+    def n_rows(self) -> int:
+        """Live rows (the length of :meth:`view`)."""
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        """Rows the backing allocation can hold before the next realloc."""
+        return int(self._rows.shape[0])
+
+    @property
+    def base(self) -> np.ndarray:
+        """The backing array (identity only changes on realloc) — lets
+        tests assert appends are not recopying storage."""
+        return self._rows
+
+    def view(self) -> np.ndarray:
+        """The live ``(n, d)`` rows as a read-only zero-copy view."""
+        view = self._rows[: self._n]
+        view.setflags(write=False)
+        return view
+
+    def append(self, rows: np.ndarray) -> np.ndarray:
+        """Append validated rows; returns the fresh live view.
+
+        Doubles the backing allocation when the spare tail is too
+        small — the single copy that makes every other append free.
+        """
+        m = int(rows.shape[0])
+        needed = self._n + m
+        if needed > self._rows.shape[0]:
+            capacity = max(needed, 2 * int(self._rows.shape[0]), _MIN_CAPACITY)
+            grown = np.empty((capacity, self._rows.shape[1]), dtype=np.float64)
+            grown[: self._n] = self._rows[: self._n]
+            self._rows = grown
+        self._rows[self._n : needed] = rows
+        self._n = needed
+        return self.view()
+
+    def take(self, keep: np.ndarray) -> np.ndarray:
+        """Keep only the rows indexed by ``keep``; returns the live view.
+
+        ``keep`` must be ascending positions into the current live
+        region.  The kept rows are compacted to the front (one fancy-
+        index copy of the survivors, never of the whole history), and
+        the allocation shrinks once live occupancy drops below 1/4 so
+        a delete-heavy stream cannot strand an arbitrarily large
+        backing array.
+        """
+        kept = self._rows[keep]  # fancy indexing copies the survivors
+        k = int(kept.shape[0])
+        if self._rows.shape[0] > max(_MIN_CAPACITY, 4 * k):
+            self._rows = np.empty(
+                (max(2 * k, _MIN_CAPACITY), self._rows.shape[1]), dtype=np.float64
+            )
+        self._rows[:k] = kept
+        self._n = k
+        return self.view()
 
 
 class MetricIndex(ABC):
@@ -91,6 +190,7 @@ class MetricIndex(ABC):
         self._metric = metric
         self._ids: list[int] = []
         self._vectors: np.ndarray | None = None
+        self._core: GrowableRows | None = None
         self._built = False
         self._build_stats = BuildStats()
         self._search_stats = SearchStats()
@@ -191,8 +291,8 @@ class MetricIndex(ABC):
             raise IndexingError("vectors contain non-finite values")
 
         self._ids = ids
-        self._vectors = vectors.copy()
-        self._vectors.setflags(write=False)
+        self._core = GrowableRows(vectors)
+        self._vectors = self._core.view()
         self._pending_ids = []
         self._pending_vectors = []
         self._pending_block = None
@@ -347,11 +447,18 @@ class MetricIndex(ABC):
             self.rebuild()
 
     def _append_core(self, ids: list[int], vectors: np.ndarray) -> None:
-        """Extend the validated core arrays (for in-place growers)."""
-        assert self._vectors is not None
-        extended = np.vstack([self._vectors, vectors])
-        extended.setflags(write=False)
-        self._vectors = extended
+        """Extend the validated core arrays (for in-place growers).
+
+        Amortized O(rows appended): the rows land in the spare tail of
+        the :class:`GrowableRows` backing buffer, which only reallocates
+        (capacity-doubled) when full — a stream of ``m`` single-row
+        inserts costs O(n + m) row copies, not the O(m·n) a full
+        re-stack per append costs.  ``_vectors`` stays a read-only view
+        of the live rows, so subclasses see the same array contract as
+        before.
+        """
+        assert self._core is not None
+        self._vectors = self._core.append(vectors)
         self._ids.extend(ids)
 
     def _remove_core(self, ids: list[int]) -> np.ndarray:
@@ -359,16 +466,16 @@ class MetricIndex(ABC):
 
         Returns the kept row indices (relative to the old layout) so
         subclasses can slice their own parallel arrays the same way.
+        Compacts survivors inside the growth buffer (one copy of the
+        kept rows, capacity retained for future appends).
         """
-        assert self._vectors is not None
+        assert self._core is not None
         doomed = set(ids)
         keep = np.array(
             [row for row, item_id in enumerate(self._ids) if item_id not in doomed],
             dtype=np.intp,
         )
-        kept_vectors = self._vectors[keep].copy()
-        kept_vectors.setflags(write=False)
-        self._vectors = kept_vectors
+        self._vectors = self._core.take(keep)
         self._ids = [self._ids[row] for row in keep]
         return keep
 

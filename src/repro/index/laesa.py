@@ -38,7 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import IndexingError
-from repro.index.base import MetricIndex, Neighbor
+from repro.index.base import GrowableRows, MetricIndex, Neighbor
 from repro.metrics.base import Metric
 
 __all__ = ["LAESAIndex"]
@@ -71,7 +71,10 @@ class LAESAIndex(MetricIndex):
         #: (its column survives — a pivot is just a reference anchor).
         self._pivot_rows: list[int] = []
         self._pivot_ids: list[int] = []
-        self._pivot_table: np.ndarray | None = None  # (n, m) distances
+        #: (n, m) object-to-pivot distances behind a capacity-doubled
+        #: buffer, so per-insert growth is amortized O(m) like the core.
+        self._table_store: GrowableRows | None = None
+        self._pivot_table: np.ndarray | None = None  # live (n, m) view
         self._pivot_vectors: np.ndarray | None = None  # (m, d) pivot rows
 
     @property
@@ -116,7 +119,8 @@ class LAESAIndex(MetricIndex):
 
         self._pivot_rows = pivot_rows
         self._pivot_ids = [ids[row] for row in pivot_rows]
-        self._pivot_table = table
+        self._table_store = GrowableRows(table)
+        self._pivot_table = self._table_store.view()
         self._pivot_vectors = vectors[pivot_rows].copy()
         self._build_stats.n_leaves = 1
         self._build_stats.extra["n_pivots"] = len(pivot_rows)
@@ -126,16 +130,19 @@ class LAESAIndex(MetricIndex):
 
         Each inserted object costs exactly ``m`` metric evaluations (its
         distance to every pivot), counted in :attr:`build_stats` — the
-        same per-object table cost the initial build pays.
+        same per-object table cost the initial build pays.  The table
+        rows land in the same capacity-doubled buffer scheme as the
+        core vectors, so a mutation stream never re-copies the whole
+        (n, m) table per insert.
         """
-        assert self._pivot_table is not None and self._pivot_vectors is not None
+        assert self._table_store is not None and self._pivot_vectors is not None
         block = np.ascontiguousarray(vectors)
         new_rows = np.empty((block.shape[0], len(self._pivot_rows)))
         for column in range(len(self._pivot_rows)):
             new_rows[:, column] = self._build_dist_batch(
                 self._pivot_vectors[column], block
             )
-        self._pivot_table = np.vstack([self._pivot_table, new_rows])
+        self._pivot_table = self._table_store.append(new_rows)
         self._append_core(ids, vectors)
 
     def _delete(self, ids: list[int]) -> None:
@@ -145,9 +152,9 @@ class LAESAIndex(MetricIndex):
         stored vector survive); only its free exact distance at query
         time is lost, marked by a -1 row index.
         """
-        assert self._pivot_table is not None
+        assert self._table_store is not None
         keep = self._remove_core(ids)
-        self._pivot_table = self._pivot_table[keep]
+        self._pivot_table = self._table_store.take(keep)
         row_of = {item_id: row for row, item_id in enumerate(self._ids)}
         self._pivot_rows = [
             row_of.get(pivot_id, -1) for pivot_id in self._pivot_ids

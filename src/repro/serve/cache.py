@@ -42,9 +42,31 @@ one shard hide behind another shard's older stamp and revalidate a
 stale entry — the regression pinned in ``tests/test_serve.py`` and
 ``tests/test_sharded_serving.py``.
 
-Hit/miss/invalidation counters are monotonic and thread-safe; the
-scheduler folds them into its
-:class:`~repro.serve.stats.ServiceStats` snapshot.
+Check-on-hit revalidation
+-------------------------
+A generation mismatch does not always mean the cached answer changed:
+a k-NN entry is provably still correct when every item inserted since
+it was computed lands *strictly after* its kth result under the engine
+ordering ``(distance, id)`` and none of its result ids was removed (a
+range entry: no insert within the closed query ball, no result
+removed).  :meth:`ResultCache.get` therefore accepts an optional
+``revalidator`` callback: on a stale stamp the cache hands the entry
+out for inspection instead of evicting it, and a confirmed entry is
+re-stamped at the current generation and served as a hit — counted in
+:attr:`ResultCache.revalidations`, separately from
+:attr:`ResultCache.invalidations` (entries that genuinely changed).
+The proof obligations live with the caller: the scheduler feeds the
+callback from :class:`MutationDeltaLog`, a bounded per-generation
+record of exactly which vectors each mutation inserted and which ids
+it removed.  A delta outside the retained window (or recorded before
+the log was attached) makes the callback return False — revalidation
+degrades to plain invalidation, never to a stale answer.
+
+Hit/miss/invalidation/revalidation counters are monotonic and
+thread-safe; read them together via :meth:`ResultCache.counters` (one
+locked snapshot — the individual properties are each consistent but
+can tear *across* properties mid-update).  The scheduler folds the
+snapshot into its :class:`~repro.serve.stats.ServiceStats`.
 """
 
 from __future__ import annotations
@@ -52,17 +74,131 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.db.query import RetrievalResult
 from repro.errors import ServeError
 
-__all__ = ["ResultCache"]
+__all__ = ["CacheCounters", "MutationDeltaLog", "ResultCache"]
 
 #: Cache keys: (kind, feature, parameter, digest).
 CacheKey = tuple[str, str, Hashable, str]
+
+#: Revalidation callback: (stale entry's stamp, its results) -> still valid?
+Revalidator = Callable[[Hashable, list[RetrievalResult]], bool]
+
+#: One mutation's effect on one (feature, shard) slice:
+#: ``("add", inserted ids, (m, d) vectors)`` or
+#: ``("remove", removed ids, None)``.
+MutationDelta = tuple[str, tuple[int, ...], "np.ndarray | None"]
+
+
+class CacheCounters(NamedTuple):
+    """One consistent snapshot of the cache's lookup counters.
+
+    Taken under the cache lock, so ``hits + misses`` always equals the
+    number of lookups even while other threads are counting —
+    the guarantee the individual properties cannot give across
+    separate reads.
+    """
+
+    hits: int
+    misses: int
+    invalidations: int
+    revalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MutationDeltaLog:
+    """Bounded per-generation record of what each mutation changed.
+
+    Keyed by an opaque hashable — the sharded engine uses
+    ``(feature, shard_index)`` — each key maps **generation after the
+    mutation applied** to the :data:`MutationDelta` that produced it.
+    Only the newest ``window`` generations per key are retained;
+    :meth:`between` returns ``None`` as soon as any generation in the
+    requested range has been dropped (or was never recorded), which
+    callers must treat as "cannot prove validity".
+
+    Thread-safe: the engine's worker records while caller threads read
+    during cache lookups.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ServeError(f"delta window must be >= 1; got {window}")
+        self._window = int(window)
+        self._logs: dict[Hashable, OrderedDict[int, MutationDelta]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def window(self) -> int:
+        """Generations retained per key."""
+        return self._window
+
+    def record_add(
+        self,
+        key: Hashable,
+        generation: int,
+        ids: Sequence[int],
+        vectors: np.ndarray,
+    ) -> None:
+        """Record an insert that produced ``generation`` under ``key``.
+
+        ``vectors`` is copied: the log must outlive the caller's batch
+        buffers, and revalidation reads it from other threads.
+        """
+        rows = np.array(vectors, dtype=np.float64, copy=True)
+        self._record(
+            key, int(generation), ("add", tuple(int(i) for i in ids), rows)
+        )
+
+    def record_remove(
+        self, key: Hashable, generation: int, ids: Sequence[int]
+    ) -> None:
+        """Record a removal that produced ``generation`` under ``key``."""
+        self._record(
+            key, int(generation), ("remove", tuple(int(i) for i in ids), None)
+        )
+
+    def _record(self, key: Hashable, generation: int, delta: MutationDelta) -> None:
+        with self._lock:
+            log = self._logs.setdefault(key, OrderedDict())
+            log[generation] = delta
+            log.move_to_end(generation)
+            while len(log) > self._window:
+                log.popitem(last=False)
+
+    def between(
+        self, key: Hashable, old: Hashable, new: Hashable
+    ) -> list[MutationDelta] | None:
+        """Every delta from ``old`` (exclusive) to ``new`` (inclusive).
+
+        ``None`` when the range cannot be reconstructed — non-integer
+        stamps, a non-advancing range, or any generation missing from
+        the retained window.  The caller must then fall back to
+        invalidation.
+        """
+        if not isinstance(old, int) or not isinstance(new, int) or old >= new:
+            return None
+        with self._lock:
+            log = self._logs.get(key)
+            if log is None:
+                return None
+            deltas: list[MutationDelta] = []
+            for generation in range(old + 1, new + 1):
+                delta = log.get(generation)
+                if delta is None:
+                    return None
+                deltas.append(delta)
+            return deltas
 
 
 class ResultCache:
@@ -96,6 +232,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._revalidations = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,10 +268,32 @@ class ResultCache:
         return self._invalidations
 
     @property
+    def revalidations(self) -> int:
+        """Stale-stamped entries a revalidator proved still valid.
+
+        Each one was re-stamped at the current generation and served;
+        every revalidation is also counted as a hit.
+        """
+        return self._revalidations
+
+    @property
     def hit_rate(self) -> float:
         """``hits / (hits + misses)`` (0.0 before any lookup)."""
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
+
+    def counters(self) -> CacheCounters:
+        """All lookup counters in one locked snapshot.
+
+        This is what ``/stats`` and ``/metrics`` read: the individual
+        properties are each atomic, but reading them one after another
+        can interleave with a lookup and report figures that never
+        coexisted (e.g. ``hits + misses`` short of the lookup count).
+        """
+        with self._lock:
+            return CacheCounters(
+                self._hits, self._misses, self._invalidations, self._revalidations
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -164,7 +323,10 @@ class ResultCache:
     # Lookup / store
     # ------------------------------------------------------------------
     def get(
-        self, key: CacheKey, generation: Hashable | None = None
+        self,
+        key: CacheKey,
+        generation: Hashable | None = None,
+        revalidator: Revalidator | None = None,
     ) -> list[RetrievalResult] | None:
         """The cached results for ``key`` (a fresh list), or ``None``.
 
@@ -175,6 +337,17 @@ class ResultCache:
         evicted, counted in :attr:`invalidations`, and the lookup
         misses.  Passing ``None`` skips the check (static-snapshot
         callers).
+
+        ``revalidator`` (optional) gets a chance to save a stale entry:
+        it is called — outside the cache lock, so it may compute
+        distances — with the entry's stored stamp and its results, and
+        must return True only when the results provably equal a fresh
+        query's.  A confirmed entry is re-stamped at ``generation``,
+        counted in :attr:`revalidations`, and served as a hit; anything
+        else falls through to the eviction path.  If the entry was
+        replaced or evicted while the callback ran, the lookup is a
+        plain miss — the callback's verdict applied to a snapshot that
+        is no longer the entry.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -182,18 +355,37 @@ class ResultCache:
                 self._misses += 1
                 return None
             stored_generation, results = entry
-            if (
+            stale = (
                 generation is not None
                 and stored_generation is not None
                 and stored_generation != generation
-            ):
+            )
+            if not stale:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return list(results)
+            if revalidator is None:
                 del self._entries[key]
                 self._invalidations += 1
                 self._misses += 1
                 return None
+            snapshot = list(results)
+        valid = revalidator(stored_generation, snapshot)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != stored_generation:
+                self._misses += 1
+                return None
+            if not valid:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            self._entries[key] = (generation, entry[1])
             self._entries.move_to_end(key)
             self._hits += 1
-            return list(results)
+            self._revalidations += 1
+            return list(entry[1])
 
     def put(
         self,
@@ -224,5 +416,6 @@ class ResultCache:
         return (
             f"ResultCache(size={len(self._entries)}/{self._capacity}, "
             f"hits={self._hits}, misses={self._misses}, "
-            f"invalidations={self._invalidations})"
+            f"invalidations={self._invalidations}, "
+            f"revalidations={self._revalidations})"
         )

@@ -26,16 +26,19 @@ Request lifecycle::
       ├─ validate (feature, k/radius, dimensionality) — errors raise
       │  in the caller, never poison a batch
       ├─ cache lookup at the current generation — a fresh hit resolves
-      │  the future immediately; a stale-generation entry is evicted
-      │  (counted) and the request proceeds
+      │  the future immediately; a stale-generation entry is first
+      │  checked against the mutation delta log (a provably unchanged
+      │  entry is re-stamped and served — a *revalidation*), otherwise
+      │  evicted (counted) and the request proceeds
       └─ enqueue (bounded; ServeError when full) ──► worker
     submit_add/submit_remove                          ├─ collect ≤ max_batch
       └─ enqueue (same queue, same                    │  for ≤ max_wait_ms
          bound) ─────────────────────────────────────►├─ replay arrival order:
                                                       │  queries coalesce into
-                                                      │  segments, a mutation
-                                                      │  is a barrier between
-                                                      │  them
+                                                      │  segments, adjacent
+                                                      │  same-kind mutations
+                                                      │  coalesce into one
+                                                      │  barrier between them
                                                       ├─ per segment: group by
                                                       │  (kind, feature,
                                                       │  parameter), dedup
@@ -112,6 +115,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import Counter
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
@@ -308,6 +312,7 @@ class _Mutation:
         "payload",
         "labels",
         "names",
+        "staged",
         "future",
         "submitted",
         "trace",
@@ -327,6 +332,9 @@ class _Mutation:
         self.payload = payload
         self.labels = labels
         self.names = names
+        #: Pre-validated add payload ``(matrices, n_rows)``, filled by
+        #: the worker when this mutation joins a coalesced run.
+        self.staged: tuple[dict[str, np.ndarray], int] | None = None
         self.trace = trace
         self.future: Future[MutationResult] = Future()
         self.submitted = time.monotonic()
@@ -494,7 +502,8 @@ class QueryScheduler:
         )
         self._g_cache = self._metrics.gauge(
             "repro_cache_lookups",
-            "Result-cache counters by outcome (hit/miss/invalidated).",
+            "Result-cache counters by outcome "
+            "(hit/miss/invalidated/revalidated).",
             ("outcome",),
         )
         self._g_journal = self._metrics.gauge(
@@ -720,13 +729,21 @@ class QueryScheduler:
         }
 
     def stats(self) -> ServiceStats:
-        """A point-in-time :class:`~repro.serve.stats.ServiceStats`."""
+        """A point-in-time :class:`~repro.serve.stats.ServiceStats`.
+
+        Cache figures come from one locked
+        :meth:`~repro.serve.cache.ResultCache.counters` snapshot, so
+        ``/stats`` can never report hits and misses that disagree
+        mid-update.
+        """
         info = self.journal_info()
+        cache = self._cache.counters()
         return self._stats.snapshot(
             queue_depth=self._queue.qsize(),
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            cache_invalidations=self._cache.invalidations,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_invalidations=cache.invalidations,
+            cache_revalidations=cache.revalidations,
             n_shards=self._engine.n_shards,
             shard_sizes=tuple(self._engine.shard_sizes()),
             shard_requests=tuple(self._engine.shard_requests()),
@@ -751,9 +768,11 @@ class QueryScheduler:
             self._g_shard_items.set(size, shard=str(shard))
         for shard, count in enumerate(self._engine.shard_requests()):
             self._g_shard_requests.set(count, shard=str(shard))
-        self._g_cache.set(self._cache.hits, outcome="hit")
-        self._g_cache.set(self._cache.misses, outcome="miss")
-        self._g_cache.set(self._cache.invalidations, outcome="invalidated")
+        cache = self._cache.counters()
+        self._g_cache.set(cache.hits, outcome="hit")
+        self._g_cache.set(cache.misses, outcome="miss")
+        self._g_cache.set(cache.invalidations, outcome="invalidated")
+        self._g_cache.set(cache.revalidations, outcome="revalidated")
         info = self.journal_info()
         if info is not None:
             for figure, value in info.items():
@@ -837,8 +856,19 @@ class QueryScheduler:
             # (counted as an invalidation) instead of being served.
             # Sharded stamps are per-shard tuples, so any one shard's
             # movement invalidates every entry that gathered from it.
+            # Before evicting, the revalidator gets a chance to prove
+            # the entry unchanged from the mutation delta log — a
+            # confirmed entry is re-stamped and served (counted as a
+            # revalidation, never as a stale serve).
             lookup_start = time.monotonic()
-            cached = self._cache.get(key, self._engine.generation(feature))
+            generation = self._engine.generation(feature)
+
+            def revalidate(stored: Hashable, results: list) -> bool:
+                return self._entry_still_valid(
+                    kind, feature, parameter, vector, stored, generation, results
+                )
+
+            cached = self._cache.get(key, generation, revalidator=revalidate)
             if trace is not None:
                 trace.add_span(
                     "cache-lookup",
@@ -871,6 +901,76 @@ class QueryScheduler:
         request.enqueued = time.monotonic()
         self._enqueue(request)
         return request.future
+
+    def _entry_still_valid(
+        self,
+        kind: str,
+        feature: str,
+        parameter: int | float,
+        vector: np.ndarray,
+        old: Hashable,
+        new: Hashable,
+        results: list[RetrievalResult],
+    ) -> bool:
+        """Prove a stale-stamped cache entry still equals a fresh query.
+
+        The proof walks the engine's mutation delta log from the
+        entry's stamp to the current one.  A k-NN entry survives iff no
+        cached result id was removed and every inserted item orders
+        *strictly after* the kth result under the engine's total
+        ``(distance, id)`` ranking — an insert tying the kth distance
+        with a larger id stays outside the top-k, exactly as a fresh
+        query would place it.  A range entry survives iff no result id
+        was removed and no insert landed inside the closed ball
+        (``distance <= radius`` would be reported).  Removals of items
+        *outside* the cached result never matter: they ranked after the
+        kth (or outside the ball), so dropping them cannot change it.
+        Anything unprovable — deltas past the bounded window, a short
+        k-NN list that an insert could extend — returns False and the
+        entry is invalidated; revalidation can only ever upgrade a miss
+        to a hit that matches a fresh query bit for bit.
+
+        Distances are computed with the feature's own metric over the
+        same float64 rows the engine indexed, so the comparison floats
+        are the ones a fresh query would rank by.  Runs on the caller's
+        thread against the locked delta log; the engine itself is never
+        touched.
+        """
+        deltas = self._engine.deltas_between(feature, old, new)
+        if deltas is None:
+            return False
+        removed: set[int] = set()
+        inserted: list[tuple[tuple[int, ...], np.ndarray]] = []
+        for delta_kind, ids, vectors in deltas:
+            if delta_kind == "remove":
+                removed.update(ids)
+            elif vectors is not None and len(ids):
+                inserted.append((ids, vectors))
+        if removed and any(result.image_id in removed for result in results):
+            return False
+        if not inserted:
+            return True
+        metric = self._db.metric_for(feature)
+        if kind == "knn":
+            if len(results) < int(parameter):
+                # Fewer hits than k means the corpus was smaller than k:
+                # any insert could extend the list.  (An empty corpus
+                # cannot be queried, so results is never empty here.)
+                return False
+            kth = results[-1]
+            kth_key = (kth.distance, kth.image_id)
+            for ids, vectors in inserted:
+                distances = metric.distance_batch(vector, vectors)
+                for image_id, distance in zip(ids, distances):
+                    if (float(distance), image_id) < kth_key:
+                        return False
+            return True
+        radius = float(parameter)
+        for _ids, vectors in inserted:
+            distances = metric.distance_batch(vector, vectors)
+            if np.any(distances <= radius):
+                return False
+        return True
 
     def _check_rate_limit(self) -> None:
         if self._limiter is not None and not self._limiter.try_acquire():
@@ -912,13 +1012,23 @@ class QueryScheduler:
 
         Serialized with query batches like :meth:`submit_add`; an
         unknown id fails only this future (the database validates every
-        id before touching anything).
+        id before touching anything).  A batch naming the same id twice
+        is rejected here, at admission, with a
+        :class:`~repro.errors.ServeError`: the engine's validate-all-
+        first remove treats ids as a set, and silently collapsing the
+        duplicates would acknowledge a removal the caller described
+        twice.  (Adds never carry caller ids — the allocator hands out
+        distinct ones — so this check has no add-side counterpart.)
         """
-        return self._submit_mutation(
-            _Mutation(
-                "remove", [int(image_id) for image_id in image_ids], trace=trace
+        ids = [int(image_id) for image_id in image_ids]
+        if len(set(ids)) != len(ids):
+            counts = Counter(ids)
+            duplicates = sorted(i for i, count in counts.items() if count > 1)
+            raise ServeError(
+                f"duplicate image ids in one remove batch: {duplicates}; "
+                f"each id may be named once per batch"
             )
-        )
+        return self._submit_mutation(_Mutation("remove", ids, trace=trace))
 
     def submit_save(
         self, *, trace: Trace | None = None
@@ -1018,12 +1128,15 @@ class QueryScheduler:
     def _execute(self, batch: list["_Request | _Mutation"]) -> None:
         """Replay one formed batch in arrival order.
 
-        Queries coalesce into segments; each mutation is a barrier
-        between them — queries admitted before it are answered against
-        the pre-mutation database, queries after it against the
-        post-mutation one.  One formed batch still records one
-        ``record_batch`` (queries only), so the coalescing figures keep
-        their meaning under mixed traffic.
+        Queries coalesce into segments; each mutation *run* is a
+        barrier between them — queries admitted before it are answered
+        against the pre-mutation database, queries after it against the
+        post-mutation one.  Adjacent same-kind mutations coalesce into
+        one engine call (one journal record set, one generation bump)
+        the way queries coalesce into groups; see :meth:`_collect_run`
+        for when a neighbour may join a run.  One formed batch still
+        records one ``record_batch`` (queries only), so the coalescing
+        figures keep their meaning under mixed traffic.
         """
         n_queries = 0
         group_sizes: list[int] = []
@@ -1034,18 +1147,26 @@ class QueryScheduler:
         # save barrier flushes the pending list early, because the
         # snapshot it writes already makes those mutations durable.
         pending: list[tuple[_Mutation, list[int]]] = []
-        for item in batch:
-            if isinstance(item, _Mutation):
-                if segment:
-                    group_sizes.extend(self._execute_queries(segment))
-                    n_queries += len(segment)
-                    segment = []
-                if item.kind == "save":
-                    self._apply_save(item, pending)
-                else:
-                    self._apply_mutation(item, pending)
-            else:
+        position = 0
+        while position < len(batch):
+            item = batch[position]
+            if isinstance(item, _Request):
                 segment.append(item)
+                position += 1
+                continue
+            if segment:
+                group_sizes.extend(self._execute_queries(segment))
+                n_queries += len(segment)
+                segment = []
+            if item.kind == "save":
+                self._apply_save(item, pending)
+                position += 1
+                continue
+            run, position = self._collect_run(batch, position)
+            if len(run) == 1:
+                self._apply_mutation(run[0], pending)
+            else:
+                self._apply_coalesced(run, pending)
         if segment:
             group_sizes.extend(self._execute_queries(segment))
             n_queries += len(segment)
@@ -1053,6 +1174,189 @@ class QueryScheduler:
         if n_queries:
             self._stats.record_batch(n_queries, group_sizes)
             self._m_batch_size.observe(n_queries)
+
+    def _collect_run(
+        self, batch: list["_Request | _Mutation"], position: int
+    ) -> tuple[list[_Mutation], int]:
+        """Gather the longest coalescible mutation run starting at ``position``.
+
+        A neighbour joins the run only when applying the merged engine
+        call is observably identical to applying the members one by one:
+
+        * same kind (adjacent adds, or adjacent removes — never mixed,
+          and a ``save`` barrier always stands alone);
+        * adds: every member validates on its own (a malformed payload
+          must fail only its future, so it breaks the run and applies —
+          and fails — alone) and explicit/default naming is uniform
+          (default names derive from allocated ids and cannot be mixed
+          into one engine call with explicit ones);
+        * removes: every member's ids are live and disjoint from the
+          ids already claimed by the run (an overlap or unknown id must
+          fail exactly the member that would have failed serially, so
+          that member starts its own run and gets the engine's own
+          error).
+
+        Returns the run and the position just past it.  The run is
+        never empty; an unstageable head is returned alone and takes
+        the single-apply path.
+        """
+        head = batch[position]
+        run = [head]
+        position += 1
+        if head.kind == "add":
+            extendable = self._stage_add(head)
+            while extendable and position < len(batch):
+                nxt = batch[position]
+                if (
+                    not isinstance(nxt, _Mutation)
+                    or nxt.kind != "add"
+                    or (nxt.names is None) != (head.names is None)
+                    or not self._stage_add(nxt)
+                ):
+                    break
+                run.append(nxt)
+                position += 1
+        else:
+            claimed: set[int] = set()
+            extendable = self._stage_remove(head, claimed)
+            while extendable and position < len(batch):
+                nxt = batch[position]
+                if (
+                    not isinstance(nxt, _Mutation)
+                    or nxt.kind != "remove"
+                    or not self._stage_remove(nxt, claimed)
+                ):
+                    break
+                run.append(nxt)
+                position += 1
+        return run, position
+
+    def _stage_add(self, mutation: _Mutation) -> bool:
+        """Pre-validate an add for coalescing; False keeps it solitary."""
+        if mutation.staged is not None:
+            return True
+        try:
+            mutation.staged = self._engine.validate_add(
+                mutation.payload,  # type: ignore[arg-type]
+                labels=mutation.labels,
+                names=mutation.names,
+            )
+        except Exception:
+            return False
+        return True
+
+    def _stage_remove(self, mutation: _Mutation, claimed: set[int]) -> bool:
+        """Check a remove's ids are live and unclaimed by the run."""
+        ids = mutation.payload
+        assert isinstance(ids, list)
+        if any(image_id in claimed for image_id in ids):
+            return False
+        if not all(self._engine.has_id(image_id) for image_id in ids):
+            return False
+        claimed.update(ids)
+        return True
+
+    def _apply_coalesced(
+        self, run: list[_Mutation], pending: list[tuple[_Mutation, list[int]]]
+    ) -> None:
+        """Apply one coalesced same-kind mutation run as a single barrier.
+
+        One engine call covers every live member — one journal record
+        set, one group-fsync share, one generation bump — and the
+        result ids are attributed back per future in arrival order
+        (adds slice the allocated id range by each member's row count;
+        removes keep their own id lists).  An engine failure fails
+        every live member: by construction (see :meth:`_collect_run`)
+        the merged call only contains members that would each have
+        succeeded serially, so a failure here is environmental (e.g. a
+        journal write error) and would have hit the serial path too.
+        """
+        live = [
+            mutation
+            for mutation in run
+            if mutation.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        kind = live[0].kind
+        apply_start = time.monotonic()
+        for mutation in live:
+            trace = mutation.trace
+            if trace is not None and mutation.dequeued is not None:
+                if mutation.enqueued is not None:
+                    trace.add_span(
+                        "queue-wait",
+                        mutation.enqueued,
+                        mutation.dequeued - mutation.enqueued,
+                    )
+                trace.add_span(
+                    "batch-form",
+                    mutation.dequeued,
+                    apply_start - mutation.dequeued,
+                    coalesced=len(live),
+                )
+        try:
+            if kind == "add":
+                staged = [mutation.staged for mutation in live]
+                assert all(entry is not None for entry in staged)
+                counts = [n_rows for _matrices, n_rows in staged]  # type: ignore[misc]
+                merged = {
+                    feature: np.vstack(
+                        [matrices[feature] for matrices, _n in staged]  # type: ignore[misc]
+                    )
+                    for feature in staged[0][0]  # type: ignore[index]
+                }
+                if live[0].names is None:
+                    merged_names = None
+                else:
+                    merged_names = [
+                        name for mutation in live for name in mutation.names  # type: ignore[union-attr]
+                    ]
+                if all(mutation.labels is None for mutation in live):
+                    merged_labels = None
+                else:
+                    merged_labels = []
+                    for mutation, n_rows in zip(live, counts):
+                        if mutation.labels is None:
+                            merged_labels.extend([None] * n_rows)
+                        else:
+                            merged_labels.extend(mutation.labels)
+                ids = self._engine.add_vectors(
+                    merged, labels=merged_labels, names=merged_names, sync=False
+                )
+                id_slices: list[list[int]] = []
+                offset = 0
+                for n_rows in counts:
+                    id_slices.append(ids[offset : offset + n_rows])
+                    offset += n_rows
+            else:
+                all_ids = [
+                    image_id for mutation in live for image_id in mutation.payload  # type: ignore[union-attr]
+                ]
+                self._engine.remove(all_ids, sync=False)
+                id_slices = [list(mutation.payload) for mutation in live]  # type: ignore[arg-type]
+        except Exception as error:
+            for mutation in live:
+                if mutation.trace is not None:
+                    mutation.trace.annotate(error=str(error))
+                    self._resolve_trace(mutation.trace, "error")
+                mutation.future.set_exception(error)
+            return
+        append = self._engine.last_journal_append
+        apply_end = time.monotonic()
+        for mutation in live:
+            trace = mutation.trace
+            if trace is None:
+                continue
+            span_start = apply_start
+            if append is not None:
+                append_start, append_duration = append
+                trace.add_span("journal-append", append_start, append_duration)
+                span_start = append_start + append_duration
+            trace.add_span("apply", span_start, apply_end - span_start)
+        self._stats.record_coalesced(len(live) - 1)
+        for mutation, mutation_ids in zip(live, id_slices):
+            pending.append((mutation, mutation_ids))
 
     def _apply_mutation(
         self, mutation: _Mutation, pending: list[tuple[_Mutation, list[int]]]

@@ -71,8 +71,9 @@ import numpy as np
 from repro.db.database import ImageDatabase
 from repro.db.journal import JournalRecord, JournalSet
 from repro.db.query import RetrievalResult
-from repro.errors import ServeError
+from repro.errors import CatalogError, ServeError
 from repro.index.stats import SearchStats
+from repro.serve.cache import MutationDelta, MutationDeltaLog
 
 __all__ = [
     "shard_of",
@@ -230,6 +231,10 @@ class ShardedEngine:
                 for i in range(self._n)
             ]
         self._closed = False
+        #: Per-(feature, shard) record of what each generation's
+        #: mutation inserted/removed — what cache revalidation reads
+        #: (bounded window; see ``repro.serve.cache``).
+        self._delta_log = MutationDeltaLog()
         #: Timing/cost of the most recent scatter (scheduler reads it
         #: right after the call it instruments; single-caller, no lock).
         self.last_scatter: ScatterReport | None = None
@@ -450,6 +455,20 @@ class ShardedEngine:
             raise
         if self._n > 1:
             self._next_id += n_rows
+        # Record *after* applying: a lookup racing this window sees the
+        # new generation without its delta and safely invalidates.
+        for shard_index, rows in enumerate(rows_by_shard):
+            if not rows:
+                continue
+            shard = self._shards[shard_index]
+            shard_ids = [ids[row] for row in rows]
+            for feature, matrix in matrices.items():
+                self._delta_log.record_add(
+                    (feature, shard_index),
+                    shard.generation(feature),
+                    shard_ids,
+                    matrix[rows],
+                )
         if sync:
             self.sync_journal()
         return ids
@@ -500,9 +519,91 @@ class ShardedEngine:
         except Exception:
             self._journal_abort(seq)
             raise
+        for shard_index, shard_ids in enumerate(ids_by_shard):
+            if not shard_ids:
+                continue
+            shard = self._shards[shard_index]
+            for feature in self._template.schema.names:
+                self._delta_log.record_remove(
+                    (feature, shard_index), shard.generation(feature), shard_ids
+                )
         if sync:
             self.sync_journal()
         return image_ids
+
+    # ------------------------------------------------------------------
+    # Mutation staging (coalescing support)
+    # ------------------------------------------------------------------
+    def validate_add(
+        self,
+        signatures: Mapping[str, np.ndarray] | np.ndarray,
+        *,
+        labels: Sequence[str | None] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Validate an add payload without applying it.
+
+        Returns the normalized ``{feature: (n, d) float64 matrix}``
+        mapping and the row count, exactly as
+        :meth:`~repro.db.database.ImageDatabase.validate_signatures`.
+        The scheduler stages payloads through this before coalescing
+        adjacent adds, so a malformed member fails alone instead of
+        poisoning the merged engine call.
+        """
+        return self._template.validate_signatures(
+            signatures, labels=labels, names=names
+        )
+
+    def has_id(self, image_id: int) -> bool:
+        """True when ``image_id`` is live on its home shard.
+
+        The scheduler's remove-coalescing pre-check: a member whose ids
+        are not all live is applied alone (and fails with the engine's
+        own error) rather than failing the whole coalesced call.
+        """
+        try:
+            self._shards[shard_of(image_id, self._n)].catalog.get(int(image_id))
+        except CatalogError:
+            return False
+        return True
+
+    @property
+    def delta_log(self) -> MutationDeltaLog:
+        """The bounded per-generation mutation record (revalidation feed)."""
+        return self._delta_log
+
+    def deltas_between(
+        self, feature: str, old: Hashable, new: Hashable
+    ) -> list[MutationDelta] | None:
+        """Every mutation delta for ``feature`` between two stamps.
+
+        ``old``/``new`` are generation stamps as :meth:`generation`
+        hands them out — scalars unsharded, per-shard tuples sharded.
+        Returns the deltas in shard order (within a shard, generation
+        order), or ``None`` when any part of the range left the bounded
+        window — the caller must then treat the cached entry as
+        unprovable and invalidate.
+        """
+        if self._n == 1:
+            return self._delta_log.between((feature, 0), old, new)
+        if (
+            not isinstance(old, tuple)
+            or not isinstance(new, tuple)
+            or len(old) != self._n
+            or len(new) != self._n
+        ):
+            return None
+        deltas: list[MutationDelta] = []
+        for shard_index in range(self._n):
+            if old[shard_index] == new[shard_index]:
+                continue
+            part = self._delta_log.between(
+                (feature, shard_index), old[shard_index], new[shard_index]
+            )
+            if part is None:
+                return None
+            deltas.extend(part)
+        return deltas
 
     # ------------------------------------------------------------------
     # Journal plumbing

@@ -86,6 +86,18 @@ class ServiceStats:
         matched the database — the count of *prevented* stale answers.
         Every invalidation is also a miss, so hits + misses still
         partition the lookups.
+    cache_revalidations:
+        Stale-stamped entries the check-on-hit revalidator proved still
+        valid (every inserted item provably outside the cached result,
+        no result id removed) — re-stamped and served as hits instead
+        of evicted.  Disjoint from :attr:`cache_invalidations`; every
+        revalidation is also a hit.
+    coalesced_mutations:
+        Mutations that shared another mutation's engine barrier: the
+        worker collapses adjacent same-kind add/remove runs into one
+        ``insert_batch``/``remove`` call (one journal group record, one
+        generation bump), and each run of length ``n`` counts ``n - 1``
+        here — the barriers saved.
     throughput_qps:
         Completed requests per second of **uptime** — a *lifetime*
         average.  It converges to the long-run rate and barely moves
@@ -145,6 +157,8 @@ class ServiceStats:
     journal_records: int = 0
     journal_syncs: int = 0
     journal_replayed: int = 0
+    cache_revalidations: int = 0
+    coalesced_mutations: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON round-trippable) for the HTTP front end.
@@ -174,6 +188,7 @@ class StatsCollector:
         self._group_size_total = 0
         self._dedup_hits = 0
         self._mutations = 0
+        self._coalesced = 0
         self._saves = 0
         self._rate_limited = 0
         self._latencies: deque[float] = deque(maxlen=window)
@@ -215,6 +230,11 @@ class StatsCollector:
         with self._lock:
             self._mutations += 1
 
+    def record_coalesced(self, count: int) -> None:
+        """``count`` mutations rode another mutation's engine barrier."""
+        with self._lock:
+            self._coalesced += count
+
     def record_save(self) -> None:
         """The worker completed one snapshot compaction."""
         with self._lock:
@@ -227,6 +247,7 @@ class StatsCollector:
         cache_hits: int,
         cache_misses: int,
         cache_invalidations: int = 0,
+        cache_revalidations: int = 0,
         n_shards: int = 1,
         shard_sizes: tuple[int, ...] = (),
         shard_requests: tuple[int, ...] = (),
@@ -288,4 +309,6 @@ class StatsCollector:
                 journal_records=journal_records,
                 journal_syncs=journal_syncs,
                 journal_replayed=journal_replayed,
+                cache_revalidations=cache_revalidations,
+                coalesced_mutations=self._coalesced,
             )

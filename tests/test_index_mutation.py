@@ -358,3 +358,117 @@ class TestLAESAPivotDeletion:
             fresh.range_search(query, 0.7)
         )
         assert all(nb.id not in pivots[:2] for nb in index.knn_search(query, n))
+
+
+class TestAmortizedCoreGrowth:
+    """Capacity-doubled core buffers: amortized appends, bit-exact results.
+
+    ISSUE 9 tentpole (a): ``_append_core``/``_remove_core`` used to copy
+    the whole (n, d) core per mutation (O(m·n) for a stream of m
+    mutations).  The :class:`~repro.index.base.GrowableRows` store must
+    (1) leave every query bit-identical to a fresh build after long
+    randomized add/remove streams, and (2) reallocate only
+    O(log(growth)) times — never once per append.
+    """
+
+    @pytest.mark.parametrize("name", sorted(DYNAMIC_INSERT))
+    def test_long_mutation_stream_matches_fresh_build(self, name, rng):
+        n = 24
+        vectors = rng.random((n, DIM))
+        table = {i: vectors[i] for i in range(n)}
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(n)), vectors
+        )
+        next_id = 1000
+        for round_ in range(40):
+            count = int(rng.integers(1, 5))
+            fresh_ids = list(range(next_id, next_id + count))
+            next_id += count
+            block = rng.random((count, DIM))
+            index.insert_batch(fresh_ids, block)
+            for item_id, vector in zip(fresh_ids, block):
+                table[item_id] = vector
+            if name in DYNAMIC_DELETE and len(table) > 8 and rng.random() < 0.4:
+                doomed = [
+                    int(i)
+                    for i in rng.choice(sorted(table), size=3, replace=False)
+                ]
+                index.delete(doomed)
+                for item_id in doomed:
+                    del table[item_id]
+            if round_ % 10 == 9:
+                fresh = _fresh(name, table)
+                query = rng.random(DIM)
+                assert _pairs(index.knn_search(query, 7)) == _pairs(
+                    fresh.knn_search(query, 7)
+                )
+                assert _pairs(index.range_search(query, 0.6)) == _pairs(
+                    fresh.range_search(query, 0.6)
+                )
+        fresh = _fresh(name, table)
+        assert index.size == fresh.size == len(table)
+        for query in rng.random((4, DIM)):
+            assert _pairs(index.knn_search(query, 9)) == _pairs(
+                fresh.knn_search(query, 9)
+            )
+
+    @pytest.mark.parametrize("name", sorted(DYNAMIC_INSERT))
+    def test_appends_do_not_recopy_storage_each_time(self, name, rng):
+        """The backing array identity changes O(log n) times, not per append."""
+        n = 16
+        index = INDEX_FACTORIES[name](EuclideanDistance()).build(
+            list(range(n)), rng.random((n, DIM))
+        )
+        appends = 120
+        bases = set()
+        next_id = 1000
+        for i in range(appends):
+            index.insert_batch([next_id], rng.random((1, DIM)))
+            next_id += 1
+            bases.add(id(index._core._rows))
+        # Capacity doubling from 16 over 120 single-row appends needs at
+        # most ceil(log2((16 + 120) / 16)) = 4 reallocations; a
+        # copy-per-append implementation would produce ~120 distinct
+        # backing arrays.
+        assert len(bases) <= 5
+
+    def test_growable_rows_view_is_readonly_and_amortized(self, rng):
+        from repro.index.base import GrowableRows
+
+        store = GrowableRows(rng.random((3, DIM)))
+        view = store.view()
+        assert view.shape == (3, DIM)
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+        backing = {id(store._rows)}
+        for _ in range(200):
+            store.append(rng.random((1, DIM)))
+            backing.add(id(store._rows))
+        assert store.n_rows == 203
+        assert len(backing) <= 7  # ~log2(203/8) reallocations, not 200
+        assert store.capacity >= store.n_rows
+
+    def test_growable_rows_take_shrinks_at_quarter_occupancy(self, rng):
+        from repro.index.base import GrowableRows
+
+        store = GrowableRows(rng.random((256, DIM)))
+        full_capacity = store.capacity
+        keep = np.arange(8)
+        kept_rows = store.view()[keep].copy()
+        view = store.take(keep)
+        assert store.n_rows == 8
+        assert store.capacity < full_capacity  # shrank, memory returned
+        np.testing.assert_array_equal(view, kept_rows)
+
+    def test_laesa_pivot_table_growth_is_amortized(self, rng):
+        index = LAESAIndex(EuclideanDistance(), n_pivots=4).build(
+            list(range(16)), rng.random((16, DIM))
+        )
+        bases = set()
+        next_id = 1000
+        for _ in range(120):
+            index.insert_batch([next_id], rng.random((1, DIM)))
+            next_id += 1
+            bases.add(id(index._table_store._rows))
+        assert len(bases) <= 5

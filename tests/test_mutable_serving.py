@@ -210,18 +210,38 @@ class TestSchedulerMutations:
         hit = scheduler.submit_query(query, 5).result(timeout=10)
         assert not first.cache_hit and hit.cache_hit
 
-        added = scheduler.submit_add(rng.random((1, DIM))).result(timeout=10)
-        after_add = scheduler.submit_query(query, 5).result(timeout=10)
-        # The pre-mutation entry was evicted, not served.
-        assert not after_add.cache_hit
-        assert scheduler.stats().cache_invalidations == 1
+        # An insert far outside the cached top-5 leaves the entry
+        # provably valid: the stale stamp is *revalidated* (check-on-hit
+        # against the mutation delta log), not evicted.
+        far = scheduler.submit_add(query[None, :] + 100.0).result(timeout=10)
+        after_far = scheduler.submit_query(query, 5).result(timeout=10)
+        assert after_far.cache_hit
+        assert scheduler.stats().cache_revalidations == 1
+        assert scheduler.stats().cache_invalidations == 0
+        assert _pairs(after_far.results) == _pairs(first.results)
 
-        scheduler.submit_remove(added.ids).result(timeout=10)
+        # An insert at distance zero beats the kth result: the entry is
+        # genuinely stale and must be evicted, never served.
+        near = scheduler.submit_add(query[None, :]).result(timeout=10)
+        after_near = scheduler.submit_query(query, 5).result(timeout=10)
+        assert not after_near.cache_hit
+        assert scheduler.stats().cache_invalidations == 1
+        assert after_near.results[0].image_id == near.ids[0]
+
+        # Removing a cached result id invalidates too.
+        scheduler.submit_remove(near.ids).result(timeout=10)
         after_remove = scheduler.submit_query(query, 5).result(timeout=10)
         assert not after_remove.cache_hit
         assert scheduler.stats().cache_invalidations == 2
 
-        # Generation stable again: the cache works as before.
+        # Removing the far item (not in any cached top-5) revalidates.
+        scheduler.submit_remove(far.ids).result(timeout=10)
+        after_far_remove = scheduler.submit_query(query, 5).result(timeout=10)
+        assert after_far_remove.cache_hit
+        assert scheduler.stats().cache_revalidations >= 2
+
+        # Generation stable again: the cache works as before, and every
+        # served result equals a fresh query against the live database.
         again = scheduler.submit_query(query, 5).result(timeout=10)
         assert again.cache_hit
         assert _pairs(again.results) == _pairs(db.query(query, 5))
@@ -336,12 +356,15 @@ class TestHTTPMutations:
         query = rng.random(DIM)
         client.query(query, 3)
         client.query(query, 3)  # cache hit
-        client.add(rng.random((1, DIM)))
+        client.add(query[None, :])  # distance 0: beats the cached top-3
         client.query(query, 3)  # invalidation + recompute
+        client.add(query[None, :] + 100.0)  # far outside the top-3
+        client.query(query, 3)  # stale stamp, provably valid: revalidation
         stats = client.stats()
-        assert stats["mutations"] == 1
+        assert stats["mutations"] == 2
         assert stats["cache_invalidations"] == 1
-        assert stats["cache_hits"] == 1
+        assert stats["cache_revalidations"] == 1
+        assert stats["cache_hits"] == 2
 
     def test_add_signatures_mapping_form(self, served, rng):
         _, client = served
