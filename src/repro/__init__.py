@@ -55,6 +55,18 @@ from repro.metrics import (
     HistogramIntersection,
     ManhattanDistance,
 )
+# repro.db loads before repro.index: the index core arrays sit on the
+# storage backends of repro.db.backend, so the db package is the root
+# of the import graph (see docs/storage.md).
+from repro.db import (
+    BufferPool,
+    Catalog,
+    FeatureStore,
+    FeedbackSession,
+    ImageDatabase,
+    ImageRecord,
+    Rocchio,
+)
 from repro.index import (
     AntipoleTree,
     browse,
@@ -68,15 +80,6 @@ from repro.index import (
     VPTree,
 )
 from repro.reduce import FastMap, KLTransform
-from repro.db import (
-    BufferPool,
-    Catalog,
-    FeatureStore,
-    FeedbackSession,
-    ImageDatabase,
-    ImageRecord,
-    Rocchio,
-)
 from repro.serve import (
     QueryScheduler,
     QueryServer,

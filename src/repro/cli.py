@@ -255,7 +255,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {len(db)} images on http://{host}:{port} "
         f"(features: {', '.join(db.schema.names)}; shards={args.shards}, "
         f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms:g}, "
-        f"cache_size={args.cache_size}"
+        f"cache_size={args.cache_size}, "
+        f"backend={db.backend_info()['name']}"
         + (f", rate_limit={args.rate_limit:g}/s" if args.rate_limit else "")
         + (f", journal={args.journal}" if args.journal else "")
         + (
@@ -377,7 +378,17 @@ def _make_schema(working_size: int) -> FeatureSchema:
 
 
 def _load(args: argparse.Namespace) -> ImageDatabase:
-    return ImageDatabase.load(args.db, _make_schema(args.working_size))
+    backend = getattr(args, "backend", None)
+    cache_pages = getattr(args, "cache_pages", None)
+    if backend is not None or cache_pages is not None:
+        from repro.db.backend import resolve_backend_factory
+
+        # Resolve here so --cache-pages reaches the factory; shard views
+        # share the resolved object (and its pool counters).
+        backend = resolve_backend_factory(backend, cache_pages=cache_pages)
+    return ImageDatabase.load(
+        args.db, _make_schema(args.working_size), backend=backend
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -546,6 +557,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="with --access-log, keep 1 request line in N (default 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="vector storage backend: 'memory' (default) or 'mmap' / "
+        "'mmap:ROOT' to page index cores through a bounded buffer pool "
+        "on disk, so databases larger than RAM serve with bounded "
+        "resident memory (docs/storage.md; env REPRO_BACKEND)",
+    )
+    serve.add_argument(
+        "--cache-pages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="buffer-pool pages per mmap store — the resident-memory "
+        "cap; ignored by the memory backend (default 8; env "
+        "REPRO_CACHE_PAGES)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -37,6 +37,14 @@ from repro.db.catalog import Catalog, ImageRecord
 from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes
 from repro.db.journal import Journal, JournalRecord, JournalSet, fingerprint_of
 from repro.db.store import FeatureStore
+from repro.db.backend import (
+    BACKENDS,
+    MemoryBackend,
+    MmapBackend,
+    VectorBackend,
+    register_backend,
+    resolve_backend_factory,
+)
 from repro.db.database import ImageDatabase
 from repro.db.feedback import FeedbackSession, Rocchio
 from repro.db.query import RetrievalResult, borda_fuse, reciprocal_rank_fuse
@@ -48,6 +56,12 @@ from repro.db.recovery import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "MemoryBackend",
+    "MmapBackend",
+    "VectorBackend",
+    "register_backend",
+    "resolve_backend_factory",
     "BufferPool",
     "Catalog",
     "ImageRecord",

@@ -43,6 +43,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.db.backend import BackendFactory, resolve_backend_factory
 from repro.db.catalog import Catalog, ImageRecord
 from repro.db.fsutil import REAL_FS, FileSystem, atomic_write_bytes, fsync_file
 from repro.db.query import (
@@ -85,6 +86,12 @@ class ImageDatabase:
     index_factory:
         Builds an index from a metric (default: ``VPTree(metric)``).
         One index per feature is maintained.
+    backend:
+        Storage for index core rows (``docs/storage.md``): a spec
+        string (``"memory"``, ``"mmap"``, ``"mmap:ROOT"``), an existing
+        :class:`~repro.db.backend.BackendFactory` (shared across shard
+        views), or ``None`` for the ``$REPRO_BACKEND`` environment
+        default (memory).
 
     Examples
     --------
@@ -105,6 +112,7 @@ class ImageDatabase:
         *,
         metrics: Mapping[str, Metric] | None = None,
         index_factory: IndexFactory | None = None,
+        backend: "str | BackendFactory | None" = None,
     ) -> None:
         self._schema = schema if schema is not None else default_schema()
         if len(self._schema) == 0:
@@ -119,6 +127,7 @@ class ImageDatabase:
         self._index_factory: IndexFactory = index_factory or (
             lambda metric: VPTree(metric)
         )
+        self._backend_factory: BackendFactory = resolve_backend_factory(backend)
         self._catalog = Catalog()
         self._vectors: dict[str, dict[int, np.ndarray]] = {
             name: {} for name in self._schema.names
@@ -156,6 +165,17 @@ class ImageDatabase:
     def index_factory(self) -> IndexFactory:
         """The metric → index constructor this database builds with."""
         return self._index_factory
+
+    @property
+    def backend_factory(self) -> BackendFactory:
+        """The storage factory behind every index core (shared with
+        shard views, so its counters are service-wide)."""
+        return self._backend_factory
+
+    def backend_info(self) -> dict:
+        """Backend name and aggregated buffer-pool counters — the
+        figures ``/stats`` and ``/metrics`` expose."""
+        return self._backend_factory.describe()
 
     def __len__(self) -> int:
         return len(self._catalog)
@@ -482,6 +502,7 @@ class ImageDatabase:
             self._schema,
             metrics=self._metrics,
             index_factory=self._index_factory,
+            backend=self._backend_factory,
         )
         for image_id in image_ids:
             record = self._catalog.get(image_id)  # raises when unknown
@@ -521,6 +542,7 @@ class ImageDatabase:
             template._schema,
             metrics=template._metrics,
             index_factory=template._index_factory,
+            backend=template._backend_factory,
         )
         by_id: dict[int, "ImageDatabase"] = {}
         for view in views:
@@ -780,7 +802,9 @@ class ImageDatabase:
             path = directory / _FEATURE_DIR / f"{feature}.feat"
             staging = path.with_name(path.name + ".new")
             extractor = self._schema.get(feature)
-            with FeatureStore.create(staging, extractor.dim, overwrite=True) as store:
+            with FeatureStore.create(
+                staging, extractor.dim, overwrite=True, fs=fs
+            ) as store:
                 for image_id in ordered_ids:
                     store.append(self._vectors[feature][image_id])
             fsync_file(staging, fs=fs)
@@ -809,6 +833,7 @@ class ImageDatabase:
         *,
         metrics: Mapping[str, Metric] | None = None,
         index_factory: IndexFactory | None = None,
+        backend: "str | BackendFactory | None" = None,
     ) -> "ImageDatabase":
         """Load a database saved by :meth:`save`.
 
@@ -830,7 +855,9 @@ class ImageDatabase:
                     f"stored dim {stored[name]}"
                 )
 
-        db = cls(schema, metrics=metrics, index_factory=index_factory)
+        db = cls(
+            schema, metrics=metrics, index_factory=index_factory, backend=backend
+        )
         db._catalog = Catalog.load(directory / _CATALOG_FILE)
         ordered_ids = db._catalog.ids
         for feature in schema.names:
@@ -862,9 +889,13 @@ class ImageDatabase:
             ids, matrix = self.feature_matrix(feature)
             if not ids:
                 raise QueryError("cannot build an index over an empty database")
+            previous = self._indexes.get(feature)
             index = self._index_factory(self._metrics[feature])
+            index.backend_factory = self._backend_factory
             index.build(ids, matrix)
             self._indexes[feature] = index
+            if previous is not None:
+                previous.close()  # release the superseded core's storage
             self._stale.discard(feature)
 
     def _live_index(self, feature: str) -> MetricIndex | None:

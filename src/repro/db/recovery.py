@@ -164,17 +164,20 @@ def recover(
     *,
     metrics: Mapping[str, Metric] | None = None,
     index_factory: Callable | None = None,
+    backend=None,
     fs: FileSystem = REAL_FS,
     repair: bool = True,
 ) -> tuple[ImageDatabase, RecoveryReport]:
     """Rebuild the database state a crashed (or cleanly stopped) serving
     root represents: last snapshot + intact journal records.
 
-    ``schema``/``metrics``/``index_factory`` configure the rebuilt
-    database exactly as :meth:`ImageDatabase.load` would; the stored
-    fingerprint must match that configuration.  With ``repair`` (the
-    default) torn journal tails are truncated on disk; pass ``False``
-    for a read-only inspection replay.
+    ``schema``/``metrics``/``index_factory``/``backend`` configure the
+    rebuilt database exactly as :meth:`ImageDatabase.load` would; the
+    stored fingerprint must match that configuration.  (The backend is
+    not part of the fingerprint — it changes where index cores live,
+    never what any query returns.)  With ``repair`` (the default) torn
+    journal tails are truncated on disk; pass ``False`` for a
+    read-only inspection replay.
 
     Raises
     ------
@@ -183,7 +186,9 @@ def recover(
     """
     root = Path(root)
     started = time.perf_counter()
-    probe = ImageDatabase(schema, metrics=metrics, index_factory=index_factory)
+    probe = ImageDatabase(
+        schema, metrics=metrics, index_factory=index_factory, backend=backend
+    )
     expected = database_fingerprint(probe)
 
     scans = []
@@ -216,7 +221,11 @@ def recover(
                 f"{snapshot_dir} does not exist"
             )
         db = ImageDatabase.load(
-            snapshot_dir, schema, metrics=metrics, index_factory=index_factory
+            snapshot_dir,
+            schema,
+            metrics=metrics,
+            index_factory=index_factory,
+            backend=backend,
         )
 
     if repair:
@@ -430,6 +439,7 @@ def open_serving_root(
             seed_db.schema,
             metrics=seed_db.metrics,
             index_factory=seed_db.index_factory,
+            backend=seed_db.backend_factory,
             fs=fs,
         )
     else:

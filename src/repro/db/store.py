@@ -17,13 +17,17 @@ File layout (little-endian)::
 
 The header's ``count`` is rewritten on :meth:`flush`/:meth:`close`; a
 crash between appends loses at most the unflushed tail (append-only, no
-torn records within the acknowledged count).
+torn records within the acknowledged count).  :meth:`flush` orders its
+syncs — tail page fsync'd *before* the header that names it — so the
+count never points past durable data, and every write/fsync routes
+through an injectable :class:`~repro.db.fsutil.FileSystem` so the
+crash sweep (``tests/test_crash_faults.py``) can cut power at each
+boundary.
 """
 
 from __future__ import annotations
 
 import io
-import os
 import struct
 from pathlib import Path
 
@@ -31,6 +35,7 @@ import numpy as np
 
 from repro.errors import StoreError
 from repro.db.bufferpool import BufferPool
+from repro.db.fsutil import REAL_FS, FileSystem
 
 __all__ = ["FeatureStore"]
 
@@ -65,9 +70,11 @@ class FeatureStore:
         count: int,
         page_records: int,
         buffer_pages: int,
+        fs: FileSystem = REAL_FS,
     ) -> None:
         self._path = Path(path)
         self._file = file
+        self._fs = fs
         self._dim = dim
         self._count = count
         self._page_records = page_records
@@ -94,6 +101,7 @@ class FeatureStore:
         page_records: int = 64,
         buffer_pages: int = 8,
         overwrite: bool = False,
+        fs: FileSystem = REAL_FS,
     ) -> "FeatureStore":
         """Create a new store file.
 
@@ -110,12 +118,14 @@ class FeatureStore:
         if path.exists() and not overwrite:
             raise StoreError(f"store file already exists: {path}")
         file = open(path, "w+b")
-        file.write(_HEADER.pack(_MAGIC, dim, 0, page_records))
+        fs.write(file, _HEADER.pack(_MAGIC, dim, 0, page_records))
         file.flush()
-        return cls(path, file, dim, 0, page_records, buffer_pages)
+        return cls(path, file, dim, 0, page_records, buffer_pages, fs=fs)
 
     @classmethod
-    def open(cls, path: str | Path, *, buffer_pages: int = 8) -> "FeatureStore":
+    def open(
+        cls, path: str | Path, *, buffer_pages: int = 8, fs: FileSystem = REAL_FS
+    ) -> "FeatureStore":
         """Open an existing store file for reading and appending."""
         path = Path(path)
         if not path.exists():
@@ -135,7 +145,7 @@ class FeatureStore:
                 f"corrupt store header in {path}: dim={dim}, count={count}, "
                 f"page_records={page_records}"
             )
-        return cls(path, file, dim, count, page_records, buffer_pages)
+        return cls(path, file, dim, count, page_records, buffer_pages, fs=fs)
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -242,14 +252,26 @@ class FeatureStore:
         return np.frombuffer(raw, dtype="<f8").reshape(self._count, self._dim).copy()
 
     def flush(self) -> None:
-        """Write the tail page (padded) and a current header to disk."""
+        """Write the tail page (padded) and a current header to disk.
+
+        Two-phase, in the atomic-save discipline of ``docs/durability
+        .md``: the data pages are fsync'd **before** the header that
+        names them is written and fsync'd in turn.  With a single sync
+        after both writes (the old behaviour) the OS was free to
+        persist the header first, and a crash in between left a
+        ``count`` pointing past durable data — a stale count the
+        reopen path would happily serve as garbage rows.
+        """
         self._check_open()
         if self._tail:
             self._write_tail_page(partial=True)
+        self._fs.fsync(self._file)
         self._file.seek(0)
-        self._file.write(_HEADER.pack(_MAGIC, self._dim, self._count, self._page_records))
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._fs.write(
+            self._file,
+            _HEADER.pack(_MAGIC, self._dim, self._count, self._page_records),
+        )
+        self._fs.fsync(self._file)
 
     # ------------------------------------------------------------------
     # Page I/O
@@ -273,7 +295,7 @@ class FeatureStore:
         page = np.zeros((self._page_records, self._dim))
         page[: len(self._tail)] = self._tail
         self._file.seek(self._page_offset(page_index))
-        self._file.write(page.astype("<f8").tobytes())
+        self._fs.write(self._file, page.astype("<f8").tobytes())
         # Whether full or partial, what is on disk supersedes any cached copy.
         self._pool.invalidate(page_index)
         if not partial:

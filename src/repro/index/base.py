@@ -47,6 +47,12 @@ from typing import NamedTuple, Sequence
 
 import numpy as np
 
+from repro.db.backend import (
+    BackendFactory,
+    MemoryBackend,
+    MemoryBackendFactory,
+    VectorBackend,
+)
 from repro.errors import IndexingError
 from repro.index.stats import BuildStats, SearchStats
 from repro.metrics.base import Metric
@@ -61,103 +67,14 @@ class Neighbor(NamedTuple):
     distance: float
 
 
-#: Smallest capacity :class:`GrowableRows` ever allocates (keeps tiny
-#: indexes from reallocating on every one of their first few appends).
-_MIN_CAPACITY = 8
+#: Backward-compatible name of the in-memory row store, which moved to
+#: :mod:`repro.db.backend` when the storage protocol was extracted.
+GrowableRows = MemoryBackend
 
-
-class GrowableRows:
-    """A ``(n, d)`` float64 row store with amortized-O(1) appends.
-
-    The classic capacity-doubling vector: rows live at the front of a
-    larger backing allocation, appends write into the spare tail, and
-    the backing array is only reallocated (and copied once) when the
-    spare runs out — so a stream of ``m`` single-row appends costs
-    O(n + m) row copies total instead of the O(m·n) that re-stacking
-    the whole matrix per append costs.  Removals compact the kept rows
-    to the front in one pass and shrink the allocation when occupancy
-    falls below a quarter, so capacity stays O(live rows).
-
-    :meth:`view` returns the live rows as a **read-only view** of the
-    backing array — zero-copy, safe to hand to query code.  Appends
-    only ever write *past* the live region and removals are the only
-    writes inside it, so a view taken before an append remains valid;
-    callers that compact (``take``) must refresh any view they hold,
-    which :class:`MetricIndex` does by reassigning ``_vectors`` on
-    every mutation.
-    """
-
-    __slots__ = ("_rows", "_n")
-
-    def __init__(self, rows: np.ndarray) -> None:
-        rows = np.asarray(rows, dtype=np.float64)
-        if rows.ndim != 2:
-            raise IndexingError(
-                f"GrowableRows needs an (n, d) array; got shape {rows.shape}"
-            )
-        self._n = int(rows.shape[0])
-        capacity = max(self._n, _MIN_CAPACITY)
-        self._rows = np.empty((capacity, rows.shape[1]), dtype=np.float64)
-        self._rows[: self._n] = rows
-
-    @property
-    def n_rows(self) -> int:
-        """Live rows (the length of :meth:`view`)."""
-        return self._n
-
-    @property
-    def capacity(self) -> int:
-        """Rows the backing allocation can hold before the next realloc."""
-        return int(self._rows.shape[0])
-
-    @property
-    def base(self) -> np.ndarray:
-        """The backing array (identity only changes on realloc) — lets
-        tests assert appends are not recopying storage."""
-        return self._rows
-
-    def view(self) -> np.ndarray:
-        """The live ``(n, d)`` rows as a read-only zero-copy view."""
-        view = self._rows[: self._n]
-        view.setflags(write=False)
-        return view
-
-    def append(self, rows: np.ndarray) -> np.ndarray:
-        """Append validated rows; returns the fresh live view.
-
-        Doubles the backing allocation when the spare tail is too
-        small — the single copy that makes every other append free.
-        """
-        m = int(rows.shape[0])
-        needed = self._n + m
-        if needed > self._rows.shape[0]:
-            capacity = max(needed, 2 * int(self._rows.shape[0]), _MIN_CAPACITY)
-            grown = np.empty((capacity, self._rows.shape[1]), dtype=np.float64)
-            grown[: self._n] = self._rows[: self._n]
-            self._rows = grown
-        self._rows[self._n : needed] = rows
-        self._n = needed
-        return self.view()
-
-    def take(self, keep: np.ndarray) -> np.ndarray:
-        """Keep only the rows indexed by ``keep``; returns the live view.
-
-        ``keep`` must be ascending positions into the current live
-        region.  The kept rows are compacted to the front (one fancy-
-        index copy of the survivors, never of the whole history), and
-        the allocation shrinks once live occupancy drops below 1/4 so
-        a delete-heavy stream cannot strand an arbitrarily large
-        backing array.
-        """
-        kept = self._rows[keep]  # fancy indexing copies the survivors
-        k = int(kept.shape[0])
-        if self._rows.shape[0] > max(_MIN_CAPACITY, 4 * k):
-            self._rows = np.empty(
-                (max(2 * k, _MIN_CAPACITY), self._rows.shape[1]), dtype=np.float64
-            )
-        self._rows[:k] = kept
-        self._n = k
-        return self.view()
+#: The default storage for index cores; ``ImageDatabase`` overrides
+#: :attr:`MetricIndex.backend_factory` per index when configured with a
+#: different backend (``docs/storage.md``).
+_DEFAULT_BACKEND_FACTORY = MemoryBackendFactory()
 
 
 class MetricIndex(ABC):
@@ -179,6 +96,13 @@ class MetricIndex(ABC):
     #: indexes absorb a few mutations without thrashing).
     rebuild_min: int = 32
 
+    #: Storage factory for the core rows (and any per-index side tables,
+    #: e.g. LAESA's pivot table).  A class-level default so the eight
+    #: index constructors stay untouched; :class:`~repro.db.database.
+    #: ImageDatabase` assigns its configured factory on the instance
+    #: before :meth:`build`.
+    backend_factory: BackendFactory = _DEFAULT_BACKEND_FACTORY
+
     def __init__(self, metric: Metric) -> None:
         if not isinstance(metric, Metric):
             raise IndexingError(f"expected a Metric; got {type(metric).__name__}")
@@ -190,7 +114,7 @@ class MetricIndex(ABC):
         self._metric = metric
         self._ids: list[int] = []
         self._vectors: np.ndarray | None = None
-        self._core: GrowableRows | None = None
+        self._core: VectorBackend | None = None
         self._built = False
         self._build_stats = BuildStats()
         self._search_stats = SearchStats()
@@ -291,7 +215,10 @@ class MetricIndex(ABC):
             raise IndexingError("vectors contain non-finite values")
 
         self._ids = ids
-        self._core = GrowableRows(vectors)
+        previous = self._core
+        self._core = self.backend_factory(vectors)
+        if previous is not None:
+            previous.close()
         self._vectors = self._core.view()
         self._pending_ids = []
         self._pending_vectors = []
@@ -301,6 +228,16 @@ class MetricIndex(ABC):
         self._build(ids, self._vectors)
         self._built = True
         return self
+
+    def close(self) -> None:
+        """Release the index's storage backend (idempotent).
+
+        Backend files are derived state, so a bounded backend may
+        delete them; the index must not be queried afterwards.  The
+        database calls this when it replaces a feature's index.
+        """
+        if self._core is not None:
+            self._core.close()
 
     # ------------------------------------------------------------------
     # Mutation

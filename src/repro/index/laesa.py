@@ -37,8 +37,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.db.backend import VectorBackend
 from repro.errors import IndexingError
-from repro.index.base import GrowableRows, MetricIndex, Neighbor
+from repro.index.base import MetricIndex, Neighbor
 from repro.metrics.base import Metric
 
 __all__ = ["LAESAIndex"]
@@ -71,11 +72,17 @@ class LAESAIndex(MetricIndex):
         #: (its column survives — a pivot is just a reference anchor).
         self._pivot_rows: list[int] = []
         self._pivot_ids: list[int] = []
-        #: (n, m) object-to-pivot distances behind a capacity-doubled
-        #: buffer, so per-insert growth is amortized O(m) like the core.
-        self._table_store: GrowableRows | None = None
+        #: (n, m) object-to-pivot distances behind the same storage
+        #: backend as the core rows, so per-insert growth is amortized
+        #: O(m) in memory and the table pages to disk under ``mmap``.
+        self._table_store: VectorBackend | None = None
         self._pivot_table: np.ndarray | None = None  # live (n, m) view
         self._pivot_vectors: np.ndarray | None = None  # (m, d) pivot rows
+
+    def close(self) -> None:
+        super().close()
+        if self._table_store is not None:
+            self._table_store.close()
 
     @property
     def n_pivots(self) -> int:
@@ -119,7 +126,10 @@ class LAESAIndex(MetricIndex):
 
         self._pivot_rows = pivot_rows
         self._pivot_ids = [ids[row] for row in pivot_rows]
-        self._table_store = GrowableRows(table)
+        previous = self._table_store
+        self._table_store = self.backend_factory(table)
+        if previous is not None:
+            previous.close()
         self._pivot_table = self._table_store.view()
         self._pivot_vectors = vectors[pivot_rows].copy()
         self._build_stats.n_leaves = 1
@@ -163,6 +173,13 @@ class LAESAIndex(MetricIndex):
     # ------------------------------------------------------------------
     # Shared query machinery
     # ------------------------------------------------------------------
+    def _row(self, row: int) -> np.ndarray:
+        """One core row, via the buffer pool on a bounded backend."""
+        assert self._vectors is not None and self._core is not None
+        if self._core.bounded:
+            return self._core.rows([row])[0]
+        return self._vectors[row]
+
     def _lower_bounds(self, query: np.ndarray) -> tuple[np.ndarray, dict[int, float]]:
         """``L(x) = max_p |d(q,p) - d(x,p)|`` for every object x.
 
@@ -173,8 +190,21 @@ class LAESAIndex(MetricIndex):
         second evaluation.
         """
         assert self._pivot_table is not None and self._pivot_vectors is not None
+        assert self._table_store is not None
         pivot_distances = self._dist_batch(query, self._pivot_vectors)
-        bounds = np.abs(self._pivot_table - pivot_distances[None, :]).max(axis=1)
+        if self._table_store.bounded:
+            # One buffer-pool page of the table at a time: the per-row
+            # max is block-independent, so the concatenation is
+            # bit-identical to the whole-table evaluation below.
+            parts = [
+                np.abs(block - pivot_distances[None, :]).max(axis=1)
+                for _start, block in self._table_store.iter_blocks()
+            ]
+            bounds = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+            )
+        else:
+            bounds = np.abs(self._pivot_table - pivot_distances[None, :]).max(axis=1)
         known = {
             row: float(d)
             for row, d in zip(self._pivot_rows, pivot_distances)
@@ -189,9 +219,13 @@ class LAESAIndex(MetricIndex):
         # Pivots already have exact distances; refine the rest in one
         # batched evaluation (order is irrelevant for a range query).
         unknown = [row for row in candidates if row not in known]
-        refined = dict(
-            zip(unknown, self._dist_batch(query, self._vectors[unknown]))
+        assert self._core is not None
+        survivors = (
+            self._core.rows(unknown)  # gathered through the buffer pool
+            if self._core.bounded
+            else self._vectors[unknown]
         )
+        refined = dict(zip(unknown, self._dist_batch(query, survivors)))
         result: list[Neighbor] = []
         for row in candidates:
             d = known.get(row)
@@ -220,7 +254,7 @@ class LAESAIndex(MetricIndex):
                 break  # everything later has an even larger lower bound
             d = known.get(row)
             if d is None:
-                d = self._dist(query, self._vectors[row])
+                d = self._dist(query, self._row(row))
             examined += 1
             # (-d, -id): evict the larger id among equal-distance entries,
             # matching the documented tie-break.

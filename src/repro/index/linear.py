@@ -45,9 +45,26 @@ class LinearScanIndex(MetricIndex):
         self._remove_core(ids)
 
     def _scan(self, query: np.ndarray) -> np.ndarray:
-        """All N distances in one counted batch evaluation."""
-        assert self._vectors is not None
-        distances = self._dist_batch(query, self._vectors)
+        """All N distances, counted exactly once per item.
+
+        On a bounded backend the scan walks one buffer-pool page at a
+        time so resident memory stays at ``cache_pages`` pages; the
+        metric kernels are row-independent, so the concatenated
+        per-block distances are bit-identical to the single
+        whole-matrix evaluation the memory backend performs, and the
+        counted total is the same N either way.
+        """
+        assert self._vectors is not None and self._core is not None
+        if self._core.bounded:
+            parts = [
+                self._dist_batch(query, block)
+                for _start, block in self._core.iter_blocks()
+            ]
+            distances = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+            )
+        else:
+            distances = self._dist_batch(query, self._vectors)
         self._search_stats.leaves_visited = 1
         return distances
 

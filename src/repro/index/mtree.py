@@ -92,10 +92,20 @@ class _Node:
     reuses one array instead of re-stacking ``np.array([...])``.  Any
     mutation of the entry list — :meth:`adopt`, :meth:`discard` — drops
     the cache; entry *vectors* are immutable, so nothing else can
-    invalidate it.
+    invalidate it.  On a bounded storage backend the tree disables the
+    cache (``cache_vectors=False``): entry vectors are rows of a
+    memmap, and pinning a RAM copy per page would defeat the resident-
+    memory bound, so each visit re-gathers the block through OS paging.
     """
 
-    __slots__ = ("entries", "is_leaf", "parent_node", "parent_entry", "_matrix")
+    __slots__ = (
+        "entries",
+        "is_leaf",
+        "parent_node",
+        "parent_entry",
+        "_matrix",
+        "cache_vectors",
+    )
 
     def __init__(self, is_leaf: bool) -> None:
         self.entries: list[_Entry] = []
@@ -103,6 +113,7 @@ class _Node:
         self.parent_node: _Node | None = None
         self.parent_entry: _Entry | None = None
         self._matrix: np.ndarray | None = None
+        self.cache_vectors = True
 
     def adopt(self, entry: _Entry) -> None:
         """Add ``entry`` and, for routing entries, fix the child's back-pointers."""
@@ -118,10 +129,14 @@ class _Node:
         self._matrix = None
 
     def matrix(self) -> np.ndarray:
-        """The page's entry vectors as one cached contiguous block."""
-        if self._matrix is None:
-            self._matrix = np.array([entry.vector for entry in self.entries])
-        return self._matrix
+        """The page's entry vectors as one contiguous block (cached
+        unless the tree's backend bounds resident memory)."""
+        if self._matrix is not None:
+            return self._matrix
+        block = np.array([entry.vector for entry in self.entries])
+        if self.cache_vectors:
+            self._matrix = block
+        return block
 
 
 class MTree(MetricIndex):
@@ -270,9 +285,16 @@ class MTree(MetricIndex):
             self._insert(item_id, vector)
         self._append_core(ids, vectors)
 
+    def _new_node(self, is_leaf: bool) -> _Node:
+        """A page configured for the active storage backend (no RAM
+        block cache when the backend bounds resident memory)."""
+        node = _Node(is_leaf=is_leaf)
+        node.cache_vectors = self._core is None or not self._core.bounded
+        return node
+
     def _insert(self, item_id: int, vector: np.ndarray) -> None:
         if self._root is None:
-            self._root = _Node(is_leaf=True)
+            self._root = self._new_node(is_leaf=True)
             self._root.adopt(_Entry(item_id, vector))
             return
 
@@ -319,8 +341,8 @@ class MTree(MetricIndex):
         i1, i2 = self._promote(entries, pairwise)
         group1, group2 = self._partition(entries, pairwise, i1, i2)
 
-        left = _Node(is_leaf=node.is_leaf)
-        right = _Node(is_leaf=node.is_leaf)
+        left = self._new_node(is_leaf=node.is_leaf)
+        right = self._new_node(is_leaf=node.is_leaf)
         r_left = self._fill(left, entries, group1, pairwise, i1)
         r_right = self._fill(right, entries, group2, pairwise, i2)
 
@@ -334,7 +356,7 @@ class MTree(MetricIndex):
         parent = node.parent_node
         if parent is None:
             # The root split: the tree grows one level.
-            new_root = _Node(is_leaf=False)
+            new_root = self._new_node(is_leaf=False)
             new_root.adopt(entry_left)
             new_root.adopt(entry_right)
             self._root = new_root

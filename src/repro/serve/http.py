@@ -34,7 +34,7 @@ Endpoints
     balance gauges (see ``repro.serve.metrics``).
 ``GET /healthz``
     Liveness: item count, feature list, generations, shard count,
-    uptime.
+    uptime, storage backend.
 ``GET /debug/traces``
     Compact summaries of the flight recorder's retained traces (newest
     first) — the forensic ring buffer behind ``repro trace``.
@@ -310,6 +310,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "uptime_s": scheduler.stats().uptime_s,
                     "durable": info is not None,
                     "journal": info,
+                    "backend": self.server.db.backend_info()["name"],
                 },
             )
         elif path == "/stats":

@@ -513,6 +513,13 @@ class QueryScheduler:
             "recovery).  Absent families read 0 when journaling is off.",
             ("figure",),
         )
+        self._g_backend_pool = self._metrics.gauge(
+            "repro_backend_pool",
+            "Vector-backend buffer-pool state "
+            "(hits/misses/evictions/resident/capacity pages).  All 0 on "
+            "the unbounded in-memory backend — see docs/storage.md.",
+            ("figure",),
+        )
         self._m_journal_fsync = self._metrics.histogram(
             "repro_journal_fsync_seconds",
             "Wall time of journal group-commit fsyncs.",
@@ -738,6 +745,8 @@ class QueryScheduler:
         """
         info = self.journal_info()
         cache = self._cache.counters()
+        backend = self._db.backend_info()
+        pool = backend["pool"]
         return self._stats.snapshot(
             queue_depth=self._queue.qsize(),
             cache_hits=cache.hits,
@@ -751,6 +760,12 @@ class QueryScheduler:
             journal_records=info["records"] if info else 0,
             journal_syncs=info["syncs"] if info else 0,
             journal_replayed=info["replayed"] if info else 0,
+            backend=backend["name"],
+            pool_hits=pool["hits"],
+            pool_misses=pool["misses"],
+            pool_evictions=pool["evictions"],
+            pool_resident=pool["resident"],
+            pool_capacity=pool["capacity"],
         )
 
     def render_metrics(self) -> str:
@@ -777,6 +792,8 @@ class QueryScheduler:
         if info is not None:
             for figure, value in info.items():
                 self._g_journal.set(value, figure=figure)
+        for figure, value in self._db.backend_info()["pool"].items():
+            self._g_backend_pool.set(value, figure=figure)
         process = read_process_stats()
         self._g_process.set(process["rss_bytes"], figure="rss_bytes")
         self._g_process.set(process["open_fds"], figure="open_fds")

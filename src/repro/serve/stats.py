@@ -127,6 +127,15 @@ class ServiceStats:
     shard_requests:
         Engine calls (scattered query groups + routed mutations) each
         shard has served since startup.
+    backend:
+        Name of the vector storage backend the database serves from
+        (``"memory"`` or ``"mmap"`` — see ``docs/storage.md``).
+    pool_hits, pool_misses, pool_evictions:
+        Buffer-pool counters aggregated over the backend's open stores
+        (all 0 for the unbounded in-memory backend).
+    pool_resident, pool_capacity:
+        Pages currently resident in the buffer pool vs. the configured
+        cap — the bounded-memory guarantee, observable.
     """
 
     uptime_s: float
@@ -159,6 +168,12 @@ class ServiceStats:
     journal_replayed: int = 0
     cache_revalidations: int = 0
     coalesced_mutations: int = 0
+    backend: str = "memory"
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+    pool_resident: int = 0
+    pool_capacity: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON round-trippable) for the HTTP front end.
@@ -255,6 +270,12 @@ class StatsCollector:
         journal_records: int = 0,
         journal_syncs: int = 0,
         journal_replayed: int = 0,
+        backend: str = "memory",
+        pool_hits: int = 0,
+        pool_misses: int = 0,
+        pool_evictions: int = 0,
+        pool_resident: int = 0,
+        pool_capacity: int = 0,
     ) -> ServiceStats:
         """Assemble a :class:`ServiceStats` from the current counters."""
         with self._lock:
@@ -311,4 +332,10 @@ class StatsCollector:
                 journal_replayed=journal_replayed,
                 cache_revalidations=cache_revalidations,
                 coalesced_mutations=self._coalesced,
+                backend=backend,
+                pool_hits=pool_hits,
+                pool_misses=pool_misses,
+                pool_evictions=pool_evictions,
+                pool_resident=pool_resident,
+                pool_capacity=pool_capacity,
             )

@@ -135,12 +135,25 @@ def make_schema(dim: int = 6):
     return FeatureSchema([PresetSignature(dim)])
 
 
-def seed_database(dim: int = 6, n: int = 12, seed: int = 7):
-    """A small deterministic database to snapshot before the crash run."""
+def seed_database(
+    dim: int = 6,
+    n: int = 12,
+    seed: int = 7,
+    *,
+    backend=None,
+    index_factory=None,
+):
+    """A small deterministic database to snapshot before the crash run.
+
+    ``backend``/``index_factory`` configure the storage backend and
+    index family; :func:`repro.db.recovery.open_serving_root` carries
+    both into the recovered database, so the mmap fault sweep seeds
+    here once and the whole durable root runs on the bounded backend.
+    """
     from repro.db.database import ImageDatabase
 
     rng = np.random.default_rng(seed)
-    db = ImageDatabase(make_schema(dim))
+    db = ImageDatabase(make_schema(dim), index_factory=index_factory, backend=backend)
     db.add_vectors(rng.random((n, dim)))
     return db
 
@@ -199,9 +212,9 @@ def assert_states_match(recovered, oracle, dim: int = 6, seed: int = 99) -> None
 
 
 # ---------------------------------------------------------------------------
-# Subprocess child mode (python -m tests.faults ROOT CRASH_AT N_SHARDS)
+# Subprocess child mode (python -m tests.faults ROOT CRASH_AT N_SHARDS [BACKEND])
 # ---------------------------------------------------------------------------
-def _child(root: str, crash_at: int, n_shards: int) -> int:
+def _child(root: str, crash_at: int, n_shards: int, backend: str | None = None) -> int:
     """Run the scripted workload against ``root``, dying at ``crash_at``.
 
     Prints one flushed ``ACK <step-index>`` line per acknowledged
@@ -209,6 +222,12 @@ def _child(root: str, crash_at: int, n_shards: int) -> int:
     of stdout is exactly the set of futures that resolved before the
     crash.  ``crash_at < 0`` disables injection (the oracle/calibration
     run); the process then prints ``DONE <n-boundaries>`` and exits 0.
+
+    With a ``backend`` spec (e.g. ``mmap:DIR``) the database runs its
+    index cores on that storage backend with a linear-scan index built
+    *before* the mutation stream, so every add/remove also crosses the
+    backend's own write boundaries (page writes, header rewrite, flush)
+    — the sweep then covers the mmap write path, not just the journal.
     """
     from pathlib import Path
 
@@ -217,12 +236,31 @@ def _child(root: str, crash_at: int, n_shards: int) -> int:
 
     fs: CountingFS
     fs = CountingFS() if crash_at < 0 else FaultFS(crash_at, mode="exit")
+    backend_factory = None
+    index_factory = None
+    if backend is not None:
+        from repro.db.backend import resolve_backend_factory
+        from repro.index.linear import LinearScanIndex
+
+        # The backend writes through the same injected filesystem as the
+        # journal, so its page/header/flush calls join the boundary count.
+        backend_factory = resolve_backend_factory(backend, fs=fs)
+        index_factory = LinearScanIndex
     db, journal_set, _report = open_serving_root(
-        Path(root), seed_database(), n_shards=n_shards, fs=fs
+        Path(root),
+        seed_database(backend=backend_factory, index_factory=index_factory),
+        n_shards=n_shards,
+        fs=fs,
     )
     scheduler = QueryScheduler(
         db, shards=n_shards, journal=journal_set, max_wait_ms=0.0, cache_size=0
     )
+    if backend is not None:
+        # Build the cores up front (per shard view — the engine's live
+        # item set): the scripted mutations must hit the backend's
+        # append/take path, not a lazy rebuild at query time.
+        for shard in scheduler.engine.shards:
+            shard.build_indexes()
     for index, (kind, payload) in enumerate(workload_steps()):
         if kind == "add":
             future = scheduler.submit_add(payload)
@@ -238,13 +276,14 @@ def _child(root: str, crash_at: int, n_shards: int) -> int:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    if len(argv) not in (3, 4):
         print(
-            "usage: python -m tests.faults ROOT CRASH_AT N_SHARDS",
+            "usage: python -m tests.faults ROOT CRASH_AT N_SHARDS [BACKEND]",
             file=sys.stderr,
         )
         return 2
-    return _child(argv[0], int(argv[1]), int(argv[2]))
+    backend = argv[3] if len(argv) == 4 else None
+    return _child(argv[0], int(argv[1]), int(argv[2]), backend)
 
 
 if __name__ == "__main__":

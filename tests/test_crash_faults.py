@@ -96,18 +96,39 @@ def _assert_acked_prefix_survived(root, acked: int) -> None:
     )
 
 
-def _run_workload(root: Path, fs: FileSystem, n_shards: int) -> int:
+def _run_workload(
+    root: Path, fs: FileSystem, n_shards: int, backend: str | None = None
+) -> int:
     """Drive the scripted workload through a journaled engine.
 
     Returns how many steps were *acknowledged* (the engine call —
     journal append + apply + fsync — returned).  An
     :class:`InjectedCrash` propagates to the caller, exactly like a
     power cut would end the process.
+
+    With a ``backend`` spec the index cores live on that storage
+    backend (writing through the same injected ``fs``) and linear-scan
+    indexes are built before the mutation stream, so the sweep also
+    crosses the backend's page-write/header/flush boundaries.
     """
+    backend_factory = None
+    index_factory = None
+    if backend is not None:
+        from repro.db.backend import resolve_backend_factory
+        from repro.index.linear import LinearScanIndex
+
+        backend_factory = resolve_backend_factory(backend, fs=fs)
+        index_factory = LinearScanIndex
     db, journal_set, _ = open_serving_root(
-        root, faults.seed_database(), n_shards=n_shards, fs=fs
+        root,
+        faults.seed_database(backend=backend_factory, index_factory=index_factory),
+        n_shards=n_shards,
+        fs=fs,
     )
     engine = ShardedEngine(db, n_shards, journal=journal_set)
+    if backend is not None:
+        for shard in engine.shards:
+            shard.build_indexes()
     acked = 0
     for kind, payload in faults.workload_steps():
         if kind == "add":
@@ -119,9 +140,11 @@ def _run_workload(root: Path, fs: FileSystem, n_shards: int) -> int:
     return acked
 
 
-def _count_boundaries(tmp_path: Path, n_shards: int) -> int:
+def _count_boundaries(
+    tmp_path: Path, n_shards: int, backend: str | None = None
+) -> int:
     fs = CountingFS()
-    acked = _run_workload(tmp_path / "calibrate", fs, n_shards)
+    acked = _run_workload(tmp_path / "calibrate", fs, n_shards, backend)
     assert acked == len(faults.workload_steps())
     return fs.count
 
@@ -150,16 +173,88 @@ class TestInProcessSweep:
         _assert_acked_prefix_survived(tmp_path / "clean", acked)
 
 
+class TestMmapBackendSweep:
+    """The same contract with index cores on the mmap backend.
+
+    The journaled mutation stream now *also* crosses the backend's own
+    write boundaries — page writes, the two-phase header rewrite,
+    flush fsyncs — and a crash at any of them must still lose zero
+    acknowledged writes.  (The backend holds derived state: recovery
+    replays the journal onto a snapshot and rebuilds cores from
+    scratch, so a torn core file can never surface — this sweep proves
+    the mutation path itself never acknowledges past a vulnerable
+    window.)
+    """
+
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_boundaries_preserve_acked_writes(self, tmp_path, n_shards):
+        spec = f"mmap:{tmp_path / 'cal-cores'}"
+        total = _count_boundaries(tmp_path, n_shards, spec)
+        baseline = _count_boundaries(tmp_path / "mem", n_shards)
+        assert total > baseline  # the backend write path joined the count
+        if EXHAUSTIVE:
+            points = list(range(total))
+        else:
+            points = sorted(
+                {1, total // 6, total // 3, total // 2, (2 * total) // 3,
+                 (5 * total) // 6, total - 2, total - 1}
+            )
+        for crash_at in points:
+            root = tmp_path / f"crash-{n_shards}-{crash_at}"
+            backend = f"mmap:{tmp_path / f'cores-{n_shards}-{crash_at}'}"
+            acked = 0
+            try:
+                acked = _run_workload(root, FaultFS(crash_at), n_shards, backend)
+            except InjectedCrash:
+                pass
+            else:
+                pytest.fail(f"boundary {crash_at} of {total} never crashed")
+            _assert_acked_prefix_survived(root, acked)
+
+    def test_recovery_replays_to_bit_identical_state(self, tmp_path):
+        """Crash mid-stream on mmap, recover onto mmap: recovered state
+        answers queries bit-identically to the memory-backend oracle."""
+        from repro.db.backend import resolve_backend_factory
+        from repro.index.linear import LinearScanIndex
+
+        spec = f"mmap:{tmp_path / 'cal-cores'}"
+        total = _count_boundaries(tmp_path, 1, spec)
+        root = tmp_path / "root"
+        backend = f"mmap:{tmp_path / 'crash-cores'}"
+        acked = 0
+        try:
+            acked = _run_workload(root, FaultFS(total // 2), 1, backend)
+        except InjectedCrash:
+            pass
+        recovered, _report = recover(
+            root,
+            faults.make_schema(),
+            index_factory=LinearScanIndex,
+            backend=resolve_backend_factory(f"mmap:{tmp_path / 'recover-cores'}"),
+        )
+        n_steps = len(faults.workload_steps())
+        assert any(
+            _states_match(recovered, _oracle(m))
+            for m in range(acked, n_steps + 1)
+        ), "mmap-backed recovery matches no valid oracle"
+
+
 class TestSubprocessKill9:
     """The honest crash: ``os._exit(137)`` in a child process."""
 
     @staticmethod
-    def _spawn(root: Path, crash_at: int, n_shards: int):
+    def _spawn(root: Path, crash_at: int, n_shards: int, backend: str | None = None):
         env = dict(os.environ)
         src = str(Path(__file__).resolve().parent.parent / "src")
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [
+            sys.executable, "-m", "tests.faults",
+            str(root), str(crash_at), str(n_shards),
+        ]
+        if backend is not None:
+            argv.append(backend)
         return subprocess.run(
-            [sys.executable, "-m", "tests.faults", str(root), str(crash_at), str(n_shards)],
+            argv,
             capture_output=True,
             text=True,
             timeout=120,
@@ -188,6 +283,27 @@ class TestSubprocessKill9:
         for crash_at in points:
             root = tmp_path / f"kill-{crash_at}"
             child = self._spawn(root, crash_at, n_shards)
+            assert child.returncode == 137, (
+                f"boundary {crash_at}/{total}: expected kill-style exit, got "
+                f"{child.returncode}\n{child.stderr}"
+            )
+            acked = self._acked_steps(child.stdout)
+            _assert_acked_prefix_survived(root, acked)
+
+    def test_kill9_on_mmap_backend(self, tmp_path):
+        """kill -9 with index cores on the mmap backend: zero
+        acknowledged writes lost, recovery replays to oracle state."""
+        calibration = self._spawn(
+            tmp_path / "cal", -1, 1, backend=f"mmap:{tmp_path / 'cal-cores'}"
+        )
+        assert calibration.returncode == 0, calibration.stderr
+        total = int(calibration.stdout.split("DONE ")[1])
+        points = sorted({1, total // 3, total // 2, (2 * total) // 3, total - 1})
+        for crash_at in points:
+            root = tmp_path / f"kill-{crash_at}"
+            child = self._spawn(
+                root, crash_at, 1, backend=f"mmap:{tmp_path / f'cores-{crash_at}'}"
+            )
             assert child.returncode == 137, (
                 f"boundary {crash_at}/{total}: expected kill-style exit, got "
                 f"{child.returncode}\n{child.stderr}"
